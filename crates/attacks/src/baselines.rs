@@ -1,0 +1,132 @@
+//! Baseline attacks used as reference points in the scheme-vs-attack matrix
+//! (experiment E4).
+
+use crate::report::{AttackOutcome, KeyGuess};
+use crate::KeyRecoveryAttack;
+use autolock_locking::{KeyGateProvenance, LockedNetlist};
+use autolock_netlist::GateKind;
+use rand::{Rng, RngCore};
+use std::time::Instant;
+
+/// The weakest possible attack: guess every key bit uniformly at random.
+///
+/// Its expected accuracy of 0.5 is the floor every scheme comparison is read
+/// against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomGuessAttack;
+
+impl KeyRecoveryAttack for RandomGuessAttack {
+    fn name(&self) -> &str {
+        "random-guess"
+    }
+
+    fn attack(&self, locked: &LockedNetlist, rng: &mut dyn RngCore) -> AttackOutcome {
+        let start = Instant::now();
+        let guesses = (0..locked.key_len())
+            .map(|bit| KeyGuess {
+                bit,
+                value: rng.gen(),
+                confidence: 0.5,
+            })
+            .collect();
+        AttackOutcome::from_guesses(self.name(), locked, guesses, 0.75, start.elapsed().as_millis())
+    }
+}
+
+/// The classic structural attack on naive XOR/XNOR locking: the inserted gate
+/// type leaks the key bit (an XOR key gate is transparent for key 0, an XNOR
+/// for key 1). Provenance is only used to locate the key gates — the decision
+/// itself reads the public gate type, which is what a real attacker does.
+///
+/// On schemes without XOR key gates this attack degenerates to coin flips.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct XorStructuralAttack;
+
+impl KeyRecoveryAttack for XorStructuralAttack {
+    fn name(&self) -> &str {
+        "xor-structural"
+    }
+
+    fn attack(&self, locked: &LockedNetlist, rng: &mut dyn RngCore) -> AttackOutcome {
+        let start = Instant::now();
+        let netlist = locked.netlist();
+        let key_inputs = netlist.key_inputs();
+        let mut guesses: Vec<KeyGuess> = Vec::with_capacity(locked.key_len());
+        for (bit, &key_input) in key_inputs.iter().enumerate() {
+            // Find a gate that reads this key input and is an XOR/XNOR.
+            let mut guess = None;
+            for (_, gate) in netlist.iter() {
+                if !gate.fanin.contains(&key_input) {
+                    continue;
+                }
+                match gate.kind {
+                    GateKind::Xor => {
+                        guess = Some((false, 1.0));
+                        break;
+                    }
+                    GateKind::Xnor => {
+                        guess = Some((true, 1.0));
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            let (value, confidence) = guess.unwrap_or((rng.gen(), 0.5));
+            guesses.push(KeyGuess {
+                bit,
+                value,
+                confidence,
+            });
+        }
+        AttackOutcome::from_guesses(self.name(), locked, guesses, 0.75, start.elapsed().as_millis())
+    }
+}
+
+/// Reports whether a locked netlist contains MUX key gates (used by harnesses
+/// to decide which attacks are applicable).
+pub fn has_mux_key_gates(locked: &LockedNetlist) -> bool {
+    locked
+        .provenance()
+        .iter()
+        .any(|p| matches!(p, KeyGateProvenance::MuxPair { .. }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autolock_circuits::synth_circuit;
+    use autolock_locking::{DMuxLocking, LockingScheme, XorLocking};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn random_guess_is_near_half_on_long_keys() {
+        let original = synth_circuit("t", 12, 5, 300, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let locked = DMuxLocking::default().lock(&original, 64, &mut rng).unwrap();
+        let outcome = RandomGuessAttack.attack(&locked, &mut rng);
+        assert!(outcome.key_accuracy > 0.25 && outcome.key_accuracy < 0.75);
+        assert_eq!(outcome.attack, "random-guess");
+    }
+
+    #[test]
+    fn xor_structural_attack_breaks_rll_completely() {
+        let original = synth_circuit("t", 10, 4, 150, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let locked = XorLocking::default().lock(&original, 16, &mut rng).unwrap();
+        let outcome = XorStructuralAttack.attack(&locked, &mut rng);
+        assert_eq!(outcome.key_accuracy, 1.0);
+        assert_eq!(outcome.confident_accuracy, Some(1.0));
+    }
+
+    #[test]
+    fn xor_structural_attack_is_uninformed_on_dmux() {
+        let original = synth_circuit("t", 10, 4, 150, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let locked = DMuxLocking::default().lock(&original, 32, &mut rng).unwrap();
+        let outcome = XorStructuralAttack.attack(&locked, &mut rng);
+        // All guesses are coin flips.
+        assert!(outcome.guesses.iter().all(|g| g.confidence == 0.5));
+        assert!(has_mux_key_gates(&locked));
+    }
+}

@@ -1,0 +1,325 @@
+//! Link-feature extraction for the MuxLink-style attack.
+//!
+//! The published MuxLink feeds the *enclosing subgraph* of each candidate link
+//! into a DGCNN. This reproduction extracts a fixed-length feature vector from
+//! the same enclosing subgraph — structural statistics (sizes, degrees,
+//! distances, DRNL-label histogram) plus gate-type information — and feeds it
+//! to an MLP. The discriminative signal is the same: what the logic
+//! *surrounding* a candidate connection looks like.
+
+use autolock_netlist::graph::{enclosing_subgraph, UndirectedGraph};
+use autolock_netlist::{GateId, GateKind, Netlist};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Longest-path logic levels of the *visible* part of a locked netlist: edges
+/// incident to `hidden` gates are ignored. Hidden gates keep level 0.
+///
+/// True drivers sit at a lower level than their sinks, which makes the level
+/// difference a strong link-prediction feature; the extractor consumes the
+/// result of this function.
+pub fn visible_levels(netlist: &Netlist, hidden: &HashSet<GateId>) -> Vec<usize> {
+    // Kahn-style longest path over the visible sub-DAG.
+    let mut indeg = vec![0usize; netlist.len()];
+    for (id, gate) in netlist.iter() {
+        if hidden.contains(&id) {
+            continue;
+        }
+        indeg[id.index()] = gate
+            .fanin
+            .iter()
+            .filter(|f| !hidden.contains(f))
+            .count();
+    }
+    let mut levels = vec![0usize; netlist.len()];
+    let mut queue: std::collections::VecDeque<GateId> = netlist
+        .ids()
+        .filter(|id| !hidden.contains(id) && indeg[id.index()] == 0)
+        .collect();
+    let fanouts = netlist.fanouts();
+    while let Some(id) = queue.pop_front() {
+        for &sink in &fanouts[id.index()] {
+            if hidden.contains(&sink) {
+                continue;
+            }
+            levels[sink.index()] = levels[sink.index()].max(levels[id.index()] + 1);
+            indeg[sink.index()] -= 1;
+            if indeg[sink.index()] == 0 {
+                queue.push_back(sink);
+            }
+        }
+    }
+    levels
+}
+
+/// Which features the extractor emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeatureMode {
+    /// Full MuxLink-style features: enclosing-subgraph structure + gate types.
+    Full,
+    /// Only the gate types of the two link endpoints ("locality-only").
+    ///
+    /// This models the pre-MuxLink learning attacks (SnapShot/OMLA style)
+    /// that judge a key-gate location purely from its local gate-type
+    /// composition — exactly the attack class D-MUX defeats by construction.
+    LocalityOnly,
+}
+
+/// Configuration of the feature extractor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkFeatureConfig {
+    /// Number of hops of the enclosing subgraph.
+    pub hops: usize,
+    /// Cap on DRNL labels; larger labels are clipped into the last bucket.
+    pub max_drnl: usize,
+    /// Feature mode.
+    pub mode: FeatureMode,
+}
+
+impl Default for LinkFeatureConfig {
+    fn default() -> Self {
+        LinkFeatureConfig {
+            hops: 2,
+            max_drnl: 8,
+            mode: FeatureMode::Full,
+        }
+    }
+}
+
+/// Extracts fixed-length feature vectors for candidate links of a netlist.
+#[derive(Debug, Clone)]
+pub struct LinkFeatureExtractor {
+    config: LinkFeatureConfig,
+}
+
+impl LinkFeatureExtractor {
+    /// Creates an extractor.
+    pub fn new(config: LinkFeatureConfig) -> Self {
+        LinkFeatureExtractor { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &LinkFeatureConfig {
+        &self.config
+    }
+
+    /// Dimensionality of the emitted feature vectors.
+    pub fn dim(&self) -> usize {
+        match self.config.mode {
+            FeatureMode::LocalityOnly => 2 * GateKind::NUM_CODES,
+            FeatureMode::Full => {
+                // endpoint one-hots + endpoint degrees/fanio + pair stats +
+                // level features + subgraph stats + kind histogram + drnl
+                // histogram
+                2 * GateKind::NUM_CODES
+                    + 6
+                    + 5
+                    + 4
+                    + 4
+                    + GateKind::NUM_CODES
+                    + self.config.max_drnl
+            }
+        }
+    }
+
+    /// Extracts the feature vector of the candidate link `(driver, sink)`.
+    ///
+    /// `graph` must already have the candidate link removed (for existing
+    /// links) or simply not contain it (for negative samples); `levels` is the
+    /// per-gate logic level of the visible netlist (see [`visible_levels`]);
+    /// `netlist` is only used for gate kinds and fan-in counts.
+    pub fn extract(
+        &self,
+        netlist: &Netlist,
+        graph: &UndirectedGraph,
+        levels: &[usize],
+        driver: GateId,
+        sink: GateId,
+    ) -> Vec<f64> {
+        let mut features = Vec::with_capacity(self.dim());
+
+        // Gate-kind one-hots of the two endpoints (always present).
+        let mut one_hot = |id: GateId| {
+            let mut v = vec![0.0; GateKind::NUM_CODES];
+            v[netlist.gate(id).kind.code()] = 1.0;
+            features.extend(v);
+        };
+        one_hot(driver);
+        one_hot(sink);
+
+        if self.config.mode == FeatureMode::LocalityOnly {
+            debug_assert_eq!(features.len(), self.dim());
+            return features;
+        }
+
+        // Endpoint structure.
+        let deg_u = graph.degree(driver) as f64;
+        let deg_v = graph.degree(sink) as f64;
+        let fanin_v = netlist.gate(sink).fanin.len() as f64;
+        let fanout_u = graph.degree(driver) as f64; // undirected degree as proxy
+        features.push(deg_u);
+        features.push(deg_v);
+        features.push(fanin_v);
+        features.push(fanout_u);
+        features.push((deg_u - deg_v).abs());
+        features.push(deg_u * deg_v);
+
+        // Pairwise link-prediction heuristics.
+        let common = graph.common_neighbors(driver, sink) as f64;
+        let jaccard = graph.jaccard(driver, sink);
+        let dist = {
+            let d = graph.bfs_distances(driver, self.config.hops * 2);
+            d.get(&sink)
+                .copied()
+                .map(|x| x as f64)
+                .unwrap_or((self.config.hops * 2 + 1) as f64)
+        };
+        features.push(common);
+        features.push(jaccard);
+        features.push(dist);
+        features.push(if dist <= self.config.hops as f64 { 1.0 } else { 0.0 });
+        features.push(common / (deg_u + deg_v + 1.0));
+
+        // Logic-level features: a true driver sits below its sink, usually by
+        // a small number of levels.
+        let lvl_u = levels.get(driver.index()).copied().unwrap_or(0) as f64;
+        let lvl_v = levels.get(sink.index()).copied().unwrap_or(0) as f64;
+        let max_level = levels.iter().copied().max().unwrap_or(1).max(1) as f64;
+        features.push(lvl_u / max_level);
+        features.push(lvl_v / max_level);
+        features.push(lvl_v - lvl_u);
+        features.push(if lvl_u < lvl_v { 1.0 } else { 0.0 });
+
+        // Enclosing-subgraph statistics.
+        let sg = enclosing_subgraph(graph, driver, sink, self.config.hops);
+        let n = sg.nodes.len() as f64;
+        let m = sg.edges.len() as f64;
+        features.push(n);
+        features.push(m);
+        features.push(if n > 0.0 { m / n } else { 0.0 });
+        features.push(
+            sg.dist_u
+                .iter()
+                .zip(&sg.dist_v)
+                .filter(|(&a, &b)| a != usize::MAX && b != usize::MAX)
+                .count() as f64
+                / n.max(1.0),
+        );
+
+        // Gate-kind histogram of the subgraph (normalized).
+        let mut kinds = vec![0.0; GateKind::NUM_CODES];
+        for &node in &sg.nodes {
+            kinds[netlist.gate(node).kind.code()] += 1.0;
+        }
+        for k in kinds.iter_mut() {
+            *k /= n.max(1.0);
+        }
+        features.extend(kinds);
+
+        // DRNL-label histogram (normalized, clipped).
+        let mut drnl = vec![0.0; self.config.max_drnl];
+        for &label in &sg.drnl {
+            let bucket = label.min(self.config.max_drnl - 1);
+            drnl[bucket] += 1.0;
+        }
+        for d in drnl.iter_mut() {
+            *d /= n.max(1.0);
+        }
+        features.extend(drnl);
+
+        debug_assert_eq!(features.len(), self.dim());
+        features
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autolock_circuits::c17;
+    use autolock_netlist::graph::UndirectedGraph;
+
+    fn no_hidden(nl: &Netlist) -> Vec<usize> {
+        visible_levels(nl, &HashSet::new())
+    }
+
+    #[test]
+    fn full_features_have_declared_dimension() {
+        let nl = c17();
+        let graph = UndirectedGraph::from_netlist(&nl);
+        let levels = no_hidden(&nl);
+        let ex = LinkFeatureExtractor::new(LinkFeatureConfig::default());
+        let u = nl.find("G10gat").unwrap();
+        let v = nl.find("G22gat").unwrap();
+        let f = ex.extract(&nl, &graph, &levels, u, v);
+        assert_eq!(f.len(), ex.dim());
+        assert!(f.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn locality_only_features_are_pure_type_one_hots() {
+        let nl = c17();
+        let graph = UndirectedGraph::from_netlist(&nl);
+        let levels = no_hidden(&nl);
+        let ex = LinkFeatureExtractor::new(LinkFeatureConfig {
+            mode: FeatureMode::LocalityOnly,
+            ..Default::default()
+        });
+        let u = nl.find("G1gat").unwrap();
+        let v = nl.find("G10gat").unwrap();
+        let f = ex.extract(&nl, &graph, &levels, u, v);
+        assert_eq!(f.len(), 2 * GateKind::NUM_CODES);
+        // Exactly two ones (one per endpoint one-hot).
+        assert_eq!(f.iter().filter(|&&x| x == 1.0).count(), 2);
+        assert_eq!(f.iter().filter(|&&x| x == 0.0).count(), f.len() - 2);
+    }
+
+    #[test]
+    fn existing_link_and_non_link_have_different_features() {
+        let nl = c17();
+        let u = nl.find("G10gat").unwrap();
+        let v = nl.find("G22gat").unwrap();
+        let far = nl.find("G6gat").unwrap();
+        // Remove the true link before extraction (as the attack does).
+        let graph = UndirectedGraph::from_netlist_without_edges(&nl, &[(u, v)]);
+        let levels = no_hidden(&nl);
+        let ex = LinkFeatureExtractor::new(LinkFeatureConfig::default());
+        let f_true = ex.extract(&nl, &graph, &levels, u, v);
+        let f_false = ex.extract(&nl, &graph, &levels, far, v);
+        assert_ne!(f_true, f_false);
+    }
+
+    #[test]
+    fn distance_feature_saturates_for_disconnected_pairs() {
+        let mut nl = autolock_netlist::Netlist::new("two_islands");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl
+            .add_gate("x", autolock_netlist::GateKind::Not, vec![a])
+            .unwrap();
+        let y = nl
+            .add_gate("y", autolock_netlist::GateKind::Not, vec![b])
+            .unwrap();
+        nl.mark_output(x);
+        nl.mark_output(y);
+        let graph = UndirectedGraph::from_netlist(&nl);
+        let levels = no_hidden(&nl);
+        let ex = LinkFeatureExtractor::new(LinkFeatureConfig::default());
+        let f = ex.extract(&nl, &graph, &levels, a, y);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn visible_levels_respect_hidden_nodes() {
+        let nl = c17();
+        let g10 = nl.find("G10gat").unwrap();
+        let g22 = nl.find("G22gat").unwrap();
+        let all = no_hidden(&nl);
+        assert_eq!(all[nl.find("G1gat").unwrap().index()], 0);
+        assert_eq!(all[g10.index()], 1);
+        assert_eq!(all[g22.index()], 3);
+        // Hiding G16 shortens G22's visible level (only the G10 path remains).
+        let hidden: HashSet<_> = [nl.find("G16gat").unwrap()].into_iter().collect();
+        let partial = visible_levels(&nl, &hidden);
+        assert_eq!(partial[g22.index()], 2);
+    }
+}

@@ -1,0 +1,46 @@
+//! Attack suite for the AutoLock reproduction.
+//!
+//! Three families of attacks are implemented, covering the threat models the
+//! AutoLock paper discusses:
+//!
+//! * [`MuxLinkAttack`] — the oracle-less, ML-based link-prediction attack
+//!   (MuxLink, DATE 2022) rebuilt on a from-scratch feature extractor +
+//!   [`autolock_mlcore`] classifier. This is the attack AutoLock's genetic
+//!   algorithm uses as its fitness oracle.
+//! * [`SatAttack`] — the classic oracle-guided SAT attack (Subramanyan et
+//!   al.), built on the [`autolock_satsolver`] CDCL solver. Used by the
+//!   multi-objective experiments (E5, E8).
+//! * Baselines: [`RandomGuessAttack`] and the locality-only variant of
+//!   MuxLink ([`FeatureMode::LocalityOnly`]), which model the pre-MuxLink
+//!   structural attacks that D-MUX was designed to resist (E4).
+//!
+//! All oracle-less attacks implement [`KeyRecoveryAttack`]; the SAT attack has
+//! its own entry point because it additionally needs an I/O oracle (we use the
+//! original netlist as the oracle, standing in for an unlocked chip).
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod baselines;
+mod features;
+mod muxlink;
+mod report;
+mod sat;
+
+pub use baselines::{has_mux_key_gates, RandomGuessAttack, XorStructuralAttack};
+pub use features::{visible_levels, FeatureMode, LinkFeatureConfig, LinkFeatureExtractor};
+pub use muxlink::{MuxLinkAttack, MuxLinkConfig, MuxCandidate};
+pub use report::{AttackOutcome, KeyGuess};
+pub use sat::{SatAttack, SatAttackConfig, SatAttackOutcome};
+
+use autolock_locking::LockedNetlist;
+use rand::RngCore;
+
+/// An oracle-less key-recovery attack: it sees only the locked netlist.
+pub trait KeyRecoveryAttack {
+    /// Short, stable identifier used in result tables.
+    fn name(&self) -> &str;
+
+    /// Runs the attack and returns its key guess together with bookkeeping.
+    fn attack(&self, locked: &LockedNetlist, rng: &mut dyn RngCore) -> AttackOutcome;
+}

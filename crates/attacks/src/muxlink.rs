@@ -1,0 +1,496 @@
+//! The MuxLink-style link-prediction attack.
+//!
+//! MuxLink (Alrahis et al., DATE 2022) observes that MUX-based locking hides
+//! *which of two wires really existed* in the original design, and that this
+//! is exactly the link-prediction problem on the netlist graph. The attack is
+//! **self-supervised**: it trains only on the locked netlist itself, using the
+//! links that are *not* protected by key gates as positive examples and random
+//! non-adjacent pairs as negatives, then scores the two candidate links behind
+//! every key-controlled MUX and picks the more link-like one.
+//!
+//! Pipeline of this reproduction (DGCNN replaced by an enclosing-subgraph
+//! feature extractor + MLP, see `DESIGN.md`):
+//!
+//! 1. hide key inputs and key MUXes from the structural view,
+//! 2. sample training links/non-links and extract features,
+//! 3. train an [`autolock_mlcore::Mlp`],
+//! 4. score each candidate link of each key MUX,
+//! 5. vote per key bit (both MUXes driven by the same key input contribute)
+//!    and report per-bit confidence = normalized score margin.
+
+use crate::features::{visible_levels, FeatureMode, LinkFeatureConfig, LinkFeatureExtractor};
+use crate::report::{AttackOutcome, KeyGuess};
+use crate::KeyRecoveryAttack;
+use autolock_locking::LockedNetlist;
+use autolock_mlcore::{Dataset, Mlp, MlpConfig};
+use autolock_netlist::graph::UndirectedGraph;
+use autolock_netlist::{GateId, GateKind, Netlist};
+use rand::seq::SliceRandom;
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// One candidate decision point: a key-controlled MUX and the two links it
+/// hides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MuxCandidate {
+    /// Index of the key bit (position of the select key input among the
+    /// netlist's key inputs).
+    pub key_bit: usize,
+    /// The MUX gate.
+    pub mux: GateId,
+    /// The gate the MUX drives.
+    pub sink: GateId,
+    /// Driver selected when the key bit is 0.
+    pub cand_key0: GateId,
+    /// Driver selected when the key bit is 1.
+    pub cand_key1: GateId,
+}
+
+/// Configuration of [`MuxLinkAttack`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MuxLinkConfig {
+    /// Feature-extraction settings (hops, mode).
+    pub features: LinkFeatureConfig,
+    /// Hidden-layer sizes of the MLP.
+    pub hidden: Vec<usize>,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Maximum number of positive (and negative) training samples.
+    pub max_train_samples_per_class: usize,
+    /// Margin above which a key-bit prediction counts as "confident".
+    pub confidence_threshold: f64,
+}
+
+impl Default for MuxLinkConfig {
+    fn default() -> Self {
+        MuxLinkConfig {
+            features: LinkFeatureConfig::default(),
+            hidden: vec![32, 16],
+            epochs: 60,
+            learning_rate: 0.01,
+            max_train_samples_per_class: 400,
+            confidence_threshold: 0.6,
+        }
+    }
+}
+
+impl MuxLinkConfig {
+    /// A cheaper configuration used inside the AutoLock GA fitness loop
+    /// (smaller model, fewer samples and epochs).
+    pub fn fast() -> Self {
+        MuxLinkConfig {
+            hidden: vec![16],
+            epochs: 30,
+            max_train_samples_per_class: 150,
+            ..Default::default()
+        }
+    }
+
+    /// The locality-only ablation (gate-type features only); models
+    /// pre-MuxLink structural learning attacks.
+    pub fn locality_only() -> Self {
+        MuxLinkConfig {
+            features: LinkFeatureConfig {
+                mode: FeatureMode::LocalityOnly,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+}
+
+/// The MuxLink-style attack.
+#[derive(Debug, Clone, Default)]
+pub struct MuxLinkAttack {
+    config: MuxLinkConfig,
+}
+
+impl MuxLinkAttack {
+    /// Creates the attack with the given configuration.
+    pub fn new(config: MuxLinkConfig) -> Self {
+        MuxLinkAttack { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MuxLinkConfig {
+        &self.config
+    }
+
+    /// Structurally discovers every key-controlled MUX and the candidate links
+    /// it hides. Uses only information an attacker has (the locked netlist).
+    pub fn find_candidates(netlist: &Netlist) -> Vec<MuxCandidate> {
+        let key_inputs = netlist.key_inputs();
+        let key_index: HashMap<GateId, usize> = key_inputs
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i))
+            .collect();
+        let fanouts = netlist.fanouts();
+        let mut candidates = Vec::new();
+        for (id, gate) in netlist.iter() {
+            if gate.kind != GateKind::Mux {
+                continue;
+            }
+            let Some(&key_bit) = key_index.get(&gate.fanin[0]) else {
+                continue;
+            };
+            // A sink reading the MUX through multiple fan-in positions still
+            // constitutes a single candidate decision.
+            let mut sinks: Vec<GateId> = fanouts[id.index()].clone();
+            sinks.sort();
+            sinks.dedup();
+            for sink in sinks {
+                candidates.push(MuxCandidate {
+                    key_bit,
+                    mux: id,
+                    sink,
+                    cand_key0: gate.fanin[1],
+                    cand_key1: gate.fanin[2],
+                });
+            }
+        }
+        candidates
+    }
+
+    /// The set of gates hidden from the attack's structural view: key inputs
+    /// and key-controlled MUXes.
+    pub fn hidden_gates(netlist: &Netlist) -> HashSet<GateId> {
+        let mut hidden: HashSet<GateId> = netlist
+            .ids()
+            .filter(|&id| netlist.gate(id).kind == GateKind::KeyInput)
+            .collect();
+        for (id, gate) in netlist.iter() {
+            if gate.kind == GateKind::Mux && hidden.contains(&gate.fanin[0]) {
+                hidden.insert(id);
+            }
+        }
+        hidden
+    }
+
+    /// Builds the self-supervised training set: `(features, label)` rows.
+    #[allow(clippy::too_many_arguments)]
+    fn training_set<R: Rng + ?Sized>(
+        &self,
+        netlist: &Netlist,
+        graph: &UndirectedGraph,
+        levels: &[usize],
+        hidden: &HashSet<GateId>,
+        extractor: &LinkFeatureExtractor,
+        rng: &mut R,
+    ) -> (Vec<Vec<f64>>, Vec<f64>) {
+        // Positive examples: wires of the locked netlist that do not touch
+        // hidden gates.
+        let mut positives: Vec<(GateId, GateId)> = Vec::new();
+        for (id, gate) in netlist.iter() {
+            if hidden.contains(&id) || gate.kind.is_input() || gate.kind.is_constant() {
+                continue;
+            }
+            for &f in &gate.fanin {
+                if !hidden.contains(&f) {
+                    positives.push((f, id));
+                }
+            }
+        }
+        positives.shuffle(rng);
+        positives.truncate(self.config.max_train_samples_per_class);
+
+        // Negative examples: random non-adjacent (driver, sink) pairs.
+        let visible: Vec<GateId> = netlist
+            .ids()
+            .filter(|id| !hidden.contains(id))
+            .collect();
+        let sinks: Vec<GateId> = visible
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let k = netlist.gate(id).kind;
+                !k.is_input() && !k.is_constant()
+            })
+            .collect();
+        let existing: HashSet<(GateId, GateId)> = netlist
+            .iter()
+            .flat_map(|(id, gate)| gate.fanin.iter().map(move |&f| (f, id)))
+            .collect();
+        let mut negatives: Vec<(GateId, GateId)> = Vec::new();
+        let target = positives.len();
+        let mut attempts = 0usize;
+        while negatives.len() < target && attempts < target * 50 {
+            attempts += 1;
+            let (Some(&u), Some(&v)) = (visible.choose(rng), sinks.choose(rng)) else {
+                break;
+            };
+            if u == v || existing.contains(&(u, v)) || existing.contains(&(v, u)) {
+                continue;
+            }
+            negatives.push((u, v));
+        }
+
+        let mut rows = Vec::with_capacity(positives.len() + negatives.len());
+        let mut labels = Vec::with_capacity(rows.capacity());
+        for &(u, v) in &positives {
+            // Hide the link itself before extracting its neighbourhood.
+            let g = graph.without_edge(u, v);
+            rows.push(extractor.extract(netlist, &g, levels, u, v));
+            labels.push(1.0);
+        }
+        for &(u, v) in &negatives {
+            rows.push(extractor.extract(netlist, graph, levels, u, v));
+            labels.push(0.0);
+        }
+        (rows, labels)
+    }
+
+    /// Directed adjacency of the visible (non-hidden) part of the netlist.
+    fn visible_fanouts(netlist: &Netlist, hidden: &HashSet<GateId>) -> Vec<Vec<GateId>> {
+        let mut adj = vec![Vec::new(); netlist.len()];
+        for (id, gate) in netlist.iter() {
+            if hidden.contains(&id) {
+                continue;
+            }
+            for &f in &gate.fanin {
+                if !hidden.contains(&f) {
+                    adj[f.index()].push(id);
+                }
+            }
+        }
+        adj
+    }
+
+    /// Returns `true` if `target` is reachable from `from` in the visible
+    /// directed graph. Used for the cycle rule: a candidate link
+    /// `driver → sink` is structurally impossible if `sink` already reaches
+    /// `driver` (it would close a combinational loop).
+    fn reaches(adj: &[Vec<GateId>], from: GateId, target: GateId) -> bool {
+        if from == target {
+            return true;
+        }
+        let mut visited = vec![false; adj.len()];
+        let mut stack = vec![from];
+        visited[from.index()] = true;
+        while let Some(node) = stack.pop() {
+            for &next in &adj[node.index()] {
+                if next == target {
+                    return true;
+                }
+                if !visited[next.index()] {
+                    visited[next.index()] = true;
+                    stack.push(next);
+                }
+            }
+        }
+        false
+    }
+
+    /// Runs the attack. Prefer [`KeyRecoveryAttack::attack`]; this inherent
+    /// method additionally exposes the trained link scores per candidate.
+    pub fn attack_with_scores(
+        &self,
+        locked: &LockedNetlist,
+        rng: &mut dyn RngCore,
+    ) -> (AttackOutcome, Vec<(MuxCandidate, f64, f64)>) {
+        let start = Instant::now();
+        let netlist = locked.netlist();
+        let key_len = locked.key_len();
+        // Derive an owned, seedable RNG so the attack is deterministic given
+        // the caller's RNG state (dyn RngCore cannot be cloned).
+        let mut rng = ChaCha8Rng::seed_from_u64(rng.next_u64());
+
+        let candidates = Self::find_candidates(netlist);
+        if candidates.is_empty() || key_len == 0 {
+            // Not a MUX-locked netlist (or keyless): no information.
+            let guesses = (0..key_len)
+                .map(|bit| KeyGuess {
+                    bit,
+                    value: rng.gen(),
+                    confidence: 0.5,
+                })
+                .collect();
+            let outcome = AttackOutcome::from_guesses(
+                self.name(),
+                locked,
+                guesses,
+                self.config.confidence_threshold,
+                start.elapsed().as_millis(),
+            );
+            return (outcome, Vec::new());
+        }
+
+        let hidden = Self::hidden_gates(netlist);
+        let graph = UndirectedGraph::from_netlist_filtered(netlist, |id| hidden.contains(&id));
+        let levels = visible_levels(netlist, &hidden);
+        let visible_adj = Self::visible_fanouts(netlist, &hidden);
+        let extractor = LinkFeatureExtractor::new(self.config.features);
+
+        // Self-supervised training.
+        let (rows, labels) =
+            self.training_set(netlist, &graph, &levels, &hidden, &extractor, &mut rng);
+        let (model, mean, std) = if rows.len() >= 8 && labels.iter().any(|&l| l > 0.5) && labels.iter().any(|&l| l < 0.5) {
+            let data = Dataset::from_rows(rows, labels).expect("consistent feature rows");
+            let (mean, std) = data.feature_stats();
+            let data = data.standardized(&mean, &std);
+            let mut mlp = Mlp::new(
+                MlpConfig {
+                    input_dim: extractor.dim(),
+                    hidden: self.config.hidden.clone(),
+                    epochs: self.config.epochs,
+                    learning_rate: self.config.learning_rate,
+                    ..Default::default()
+                },
+                &mut rng,
+            );
+            mlp.train(&data, &mut rng);
+            (Some(mlp), mean, std)
+        } else {
+            (None, vec![0.0; extractor.dim()], vec![1.0; extractor.dim()])
+        };
+
+        // Score every candidate link. The model score is overridden by the
+        // cycle rule (also used by the published MuxLink post-processing): a
+        // candidate connection whose sink already reaches its driver would
+        // close a combinational loop and therefore cannot be the true wire.
+        let mut scored: Vec<(MuxCandidate, f64, f64)> = Vec::with_capacity(candidates.len());
+        for cand in &candidates {
+            let score = |driver: GateId| -> f64 {
+                if Self::reaches(&visible_adj, cand.sink, driver) {
+                    return 0.0;
+                }
+                let f = extractor.extract(netlist, &graph, &levels, driver, cand.sink);
+                match &model {
+                    Some(m) => m.predict(&Dataset::standardize_row(&f, &mean, &std)),
+                    None => 0.5,
+                }
+            };
+            scored.push((*cand, score(cand.cand_key0), score(cand.cand_key1)));
+        }
+
+        // Vote per key bit: candidates controlled by the same key input pool
+        // their link scores.
+        let mut votes: HashMap<usize, (f64, f64, usize)> = HashMap::new();
+        for &(cand, s0, s1) in &scored {
+            let entry = votes.entry(cand.key_bit).or_insert((0.0, 0.0, 0));
+            entry.0 += s0;
+            entry.1 += s1;
+            entry.2 += 1;
+        }
+        let guesses: Vec<KeyGuess> = (0..key_len)
+            .map(|bit| match votes.get(&bit) {
+                Some(&(s0, s1, n)) if n > 0 => {
+                    let avg0 = s0 / n as f64;
+                    let avg1 = s1 / n as f64;
+                    // Higher link score for the candidate selected by key=0
+                    // means the true wire is the key=0 one.
+                    let value = avg1 > avg0;
+                    let confidence = 0.5 + (avg0 - avg1).abs() / 2.0;
+                    KeyGuess {
+                        bit,
+                        value,
+                        confidence: confidence.min(1.0),
+                    }
+                }
+                _ => KeyGuess {
+                    bit,
+                    value: rng.gen(),
+                    confidence: 0.5,
+                },
+            })
+            .collect();
+
+        let outcome = AttackOutcome::from_guesses(
+            self.name(),
+            locked,
+            guesses,
+            self.config.confidence_threshold,
+            start.elapsed().as_millis(),
+        );
+        (outcome, scored)
+    }
+}
+
+impl KeyRecoveryAttack for MuxLinkAttack {
+    fn name(&self) -> &str {
+        match self.config.features.mode {
+            FeatureMode::Full => "muxlink",
+            FeatureMode::LocalityOnly => "locality-only",
+        }
+    }
+
+    fn attack(&self, locked: &LockedNetlist, rng: &mut dyn RngCore) -> AttackOutcome {
+        self.attack_with_scores(locked, rng).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autolock_circuits::synth_circuit;
+    use autolock_locking::{DMuxLocking, LockingScheme, XorLocking};
+
+    #[test]
+    fn candidates_found_for_dmux_locked_netlist() {
+        let original = synth_circuit("t", 10, 4, 120, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let locked = DMuxLocking::default().lock(&original, 8, &mut rng).unwrap();
+        let cands = MuxLinkAttack::find_candidates(locked.netlist());
+        // Two MUXes per key bit, each driving one sink.
+        assert_eq!(cands.len(), 16);
+        for c in &cands {
+            assert!(c.key_bit < 8);
+            assert_ne!(c.cand_key0, c.cand_key1);
+        }
+        let hidden = MuxLinkAttack::hidden_gates(locked.netlist());
+        assert_eq!(hidden.len(), 8 + 16); // key inputs + muxes
+    }
+
+    #[test]
+    fn muxlink_beats_random_on_dmux() {
+        let original = synth_circuit("t", 12, 5, 200, 7);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let locked = DMuxLocking::default().lock(&original, 16, &mut rng).unwrap();
+        let attack = MuxLinkAttack::new(MuxLinkConfig::fast());
+        let outcome = attack.attack(&locked, &mut rng);
+        assert_eq!(outcome.guesses.len(), 16);
+        // The attack must do clearly better than coin flipping on plain D-MUX.
+        assert!(
+            outcome.key_accuracy > 0.6,
+            "expected muxlink to beat random guessing, got {}",
+            outcome.key_accuracy
+        );
+    }
+
+    #[test]
+    fn attack_is_deterministic_for_a_given_rng_seed() {
+        let original = synth_circuit("t", 10, 4, 150, 9);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let locked = DMuxLocking::default().lock(&original, 8, &mut rng).unwrap();
+        let attack = MuxLinkAttack::new(MuxLinkConfig::fast());
+        let run = |seed: u64| {
+            let mut r = ChaCha8Rng::seed_from_u64(seed);
+            attack.attack(&locked, &mut r).key_accuracy
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn xor_locked_netlist_yields_uninformed_guesses() {
+        let original = synth_circuit("t", 10, 4, 100, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let locked = XorLocking::default().lock(&original, 8, &mut rng).unwrap();
+        let attack = MuxLinkAttack::default();
+        let outcome = attack.attack(&locked, &mut rng);
+        assert_eq!(outcome.guesses.len(), 8);
+        assert!(outcome.guesses.iter().all(|g| g.confidence == 0.5));
+    }
+
+    #[test]
+    fn locality_only_mode_has_distinct_name() {
+        let full = MuxLinkAttack::default();
+        let local = MuxLinkAttack::new(MuxLinkConfig::locality_only());
+        assert_eq!(full.name(), "muxlink");
+        assert_eq!(local.name(), "locality-only");
+    }
+}

@@ -1,0 +1,197 @@
+//! Attack result reporting.
+
+use autolock_locking::{Key, LockedNetlist};
+use serde::{Deserialize, Serialize};
+
+/// A per-bit key guess with a confidence value in `[0, 1]`.
+///
+/// Confidence 0.5 means "coin flip"; MuxLink-style attacks report the margin
+/// between the two candidate-link scores here.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KeyGuess {
+    /// Index of the key bit.
+    pub bit: usize,
+    /// Predicted value.
+    pub value: bool,
+    /// Attack confidence in the prediction (0.5 = no information).
+    pub confidence: f64,
+}
+
+/// Outcome of an oracle-less key-recovery attack.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackOutcome {
+    /// Attack name.
+    pub attack: String,
+    /// Locking scheme that was attacked.
+    pub scheme: String,
+    /// Design name.
+    pub design: String,
+    /// Key length.
+    pub key_len: usize,
+    /// Per-bit guesses (one per key bit, in key order).
+    pub guesses: Vec<KeyGuess>,
+    /// Key-prediction accuracy against the ground-truth key: fraction of key
+    /// bits guessed correctly. This is the quantity the AutoLock fitness
+    /// function minimizes (the paper's "MuxLink accuracy").
+    pub key_accuracy: f64,
+    /// Accuracy restricted to bits whose confidence exceeds the attack's
+    /// decision threshold ("precision" in the MuxLink terminology); `None` if
+    /// every bit was below threshold.
+    pub confident_accuracy: Option<f64>,
+    /// Fraction of key bits the attack was confident about.
+    pub decided_fraction: f64,
+    /// Wall-clock milliseconds spent in the attack.
+    pub runtime_ms: u128,
+}
+
+impl AttackOutcome {
+    /// Assembles an outcome by scoring `guesses` against the true key of
+    /// `locked`.
+    ///
+    /// `confidence_threshold` sets which guesses count as "confident" (the
+    /// margin-based precision metric reported alongside plain accuracy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of guesses differs from the key length.
+    pub fn from_guesses(
+        attack: impl Into<String>,
+        locked: &LockedNetlist,
+        guesses: Vec<KeyGuess>,
+        confidence_threshold: f64,
+        runtime_ms: u128,
+    ) -> Self {
+        assert_eq!(
+            guesses.len(),
+            locked.key_len(),
+            "one guess per key bit required"
+        );
+        let truth = locked.key();
+        let correct = guesses
+            .iter()
+            .filter(|g| truth.get(g.bit) == Some(g.value))
+            .count();
+        let key_accuracy = if guesses.is_empty() {
+            1.0
+        } else {
+            correct as f64 / guesses.len() as f64
+        };
+        let confident: Vec<&KeyGuess> = guesses
+            .iter()
+            .filter(|g| g.confidence >= confidence_threshold)
+            .collect();
+        let decided_fraction = if guesses.is_empty() {
+            0.0
+        } else {
+            confident.len() as f64 / guesses.len() as f64
+        };
+        let confident_accuracy = if confident.is_empty() {
+            None
+        } else {
+            let ok = confident
+                .iter()
+                .filter(|g| truth.get(g.bit) == Some(g.value))
+                .count();
+            Some(ok as f64 / confident.len() as f64)
+        };
+        AttackOutcome {
+            attack: attack.into(),
+            scheme: locked.scheme().to_string(),
+            design: locked.original_name().to_string(),
+            key_len: locked.key_len(),
+            guesses,
+            key_accuracy,
+            confident_accuracy,
+            decided_fraction,
+            runtime_ms,
+        }
+    }
+
+    /// The guessed key as a [`Key`].
+    pub fn predicted_key(&self) -> Key {
+        let mut bits = vec![false; self.key_len];
+        for g in &self.guesses {
+            if g.bit < bits.len() {
+                bits[g.bit] = g.value;
+            }
+        }
+        Key::new(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autolock_circuits::c17;
+    use autolock_locking::{DMuxLocking, LockingScheme};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn locked_c17() -> LockedNetlist {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        DMuxLocking::default().lock(&c17(), 3, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn perfect_guess_scores_one() {
+        let locked = locked_c17();
+        let guesses: Vec<KeyGuess> = locked
+            .key()
+            .bits()
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| KeyGuess {
+                bit: i,
+                value: b,
+                confidence: 0.9,
+            })
+            .collect();
+        let outcome = AttackOutcome::from_guesses("test", &locked, guesses, 0.6, 5);
+        assert_eq!(outcome.key_accuracy, 1.0);
+        assert_eq!(outcome.confident_accuracy, Some(1.0));
+        assert_eq!(outcome.decided_fraction, 1.0);
+        assert_eq!(outcome.predicted_key(), *locked.key());
+    }
+
+    #[test]
+    fn inverted_guess_scores_zero_and_threshold_filters() {
+        let locked = locked_c17();
+        let guesses: Vec<KeyGuess> = locked
+            .key()
+            .bits()
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| KeyGuess {
+                bit: i,
+                value: !b,
+                confidence: if i == 0 { 0.9 } else { 0.5 },
+            })
+            .collect();
+        let outcome = AttackOutcome::from_guesses("test", &locked, guesses, 0.8, 1);
+        assert_eq!(outcome.key_accuracy, 0.0);
+        assert_eq!(outcome.confident_accuracy, Some(0.0));
+        assert!((outcome.decided_fraction - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_confident_guesses_yields_none() {
+        let locked = locked_c17();
+        let guesses: Vec<KeyGuess> = (0..locked.key_len())
+            .map(|i| KeyGuess {
+                bit: i,
+                value: false,
+                confidence: 0.5,
+            })
+            .collect();
+        let outcome = AttackOutcome::from_guesses("test", &locked, guesses, 0.9, 0);
+        assert_eq!(outcome.confident_accuracy, None);
+        assert_eq!(outcome.decided_fraction, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one guess per key bit")]
+    fn wrong_guess_count_panics() {
+        let locked = locked_c17();
+        AttackOutcome::from_guesses("test", &locked, vec![], 0.5, 0);
+    }
+}

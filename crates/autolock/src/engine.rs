@@ -1,0 +1,205 @@
+//! The end-to-end AutoLock pipeline.
+
+use crate::config::AutoLockConfig;
+use crate::fitness::MuxLinkFitness;
+use crate::genotype::{random_genotype, LockingGenotype};
+use crate::operators::{LocusCrossover, LocusMutation};
+use crate::report::{AutoLockError, AutoLockResult, GenerationRecord};
+use crate::Result;
+use autolock_evo::{GaConfig, GeneticAlgorithm};
+use autolock_locking::{apply_loci, LockedNetlist};
+use autolock_netlist::Netlist;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The AutoLock engine: wires the genotype, the evolutionary operators, the
+/// MuxLink fitness oracle and the GA together (Fig. 1 of the paper).
+#[derive(Debug, Clone)]
+pub struct AutoLock {
+    config: AutoLockConfig,
+}
+
+impl AutoLock {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: AutoLockConfig) -> Self {
+        AutoLock { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AutoLockConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline on `original` and returns the evolved locked
+    /// netlist together with the convergence record.
+    ///
+    /// # Errors
+    ///
+    /// * [`AutoLockError::InvalidConfig`] for inconsistent configurations,
+    /// * [`AutoLockError::Lock`] if the netlist cannot host the requested key
+    ///   length.
+    pub fn run(&self, original: &Netlist) -> Result<AutoLockResult> {
+        let start = Instant::now();
+        let cfg = &self.config;
+        if cfg.population_size < 2 {
+            return Err(AutoLockError::InvalidConfig {
+                reason: "population size must be at least 2".into(),
+            });
+        }
+        if cfg.key_len == 0 {
+            return Err(AutoLockError::InvalidConfig {
+                reason: "key length must be at least 1".into(),
+            });
+        }
+        if cfg.elitism >= cfg.population_size {
+            return Err(AutoLockError::InvalidConfig {
+                reason: "elitism must be smaller than the population size".into(),
+            });
+        }
+
+        let original = Arc::new(original.clone());
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+
+        // Step 1 (Fig. 1): lock the original netlist N times with random keys
+        // to obtain the initial population of encodings.
+        let mut population: Vec<LockingGenotype> = Vec::with_capacity(cfg.population_size);
+        for _ in 0..cfg.population_size {
+            population.push(random_genotype(&original, cfg.key_len, &mut rng)?);
+        }
+
+        // Step 2: fitness = 1 - MuxLink accuracy.
+        let mut fitness =
+            MuxLinkFitness::new(original.clone(), cfg.attack.clone(), cfg.seed, cfg.attack_repeats);
+        if let Some(t) = cfg.target_fitness {
+            fitness = fitness.with_target(t);
+        }
+
+        // Step 3: evolutionary operators over the locus-list genotype.
+        let crossover = LocusCrossover::new(original.clone(), cfg.key_len, cfg.crossover_kind);
+        let mutation = LocusMutation::new(original.clone(), cfg.key_len, cfg.mutation_kind);
+
+        let ga = GeneticAlgorithm::new(GaConfig {
+            generations: cfg.generations,
+            crossover_rate: cfg.crossover_rate,
+            mutation_rate: cfg.mutation_rate,
+            elitism: cfg.elitism,
+            selection: cfg.selection,
+            parallel: cfg.parallel,
+            target_fitness: cfg.target_fitness,
+            stagnation_limit: cfg.stagnation_limit,
+        });
+        let ga_result = ga.run(population, &fitness, &crossover, &mutation, &mut rng);
+
+        // Step 4: decode the fittest genotype back into a locked netlist.
+        let decoded = apply_loci(&original, &ga_result.best)?;
+        let locked = LockedNetlist::new(
+            decoded.netlist().clone(),
+            decoded.key().clone(),
+            decoded.provenance().to_vec(),
+            "autolock",
+            original.name(),
+        )?;
+
+        let history: Vec<GenerationRecord> = ga_result
+            .history
+            .iter()
+            .map(|s| GenerationRecord {
+                generation: s.generation,
+                best_attack_accuracy: 1.0 - s.best,
+                mean_attack_accuracy: 1.0 - s.mean,
+                worst_attack_accuracy: 1.0 - s.worst,
+            })
+            .collect();
+        let baseline_attack_accuracy = history.first().map(|h| h.mean_attack_accuracy).unwrap_or(1.0);
+
+        Ok(AutoLockResult {
+            locked,
+            best_genotype: ga_result.best,
+            baseline_attack_accuracy,
+            final_attack_accuracy: 1.0 - ga_result.best_fitness,
+            history,
+            fitness_evaluations: fitness.evaluations(),
+            best_generation: ga_result.best_generation,
+            runtime_ms: start.elapsed().as_millis(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autolock_circuits::synth_circuit;
+    use rand::SeedableRng;
+
+    fn small_circuit() -> Netlist {
+        synth_circuit("engine", 10, 4, 120, 55)
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let nl = small_circuit();
+        let mut cfg = AutoLockConfig::tiny();
+        cfg.population_size = 1;
+        assert!(matches!(
+            AutoLock::new(cfg).run(&nl),
+            Err(AutoLockError::InvalidConfig { .. })
+        ));
+        let mut cfg = AutoLockConfig::tiny();
+        cfg.key_len = 0;
+        assert!(matches!(
+            AutoLock::new(cfg).run(&nl),
+            Err(AutoLockError::InvalidConfig { .. })
+        ));
+        let mut cfg = AutoLockConfig::tiny();
+        cfg.elitism = cfg.population_size;
+        assert!(matches!(
+            AutoLock::new(cfg).run(&nl),
+            Err(AutoLockError::InvalidConfig { .. })
+        ));
+        let mut cfg = AutoLockConfig::tiny();
+        cfg.key_len = 10_000;
+        assert!(matches!(
+            AutoLock::new(cfg).run(&nl),
+            Err(AutoLockError::Lock(_))
+        ));
+    }
+
+    #[test]
+    fn run_produces_functional_locked_netlist_and_history() {
+        let nl = small_circuit();
+        let mut cfg = AutoLockConfig::tiny();
+        cfg.generations = 3;
+        cfg.population_size = 5;
+        cfg.key_len = 6;
+        cfg.parallel = false;
+        let result = AutoLock::new(cfg).run(&nl).unwrap();
+
+        assert_eq!(result.locked.key_len(), 6);
+        assert_eq!(result.locked.scheme(), "autolock");
+        assert_eq!(result.best_genotype.len(), 6);
+        assert!(!result.history.is_empty());
+        assert!(result.fitness_evaluations > 0);
+        // Correct key must preserve functionality.
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        assert!(result.locked.verify_functional(&nl, 8, &mut rng).unwrap());
+        // The evolved locking is never worse than the baseline (elitism).
+        assert!(result.final_attack_accuracy <= result.baseline_attack_accuracy + 1e-9);
+        assert!(result.accuracy_drop_pp() >= -1e-9);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let nl = small_circuit();
+        let mut cfg = AutoLockConfig::tiny();
+        cfg.generations = 2;
+        cfg.population_size = 4;
+        cfg.key_len = 4;
+        cfg.parallel = false;
+        let a = AutoLock::new(cfg.clone()).run(&nl).unwrap();
+        let b = AutoLock::new(cfg).run(&nl).unwrap();
+        assert_eq!(a.best_genotype, b.best_genotype);
+        assert_eq!(a.final_attack_accuracy, b.final_attack_accuracy);
+    }
+}

@@ -1,0 +1,240 @@
+//! The AutoLock genotype and its construction / repair helpers.
+//!
+//! The genotype is exactly the paper's encoding: a list of loci
+//! `{f_i, f_j, g_i, g_j, k}`, one per key bit, where each locus uniquely
+//! identifies a MUX-pair insertion location ([`autolock_locking::MuxPairLocus`]).
+//! A genotype is *valid* for an original netlist when
+//! [`autolock_locking::apply_loci`] accepts it; crossover and mutation can
+//! produce invalid children (duplicate wires, combinational cycles), which
+//! [`repair_genotype`] fixes by re-sampling offending loci.
+
+use autolock_locking::mux::lockable_wires;
+use autolock_locking::{apply_loci, DMuxLocking, MuxPairLocus};
+use autolock_netlist::{GateId, Netlist};
+use rand::seq::SliceRandom;
+use rand::{Rng, RngCore};
+use std::collections::HashSet;
+
+/// The AutoLock genotype: one MUX-pair locus per key bit.
+pub type LockingGenotype = Vec<MuxPairLocus>;
+
+/// Generates a random valid genotype of `key_len` loci (one random D-MUX
+/// locking of the original netlist, as used to initialize the population).
+///
+/// # Errors
+///
+/// Propagates [`autolock_locking::LockError`] when the netlist cannot host
+/// `key_len` disjoint MUX pairs.
+pub fn random_genotype(
+    original: &Netlist,
+    key_len: usize,
+    rng: &mut dyn RngCore,
+) -> autolock_locking::Result<LockingGenotype> {
+    DMuxLocking::default().select_loci(original, key_len, rng)
+}
+
+/// A stable 64-bit structural hash of a genotype, used to derive per-genotype
+/// RNG seeds and to cache fitness evaluations.
+pub fn genotype_hash(genotype: &LockingGenotype) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    for locus in genotype {
+        mix(locus.f_i.0 as u64);
+        mix(locus.g_i.0 as u64);
+        mix(locus.f_j.0 as u64);
+        mix(locus.g_j.0 as u64);
+        mix(u64::from(locus.key_bit));
+    }
+    h
+}
+
+/// Checks whether a genotype can be applied to `original` without errors.
+pub fn is_valid(original: &Netlist, genotype: &LockingGenotype) -> bool {
+    apply_loci(original, genotype).is_ok()
+}
+
+/// Repairs a genotype so it becomes valid for `original`:
+///
+/// * loci that reuse an already-locked wire, fail validation or would create a
+///   combinational cycle are replaced by freshly sampled valid loci,
+/// * the result is truncated / padded to exactly `key_len` loci.
+///
+/// The repair is greedy and deterministic given the RNG state.
+pub fn repair_genotype(
+    original: &Netlist,
+    genotype: &LockingGenotype,
+    key_len: usize,
+    rng: &mut dyn RngCore,
+) -> LockingGenotype {
+    let wires = lockable_wires(original);
+    let fanouts = original.fanouts();
+
+    // Incremental reachability with extra decoy edges, mirroring
+    // `DMuxLocking::select_loci`.
+    let reachable = |extra: &[(GateId, GateId)], from: GateId, target: GateId| -> bool {
+        if from == target {
+            return true;
+        }
+        let mut visited = vec![false; original.len()];
+        let mut stack = vec![from];
+        visited[from.index()] = true;
+        while let Some(node) = stack.pop() {
+            let direct = fanouts[node.index()].iter().copied();
+            let added = extra
+                .iter()
+                .filter(|(src, _)| *src == node)
+                .map(|(_, dst)| *dst);
+            for next in direct.chain(added) {
+                if next == target {
+                    return true;
+                }
+                if !visited[next.index()] {
+                    visited[next.index()] = true;
+                    stack.push(next);
+                }
+            }
+        }
+        false
+    };
+    let accepts = |locus: &MuxPairLocus,
+                   used: &HashSet<(GateId, GateId)>,
+                   extra: &[(GateId, GateId)]|
+     -> bool {
+        locus.validate(original).is_ok()
+            && !locus.wires().iter().any(|w| used.contains(w))
+            && !reachable(extra, locus.g_i, locus.f_j)
+            && !reachable(extra, locus.g_j, locus.f_i)
+    };
+
+    let mut used: HashSet<(GateId, GateId)> = HashSet::new();
+    let mut extra: Vec<(GateId, GateId)> = Vec::new();
+    let mut repaired: LockingGenotype = Vec::with_capacity(key_len);
+    let commit = |locus: MuxPairLocus,
+                      used: &mut HashSet<(GateId, GateId)>,
+                      extra: &mut Vec<(GateId, GateId)>,
+                      repaired: &mut LockingGenotype| {
+        for w in locus.wires() {
+            used.insert(w);
+        }
+        extra.push((locus.f_j, locus.g_i));
+        extra.push((locus.f_i, locus.g_j));
+        repaired.push(locus);
+    };
+    let sample = |used: &HashSet<(GateId, GateId)>,
+                  extra: &[(GateId, GateId)],
+                  rng: &mut dyn RngCore|
+     -> Option<MuxPairLocus> {
+        for _ in 0..200 {
+            let &(f_i, g_i) = wires.choose(rng)?;
+            let &(f_j, g_j) = wires.choose(rng)?;
+            if f_i == f_j || g_i == g_j {
+                continue;
+            }
+            let locus = MuxPairLocus::new(f_i, g_i, f_j, g_j, rng.gen());
+            if accepts(&locus, used, extra) {
+                return Some(locus);
+            }
+        }
+        None
+    };
+
+    // Keep as many original loci as possible, in order; replace broken ones.
+    for locus in genotype.iter().take(key_len) {
+        if accepts(locus, &used, &extra) {
+            commit(*locus, &mut used, &mut extra, &mut repaired);
+        } else if let Some(replacement) = sample(&used, &extra, rng) {
+            commit(replacement, &mut used, &mut extra, &mut repaired);
+        }
+    }
+    // Pad if short (e.g. the parent was shorter than key_len).
+    while repaired.len() < key_len {
+        match sample(&used, &extra, rng) {
+            Some(locus) => commit(locus, &mut used, &mut extra, &mut repaired),
+            None => break,
+        }
+    }
+    repaired
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autolock_circuits::synth_circuit;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn circuit() -> Netlist {
+        synth_circuit("g", 10, 4, 150, 21)
+    }
+
+    #[test]
+    fn random_genotype_is_valid() {
+        let nl = circuit();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = random_genotype(&nl, 12, &mut rng).unwrap();
+        assert_eq!(g.len(), 12);
+        assert!(is_valid(&nl, &g));
+    }
+
+    #[test]
+    fn hash_is_stable_and_sensitive() {
+        let nl = circuit();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = random_genotype(&nl, 8, &mut rng).unwrap();
+        assert_eq!(genotype_hash(&g), genotype_hash(&g.clone()));
+        let mut flipped = g.clone();
+        flipped[0].key_bit = !flipped[0].key_bit;
+        assert_ne!(genotype_hash(&g), genotype_hash(&flipped));
+        let mut reordered = g.clone();
+        reordered.swap(0, 1);
+        assert_ne!(genotype_hash(&g), genotype_hash(&reordered));
+    }
+
+    #[test]
+    fn repair_fixes_duplicate_wires() {
+        let nl = circuit();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = random_genotype(&nl, 6, &mut rng).unwrap();
+        // Corrupt: duplicate the first locus.
+        let mut broken = g.clone();
+        broken[1] = broken[0];
+        assert!(!is_valid(&nl, &broken));
+        let repaired = repair_genotype(&nl, &broken, 6, &mut rng);
+        assert_eq!(repaired.len(), 6);
+        assert!(is_valid(&nl, &repaired));
+        // The first locus is preserved.
+        assert_eq!(repaired[0], g[0]);
+    }
+
+    #[test]
+    fn repair_pads_short_genotypes() {
+        let nl = circuit();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let g = random_genotype(&nl, 4, &mut rng).unwrap();
+        let padded = repair_genotype(&nl, &g[..2].to_vec(), 4, &mut rng);
+        assert_eq!(padded.len(), 4);
+        assert!(is_valid(&nl, &padded));
+    }
+
+    #[test]
+    fn repair_truncates_long_genotypes() {
+        let nl = circuit();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let g = random_genotype(&nl, 10, &mut rng).unwrap();
+        let truncated = repair_genotype(&nl, &g, 5, &mut rng);
+        assert_eq!(truncated.len(), 5);
+        assert!(is_valid(&nl, &truncated));
+    }
+
+    #[test]
+    fn repair_leaves_valid_genotypes_unchanged() {
+        let nl = circuit();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let g = random_genotype(&nl, 8, &mut rng).unwrap();
+        let repaired = repair_genotype(&nl, &g, 8, &mut rng);
+        assert_eq!(repaired, g);
+    }
+}

@@ -1,0 +1,105 @@
+//! AutoLock result and error types.
+
+use autolock_locking::{LockedNetlist, LockError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One generation of the AutoLock run, in terms the paper reports: the MuxLink
+/// accuracy of the best and average individual.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GenerationRecord {
+    /// Generation index (0 = initial population).
+    pub generation: usize,
+    /// Attack accuracy of the best (fittest) individual.
+    pub best_attack_accuracy: f64,
+    /// Mean attack accuracy over the population.
+    pub mean_attack_accuracy: f64,
+    /// Worst attack accuracy in the population.
+    pub worst_attack_accuracy: f64,
+}
+
+/// Result of an [`crate::AutoLock::run`].
+#[derive(Debug, Clone)]
+pub struct AutoLockResult {
+    /// The evolved locked netlist (decoded from the fittest genotype).
+    pub locked: LockedNetlist,
+    /// The fittest genotype itself.
+    pub best_genotype: crate::LockingGenotype,
+    /// MuxLink accuracy on a plain D-MUX locking of the same circuit and key
+    /// length (the mean over the initial population): the paper's baseline.
+    pub baseline_attack_accuracy: f64,
+    /// MuxLink accuracy on the evolved locking.
+    pub final_attack_accuracy: f64,
+    /// Per-generation convergence record.
+    pub history: Vec<GenerationRecord>,
+    /// Total number of (non-cached) fitness evaluations.
+    pub fitness_evaluations: usize,
+    /// Generation at which the best individual first appeared.
+    pub best_generation: usize,
+    /// Wall-clock milliseconds of the whole run.
+    pub runtime_ms: u128,
+}
+
+impl AutoLockResult {
+    /// The paper's headline metric: the drop in MuxLink accuracy, in
+    /// percentage points, relative to the D-MUX baseline.
+    pub fn accuracy_drop_pp(&self) -> f64 {
+        (self.baseline_attack_accuracy - self.final_attack_accuracy) * 100.0
+    }
+}
+
+/// Errors of the AutoLock pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AutoLockError {
+    /// The requested configuration cannot be realized on the input netlist
+    /// (e.g. the key is longer than the number of lockable wire pairs).
+    Lock(LockError),
+    /// The configuration is internally inconsistent.
+    InvalidConfig {
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for AutoLockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutoLockError::Lock(e) => write!(f, "locking failed: {e}"),
+            AutoLockError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for AutoLockError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AutoLockError::Lock(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LockError> for AutoLockError {
+    fn from(e: LockError) -> Self {
+        AutoLockError::Lock(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_conversion() {
+        let e: AutoLockError = LockError::KeyTooLong {
+            requested: 10,
+            available: 2,
+        }
+        .into();
+        assert!(e.to_string().contains("locking failed"));
+        let e = AutoLockError::InvalidConfig {
+            reason: "population size must be at least 2".into(),
+        };
+        assert!(e.to_string().contains("population"));
+    }
+}

@@ -1,0 +1,14 @@
+//! E1: MuxLink accuracy, D-MUX vs AutoLock (headline claim)
+//!
+//! Run with `cargo run --release -p autolock-bench --bin exp_e1`.
+//! Set `AUTOLOCK_SCALE=full` for the paper-sized (slower) version.
+
+use autolock_bench::experiments::e1_autolock_vs_dmux;
+use autolock_bench::{experiment_scale, results_dir};
+
+fn main() {
+    let scale = experiment_scale();
+    eprintln!("running E1: MuxLink accuracy, D-MUX vs AutoLock (headline claim) at {scale:?} scale...");
+    let table = e1_autolock_vs_dmux(scale);
+    table.emit(&results_dir());
+}

@@ -1,0 +1,14 @@
+//! E2: GA convergence curve
+//!
+//! Run with `cargo run --release -p autolock-bench --bin exp_e2`.
+//! Set `AUTOLOCK_SCALE=full` for the paper-sized (slower) version.
+
+use autolock_bench::experiments::e2_convergence;
+use autolock_bench::{experiment_scale, results_dir};
+
+fn main() {
+    let scale = experiment_scale();
+    eprintln!("running E2: GA convergence curve at {scale:?} scale...");
+    let table = e2_convergence(scale);
+    table.emit(&results_dir());
+}

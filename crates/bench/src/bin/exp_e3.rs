@@ -1,0 +1,14 @@
+//! E3: key-length sweep
+//!
+//! Run with `cargo run --release -p autolock-bench --bin exp_e3`.
+//! Set `AUTOLOCK_SCALE=full` for the paper-sized (slower) version.
+
+use autolock_bench::experiments::e3_key_sweep;
+use autolock_bench::{experiment_scale, results_dir};
+
+fn main() {
+    let scale = experiment_scale();
+    eprintln!("running E3: key-length sweep at {scale:?} scale...");
+    let table = e3_key_sweep(scale);
+    table.emit(&results_dir());
+}

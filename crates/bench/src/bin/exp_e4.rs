@@ -1,0 +1,14 @@
+//! E4: attack-vs-scheme accuracy matrix
+//!
+//! Run with `cargo run --release -p autolock-bench --bin exp_e4`.
+//! Set `AUTOLOCK_SCALE=full` for the paper-sized (slower) version.
+
+use autolock_bench::experiments::e4_attack_matrix;
+use autolock_bench::{experiment_scale, results_dir};
+
+fn main() {
+    let scale = experiment_scale();
+    eprintln!("running E4: attack-vs-scheme accuracy matrix at {scale:?} scale...");
+    let table = e4_attack_matrix(scale);
+    table.emit(&results_dir());
+}

@@ -1,0 +1,14 @@
+//! E5: oracle-guided SAT attack comparison
+//!
+//! Run with `cargo run --release -p autolock-bench --bin exp_e5`.
+//! Set `AUTOLOCK_SCALE=full` for the paper-sized (slower) version.
+
+use autolock_bench::experiments::e5_sat_attack;
+use autolock_bench::{experiment_scale, results_dir};
+
+fn main() {
+    let scale = experiment_scale();
+    eprintln!("running E5: oracle-guided SAT attack comparison at {scale:?} scale...");
+    let table = e5_sat_attack(scale);
+    table.emit(&results_dir());
+}

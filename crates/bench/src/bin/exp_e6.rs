@@ -1,0 +1,14 @@
+//! E6: area/delay/power overhead
+//!
+//! Run with `cargo run --release -p autolock-bench --bin exp_e6`.
+//! Set `AUTOLOCK_SCALE=full` for the paper-sized (slower) version.
+
+use autolock_bench::experiments::e6_overhead;
+use autolock_bench::{experiment_scale, results_dir};
+
+fn main() {
+    let scale = experiment_scale();
+    eprintln!("running E6: area/delay/power overhead at {scale:?} scale...");
+    let table = e6_overhead(scale);
+    table.emit(&results_dir());
+}

@@ -1,0 +1,14 @@
+//! E7: evolutionary operator ablation
+//!
+//! Run with `cargo run --release -p autolock-bench --bin exp_e7`.
+//! Set `AUTOLOCK_SCALE=full` for the paper-sized (slower) version.
+
+use autolock_bench::experiments::e7_operator_ablation;
+use autolock_bench::{experiment_scale, results_dir};
+
+fn main() {
+    let scale = experiment_scale();
+    eprintln!("running E7: evolutionary operator ablation at {scale:?} scale...");
+    let table = e7_operator_ablation(scale);
+    table.emit(&results_dir());
+}

@@ -1,0 +1,14 @@
+//! E8: NSGA-II multi-objective Pareto front
+//!
+//! Run with `cargo run --release -p autolock-bench --bin exp_e8`.
+//! Set `AUTOLOCK_SCALE=full` for the paper-sized (slower) version.
+
+use autolock_bench::experiments::e8_multi_objective;
+use autolock_bench::{experiment_scale, results_dir};
+
+fn main() {
+    let scale = experiment_scale();
+    eprintln!("running E8: NSGA-II multi-objective Pareto front at {scale:?} scale...");
+    let table = e8_multi_objective(scale);
+    table.emit(&results_dir());
+}

@@ -1,0 +1,14 @@
+//! E9: GA hyper-parameter sensitivity
+//!
+//! Run with `cargo run --release -p autolock-bench --bin exp_e9`.
+//! Set `AUTOLOCK_SCALE=full` for the paper-sized (slower) version.
+
+use autolock_bench::experiments::e9_sensitivity;
+use autolock_bench::{experiment_scale, results_dir};
+
+fn main() {
+    let scale = experiment_scale();
+    eprintln!("running E9: GA hyper-parameter sensitivity at {scale:?} scale...");
+    let table = e9_sensitivity(scale);
+    table.emit(&results_dir());
+}

@@ -1,0 +1,502 @@
+//! Experiment implementations (one per table/figure in `EXPERIMENTS.md`).
+//!
+//! Each function is pure computation returning a [`ResultTable`]; the
+//! `exp_e*` binaries wrap them with output handling, and the Criterion
+//! benches time representative slices of them.
+
+use crate::{pct, ResultTable, Scale};
+use autolock::operators::{CrossoverKind, MutationKind};
+use autolock::{AutoLock, AutoLockConfig, MultiObjectiveLockingFitness, ObjectiveKind};
+use autolock_attacks::{
+    KeyRecoveryAttack, MuxLinkAttack, MuxLinkConfig, RandomGuessAttack, SatAttack, SatAttackConfig,
+    XorStructuralAttack,
+};
+use autolock_circuits::suite_circuit;
+use autolock_evo::{Nsga2, Nsga2Config, SelectionMethod};
+use autolock_locking::overhead::overhead_report;
+use autolock_locking::{DMuxLocking, LockedNetlist, LockingScheme, XorLocking};
+use autolock_netlist::Netlist;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+/// Circuits used at each scale.
+///
+/// The locking density matters: with key length 32, circuits below ~400 gates
+/// are so saturated with MUXes that even the baseline attack degrades, which
+/// is not the regime the paper evaluates. `s880` (≈880 gates) is the smallest
+/// member with ISCAS-like density for a 32-bit key.
+pub fn circuits_for(scale: Scale) -> Vec<&'static str> {
+    match scale {
+        Scale::Quick => vec!["s880"],
+        Scale::Full => vec!["s380", "s880", "s1660"],
+    }
+}
+
+fn circuit(name: &str) -> Netlist {
+    suite_circuit(name).unwrap_or_else(|| panic!("unknown suite circuit {name}"))
+}
+
+/// The independent evaluation attack: the same MuxLink pipeline, but freshly
+/// retrained with seeds never used inside the GA loop.
+fn evaluation_attack() -> MuxLinkAttack {
+    MuxLinkAttack::new(MuxLinkConfig::default())
+}
+
+/// MuxLink accuracy of the evaluation attack on a locked netlist, averaged
+/// over three retrained attacker instances.
+fn evaluated_accuracy(locked: &LockedNetlist, seed: u64) -> f64 {
+    let mut total = 0.0;
+    for s in 0..3u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(s + 1)));
+        total += evaluation_attack().attack(locked, &mut rng).key_accuracy;
+    }
+    total / 3.0
+}
+
+/// AutoLock configuration used by the headline experiments at a given scale.
+pub fn autolock_config(scale: Scale, key_len: usize, seed: u64) -> AutoLockConfig {
+    match scale {
+        Scale::Quick => AutoLockConfig {
+            key_len,
+            population_size: 20,
+            generations: 60,
+            attack_repeats: 4,
+            seed,
+            ..Default::default()
+        },
+        Scale::Full => AutoLockConfig {
+            key_len,
+            population_size: 24,
+            generations: 100,
+            attack_repeats: 4,
+            seed,
+            ..Default::default()
+        },
+    }
+}
+
+/// A reduced AutoLock configuration for the sweep experiments (E7, E9), where
+/// many runs are compared against each other and absolute depth matters less.
+pub fn autolock_config_small(key_len: usize, seed: u64) -> AutoLockConfig {
+    AutoLockConfig {
+        key_len,
+        population_size: 12,
+        generations: 20,
+        attack_repeats: 2,
+        seed,
+        ..Default::default()
+    }
+}
+
+/// E1 — the paper's headline claim ("First Insights"): AutoLock lowers MuxLink
+/// key-prediction accuracy by tens of percentage points compared to D-MUX.
+pub fn e1_autolock_vs_dmux(scale: Scale) -> ResultTable {
+    let mut table = ResultTable::new(
+        "E1",
+        "MuxLink accuracy: D-MUX vs AutoLock (paper: ~25 pp drop)",
+        &[
+            "circuit",
+            "key len",
+            "D-MUX accuracy",
+            "AutoLock accuracy (in-loop attacker)",
+            "AutoLock accuracy (retrained attacker)",
+            "drop, in-loop (pp)",
+            "drop, retrained (pp)",
+        ],
+    );
+    let key_lens: Vec<usize> = match scale {
+        Scale::Quick => vec![32],
+        Scale::Full => vec![32, 64],
+    };
+    for name in circuits_for(scale) {
+        let original = circuit(name);
+        for &k in &key_lens {
+            // Average the baseline over three independent D-MUX lockings to
+            // smooth out the variance of any single random locking.
+            let mut dmux_acc = 0.0;
+            for seed in 0..3u64 {
+                let mut rng = ChaCha8Rng::seed_from_u64(0xE1 + seed);
+                let dmux = DMuxLocking::default().lock(&original, k, &mut rng).unwrap();
+                dmux_acc += evaluated_accuracy(&dmux, 0xEAA + seed);
+            }
+            let dmux_acc = dmux_acc / 3.0;
+
+            let result = AutoLock::new(autolock_config(scale, k, 0xE1)).run(&original).unwrap();
+            let in_loop_acc = result.final_attack_accuracy;
+            let retrained_acc = evaluated_accuracy(&result.locked, 0xEAA);
+
+            table.push_row(vec![
+                name.to_string(),
+                k.to_string(),
+                pct(dmux_acc),
+                pct(in_loop_acc),
+                pct(retrained_acc),
+                format!("{:.1}", (dmux_acc - in_loop_acc) * 100.0),
+                format!("{:.1}", (dmux_acc - retrained_acc) * 100.0),
+            ]);
+        }
+    }
+    table
+}
+
+/// E2 — GA convergence: best/mean attack accuracy per generation.
+pub fn e2_convergence(scale: Scale) -> ResultTable {
+    let mut table = ResultTable::new(
+        "E2",
+        "AutoLock convergence (attack accuracy per generation)",
+        &["generation", "best accuracy", "mean accuracy", "worst accuracy"],
+    );
+    let original = circuit(circuits_for(scale)[0]);
+    let key_len = 32;
+    let result = AutoLock::new(autolock_config(scale, key_len, 0xE2)).run(&original).unwrap();
+    for rec in &result.history {
+        table.push_row(vec![
+            rec.generation.to_string(),
+            pct(rec.best_attack_accuracy),
+            pct(rec.mean_attack_accuracy),
+            pct(rec.worst_attack_accuracy),
+        ]);
+    }
+    table
+}
+
+/// E3 — key-length sweep.
+pub fn e3_key_sweep(scale: Scale) -> ResultTable {
+    let mut table = ResultTable::new(
+        "E3",
+        "Key-length sweep: D-MUX vs AutoLock accuracy and runtime",
+        &[
+            "key len",
+            "D-MUX accuracy",
+            "AutoLock accuracy",
+            "drop (pp)",
+            "AutoLock runtime (s)",
+        ],
+    );
+    let original = circuit(circuits_for(scale)[0]);
+    let key_lens: Vec<usize> = match scale {
+        Scale::Quick => vec![16, 32, 64],
+        Scale::Full => vec![8, 16, 32, 64, 128],
+    };
+    for &k in &key_lens {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xE3);
+        let dmux = DMuxLocking::default().lock(&original, k, &mut rng).unwrap();
+        let dmux_acc = evaluated_accuracy(&dmux, 0xE3A);
+        let result = AutoLock::new(autolock_config(scale, k, 0xE3)).run(&original).unwrap();
+        let auto_acc = evaluated_accuracy(&result.locked, 0xE3A);
+        table.push_row(vec![
+            k.to_string(),
+            pct(dmux_acc),
+            pct(auto_acc),
+            format!("{:.1}", (dmux_acc - auto_acc) * 100.0),
+            format!("{:.1}", result.runtime_ms as f64 / 1000.0),
+        ]);
+    }
+    table
+}
+
+/// E4 — attack-vs-scheme matrix.
+pub fn e4_attack_matrix(scale: Scale) -> ResultTable {
+    let mut table = ResultTable::new(
+        "E4",
+        "Key-recovery accuracy: attacks (rows) vs schemes (columns)",
+        &["attack", "XOR-RLL", "D-MUX", "AutoLock"],
+    );
+    let original = circuit(circuits_for(scale)[0]);
+    let key_len = 32;
+    let mut rng = ChaCha8Rng::seed_from_u64(0xE4);
+    let xor = XorLocking::default().lock(&original, key_len, &mut rng).unwrap();
+    let dmux = DMuxLocking::default().lock(&original, key_len, &mut rng).unwrap();
+    let auto = AutoLock::new(autolock_config(scale, key_len, 0xE4))
+        .run(&original)
+        .unwrap()
+        .locked;
+
+    let attacks: Vec<Box<dyn KeyRecoveryAttack>> = vec![
+        Box::new(RandomGuessAttack),
+        Box::new(XorStructuralAttack),
+        Box::new(MuxLinkAttack::new(MuxLinkConfig::locality_only())),
+        Box::new(evaluation_attack()),
+    ];
+    for attack in &attacks {
+        let mut row = vec![attack.name().to_string()];
+        for locked in [&xor, &dmux, &auto] {
+            let mut rng = ChaCha8Rng::seed_from_u64(0xE4A);
+            row.push(pct(attack.attack(locked, &mut rng).key_accuracy));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// E5 — oracle-guided SAT attack across schemes and key lengths.
+pub fn e5_sat_attack(scale: Scale) -> ResultTable {
+    let mut table = ResultTable::new(
+        "E5",
+        "SAT attack: oracle queries (DIPs) and runtime per scheme",
+        &[
+            "circuit",
+            "scheme",
+            "key len",
+            "success",
+            "DIP iterations",
+            "runtime (ms)",
+        ],
+    );
+    let (circuits, key_lens): (Vec<&str>, Vec<usize>) = match scale {
+        Scale::Quick => (vec!["c17", "s160"], vec![4, 8]),
+        Scale::Full => (vec!["c17", "s160", "s380"], vec![4, 8, 16]),
+    };
+    let schemes: Vec<Box<dyn LockingScheme>> = vec![
+        Box::new(XorLocking::default()),
+        Box::new(DMuxLocking::default()),
+    ];
+    for name in &circuits {
+        let original = circuit(name);
+        for scheme in &schemes {
+            for &k in &key_lens {
+                let mut rng = ChaCha8Rng::seed_from_u64(0xE5);
+                let Ok(locked) = scheme.lock(&original, k, &mut rng) else {
+                    continue; // key longer than the circuit supports (e.g. c17)
+                };
+                let outcome = SatAttack::new(SatAttackConfig {
+                    max_iterations: 500,
+                    timeout_ms: 30_000,
+                })
+                .attack(&locked, &original);
+                table.push_row(vec![
+                    name.to_string(),
+                    scheme.name().to_string(),
+                    k.to_string(),
+                    outcome.success.to_string(),
+                    outcome.iterations.to_string(),
+                    outcome.runtime_ms.to_string(),
+                ]);
+            }
+        }
+        // AutoLock netlists are MUX-locked too; include one row per circuit.
+        let k = key_lens[0].max(8).min(16);
+        if let Ok(result) = AutoLock::new(autolock_config(scale, k, 0xE5)).run(&original) {
+            let outcome = SatAttack::new(SatAttackConfig {
+                max_iterations: 500,
+                timeout_ms: 30_000,
+            })
+            .attack(&result.locked, &original);
+            table.push_row(vec![
+                name.to_string(),
+                "autolock".to_string(),
+                k.to_string(),
+                outcome.success.to_string(),
+                outcome.iterations.to_string(),
+                outcome.runtime_ms.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+/// E6 — structural overhead (area / delay / switching proxies).
+pub fn e6_overhead(scale: Scale) -> ResultTable {
+    let mut table = ResultTable::new(
+        "E6",
+        "Overhead of locking: area, depth and switching-activity proxies",
+        &[
+            "circuit",
+            "scheme",
+            "key len",
+            "area overhead",
+            "depth overhead",
+            "power overhead",
+        ],
+    );
+    let key_lens: Vec<usize> = match scale {
+        Scale::Quick => vec![16, 32],
+        Scale::Full => vec![16, 32, 64],
+    };
+    for name in circuits_for(scale) {
+        let original = circuit(name);
+        for &k in &key_lens {
+            let mut rng = ChaCha8Rng::seed_from_u64(0xE6);
+            let entries: Vec<(String, LockedNetlist)> = vec![
+                (
+                    "xor-rll".into(),
+                    XorLocking::default().lock(&original, k, &mut rng).unwrap(),
+                ),
+                (
+                    "d-mux".into(),
+                    DMuxLocking::default().lock(&original, k, &mut rng).unwrap(),
+                ),
+                (
+                    "autolock".into(),
+                    AutoLock::new(autolock_config(Scale::Quick, k, 0xE6))
+                        .run(&original)
+                        .unwrap()
+                        .locked,
+                ),
+            ];
+            for (scheme, locked) in &entries {
+                let mut rng = ChaCha8Rng::seed_from_u64(0xE6A);
+                let report = overhead_report(&original, locked, 8, &mut rng).unwrap();
+                table.push_row(vec![
+                    name.to_string(),
+                    scheme.clone(),
+                    k.to_string(),
+                    pct(report.area_overhead_pct() / 100.0),
+                    pct(report.delay_overhead_pct() / 100.0),
+                    pct(report.power_overhead_pct() / 100.0),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+/// E7 — evolutionary-operator ablation (research-plan item on operator design).
+pub fn e7_operator_ablation(scale: Scale) -> ResultTable {
+    let mut table = ResultTable::new(
+        "E7",
+        "Operator ablation: final MuxLink accuracy per operator combination",
+        &[
+            "selection",
+            "crossover",
+            "mutation",
+            "final accuracy",
+            "best generation",
+        ],
+    );
+    let original = circuit(circuits_for(scale)[0]);
+    let key_len = 24;
+    let selections: Vec<SelectionMethod> = match scale {
+        Scale::Quick => vec![SelectionMethod::Tournament { size: 3 }],
+        Scale::Full => vec![
+            SelectionMethod::Tournament { size: 3 },
+            SelectionMethod::Roulette,
+            SelectionMethod::Rank,
+        ],
+    };
+    let crossovers = [CrossoverKind::OnePoint, CrossoverKind::Uniform];
+    let mutations = [MutationKind::KeyFlip, MutationKind::Relocate, MutationKind::Composite];
+    for sel in &selections {
+        for &cx in &crossovers {
+            for &mu in &mutations {
+                let mut cfg = autolock_config_small(key_len, 0xE7);
+                cfg.selection = *sel;
+                cfg.crossover_kind = cx;
+                cfg.mutation_kind = mu;
+                let result = AutoLock::new(cfg).run(&original).unwrap();
+                table.push_row(vec![
+                    sel.name().to_string(),
+                    format!("{cx:?}"),
+                    format!("{mu:?}"),
+                    pct(result.final_attack_accuracy),
+                    result.best_generation.to_string(),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+/// E8 — multi-objective optimization (research-plan item): Pareto front of
+/// MuxLink accuracy vs area overhead.
+pub fn e8_multi_objective(scale: Scale) -> ResultTable {
+    let mut table = ResultTable::new(
+        "E8",
+        "NSGA-II Pareto front: MuxLink accuracy vs depth (delay) overhead",
+        &["point", "MuxLink accuracy", "depth overhead", "key len"],
+    );
+    let original = Arc::new(circuit(circuits_for(scale)[0]));
+    let key_len = 24;
+    let (pop, gens) = match scale {
+        Scale::Quick => (12, 10),
+        Scale::Full => (20, 25),
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(0xE8);
+    let initial: Vec<autolock::LockingGenotype> = (0..pop)
+        .map(|_| autolock::random_genotype(&original, key_len, &mut rng).unwrap())
+        .collect();
+    let fitness = MultiObjectiveLockingFitness::new(
+        original.clone(),
+        MuxLinkConfig::fast(),
+        SatAttackConfig {
+            max_iterations: 100,
+            timeout_ms: 10_000,
+        },
+        vec![ObjectiveKind::MuxLinkAccuracy, ObjectiveKind::DepthOverhead],
+        0xE8,
+    );
+    let crossover = autolock::operators::LocusCrossover::new(original.clone(), key_len, CrossoverKind::OnePoint);
+    let mutation = autolock::operators::LocusMutation::new(original.clone(), key_len, MutationKind::Composite);
+    let result = Nsga2::new(Nsga2Config {
+        generations: gens,
+        parallel: true,
+        ..Default::default()
+    })
+    .run(initial, &fitness, &crossover, &mutation, &mut rng);
+    for (i, point) in result.front.iter().enumerate() {
+        table.push_row(vec![
+            i.to_string(),
+            pct(point.objectives[0]),
+            pct(point.objectives[1]),
+            point.genotype.len().to_string(),
+        ]);
+    }
+    table
+}
+
+/// E9 — GA hyper-parameter sensitivity: population size × mutation rate.
+pub fn e9_sensitivity(scale: Scale) -> ResultTable {
+    let mut table = ResultTable::new(
+        "E9",
+        "Hyper-parameter sensitivity: final accuracy per (population, mutation rate)",
+        &["population", "mutation rate", "final accuracy", "evaluations"],
+    );
+    let original = circuit(circuits_for(scale)[0]);
+    let key_len = 24;
+    let pops: Vec<usize> = match scale {
+        Scale::Quick => vec![6, 12],
+        Scale::Full => vec![8, 16, 32],
+    };
+    let rates = [0.2, 0.6];
+    for &pop in &pops {
+        for &rate in &rates {
+            let mut cfg = autolock_config_small(key_len, 0xE9);
+            cfg.population_size = pop;
+            cfg.mutation_rate = rate;
+            let result = AutoLock::new(cfg).run(&original).unwrap();
+            table.push_row(vec![
+                pop.to_string(),
+                format!("{rate:.1}"),
+                pct(result.final_attack_accuracy),
+                result.fitness_evaluations.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circuits_lists_are_non_empty_and_known() {
+        for scale in [Scale::Quick, Scale::Full] {
+            let list = circuits_for(scale);
+            assert!(!list.is_empty());
+            for name in list {
+                assert!(suite_circuit(name).is_some(), "{name} missing from suite");
+            }
+        }
+    }
+
+    #[test]
+    fn autolock_config_scales() {
+        let quick = autolock_config(Scale::Quick, 16, 1);
+        let full = autolock_config(Scale::Full, 16, 1);
+        assert!(full.generations > quick.generations);
+        assert!(full.population_size > quick.population_size);
+        assert_eq!(quick.key_len, 16);
+    }
+}

@@ -1,0 +1,80 @@
+//! The ISCAS-85 c17 benchmark, reproduced exactly from its public `.bench`
+//! description.
+
+use autolock_netlist::{parse_bench, Netlist};
+
+/// The canonical `.bench` text of ISCAS-85 c17 (5 inputs, 2 outputs, 6 NAND
+/// gates).
+pub const C17_BENCH: &str = "\
+# c17 ISCAS-85 benchmark
+INPUT(G1gat)
+INPUT(G2gat)
+INPUT(G3gat)
+INPUT(G6gat)
+INPUT(G7gat)
+OUTPUT(G22gat)
+OUTPUT(G23gat)
+G10gat = NAND(G1gat, G3gat)
+G11gat = NAND(G3gat, G6gat)
+G16gat = NAND(G2gat, G11gat)
+G19gat = NAND(G11gat, G7gat)
+G22gat = NAND(G10gat, G16gat)
+G23gat = NAND(G16gat, G19gat)
+";
+
+/// Returns the c17 `.bench` source text.
+pub fn c17_bench_text() -> &'static str {
+    C17_BENCH
+}
+
+/// Parses and returns the c17 netlist.
+///
+/// # Panics
+///
+/// Never panics in practice; the embedded text is valid.
+pub fn c17() -> Netlist {
+    parse_bench("c17", C17_BENCH).expect("embedded c17 is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c17_shape() {
+        let nl = c17();
+        assert_eq!(nl.num_inputs(), 5);
+        assert_eq!(nl.num_outputs(), 2);
+        assert_eq!(nl.num_logic_gates(), 6);
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn c17_truth_spot_checks() {
+        let nl = c17();
+        // Inputs in declaration order: G1, G2, G3, G6, G7.
+        // All zeros: G10 = NAND(0,0)=1, G11=1, G16=NAND(0,1)=1, G19=NAND(1,0)=1,
+        // G22=NAND(1,1)=0, G23=NAND(1,1)=0.
+        assert_eq!(
+            nl.evaluate(&[false, false, false, false, false]).unwrap(),
+            vec![false, false]
+        );
+        // All ones: G10=NAND(1,1)=0, G11=0, G16=NAND(1,0)=1, G19=NAND(0,1)=1,
+        // G22=NAND(0,1)=1, G23=NAND(1,1)=0.
+        assert_eq!(
+            nl.evaluate(&[true, true, true, true, true]).unwrap(),
+            vec![true, false]
+        );
+    }
+
+    #[test]
+    fn c17_all_gates_are_nand() {
+        let nl = c17();
+        use autolock_netlist::GateKind;
+        for (_, g) in nl.iter() {
+            if !g.kind.is_input() {
+                assert_eq!(g.kind, GateKind::Nand);
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Benchmark circuit library for the AutoLock reproduction.
+//!
+//! The AutoLock / MuxLink / D-MUX line of work evaluates on ISCAS-85 and
+//! ITC-99 gate-level benchmarks. Those netlists come from proprietary
+//! synthesis flows, so this crate substitutes:
+//!
+//! * the real **c17** ISCAS-85 circuit (tiny, public, reproduced exactly), and
+//! * a deterministic **synthetic ISCAS-like generator** ([`generator`]) that
+//!   produces combinational netlists with configurable size, depth and fan-in
+//!   distribution; the [`suite`] module instantiates a fixed family of such
+//!   circuits whose gate counts mirror the ISCAS-85 family (`s432`, `s880`,
+//!   `s1355`, ... naming follows "synthetic-<approx gate count>").
+//!
+//! The substitution is documented in `DESIGN.md`: every algorithm in this
+//! repository (locking, attacks, evolutionary search) only looks at gate-level
+//! structure, so circuits with realistic structural statistics exercise the
+//! same code paths as the published benchmarks.
+//!
+//! ```
+//! use autolock_circuits::{c17, suite};
+//!
+//! let c17 = c17();
+//! assert_eq!(c17.num_inputs(), 5);
+//! assert_eq!(c17.num_outputs(), 2);
+//!
+//! let bench = suite::standard_suite();
+//! assert!(bench.iter().any(|c| c.name() == "c17"));
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod generator;
+pub mod suite;
+
+mod iscas;
+
+pub use generator::{synth_circuit, CircuitGenerator, GeneratorConfig};
+pub use iscas::{c17, c17_bench_text};
+pub use suite::{small_suite, standard_suite, suite_circuit, suite_entries, SuiteEntry};

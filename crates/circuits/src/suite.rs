@@ -1,0 +1,156 @@
+//! The standard benchmark suite used by every experiment in this repository.
+//!
+//! The suite mirrors the ISCAS-85 family in spirit: one tiny real circuit
+//! (c17) plus synthetic circuits whose interface and gate counts roughly match
+//! the classic benchmarks (c432, c880, c1355, c1908, c2670, c3540, c5315,
+//! c7552). Synthetic members are named `s<gates>` to make the substitution
+//! explicit in every table.
+
+use crate::generator::synth_circuit;
+use crate::iscas::c17;
+use autolock_netlist::Netlist;
+use serde::{Deserialize, Serialize};
+
+/// Descriptor of one suite member.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SuiteEntry {
+    /// Circuit name (e.g. `c17`, `s432`).
+    pub name: String,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Approximate number of logic gates.
+    pub gates: usize,
+    /// ISCAS-85 benchmark this member stands in for (`None` for real circuits).
+    pub stands_in_for: Option<String>,
+}
+
+/// Descriptors of all members of the standard suite, in increasing size.
+pub fn suite_entries() -> Vec<SuiteEntry> {
+    let synth = |name: &str, inputs: usize, outputs: usize, gates: usize, original: &str| SuiteEntry {
+        name: name.to_string(),
+        inputs,
+        outputs,
+        gates,
+        stands_in_for: Some(original.to_string()),
+    };
+    vec![
+        SuiteEntry {
+            name: "c17".into(),
+            inputs: 5,
+            outputs: 2,
+            gates: 6,
+            stands_in_for: None,
+        },
+        synth("s160", 36, 7, 160, "c432"),
+        synth("s380", 60, 26, 380, "c880"),
+        synth("s540", 41, 32, 540, "c1355"),
+        synth("s880", 33, 25, 880, "c1908"),
+        synth("s1190", 233, 140, 1190, "c2670"),
+        synth("s1660", 50, 22, 1660, "c3540"),
+        synth("s2300", 178, 123, 2300, "c5315"),
+        synth("s3500", 207, 108, 3500, "c7552"),
+    ]
+}
+
+/// Deterministic per-circuit seed so every suite member is stable across runs.
+fn seed_for(name: &str) -> u64 {
+    // FNV-1a over the name, fixed offset.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Instantiates a suite member by name.
+///
+/// Returns `None` for unknown names.
+pub fn suite_circuit(name: &str) -> Option<Netlist> {
+    if name == "c17" {
+        return Some(c17());
+    }
+    let entry = suite_entries().into_iter().find(|e| e.name == name)?;
+    Some(synth_circuit(
+        &entry.name,
+        entry.inputs,
+        entry.outputs,
+        entry.gates,
+        seed_for(&entry.name),
+    ))
+}
+
+/// Instantiates the whole standard suite (sorted by size ascending).
+pub fn standard_suite() -> Vec<Netlist> {
+    suite_entries()
+        .iter()
+        .map(|e| suite_circuit(&e.name).expect("suite entries are instantiable"))
+        .collect()
+}
+
+/// The subset of the suite small enough for fast experiments (used by unit
+/// tests and CI-scale benchmark runs): c17 plus the two smallest synthetic
+/// members.
+pub fn small_suite() -> Vec<Netlist> {
+    ["c17", "s160", "s380"]
+        .iter()
+        .map(|n| suite_circuit(n).expect("known members"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_entries_instantiate_and_validate() {
+        for entry in suite_entries() {
+            let nl = suite_circuit(&entry.name).unwrap();
+            nl.validate().unwrap();
+            assert_eq!(nl.num_inputs(), entry.inputs, "{}", entry.name);
+            assert_eq!(nl.num_outputs(), entry.outputs, "{}", entry.name);
+            if entry.name != "c17" {
+                assert_eq!(nl.num_logic_gates(), entry.gates, "{}", entry.name);
+            }
+        }
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let a = suite_circuit("s380").unwrap();
+        let b = suite_circuit("s380").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unknown_name_returns_none() {
+        assert!(suite_circuit("nope").is_none());
+    }
+
+    #[test]
+    fn small_suite_members() {
+        let s = small_suite();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0].name(), "c17");
+    }
+
+    #[test]
+    fn standard_suite_sorted_by_size() {
+        let suite = standard_suite();
+        let sizes: Vec<usize> = suite.iter().map(|n| n.num_logic_gates()).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort();
+        assert_eq!(sizes, sorted);
+    }
+
+    #[test]
+    fn stand_ins_are_documented() {
+        let entries = suite_entries();
+        assert!(entries
+            .iter()
+            .filter(|e| e.name != "c17")
+            .all(|e| e.stands_in_for.is_some()));
+    }
+}

@@ -1,0 +1,418 @@
+//! The single-objective genetic algorithm.
+
+use crate::{
+    CrossoverOperator, FitnessFunction, GenerationStats, Genotype, MutationOperator,
+    SelectionMethod,
+};
+use rand::{Rng, RngCore};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of [`GeneticAlgorithm`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaConfig {
+    /// Number of generations to run (in addition to evaluating the initial
+    /// population).
+    pub generations: usize,
+    /// Probability that a selected parent pair undergoes crossover (otherwise
+    /// the parents are copied unchanged into the offspring pool).
+    pub crossover_rate: f64,
+    /// Probability that each child is mutated.
+    pub mutation_rate: f64,
+    /// Number of elite individuals copied unchanged into the next generation.
+    pub elitism: usize,
+    /// Parent-selection method.
+    pub selection: SelectionMethod,
+    /// Evaluate fitness in parallel with rayon. Disable for single-threaded
+    /// determinism checks; results are identical either way because fitness
+    /// functions are required to be deterministic per genotype.
+    pub parallel: bool,
+    /// Stop early once the best fitness reaches this value (in addition to
+    /// any [`FitnessFunction::target`]).
+    pub target_fitness: Option<f64>,
+    /// Stop early after this many consecutive generations without improvement
+    /// of the best fitness (`None` disables stagnation-based stopping).
+    pub stagnation_limit: Option<usize>,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig {
+            generations: 50,
+            crossover_rate: 0.9,
+            mutation_rate: 0.3,
+            elitism: 2,
+            selection: SelectionMethod::default(),
+            parallel: true,
+            target_fitness: None,
+            stagnation_limit: None,
+        }
+    }
+}
+
+/// Result of a GA run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaResult<G> {
+    /// The fittest genotype found over the whole run.
+    pub best: G,
+    /// Its fitness.
+    pub best_fitness: f64,
+    /// Per-generation statistics (index 0 is the initial population).
+    pub history: Vec<GenerationStats>,
+    /// Total number of fitness evaluations performed.
+    pub evaluations: usize,
+    /// Generation at which the best individual was first found.
+    pub best_generation: usize,
+    /// Whether the run stopped early because the target fitness was reached.
+    pub reached_target: bool,
+}
+
+/// The single-objective GA engine.
+///
+/// The engine is generic over the genotype and the variation operators, which
+/// is what the operator-ablation experiment (E7) sweeps.
+#[derive(Debug, Clone)]
+pub struct GeneticAlgorithm {
+    config: GaConfig,
+}
+
+impl GeneticAlgorithm {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: GaConfig) -> Self {
+        GeneticAlgorithm { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GaConfig {
+        &self.config
+    }
+
+    fn evaluate_all<G, F>(&self, population: &[G], fitness: &F) -> Vec<f64>
+    where
+        G: Genotype,
+        F: FitnessFunction<G>,
+    {
+        if self.config.parallel {
+            population.par_iter().map(|g| fitness.evaluate(g)).collect()
+        } else {
+            population.iter().map(|g| fitness.evaluate(g)).collect()
+        }
+    }
+
+    /// Runs the GA from an initial population.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the initial population is empty.
+    pub fn run<G, F, C, M>(
+        &self,
+        initial_population: Vec<G>,
+        fitness: &F,
+        crossover: &C,
+        mutation: &M,
+        rng: &mut dyn RngCore,
+    ) -> GaResult<G>
+    where
+        G: Genotype,
+        F: FitnessFunction<G>,
+        C: CrossoverOperator<G>,
+        M: MutationOperator<G>,
+    {
+        assert!(
+            !initial_population.is_empty(),
+            "initial population must not be empty"
+        );
+        let pop_size = initial_population.len();
+        let target = self.config.target_fitness.or(fitness.target());
+
+        let mut population = initial_population;
+        let mut scores = self.evaluate_all(&population, fitness);
+        let mut evaluations = population.len();
+
+        let mut history = vec![GenerationStats::from_fitness(0, &scores)];
+        let (mut best_idx, mut best_fitness) = argmax(&scores);
+        let mut best = population[best_idx].clone();
+        let mut best_generation = 0usize;
+        let mut reached_target = target.map(|t| best_fitness >= t).unwrap_or(false);
+        let mut stagnant = 0usize;
+
+        for generation in 1..=self.config.generations {
+            if reached_target {
+                break;
+            }
+            if let Some(limit) = self.config.stagnation_limit {
+                if stagnant >= limit {
+                    break;
+                }
+            }
+
+            // Elites survive unchanged.
+            let mut order: Vec<usize> = (0..population.len()).collect();
+            order.sort_by(|&a, &b| {
+                scores[b]
+                    .partial_cmp(&scores[a])
+                    .expect("finite fitness values")
+            });
+            let mut next: Vec<G> = order
+                .iter()
+                .take(self.config.elitism.min(pop_size))
+                .map(|&i| population[i].clone())
+                .collect();
+
+            // Fill the rest with offspring.
+            while next.len() < pop_size {
+                let pa = self.config.selection.select(&scores, rng);
+                let pb = self.config.selection.select(&scores, rng);
+                let (mut child_a, mut child_b) = if rng.gen_bool(self.config.crossover_rate.clamp(0.0, 1.0)) {
+                    crossover.crossover(&population[pa], &population[pb], rng)
+                } else {
+                    (population[pa].clone(), population[pb].clone())
+                };
+                if rng.gen_bool(self.config.mutation_rate.clamp(0.0, 1.0)) {
+                    mutation.mutate(&mut child_a, rng);
+                }
+                if rng.gen_bool(self.config.mutation_rate.clamp(0.0, 1.0)) {
+                    mutation.mutate(&mut child_b, rng);
+                }
+                next.push(child_a);
+                if next.len() < pop_size {
+                    next.push(child_b);
+                }
+            }
+
+            population = next;
+            scores = self.evaluate_all(&population, fitness);
+            evaluations += population.len();
+            history.push(GenerationStats::from_fitness(generation, &scores));
+
+            let (gen_best_idx, gen_best_fitness) = argmax(&scores);
+            if gen_best_fitness > best_fitness {
+                best_fitness = gen_best_fitness;
+                best_idx = gen_best_idx;
+                best = population[best_idx].clone();
+                best_generation = generation;
+                stagnant = 0;
+            } else {
+                stagnant += 1;
+            }
+            if let Some(t) = target {
+                if best_fitness >= t {
+                    reached_target = true;
+                }
+            }
+        }
+
+        GaResult {
+            best,
+            best_fitness,
+            history,
+            evaluations,
+            best_generation,
+            reached_target,
+        }
+    }
+}
+
+fn argmax(values: &[f64]) -> (usize, f64) {
+    let mut idx = 0;
+    let mut best = f64::NEG_INFINITY;
+    for (i, &v) in values.iter().enumerate() {
+        if v > best {
+            best = v;
+            idx = i;
+        }
+    }
+    (idx, best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    struct OneMax;
+    impl FitnessFunction<Vec<bool>> for OneMax {
+        fn evaluate(&self, g: &Vec<bool>) -> f64 {
+            g.iter().filter(|&&b| b).count() as f64
+        }
+    }
+
+    struct UniformCrossover;
+    impl CrossoverOperator<Vec<bool>> for UniformCrossover {
+        fn crossover(
+            &self,
+            a: &Vec<bool>,
+            b: &Vec<bool>,
+            rng: &mut dyn RngCore,
+        ) -> (Vec<bool>, Vec<bool>) {
+            let mut c = a.clone();
+            let mut d = b.clone();
+            for i in 0..a.len().min(b.len()) {
+                if rng.gen_bool(0.5) {
+                    c[i] = b[i];
+                    d[i] = a[i];
+                }
+            }
+            (c, d)
+        }
+    }
+
+    struct BitFlip;
+    impl MutationOperator<Vec<bool>> for BitFlip {
+        fn mutate(&self, g: &mut Vec<bool>, rng: &mut dyn RngCore) {
+            let i = rng.gen_range(0..g.len());
+            g[i] = !g[i];
+        }
+    }
+
+    fn initial(pop: usize, len: usize, seed: u64) -> Vec<Vec<bool>> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..pop)
+            .map(|_| (0..len).map(|_| rng.gen_bool(0.2)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn ga_improves_onemax() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let config = GaConfig {
+            generations: 80,
+            parallel: false,
+            ..Default::default()
+        };
+        let result = GeneticAlgorithm::new(config).run(
+            initial(30, 40, 2),
+            &OneMax,
+            &UniformCrossover,
+            &BitFlip,
+            &mut rng,
+        );
+        let start_best = result.history[0].best;
+        assert!(result.best_fitness > start_best + 10.0);
+        assert!(result.best_fitness >= 30.0);
+        assert_eq!(result.history.len(), 81);
+        assert_eq!(result.evaluations, 30 * 81);
+        // History best is monotone non-decreasing at the "best so far" level.
+        assert!(result
+            .history
+            .iter()
+            .map(|s| s.best)
+            .fold((f64::NEG_INFINITY, true), |(prev, ok), b| {
+                (b.max(prev), ok && (b >= prev || b >= result.history[0].best))
+            })
+            .1);
+    }
+
+    #[test]
+    fn target_fitness_stops_early() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let config = GaConfig {
+            generations: 500,
+            target_fitness: Some(20.0),
+            parallel: false,
+            ..Default::default()
+        };
+        let result = GeneticAlgorithm::new(config).run(
+            initial(20, 32, 4),
+            &OneMax,
+            &UniformCrossover,
+            &BitFlip,
+            &mut rng,
+        );
+        assert!(result.reached_target);
+        assert!(result.history.len() < 501);
+        assert!(result.best_fitness >= 20.0);
+    }
+
+    #[test]
+    fn stagnation_limit_stops_early() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        // Mutation-free, crossover-free run on a converged population stalls
+        // immediately.
+        let config = GaConfig {
+            generations: 100,
+            crossover_rate: 0.0,
+            mutation_rate: 0.0,
+            stagnation_limit: Some(3),
+            parallel: false,
+            ..Default::default()
+        };
+        let result = GeneticAlgorithm::new(config).run(
+            vec![vec![true; 8]; 10],
+            &OneMax,
+            &UniformCrossover,
+            &BitFlip,
+            &mut rng,
+        );
+        assert!(result.history.len() <= 6);
+        assert_eq!(result.best_fitness, 8.0);
+    }
+
+    #[test]
+    fn elitism_preserves_best() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut pop = initial(15, 24, 8);
+        pop[0] = vec![true; 24]; // plant an optimum
+        let config = GaConfig {
+            generations: 10,
+            elitism: 1,
+            mutation_rate: 1.0,
+            parallel: false,
+            ..Default::default()
+        };
+        let result = GeneticAlgorithm::new(config).run(pop, &OneMax, &UniformCrossover, &BitFlip, &mut rng);
+        assert_eq!(result.best_fitness, 24.0);
+        assert!(result.history.iter().all(|s| s.best == 24.0));
+    }
+
+    #[test]
+    fn runs_are_reproducible_with_same_seed() {
+        let run = |seed: u64| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let config = GaConfig {
+                generations: 20,
+                parallel: false,
+                ..Default::default()
+            };
+            GeneticAlgorithm::new(config)
+                .run(initial(12, 20, 1), &OneMax, &UniformCrossover, &BitFlip, &mut rng)
+                .best_fitness
+        };
+        assert_eq!(run(11), run(11));
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        // Deterministic fitness => same scores regardless of evaluation order.
+        let mut rng_a = ChaCha8Rng::seed_from_u64(13);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(13);
+        let serial = GeneticAlgorithm::new(GaConfig {
+            generations: 15,
+            parallel: false,
+            ..Default::default()
+        })
+        .run(initial(10, 16, 2), &OneMax, &UniformCrossover, &BitFlip, &mut rng_a);
+        let parallel = GeneticAlgorithm::new(GaConfig {
+            generations: 15,
+            parallel: true,
+            ..Default::default()
+        })
+        .run(initial(10, 16, 2), &OneMax, &UniformCrossover, &BitFlip, &mut rng_b);
+        assert_eq!(serial.best_fitness, parallel.best_fitness);
+        assert_eq!(serial.history, parallel.history);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_population_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        GeneticAlgorithm::new(GaConfig::default()).run(
+            Vec::<Vec<bool>>::new(),
+            &OneMax,
+            &UniformCrossover,
+            &BitFlip,
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! Parent-selection methods.
+
+use rand::Rng;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// How parents are selected for crossover.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SelectionMethod {
+    /// k-tournament selection: sample `k` individuals, take the fittest.
+    Tournament {
+        /// Tournament size (≥ 1). Larger values increase selection pressure.
+        size: usize,
+    },
+    /// Fitness-proportionate (roulette-wheel) selection. Fitness values are
+    /// shifted so the minimum maps to a small positive probability.
+    Roulette,
+    /// Linear rank selection: probability proportional to rank (worst = 1).
+    Rank,
+}
+
+impl Default for SelectionMethod {
+    fn default() -> Self {
+        SelectionMethod::Tournament { size: 3 }
+    }
+}
+
+impl SelectionMethod {
+    /// Selects the index of one parent given the population's fitness values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fitness` is empty.
+    pub fn select(&self, fitness: &[f64], rng: &mut dyn RngCore) -> usize {
+        assert!(!fitness.is_empty(), "cannot select from an empty population");
+        let n = fitness.len();
+        match *self {
+            SelectionMethod::Tournament { size } => {
+                let k = size.max(1);
+                let mut best = rng.gen_range(0..n);
+                for _ in 1..k {
+                    let challenger = rng.gen_range(0..n);
+                    if fitness[challenger] > fitness[best] {
+                        best = challenger;
+                    }
+                }
+                best
+            }
+            SelectionMethod::Roulette => {
+                // Windowed fitness-proportionate selection: shift so the worst
+                // individual keeps a small but non-vanishing probability.
+                let min = fitness.iter().copied().fold(f64::INFINITY, f64::min);
+                let max = fitness.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let window = 0.1 * (max - min) + 1e-9;
+                let weights: Vec<f64> = fitness.iter().map(|f| f - min + window).collect();
+                let total: f64 = weights.iter().sum();
+                let mut target = rng.gen_range(0.0..total);
+                for (i, w) in weights.iter().enumerate() {
+                    if target < *w {
+                        return i;
+                    }
+                    target -= w;
+                }
+                n - 1
+            }
+            SelectionMethod::Rank => {
+                // rank 1 (worst) .. n (best); probability ∝ rank.
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_by(|&a, &b| {
+                    fitness[a]
+                        .partial_cmp(&fitness[b])
+                        .expect("finite fitness values")
+                });
+                let total = (n * (n + 1) / 2) as f64;
+                let mut target = rng.gen_range(0.0..total);
+                for (rank_minus_one, &idx) in order.iter().enumerate() {
+                    let w = (rank_minus_one + 1) as f64;
+                    if target < w {
+                        return idx;
+                    }
+                    target -= w;
+                }
+                *order.last().expect("non-empty")
+            }
+        }
+    }
+
+    /// Stable identifier used in ablation tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SelectionMethod::Tournament { .. } => "tournament",
+            SelectionMethod::Roulette => "roulette",
+            SelectionMethod::Rank => "rank",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn selection_counts(method: SelectionMethod, fitness: &[f64], trials: usize) -> Vec<usize> {
+        let mut rng = ChaCha8Rng::seed_from_u64(123);
+        let mut counts = vec![0usize; fitness.len()];
+        for _ in 0..trials {
+            counts[method.select(fitness, &mut rng)] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn tournament_prefers_fitter_individuals() {
+        let fitness = [1.0, 2.0, 10.0, 3.0];
+        let counts = selection_counts(SelectionMethod::Tournament { size: 3 }, &fitness, 2000);
+        assert!(counts[2] > counts[0]);
+        assert!(counts[2] > counts[1]);
+        assert!(counts[2] > counts[3]);
+    }
+
+    #[test]
+    fn roulette_handles_negative_fitness() {
+        let fitness = [-5.0, -1.0, -0.5];
+        let counts = selection_counts(SelectionMethod::Roulette, &fitness, 3000);
+        // Best individual selected most often; all selected at least once.
+        assert!(counts[2] > counts[0]);
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn rank_selection_is_monotone_in_fitness() {
+        let fitness = [0.1, 0.9, 0.5];
+        let counts = selection_counts(SelectionMethod::Rank, &fitness, 6000);
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[0]);
+    }
+
+    #[test]
+    fn single_individual_always_selected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for method in [
+            SelectionMethod::Tournament { size: 4 },
+            SelectionMethod::Roulette,
+            SelectionMethod::Rank,
+        ] {
+            assert_eq!(method.select(&[3.0], &mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(SelectionMethod::default().name(), "tournament");
+        assert_eq!(SelectionMethod::Roulette.name(), "roulette");
+        assert_eq!(SelectionMethod::Rank.name(), "rank");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty population")]
+    fn empty_population_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        SelectionMethod::default().select(&[], &mut rng);
+    }
+}

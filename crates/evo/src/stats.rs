@@ -1,0 +1,70 @@
+//! Per-generation statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Fitness statistics of one generation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GenerationStats {
+    /// Generation index (0 = initial population).
+    pub generation: usize,
+    /// Best fitness in the population.
+    pub best: f64,
+    /// Mean fitness.
+    pub mean: f64,
+    /// Worst fitness.
+    pub worst: f64,
+    /// Population standard deviation of fitness.
+    pub std_dev: f64,
+}
+
+impl GenerationStats {
+    /// Computes statistics from a slice of fitness values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fitness` is empty.
+    pub fn from_fitness(generation: usize, fitness: &[f64]) -> Self {
+        assert!(!fitness.is_empty(), "empty population has no statistics");
+        let n = fitness.len() as f64;
+        let best = fitness.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let worst = fitness.iter().copied().fold(f64::INFINITY, f64::min);
+        let mean = fitness.iter().sum::<f64>() / n;
+        let var = fitness.iter().map(|f| (f - mean) * (f - mean)).sum::<f64>() / n;
+        GenerationStats {
+            generation,
+            best,
+            mean,
+            worst,
+            std_dev: var.sqrt(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_computed_correctly() {
+        let s = GenerationStats::from_fitness(3, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.generation, 3);
+        assert_eq!(s.best, 4.0);
+        assert_eq!(s.worst, 1.0);
+        assert_eq!(s.mean, 2.5);
+        assert!((s.std_dev - 1.118033988749895).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_element_population() {
+        let s = GenerationStats::from_fitness(0, &[7.0]);
+        assert_eq!(s.best, 7.0);
+        assert_eq!(s.worst, 7.0);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty population")]
+    fn empty_population_panics() {
+        GenerationStats::from_fitness(0, &[]);
+    }
+}

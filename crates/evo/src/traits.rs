@@ -1,0 +1,63 @@
+//! Problem-interface traits.
+
+use rand::RngCore;
+
+/// Marker bound for genotypes: anything clonable and thread-safe.
+///
+/// The blanket implementation means callers never implement this by hand —
+/// `Vec<bool>`, the AutoLock locus list, etc. all qualify automatically.
+pub trait Genotype: Clone + Send + Sync {}
+
+impl<T: Clone + Send + Sync> Genotype for T {}
+
+/// A (single-objective) fitness function. **Higher is better.**
+///
+/// Implementations must be deterministic for a given genotype if reproducible
+/// runs are desired; stochastic evaluations (e.g. training an attack) should
+/// derive their randomness from the genotype content plus a fixed seed.
+pub trait FitnessFunction<G: Genotype>: Sync {
+    /// Evaluates a genotype.
+    fn evaluate(&self, genotype: &G) -> f64;
+
+    /// Optional: a fitness value at which the search may stop early.
+    fn target(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// A crossover operator producing two children from two parents.
+pub trait CrossoverOperator<G: Genotype>: Sync {
+    /// Recombines two parents.
+    fn crossover(&self, a: &G, b: &G, rng: &mut dyn RngCore) -> (G, G);
+}
+
+/// A mutation operator modifying a genotype in place.
+pub trait MutationOperator<G: Genotype>: Sync {
+    /// Mutates the genotype.
+    fn mutate(&self, genotype: &mut G, rng: &mut dyn RngCore);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Sum;
+    impl FitnessFunction<Vec<f64>> for Sum {
+        fn evaluate(&self, g: &Vec<f64>) -> f64 {
+            g.iter().sum()
+        }
+    }
+
+    #[test]
+    fn blanket_genotype_impl_applies() {
+        fn needs_genotype<G: Genotype>(_: &G) {}
+        needs_genotype(&vec![1u8, 2, 3]);
+        needs_genotype(&"hello".to_string());
+    }
+
+    #[test]
+    fn default_target_is_none() {
+        assert_eq!(Sum.target(), None);
+        assert_eq!(Sum.evaluate(&vec![1.0, 2.0]), 3.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Property-based tests for the evolutionary-computation framework.
+
+use autolock_evo::nsga2::{crowding_distances, dominates, fast_non_dominated_sort};
+use autolock_evo::{
+    CrossoverOperator, FitnessFunction, GaConfig, GeneticAlgorithm, MutationOperator,
+    SelectionMethod,
+};
+use proptest::prelude::*;
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every selection method returns a valid index, and over many draws the
+    /// best individual is selected at least as often as the worst.
+    #[test]
+    fn selection_is_valid_and_monotone(
+        fitness in proptest::collection::vec(-10.0f64..10.0, 2..30),
+        seed in 0u64..1000,
+        method_idx in 0usize..3,
+    ) {
+        let method = match method_idx {
+            0 => SelectionMethod::Tournament { size: 3 },
+            1 => SelectionMethod::Roulette,
+            _ => SelectionMethod::Rank,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let best = fitness
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let worst = fitness
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let mut best_count = 0usize;
+        let mut worst_count = 0usize;
+        for _ in 0..600 {
+            let idx = method.select(&fitness, &mut rng);
+            prop_assert!(idx < fitness.len());
+            if idx == best {
+                best_count += 1;
+            }
+            if idx == worst {
+                worst_count += 1;
+            }
+        }
+        if (fitness[best] - fitness[worst]).abs() > 1e-6 {
+            prop_assert!(best_count >= worst_count,
+                "best selected {best_count} times, worst {worst_count} times");
+        }
+    }
+
+    /// Pareto dominance is irreflexive and antisymmetric.
+    #[test]
+    fn dominance_is_irreflexive_and_antisymmetric(
+        a in proptest::collection::vec(0.0f64..10.0, 2..4),
+        b in proptest::collection::vec(0.0f64..10.0, 2..4),
+    ) {
+        let dim = a.len().min(b.len());
+        let a = &a[..dim];
+        let b = &b[..dim];
+        prop_assert!(!dominates(a, a));
+        prop_assert!(!(dominates(a, b) && dominates(b, a)));
+    }
+
+    /// Front 0 of the non-dominated sort contains exactly the points no other
+    /// point dominates, every point appears in exactly one front, and
+    /// crowding distances are non-negative.
+    #[test]
+    fn non_dominated_sort_invariants(
+        objectives in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..10.0, 2),
+            1..25
+        ),
+    ) {
+        let fronts = fast_non_dominated_sort(&objectives);
+        let total: usize = fronts.iter().map(|f| f.len()).sum();
+        prop_assert_eq!(total, objectives.len());
+
+        let mut seen = vec![false; objectives.len()];
+        for front in &fronts {
+            for &i in front {
+                prop_assert!(!seen[i], "point {i} appears in two fronts");
+                seen[i] = true;
+            }
+        }
+        for &i in &fronts[0] {
+            for (j, other) in objectives.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!dominates(other, &objectives[i]),
+                        "front-0 point {i} is dominated by {j}");
+                }
+            }
+        }
+        let crowding = crowding_distances(&objectives, &fronts);
+        for d in crowding {
+            prop_assert!(d >= 0.0);
+        }
+    }
+}
+
+// Shared toy problem for the GA behaviour properties below.
+struct OneMax;
+impl FitnessFunction<Vec<bool>> for OneMax {
+    fn evaluate(&self, g: &Vec<bool>) -> f64 {
+        g.iter().filter(|&&b| b).count() as f64
+    }
+}
+struct Uniform;
+impl CrossoverOperator<Vec<bool>> for Uniform {
+    fn crossover(&self, a: &Vec<bool>, b: &Vec<bool>, rng: &mut dyn RngCore) -> (Vec<bool>, Vec<bool>) {
+        let mut c = a.clone();
+        let mut d = b.clone();
+        for i in 0..a.len().min(b.len()) {
+            if rng.gen_bool(0.5) {
+                c[i] = b[i];
+                d[i] = a[i];
+            }
+        }
+        (c, d)
+    }
+}
+struct Flip;
+impl MutationOperator<Vec<bool>> for Flip {
+    fn mutate(&self, g: &mut Vec<bool>, rng: &mut dyn RngCore) {
+        let i = rng.gen_range(0..g.len());
+        g[i] = !g[i];
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// With elitism, the best fitness recorded per generation never decreases.
+    #[test]
+    fn elitism_makes_best_fitness_monotone(
+        seed in 0u64..500,
+        pop in 4usize..16,
+        len in 8usize..32,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let initial: Vec<Vec<bool>> = (0..pop)
+            .map(|_| (0..len).map(|_| rng.gen_bool(0.3)).collect())
+            .collect();
+        let result = GeneticAlgorithm::new(GaConfig {
+            generations: 15,
+            elitism: 1,
+            parallel: false,
+            ..Default::default()
+        })
+        .run(initial, &OneMax, &Uniform, &Flip, &mut rng);
+        let mut prev = f64::NEG_INFINITY;
+        for stats in &result.history {
+            prop_assert!(stats.best >= prev - 1e-12,
+                "best fitness dropped from {prev} to {}", stats.best);
+            prev = stats.best;
+        }
+        prop_assert!(result.best_fitness <= len as f64);
+        prop_assert_eq!(result.evaluations, (result.history.len()) * pop);
+    }
+
+    /// The reported best individual's fitness matches re-evaluating it.
+    #[test]
+    fn reported_best_is_consistent(seed in 0u64..500) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let initial: Vec<Vec<bool>> = (0..8)
+            .map(|_| (0..16).map(|_| rng.gen_bool(0.4)).collect())
+            .collect();
+        let result = GeneticAlgorithm::new(GaConfig {
+            generations: 10,
+            parallel: false,
+            ..Default::default()
+        })
+        .run(initial, &OneMax, &Uniform, &Flip, &mut rng);
+        prop_assert_eq!(result.best_fitness, OneMax.evaluate(&result.best));
+    }
+}

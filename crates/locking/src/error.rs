@@ -1,0 +1,98 @@
+//! Error type for locking operations.
+
+use autolock_netlist::{GateId, NetlistError};
+use std::fmt;
+
+/// Errors produced while locking a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockError {
+    /// The requested key length cannot be realized on this netlist (e.g. not
+    /// enough lockable wires or pairs).
+    KeyTooLong {
+        /// Requested key length.
+        requested: usize,
+        /// Maximum length the scheme could realize.
+        available: usize,
+    },
+    /// A MUX-pair locus is structurally invalid.
+    InvalidLocus {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Applying a locus would create a combinational cycle.
+    WouldCreateCycle {
+        /// The sink gate of the offending new connection.
+        sink: GateId,
+        /// The driver gate of the offending new connection.
+        driver: GateId,
+    },
+    /// The provided key has the wrong length.
+    KeyLengthMismatch {
+        /// Expected number of key bits.
+        expected: usize,
+        /// Provided number of key bits.
+        got: usize,
+    },
+    /// An underlying netlist operation failed.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::KeyTooLong {
+                requested,
+                available,
+            } => write!(
+                f,
+                "requested key length {requested} exceeds the {available} lockable locations"
+            ),
+            LockError::InvalidLocus { reason } => write!(f, "invalid locking locus: {reason}"),
+            LockError::WouldCreateCycle { sink, driver } => write!(
+                f,
+                "inserting a mux feeding {sink} from {driver} would create a combinational cycle"
+            ),
+            LockError::KeyLengthMismatch { expected, got } => {
+                write!(f, "expected a key of {expected} bits, got {got}")
+            }
+            LockError::Netlist(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LockError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for LockError {
+    fn from(e: NetlistError) -> Self {
+        LockError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        let e = LockError::KeyTooLong {
+            requested: 64,
+            available: 10,
+        };
+        assert!(e.to_string().contains("64"));
+        let e = LockError::Netlist(NetlistError::UnknownSignal("x".into()));
+        assert!(e.source().is_some());
+        let e = LockError::KeyLengthMismatch {
+            expected: 4,
+            got: 2,
+        };
+        assert!(e.to_string().contains('4'));
+    }
+}

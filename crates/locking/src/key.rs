@@ -1,0 +1,223 @@
+//! Locking keys.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Index;
+
+/// A locking key: an ordered vector of key bits.
+///
+/// Bit `i` is the value that must be applied to key input `keyinput{i}` for
+/// the locked netlist to behave like the original design.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct Key {
+    bits: Vec<bool>,
+}
+
+impl Key {
+    /// Creates a key from bits.
+    pub fn new(bits: Vec<bool>) -> Self {
+        Key { bits }
+    }
+
+    /// Creates an all-zero key of the given length.
+    pub fn zeros(len: usize) -> Self {
+        Key {
+            bits: vec![false; len],
+        }
+    }
+
+    /// Creates a uniformly random key.
+    pub fn random<R: Rng + ?Sized>(len: usize, rng: &mut R) -> Self {
+        Key {
+            bits: (0..len).map(|_| rng.gen()).collect(),
+        }
+    }
+
+    /// Number of key bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// `true` if the key has no bits.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The bits as a slice.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Bit accessor returning `None` out of range.
+    pub fn get(&self, i: usize) -> Option<bool> {
+        self.bits.get(i).copied()
+    }
+
+    /// Sets a bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set(&mut self, i: usize, value: bool) {
+        self.bits[i] = value;
+    }
+
+    /// Flips a bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn flip(&mut self, i: usize) {
+        self.bits[i] = !self.bits[i];
+    }
+
+    /// Appends a bit.
+    pub fn push(&mut self, value: bool) {
+        self.bits.push(value);
+    }
+
+    /// Hamming distance to another key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the keys have different lengths.
+    pub fn hamming_distance(&self, other: &Key) -> usize {
+        assert_eq!(self.len(), other.len(), "key length mismatch");
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+
+    /// Fraction of bits equal to `other` (the "key accuracy" an attack report
+    /// uses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the keys have different lengths.
+    pub fn agreement(&self, other: &Key) -> f64 {
+        if self.is_empty() {
+            return 1.0;
+        }
+        1.0 - self.hamming_distance(other) as f64 / self.len() as f64
+    }
+
+    /// Hex representation (most significant bit first, zero-padded nibbles).
+    pub fn to_hex(&self) -> String {
+        if self.bits.is_empty() {
+            return String::from("0");
+        }
+        let mut out = String::new();
+        // Pad to a multiple of 4 on the most significant side.
+        let pad = (4 - self.bits.len() % 4) % 4;
+        let padded: Vec<bool> = std::iter::repeat(false)
+            .take(pad)
+            .chain(self.bits.iter().copied())
+            .collect();
+        for nibble in padded.chunks(4) {
+            let v = nibble
+                .iter()
+                .fold(0u8, |acc, &b| (acc << 1) | u8::from(b));
+            out.push_str(&format!("{v:x}"));
+        }
+        out
+    }
+
+    /// Bit-string representation (`"0101..."`, index 0 first).
+    pub fn to_bit_string(&self) -> String {
+        self.bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
+    }
+
+    /// Parses a bit string (`'0'`/`'1'` characters, index 0 first).
+    pub fn from_bit_string(s: &str) -> Option<Key> {
+        let mut bits = Vec::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '0' => bits.push(false),
+                '1' => bits.push(true),
+                _ => return None,
+            }
+        }
+        Some(Key { bits })
+    }
+}
+
+impl Index<usize> for Key {
+    type Output = bool;
+
+    fn index(&self, index: usize) -> &bool {
+        &self.bits[index]
+    }
+}
+
+impl From<Vec<bool>> for Key {
+    fn from(bits: Vec<bool>) -> Self {
+        Key { bits }
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_bit_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn construction_and_access() {
+        let mut k = Key::zeros(4);
+        assert_eq!(k.len(), 4);
+        assert!(!k[2]);
+        k.set(2, true);
+        assert!(k[2]);
+        k.flip(2);
+        assert!(!k[2]);
+        assert_eq!(k.get(9), None);
+        k.push(true);
+        assert_eq!(k.len(), 5);
+    }
+
+    #[test]
+    fn hamming_and_agreement() {
+        let a = Key::from_bit_string("0101").unwrap();
+        let b = Key::from_bit_string("0011").unwrap();
+        assert_eq!(a.hamming_distance(&b), 2);
+        assert!((a.agreement(&b) - 0.5).abs() < 1e-12);
+        assert_eq!(a.agreement(&a), 1.0);
+        assert_eq!(Key::default().agreement(&Key::default()), 1.0);
+    }
+
+    #[test]
+    fn hex_and_bit_string() {
+        let k = Key::from_bit_string("1010").unwrap();
+        assert_eq!(k.to_hex(), "a");
+        assert_eq!(k.to_bit_string(), "1010");
+        assert_eq!(k.to_string(), "1010");
+        let k = Key::from_bit_string("110101").unwrap(); // padded to 00110101
+        assert_eq!(k.to_hex(), "35");
+        assert_eq!(Key::zeros(0).to_hex(), "0");
+        assert!(Key::from_bit_string("10x1").is_none());
+    }
+
+    #[test]
+    fn random_keys_are_seeded() {
+        let mut r1 = ChaCha8Rng::seed_from_u64(9);
+        let mut r2 = ChaCha8Rng::seed_from_u64(9);
+        assert_eq!(Key::random(32, &mut r1), Key::random(32, &mut r2));
+        let mut r3 = ChaCha8Rng::seed_from_u64(10);
+        assert_ne!(Key::random(64, &mut r1), Key::random(64, &mut r3));
+    }
+
+    #[test]
+    #[should_panic(expected = "key length mismatch")]
+    fn hamming_length_mismatch_panics() {
+        Key::zeros(2).hamming_distance(&Key::zeros(3));
+    }
+}

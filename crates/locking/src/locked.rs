@@ -1,0 +1,281 @@
+//! The [`LockedNetlist`] container.
+
+use crate::{Key, LockError, Result};
+use autolock_netlist::{equiv, GateId, Netlist};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Ground-truth provenance of one key bit inserted by a locking scheme.
+///
+/// Provenance is *never* consulted by attacks to make decisions; it exists so
+/// experiments can score an attack's key guess against the truth.
+///
+/// Gate ids refer to the locked netlist. Because locking only appends gates to
+/// a clone of the original netlist, ids of original gates are identical in
+/// both netlists.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KeyGateProvenance {
+    /// An XOR/XNOR key gate spliced into the wire `driver → sink`.
+    Xor {
+        /// Index of the key bit controlling this gate.
+        key_bit: usize,
+        /// The inserted XOR/XNOR gate.
+        key_gate: GateId,
+        /// Original driver of the locked wire.
+        driver: GateId,
+        /// Original sink of the locked wire.
+        sink: GateId,
+        /// `true` if the inserted gate is an XNOR (correct key bit is 1).
+        xnor: bool,
+    },
+    /// A pair of MUX key gates covering the wires `f_i → g_i` and `f_j → g_j`.
+    MuxPair {
+        /// Index of the (shared) key bit controlling both MUXes.
+        key_bit: usize,
+        /// The MUX now driving `g_i`.
+        mux_i: GateId,
+        /// The MUX now driving `g_j`.
+        mux_j: GateId,
+        /// True driver of `g_i` in the original design.
+        f_i: GateId,
+        /// True driver of `g_j` in the original design.
+        f_j: GateId,
+        /// Sink whose input was replaced by `mux_i`.
+        g_i: GateId,
+        /// Sink whose input was replaced by `mux_j`.
+        g_j: GateId,
+        /// Correct value of the key bit.
+        key_value: bool,
+    },
+}
+
+impl KeyGateProvenance {
+    /// The key-bit index this provenance entry describes.
+    pub fn key_bit(&self) -> usize {
+        match self {
+            KeyGateProvenance::Xor { key_bit, .. } => *key_bit,
+            KeyGateProvenance::MuxPair { key_bit, .. } => *key_bit,
+        }
+    }
+}
+
+/// A locked netlist: the circuit with key inputs, the correct key and the
+/// provenance of every key gate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LockedNetlist {
+    netlist: Netlist,
+    key: Key,
+    provenance: Vec<KeyGateProvenance>,
+    scheme: String,
+    original_name: String,
+}
+
+impl LockedNetlist {
+    /// Assembles a locked netlist. Intended for locking-scheme implementors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError::KeyLengthMismatch`] if the number of key inputs in
+    /// `netlist` does not match `key.len()`.
+    pub fn new(
+        netlist: Netlist,
+        key: Key,
+        provenance: Vec<KeyGateProvenance>,
+        scheme: impl Into<String>,
+        original_name: impl Into<String>,
+    ) -> Result<Self> {
+        if netlist.num_key_inputs() != key.len() {
+            return Err(LockError::KeyLengthMismatch {
+                expected: netlist.num_key_inputs(),
+                got: key.len(),
+            });
+        }
+        Ok(LockedNetlist {
+            netlist,
+            key,
+            provenance,
+            scheme: scheme.into(),
+            original_name: original_name.into(),
+        })
+    }
+
+    /// The locked circuit.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The correct key.
+    pub fn key(&self) -> &Key {
+        &self.key
+    }
+
+    /// Ground-truth provenance of every key gate.
+    pub fn provenance(&self) -> &[KeyGateProvenance] {
+        &self.provenance
+    }
+
+    /// Name of the scheme that produced this locked netlist.
+    pub fn scheme(&self) -> &str {
+        &self.scheme
+    }
+
+    /// Name of the original (unlocked) design.
+    pub fn original_name(&self) -> &str {
+        &self.original_name
+    }
+
+    /// Key length.
+    pub fn key_len(&self) -> usize {
+        self.key.len()
+    }
+
+    /// Randomized functional-equivalence check against the original design
+    /// under the correct key (`rounds` × 64 random patterns).
+    ///
+    /// # Errors
+    ///
+    /// Propagates interface mismatches from the equivalence checker.
+    pub fn verify_functional<R: Rng + ?Sized>(
+        &self,
+        original: &Netlist,
+        rounds: usize,
+        rng: &mut R,
+    ) -> Result<bool> {
+        Ok(equiv::random_equivalent(
+            original,
+            &[],
+            &self.netlist,
+            self.key.bits(),
+            rounds,
+            rng,
+        )?)
+    }
+
+    /// Exhaustive functional-equivalence check (small circuits only).
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the exhaustive checker (e.g. too many inputs).
+    pub fn verify_exhaustive(&self, original: &Netlist) -> Result<bool> {
+        Ok(equiv::exhaustive_equivalent(
+            original,
+            &[],
+            &self.netlist,
+            self.key.bits(),
+        )?)
+    }
+
+    /// Output corruption (fraction of differing output bits) produced by an
+    /// arbitrary candidate key relative to the original design.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError::KeyLengthMismatch`] for wrong key sizes.
+    pub fn corruption_under_key<R: Rng + ?Sized>(
+        &self,
+        original: &Netlist,
+        candidate: &Key,
+        rounds: usize,
+        rng: &mut R,
+    ) -> Result<f64> {
+        if candidate.len() != self.key.len() {
+            return Err(LockError::KeyLengthMismatch {
+                expected: self.key.len(),
+                got: candidate.len(),
+            });
+        }
+        Ok(equiv::output_corruption(
+            original,
+            &[],
+            &self.netlist,
+            candidate.bits(),
+            rounds,
+            rng,
+        )?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autolock_netlist::GateKind;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn tiny_locked() -> (Netlist, LockedNetlist) {
+        // Original: y = a AND b. Locked: y = (a AND b) XOR k, correct k = 0.
+        let mut original = Netlist::new("tiny");
+        let a = original.add_input("a");
+        let b = original.add_input("b");
+        let y = original.add_gate("y", GateKind::And, vec![a, b]).unwrap();
+        original.mark_output(y);
+
+        let mut locked = Netlist::new("tiny_locked");
+        let a = locked.add_input("a");
+        let b = locked.add_input("b");
+        let k = locked.add_key_input("keyinput0").unwrap();
+        let t = locked.add_gate("t", GateKind::And, vec![a, b]).unwrap();
+        let y = locked.add_gate("y", GateKind::Xor, vec![t, k]).unwrap();
+        locked.mark_output(y);
+
+        let prov = vec![KeyGateProvenance::Xor {
+            key_bit: 0,
+            key_gate: y,
+            driver: t,
+            sink: y,
+            xnor: false,
+        }];
+        let ln = LockedNetlist::new(locked, Key::zeros(1), prov, "xor-test", "tiny").unwrap();
+        (original, ln)
+    }
+
+    #[test]
+    fn constructor_checks_key_length() {
+        let (_, ln) = tiny_locked();
+        let bad = LockedNetlist::new(
+            ln.netlist().clone(),
+            Key::zeros(3),
+            vec![],
+            "xor-test",
+            "tiny",
+        );
+        assert!(matches!(bad, Err(LockError::KeyLengthMismatch { .. })));
+    }
+
+    #[test]
+    fn verification_with_correct_key() {
+        let (original, ln) = tiny_locked();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert!(ln.verify_functional(&original, 4, &mut rng).unwrap());
+        assert!(ln.verify_exhaustive(&original).unwrap());
+    }
+
+    #[test]
+    fn corruption_under_wrong_key_is_high() {
+        let (original, ln) = tiny_locked();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let wrong = Key::new(vec![true]);
+        let corruption = ln
+            .corruption_under_key(&original, &wrong, 4, &mut rng)
+            .unwrap();
+        assert_eq!(corruption, 1.0);
+        let right = Key::zeros(1);
+        assert_eq!(
+            ln.corruption_under_key(&original, &right, 4, &mut rng).unwrap(),
+            0.0
+        );
+        assert!(ln
+            .corruption_under_key(&original, &Key::zeros(2), 1, &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let (_, ln) = tiny_locked();
+        assert_eq!(ln.scheme(), "xor-test");
+        assert_eq!(ln.original_name(), "tiny");
+        assert_eq!(ln.key_len(), 1);
+        assert_eq!(ln.provenance().len(), 1);
+        assert_eq!(ln.provenance()[0].key_bit(), 0);
+    }
+}

@@ -1,0 +1,410 @@
+//! MUX-pair insertion: the shared primitive behind D-MUX and AutoLock.
+//!
+//! A [`MuxPairLocus`] is exactly the genotype element of the AutoLock paper:
+//! the tuple `{f_i, f_j, g_i, g_j, k}`. It names two *true wires* of the
+//! original design — `f_i → g_i` and `f_j → g_j` — and a key-bit value `k`.
+//! Applying the locus inserts two multiplexers sharing one key input:
+//!
+//! ```text
+//!   g_i reads MUX(key, ...) choosing between f_i (true) and f_j (decoy)
+//!   g_j reads MUX(key, ...) choosing between f_j (true) and f_i (decoy)
+//! ```
+//!
+//! The MUX input order is arranged so that the *correct* key value `k` selects
+//! the true wires; with the wrong key value both sinks read the decoy wires
+//! and the circuit misbehaves.
+
+use crate::{Key, KeyGateProvenance, LockError, LockedNetlist, Result};
+use autolock_netlist::{topo, GateId, GateKind, Netlist};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// One MUX-pair locking location: the AutoLock genotype element
+/// `{f_i, f_j, g_i, g_j, k}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MuxPairLocus {
+    /// True driver of `g_i`.
+    pub f_i: GateId,
+    /// Sink that originally reads `f_i`.
+    pub g_i: GateId,
+    /// True driver of `g_j`.
+    pub f_j: GateId,
+    /// Sink that originally reads `f_j`.
+    pub g_j: GateId,
+    /// Correct value of the key bit controlling this pair.
+    pub key_bit: bool,
+}
+
+impl MuxPairLocus {
+    /// Creates a locus.
+    pub fn new(f_i: GateId, g_i: GateId, f_j: GateId, g_j: GateId, key_bit: bool) -> Self {
+        MuxPairLocus {
+            f_i,
+            g_i,
+            f_j,
+            g_j,
+            key_bit,
+        }
+    }
+
+    /// The two true wires `(driver, sink)` covered by this locus.
+    pub fn wires(&self) -> [(GateId, GateId); 2] {
+        [(self.f_i, self.g_i), (self.f_j, self.g_j)]
+    }
+
+    /// Checks the locus against the original netlist: wires must exist, the
+    /// drivers must differ, the sinks must differ and must be logic gates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError::InvalidLocus`] describing the violated rule.
+    pub fn validate(&self, original: &Netlist) -> Result<()> {
+        let check_gate = |id: GateId| -> Result<()> {
+            original
+                .try_gate(id)
+                .map(|_| ())
+                .map_err(|_| LockError::InvalidLocus {
+                    reason: format!("gate {id} does not exist"),
+                })
+        };
+        check_gate(self.f_i)?;
+        check_gate(self.f_j)?;
+        check_gate(self.g_i)?;
+        check_gate(self.g_j)?;
+        if self.f_i == self.f_j {
+            return Err(LockError::InvalidLocus {
+                reason: "the two drivers must differ".into(),
+            });
+        }
+        if self.g_i == self.g_j {
+            return Err(LockError::InvalidLocus {
+                reason: "the two sinks must differ".into(),
+            });
+        }
+        for (f, g) in self.wires() {
+            let sink = original.gate(g);
+            if sink.kind.is_input() || sink.kind.is_constant() {
+                return Err(LockError::InvalidLocus {
+                    reason: format!("sink {g} is not a logic gate"),
+                });
+            }
+            if original.gate(f).kind == GateKind::KeyInput {
+                return Err(LockError::InvalidLocus {
+                    reason: format!("driver {f} is a key input"),
+                });
+            }
+            if !sink.fanin.contains(&f) {
+                return Err(LockError::InvalidLocus {
+                    reason: format!("wire {f} -> {g} does not exist in the original netlist"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// All wires `(driver, sink)` of a netlist that a MUX pair may legally cover:
+/// the sink is a logic gate lying in the fan-in cone of at least one primary
+/// output (locking dead logic would have no observable effect), and the driver
+/// is not a key input.
+pub fn lockable_wires(nl: &Netlist) -> Vec<(GateId, GateId)> {
+    // Gates that can influence a primary output (reverse reachability).
+    let mut live = vec![false; nl.len()];
+    let mut stack: Vec<GateId> = nl.outputs().to_vec();
+    for &o in nl.outputs() {
+        live[o.index()] = true;
+    }
+    while let Some(id) = stack.pop() {
+        for &f in &nl.gate(id).fanin {
+            if !live[f.index()] {
+                live[f.index()] = true;
+                stack.push(f);
+            }
+        }
+    }
+
+    let mut wires = Vec::new();
+    let mut seen = HashSet::new();
+    for (id, gate) in nl.iter() {
+        if gate.kind.is_input() || gate.kind.is_constant() || !live[id.index()] {
+            continue;
+        }
+        for &f in &gate.fanin {
+            if nl.gate(f).kind == GateKind::KeyInput {
+                continue;
+            }
+            if seen.insert((f, id)) {
+                wires.push((f, id));
+            }
+        }
+    }
+    wires
+}
+
+/// Applies a list of MUX-pair loci to `original`, producing a locked netlist.
+///
+/// Key input `keyinput{idx}` controls locus `idx`; the correct key is the
+/// concatenation of every locus' `key_bit`.
+///
+/// # Errors
+///
+/// * [`LockError::InvalidLocus`] if a locus fails [`MuxPairLocus::validate`]
+///   or two loci lock the same true wire,
+/// * [`LockError::WouldCreateCycle`] if applying a locus would create a
+///   combinational cycle.
+pub fn apply_loci(original: &Netlist, loci: &[MuxPairLocus]) -> Result<LockedNetlist> {
+    // Validate individually and check for duplicate true wires.
+    let mut used_wires: HashSet<(GateId, GateId)> = HashSet::new();
+    for locus in loci {
+        locus.validate(original)?;
+        for wire in locus.wires() {
+            if !used_wires.insert(wire) {
+                return Err(LockError::InvalidLocus {
+                    reason: format!(
+                        "wire {} -> {} is locked by more than one locus",
+                        wire.0, wire.1
+                    ),
+                });
+            }
+        }
+    }
+
+    let mut locked = original.clone();
+    locked.set_name(format!("{}_muxlocked_k{}", original.name(), loci.len()));
+    let mut key = Key::zeros(0);
+    let mut provenance = Vec::with_capacity(loci.len());
+
+    for (idx, locus) in loci.iter().enumerate() {
+        // Cycle check on the netlist built so far: the new MUX feeding g_i
+        // introduces a path f_j -> g_i, so no path g_i -> f_j may exist (and
+        // symmetrically for g_j / f_i).
+        if topo::is_reachable(&locked, locus.g_i, locus.f_j) {
+            return Err(LockError::WouldCreateCycle {
+                sink: locus.g_i,
+                driver: locus.f_j,
+            });
+        }
+        if topo::is_reachable(&locked, locus.g_j, locus.f_i) {
+            return Err(LockError::WouldCreateCycle {
+                sink: locus.g_j,
+                driver: locus.f_i,
+            });
+        }
+
+        let key_name = locked.fresh_name(&format!("keyinput{idx}"));
+        let key_gate = locked.add_key_input(key_name)?;
+
+        // Input order: position 1 is selected when key = 0, position 2 when
+        // key = 1. The correct key value must select the true driver.
+        let (mux_i_in0, mux_i_in1) = if locus.key_bit {
+            (locus.f_j, locus.f_i)
+        } else {
+            (locus.f_i, locus.f_j)
+        };
+        let (mux_j_in0, mux_j_in1) = if locus.key_bit {
+            (locus.f_i, locus.f_j)
+        } else {
+            (locus.f_j, locus.f_i)
+        };
+
+        let mux_i = locked.add_gate(
+            locked.fresh_name(&format!("mux_{idx}_a")),
+            GateKind::Mux,
+            vec![key_gate, mux_i_in0, mux_i_in1],
+        )?;
+        let mux_j = locked.add_gate(
+            locked.fresh_name(&format!("mux_{idx}_b")),
+            GateKind::Mux,
+            vec![key_gate, mux_j_in0, mux_j_in1],
+        )?;
+
+        let replaced_i = locked.replace_fanin(locus.g_i, locus.f_i, mux_i)?;
+        let replaced_j = locked.replace_fanin(locus.g_j, locus.f_j, mux_j)?;
+        debug_assert!(replaced_i >= 1 && replaced_j >= 1);
+
+        key.push(locus.key_bit);
+        provenance.push(KeyGateProvenance::MuxPair {
+            key_bit: idx,
+            mux_i,
+            mux_j,
+            f_i: locus.f_i,
+            f_j: locus.f_j,
+            g_i: locus.g_i,
+            g_j: locus.g_j,
+            key_value: locus.key_bit,
+        });
+    }
+
+    locked.validate()?;
+    LockedNetlist::new(locked, key, provenance, "mux-pair", original.name())
+}
+
+/// Extracts the loci that produced a MUX-locked netlist from its provenance.
+/// This is the inverse of [`apply_loci`] and is what the AutoLock genotype
+/// encoder uses to seed the initial population from a D-MUX-locked netlist.
+pub fn loci_from_provenance(locked: &LockedNetlist) -> Vec<MuxPairLocus> {
+    locked
+        .provenance()
+        .iter()
+        .filter_map(|p| match *p {
+            KeyGateProvenance::MuxPair {
+                f_i,
+                f_j,
+                g_i,
+                g_j,
+                key_value,
+                ..
+            } => Some(MuxPairLocus::new(f_i, g_i, f_j, g_j, key_value)),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autolock_circuits::c17;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn c17_wire(nl: &Netlist, driver: &str, sink: &str) -> (GateId, GateId) {
+        (nl.find(driver).unwrap(), nl.find(sink).unwrap())
+    }
+
+    #[test]
+    fn lockable_wires_of_c17() {
+        let nl = c17();
+        let wires = lockable_wires(&nl);
+        // c17 has 6 NAND gates with 2 fan-ins each = 12 wires.
+        assert_eq!(wires.len(), 12);
+        assert!(wires.iter().all(|(_, g)| !nl.gate(*g).kind.is_input()));
+    }
+
+    #[test]
+    fn apply_single_locus_preserves_function_with_correct_key() {
+        let original = c17();
+        let (f_i, g_i) = c17_wire(&original, "G10gat", "G22gat");
+        let (f_j, g_j) = c17_wire(&original, "G11gat", "G16gat");
+        for key_bit in [false, true] {
+            let locus = MuxPairLocus::new(f_i, g_i, f_j, g_j, key_bit);
+            let locked = apply_loci(&original, &[locus]).unwrap();
+            assert_eq!(locked.key_len(), 1);
+            assert_eq!(locked.key().bits(), &[key_bit]);
+            assert!(locked.verify_exhaustive(&original).unwrap());
+            // The wrong key must corrupt at least one output pattern.
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            let wrong = Key::new(vec![!key_bit]);
+            let corruption = locked
+                .corruption_under_key(&original, &wrong, 4, &mut rng)
+                .unwrap();
+            assert!(corruption > 0.0, "wrong key should corrupt outputs");
+        }
+    }
+
+    #[test]
+    fn apply_multiple_loci() {
+        let original = c17();
+        let l1 = {
+            let (f_i, g_i) = c17_wire(&original, "G10gat", "G22gat");
+            let (f_j, g_j) = c17_wire(&original, "G19gat", "G23gat");
+            MuxPairLocus::new(f_i, g_i, f_j, g_j, true)
+        };
+        let l2 = {
+            let (f_i, g_i) = c17_wire(&original, "G1gat", "G10gat");
+            let (f_j, g_j) = c17_wire(&original, "G2gat", "G16gat");
+            MuxPairLocus::new(f_i, g_i, f_j, g_j, false)
+        };
+        let locked = apply_loci(&original, &[l1, l2]).unwrap();
+        assert_eq!(locked.key_len(), 2);
+        assert_eq!(locked.netlist().num_key_inputs(), 2);
+        assert!(locked.verify_exhaustive(&original).unwrap());
+        // Round-trip through provenance.
+        let loci = loci_from_provenance(&locked);
+        assert_eq!(loci, vec![l1, l2]);
+    }
+
+    #[test]
+    fn invalid_loci_are_rejected() {
+        let original = c17();
+        let g10 = original.find("G10gat").unwrap();
+        let g22 = original.find("G22gat").unwrap();
+        let g11 = original.find("G11gat").unwrap();
+        let g16 = original.find("G16gat").unwrap();
+        let g1 = original.find("G1gat").unwrap();
+
+        // Same driver twice.
+        let bad = MuxPairLocus::new(g10, g22, g10, g16, false);
+        assert!(matches!(
+            apply_loci(&original, &[bad]),
+            Err(LockError::InvalidLocus { .. })
+        ));
+        // Same sink twice.
+        let bad = MuxPairLocus::new(g10, g22, g11, g22, false);
+        assert!(matches!(
+            apply_loci(&original, &[bad]),
+            Err(LockError::InvalidLocus { .. })
+        ));
+        // Wire does not exist (G1 does not drive G22).
+        let bad = MuxPairLocus::new(g1, g22, g11, g16, false);
+        assert!(matches!(
+            apply_loci(&original, &[bad]),
+            Err(LockError::InvalidLocus { .. })
+        ));
+        // Sink is an input.
+        let bad = MuxPairLocus::new(g10, g1, g11, g16, false);
+        assert!(matches!(
+            apply_loci(&original, &[bad]),
+            Err(LockError::InvalidLocus { .. })
+        ));
+        // Duplicate wire across loci.
+        let l1 = MuxPairLocus::new(g10, g22, g11, g16, false);
+        let l2 = MuxPairLocus::new(g10, g22, g11, g16, true);
+        assert!(matches!(
+            apply_loci(&original, &[l1, l2]),
+            Err(LockError::InvalidLocus { .. })
+        ));
+    }
+
+    #[test]
+    fn cycle_creation_is_rejected() {
+        // Chain: a -> x -> y -> z. Pairing wire (a->x) with wire (y->z) adds
+        // the decoy edge y -> x, and x already reaches y: cycle.
+        let mut nl = Netlist::new("chain");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl.add_gate("x", GateKind::And, vec![a, b]).unwrap();
+        let y = nl.add_gate("y", GateKind::Not, vec![x]).unwrap();
+        let z = nl.add_gate("z", GateKind::Or, vec![y, b]).unwrap();
+        nl.mark_output(z);
+        let locus = MuxPairLocus::new(a, x, y, z, false);
+        assert!(matches!(
+            apply_loci(&nl, &[locus]),
+            Err(LockError::WouldCreateCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn mux_input_order_encodes_key_bit() {
+        let original = c17();
+        let (f_i, g_i) = c17_wire(&original, "G10gat", "G22gat");
+        let (f_j, g_j) = c17_wire(&original, "G11gat", "G16gat");
+        // key_bit = false -> true driver sits at MUX position 1 (selected by 0).
+        let locked = apply_loci(&original, &[MuxPairLocus::new(f_i, g_i, f_j, g_j, false)]).unwrap();
+        if let KeyGateProvenance::MuxPair { mux_i, .. } = locked.provenance()[0] {
+            let mux_gate = locked.netlist().gate(mux_i);
+            assert_eq!(mux_gate.fanin[1], f_i);
+            assert_eq!(mux_gate.fanin[2], f_j);
+        } else {
+            panic!("expected mux provenance");
+        }
+        // key_bit = true -> true driver sits at MUX position 2 (selected by 1).
+        let locked = apply_loci(&original, &[MuxPairLocus::new(f_i, g_i, f_j, g_j, true)]).unwrap();
+        if let KeyGateProvenance::MuxPair { mux_i, .. } = locked.provenance()[0] {
+            let mux_gate = locked.netlist().gate(mux_i);
+            assert_eq!(mux_gate.fanin[1], f_j);
+            assert_eq!(mux_gate.fanin[2], f_i);
+        } else {
+            panic!("expected mux provenance");
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Structural overhead model.
+//!
+//! The published evaluations report area / power / delay overhead from a
+//! synthesis tool. This repository substitutes structural proxies that
+//! preserve the *relative* comparison between schemes:
+//!
+//! * **area** — logic-gate count,
+//! * **delay** — logic depth (longest input→output path),
+//! * **power** — total switching-activity proxy `Σ p·(1−p)` over all gates,
+//!   where `p` is the simulated signal probability under the correct key.
+
+use crate::{LockedNetlist, Result};
+use autolock_netlist::{sim, topo, Netlist};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Overhead of a locked netlist relative to its original design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverheadReport {
+    /// Design name.
+    pub design: String,
+    /// Locking scheme name.
+    pub scheme: String,
+    /// Key length.
+    pub key_len: usize,
+    /// Logic-gate count of the original design.
+    pub original_gates: usize,
+    /// Logic-gate count of the locked design.
+    pub locked_gates: usize,
+    /// Logic depth of the original design.
+    pub original_depth: usize,
+    /// Logic depth of the locked design.
+    pub locked_depth: usize,
+    /// Switching-activity proxy of the original design.
+    pub original_switching: f64,
+    /// Switching-activity proxy of the locked design (correct key applied).
+    pub locked_switching: f64,
+}
+
+impl OverheadReport {
+    /// Relative area overhead in percent.
+    pub fn area_overhead_pct(&self) -> f64 {
+        percent(self.original_gates as f64, self.locked_gates as f64)
+    }
+
+    /// Relative delay (depth) overhead in percent.
+    pub fn delay_overhead_pct(&self) -> f64 {
+        percent(self.original_depth as f64, self.locked_depth as f64)
+    }
+
+    /// Relative power (switching) overhead in percent.
+    pub fn power_overhead_pct(&self) -> f64 {
+        percent(self.original_switching, self.locked_switching)
+    }
+}
+
+fn percent(original: f64, locked: f64) -> f64 {
+    if original <= 0.0 {
+        return 0.0;
+    }
+    (locked - original) / original * 100.0
+}
+
+/// Switching-activity proxy of a netlist: `Σ p·(1−p)` over all gates, with
+/// signal probabilities estimated from `rounds × 64` random patterns.
+pub fn switching_activity<R: Rng + ?Sized>(
+    nl: &Netlist,
+    key_bits: &[bool],
+    rounds: usize,
+    rng: &mut R,
+) -> Result<f64> {
+    let probs = sim::signal_probabilities(nl, key_bits, rounds, rng)?;
+    Ok(probs.iter().map(|p| p * (1.0 - p)).sum())
+}
+
+/// Computes the full overhead report of a locked netlist.
+///
+/// # Errors
+///
+/// Propagates simulation errors (invalid netlists, wrong key sizes).
+pub fn overhead_report<R: Rng + ?Sized>(
+    original: &Netlist,
+    locked: &LockedNetlist,
+    rounds: usize,
+    rng: &mut R,
+) -> Result<OverheadReport> {
+    Ok(OverheadReport {
+        design: original.name().to_string(),
+        scheme: locked.scheme().to_string(),
+        key_len: locked.key_len(),
+        original_gates: original.num_logic_gates(),
+        locked_gates: locked.netlist().num_logic_gates(),
+        original_depth: topo::depth(original)?,
+        locked_depth: topo::depth(locked.netlist())?,
+        original_switching: switching_activity(original, &[], rounds, rng)?,
+        locked_switching: switching_activity(
+            locked.netlist(),
+            locked.key().bits(),
+            rounds,
+            rng,
+        )?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DMuxLocking, LockingScheme, XorLocking};
+    use autolock_circuits::c17;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn overhead_grows_with_key_length() {
+        let original = c17();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let small = DMuxLocking::default().lock(&original, 1, &mut rng).unwrap();
+        let large = DMuxLocking::default().lock(&original, 3, &mut rng).unwrap();
+        let r_small = overhead_report(&original, &small, 4, &mut rng).unwrap();
+        let r_large = overhead_report(&original, &large, 4, &mut rng).unwrap();
+        assert!(r_large.area_overhead_pct() > r_small.area_overhead_pct());
+        assert!(r_small.area_overhead_pct() > 0.0);
+        assert_eq!(r_small.original_gates, 6);
+        assert_eq!(r_small.locked_gates, 8);
+    }
+
+    #[test]
+    fn mux_pair_costs_two_gates_per_bit_xor_costs_one() {
+        let original = c17();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let dmux = DMuxLocking::default().lock(&original, 2, &mut rng).unwrap();
+        let xor = XorLocking::default().lock(&original, 2, &mut rng).unwrap();
+        let r_dmux = overhead_report(&original, &dmux, 4, &mut rng).unwrap();
+        let r_xor = overhead_report(&original, &xor, 4, &mut rng).unwrap();
+        assert_eq!(r_dmux.locked_gates - r_dmux.original_gates, 4);
+        assert_eq!(r_xor.locked_gates - r_xor.original_gates, 2);
+        assert!(r_dmux.area_overhead_pct() > r_xor.area_overhead_pct());
+    }
+
+    #[test]
+    fn percentages_are_finite_and_signed_correctly() {
+        let r = OverheadReport {
+            design: "d".into(),
+            scheme: "s".into(),
+            key_len: 2,
+            original_gates: 100,
+            locked_gates: 110,
+            original_depth: 10,
+            locked_depth: 11,
+            original_switching: 20.0,
+            locked_switching: 22.0,
+        };
+        assert!((r.area_overhead_pct() - 10.0).abs() < 1e-9);
+        assert!((r.delay_overhead_pct() - 10.0).abs() < 1e-9);
+        assert!((r.power_overhead_pct() - 10.0).abs() < 1e-9);
+        let zero = OverheadReport {
+            original_gates: 0,
+            ..r
+        };
+        assert_eq!(zero.area_overhead_pct(), 0.0);
+    }
+
+    #[test]
+    fn switching_activity_positive_for_real_circuits() {
+        let original = c17();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let sw = switching_activity(&original, &[], 8, &mut rng).unwrap();
+        assert!(sw > 0.0);
+    }
+}

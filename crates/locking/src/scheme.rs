@@ -1,0 +1,47 @@
+//! The [`LockingScheme`] trait.
+
+use crate::{LockedNetlist, Result};
+use autolock_netlist::Netlist;
+use rand::RngCore;
+
+/// A logic-locking scheme: something that can lock a netlist with a key of a
+/// requested length.
+///
+/// The trait is object safe so experiment harnesses can iterate over a
+/// heterogeneous list of schemes.
+pub trait LockingScheme {
+    /// Short, stable identifier used in result tables (e.g. `"xor-rll"`,
+    /// `"d-mux"`, `"autolock"`).
+    fn name(&self) -> &str;
+
+    /// Locks `original` with `key_len` key bits.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`crate::LockError::KeyTooLong`] when the
+    /// netlist cannot accommodate the requested key length, or other
+    /// [`crate::LockError`] variants for structural failures.
+    fn lock(
+        &self,
+        original: &Netlist,
+        key_len: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<LockedNetlist>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DMuxLocking, XorLocking};
+
+    #[test]
+    fn schemes_are_object_safe() {
+        let schemes: Vec<Box<dyn LockingScheme>> = vec![
+            Box::new(XorLocking::default()),
+            Box::new(DMuxLocking::default()),
+        ];
+        let names: Vec<&str> = schemes.iter().map(|s| s.name()).collect();
+        assert!(names.contains(&"xor-rll"));
+        assert!(names.contains(&"d-mux"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Random XOR/XNOR logic locking (RLL / EPIC style).
+//!
+//! The oldest combinational locking scheme: splice an XOR or XNOR key gate
+//! into randomly chosen wires. An XOR gate is transparent when its key bit is
+//! 0, an XNOR gate when its key bit is 1, so the inserted gate type is chosen
+//! to match a randomly drawn correct key bit. This is the classic baseline
+//! that ML attacks (SnapShot, OMLA) broke, included here as the weakest
+//! member of the scheme comparison (experiment E4).
+
+use crate::mux::lockable_wires;
+use crate::{Key, KeyGateProvenance, LockError, LockedNetlist, LockingScheme, Result};
+use autolock_netlist::{GateKind, Netlist};
+use rand::seq::SliceRandom;
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+/// Random XOR/XNOR locking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct XorLocking {
+    /// If `true`, only wires between two logic gates are locked (primary-input
+    /// wires are excluded). Excluding input wires matches the common practice
+    /// of keeping the interface untouched.
+    pub exclude_input_wires: bool,
+}
+
+impl Default for XorLocking {
+    fn default() -> Self {
+        XorLocking {
+            exclude_input_wires: false,
+        }
+    }
+}
+
+impl LockingScheme for XorLocking {
+    fn name(&self) -> &str {
+        "xor-rll"
+    }
+
+    fn lock(
+        &self,
+        original: &Netlist,
+        key_len: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<LockedNetlist> {
+        let mut wires = lockable_wires(original);
+        if self.exclude_input_wires {
+            wires.retain(|(f, _)| !original.gate(*f).kind.is_input());
+        }
+        if wires.len() < key_len {
+            return Err(LockError::KeyTooLong {
+                requested: key_len,
+                available: wires.len(),
+            });
+        }
+        wires.shuffle(rng);
+        let chosen = &wires[..key_len];
+
+        let mut locked = original.clone();
+        locked.set_name(format!("{}_xor_k{}", original.name(), key_len));
+        let mut key = Key::zeros(0);
+        let mut provenance = Vec::with_capacity(key_len);
+
+        for (idx, &(driver, sink)) in chosen.iter().enumerate() {
+            let key_bit: bool = rng.gen();
+            let key_input = locked.add_key_input(locked.fresh_name(&format!("keyinput{idx}")))?;
+            let kind = if key_bit { GateKind::Xnor } else { GateKind::Xor };
+            let key_gate = locked.add_gate(
+                locked.fresh_name(&format!("keygate{idx}")),
+                kind,
+                vec![driver, key_input],
+            )?;
+            locked.replace_fanin(sink, driver, key_gate)?;
+            key.push(key_bit);
+            provenance.push(KeyGateProvenance::Xor {
+                key_bit: idx,
+                key_gate,
+                driver,
+                sink,
+                xnor: key_bit,
+            });
+        }
+        locked.validate()?;
+        LockedNetlist::new(locked, key, provenance, self.name(), original.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autolock_circuits::c17;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn xor_locking_preserves_function_with_correct_key() {
+        let original = c17();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let locked = XorLocking::default().lock(&original, 4, &mut rng).unwrap();
+        assert_eq!(locked.key_len(), 4);
+        assert_eq!(locked.netlist().num_key_inputs(), 4);
+        assert!(locked.verify_exhaustive(&original).unwrap());
+        assert_eq!(
+            locked.netlist().num_logic_gates(),
+            original.num_logic_gates() + 4
+        );
+    }
+
+    #[test]
+    fn wrong_key_corrupts_outputs() {
+        let original = c17();
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let locked = XorLocking::default().lock(&original, 4, &mut rng).unwrap();
+        // Flipping every key bit definitely corrupts something in c17.
+        let mut wrong = locked.key().clone();
+        for i in 0..wrong.len() {
+            wrong.flip(i);
+        }
+        let corruption = locked
+            .corruption_under_key(&original, &wrong, 8, &mut rng)
+            .unwrap();
+        assert!(corruption > 0.0);
+    }
+
+    #[test]
+    fn gate_type_matches_key_bit() {
+        let original = c17();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let locked = XorLocking::default().lock(&original, 6, &mut rng).unwrap();
+        for p in locked.provenance() {
+            if let KeyGateProvenance::Xor {
+                key_bit,
+                key_gate,
+                xnor,
+                ..
+            } = *p
+            {
+                let kind = locked.netlist().gate(key_gate).kind;
+                assert_eq!(locked.key().get(key_bit), Some(xnor));
+                assert_eq!(kind == GateKind::Xnor, xnor);
+            } else {
+                panic!("expected xor provenance");
+            }
+        }
+    }
+
+    #[test]
+    fn too_long_key_rejected() {
+        let original = c17();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let result = XorLocking::default().lock(&original, 100, &mut rng);
+        assert!(matches!(result, Err(LockError::KeyTooLong { .. })));
+    }
+
+    #[test]
+    fn exclude_input_wires_reduces_candidates() {
+        let original = c17();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let scheme = XorLocking {
+            exclude_input_wires: true,
+        };
+        // c17 has 12 wires total, 6 of them driven by primary inputs -> 6 left.
+        assert!(scheme.lock(&original, 6, &mut rng).is_ok());
+        assert!(matches!(
+            scheme.lock(&original, 7, &mut rng),
+            Err(LockError::KeyTooLong { .. })
+        ));
+    }
+}

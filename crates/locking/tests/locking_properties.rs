@@ -1,0 +1,136 @@
+//! Property-based and integration tests for the locking crate.
+
+use autolock_circuits::{suite_circuit, synth_circuit};
+use autolock_locking::mux::{apply_loci, lockable_wires, loci_from_provenance};
+use autolock_locking::overhead::overhead_report;
+use autolock_locking::{DMuxLocking, Key, LockingScheme, PairSelectionStrategy, XorLocking};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// D-MUX locking round-trips through its provenance: extracting the loci
+    /// and re-applying them reproduces a functionally identical locked design
+    /// with the same key.
+    #[test]
+    fn dmux_provenance_roundtrip(
+        seed in 0u64..2000,
+        key_len in 1usize..10,
+        gates in 60usize..160,
+    ) {
+        let original = synth_circuit("prov", 10, 5, gates, seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let Ok(locked) = DMuxLocking::default().lock(&original, key_len, &mut rng) else {
+            return Ok(());
+        };
+        let loci = loci_from_provenance(&locked);
+        prop_assert_eq!(loci.len(), key_len);
+        let reapplied = apply_loci(&original, &loci).unwrap();
+        prop_assert_eq!(reapplied.key(), locked.key());
+        prop_assert_eq!(
+            autolock_netlist::write_bench(reapplied.netlist()),
+            autolock_netlist::write_bench(locked.netlist())
+        );
+    }
+
+    /// Both pair-selection strategies produce valid, functional lockings and
+    /// respect the requested key length exactly.
+    #[test]
+    fn both_strategies_produce_valid_lockings(
+        seed in 0u64..1000,
+        key_len in 1usize..12,
+        type_matched in proptest::bool::ANY,
+    ) {
+        let original = synth_circuit("strat", 12, 5, 180, seed);
+        let strategy = if type_matched {
+            PairSelectionStrategy::TypeMatched
+        } else {
+            PairSelectionStrategy::Random
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xFE);
+        let Ok(locked) = DMuxLocking::new(strategy).lock(&original, key_len, &mut rng) else {
+            return Ok(());
+        };
+        prop_assert_eq!(locked.key_len(), key_len);
+        prop_assert_eq!(locked.netlist().num_key_inputs(), key_len);
+        prop_assert_eq!(
+            locked.netlist().num_logic_gates(),
+            original.num_logic_gates() + 2 * key_len
+        );
+        prop_assert!(locked.verify_functional(&original, 4, &mut rng).unwrap());
+        locked.netlist().validate().unwrap();
+    }
+
+    /// Overhead accounting is exact for gate counts and non-negative for the
+    /// proxies, for both schemes.
+    #[test]
+    fn overhead_accounting_is_exact(
+        seed in 0u64..500,
+        key_len in 1usize..10,
+        use_xor in proptest::bool::ANY,
+    ) {
+        let original = synth_circuit("ovh", 10, 5, 140, seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xAA);
+        let locked = if use_xor {
+            XorLocking::default().lock(&original, key_len, &mut rng)
+        } else {
+            DMuxLocking::default().lock(&original, key_len, &mut rng)
+        };
+        let Ok(locked) = locked else { return Ok(()); };
+        let report = overhead_report(&original, &locked, 2, &mut rng).unwrap();
+        let per_bit = if use_xor { 1 } else { 2 };
+        prop_assert_eq!(report.locked_gates - report.original_gates, per_bit * key_len);
+        prop_assert!(report.area_overhead_pct() > 0.0);
+        prop_assert!(report.locked_depth >= report.original_depth);
+        prop_assert!(report.locked_switching.is_finite());
+    }
+
+    /// Lockable wires only name live logic sinks and existing connections.
+    #[test]
+    fn lockable_wires_are_real_and_live(seed in 0u64..500) {
+        let original = synth_circuit("wires", 10, 5, 120, seed);
+        let wires = lockable_wires(&original);
+        prop_assert!(!wires.is_empty());
+        let outputs_cone: std::collections::HashSet<_> = original
+            .outputs()
+            .iter()
+            .flat_map(|&o| autolock_netlist::topo::fanin_cone(&original, o))
+            .collect();
+        for (driver, sink) in wires {
+            prop_assert!(original.gate(sink).fanin.contains(&driver));
+            prop_assert!(!original.gate(sink).kind.is_input());
+            prop_assert!(outputs_cone.contains(&sink), "sink {sink} is dead logic");
+        }
+    }
+}
+
+#[test]
+fn key_helpers_compose_on_real_lockings() {
+    let original = suite_circuit("s160").unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let locked = DMuxLocking::default().lock(&original, 16, &mut rng).unwrap();
+    let key = locked.key().clone();
+    assert_eq!(key.len(), 16);
+    assert_eq!(Key::from_bit_string(&key.to_bit_string()).unwrap(), key);
+    assert_eq!(key.agreement(&key), 1.0);
+    let mut inverted = key.clone();
+    for i in 0..inverted.len() {
+        inverted.flip(i);
+    }
+    assert_eq!(key.agreement(&inverted), 0.0);
+    assert_eq!(key.hamming_distance(&inverted), 16);
+}
+
+#[test]
+fn dmux_on_every_small_suite_member_is_functional() {
+    for original in autolock_circuits::small_suite() {
+        let key_len = (original.num_logic_gates() / 20).clamp(1, 16);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let locked = DMuxLocking::default()
+            .lock(&original, key_len, &mut rng)
+            .unwrap_or_else(|e| panic!("locking {} failed: {e}", original.name()));
+        assert!(locked.verify_functional(&original, 8, &mut rng).unwrap());
+    }
+}

@@ -1,0 +1,249 @@
+//! Datasets for binary classification.
+
+use crate::{Matrix, MlError};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A binary-classification dataset: a feature matrix and a 0/1 label per row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    features: Matrix,
+    labels: Vec<f64>,
+}
+
+impl Dataset {
+    /// Builds a dataset from per-example feature rows and labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::EmptyDataset`] for zero rows and
+    /// [`MlError::ShapeMismatch`] if rows have different lengths or the label
+    /// count differs from the row count.
+    pub fn from_rows(rows: Vec<Vec<f64>>, labels: Vec<f64>) -> Result<Self, MlError> {
+        if rows.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        if rows.len() != labels.len() {
+            return Err(MlError::ShapeMismatch {
+                message: format!("{} feature rows but {} labels", rows.len(), labels.len()),
+            });
+        }
+        let dim = rows[0].len();
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != dim {
+                return Err(MlError::ShapeMismatch {
+                    message: format!("row {i} has {} features, expected {dim}", r.len()),
+                });
+            }
+        }
+        let mut features = Matrix::zeros(rows.len(), dim);
+        for (i, r) in rows.iter().enumerate() {
+            features.row_mut(i).copy_from_slice(r);
+        }
+        Ok(Dataset { features, labels })
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` if the dataset has no examples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Feature row of example `i`.
+    pub fn features_of(&self, i: usize) -> &[f64] {
+        self.features.row(i)
+    }
+
+    /// Label of example `i`.
+    pub fn label_of(&self, i: usize) -> f64 {
+        self.labels[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[f64] {
+        &self.labels
+    }
+
+    /// Fraction of positive examples.
+    pub fn positive_rate(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        self.labels.iter().sum::<f64>() / self.labels.len() as f64
+    }
+
+    /// Splits into `(train, validation)` with `val_fraction` of the examples
+    /// (at least one if possible) going to validation, after shuffling.
+    pub fn split<R: Rng + ?Sized>(&self, val_fraction: f64, rng: &mut R) -> (Dataset, Dataset) {
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        indices.shuffle(rng);
+        let n_val = ((self.len() as f64 * val_fraction).round() as usize)
+            .clamp(usize::from(self.len() > 1), self.len().saturating_sub(1));
+        let (val_idx, train_idx) = indices.split_at(n_val);
+        (self.subset(train_idx), self.subset(val_idx))
+    }
+
+    /// Builds a new dataset from a subset of example indices.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let rows: Vec<Vec<f64>> = indices
+            .iter()
+            .map(|&i| self.features_of(i).to_vec())
+            .collect();
+        let labels: Vec<f64> = indices.iter().map(|&i| self.label_of(i)).collect();
+        if rows.is_empty() {
+            // An empty subset is representable internally (0 x dim matrix).
+            Dataset {
+                features: Matrix::zeros(0, self.dim()),
+                labels,
+            }
+        } else {
+            Dataset::from_rows(rows, labels).expect("subset of a valid dataset is valid")
+        }
+    }
+
+    /// Computes per-feature mean and standard deviation (for standardization).
+    pub fn feature_stats(&self) -> (Vec<f64>, Vec<f64>) {
+        let n = self.len().max(1) as f64;
+        let d = self.dim();
+        let mut mean = vec![0.0; d];
+        for i in 0..self.len() {
+            for (m, v) in mean.iter_mut().zip(self.features_of(i)) {
+                *m += v;
+            }
+        }
+        for m in mean.iter_mut() {
+            *m /= n;
+        }
+        let mut std = vec![0.0; d];
+        for i in 0..self.len() {
+            for j in 0..d {
+                let diff = self.features_of(i)[j] - mean[j];
+                std[j] += diff * diff;
+            }
+        }
+        for s in std.iter_mut() {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0; // constant feature: leave unscaled
+            }
+        }
+        (mean, std)
+    }
+
+    /// Returns a standardized copy (zero mean, unit variance per feature)
+    /// using the provided statistics (typically computed on the training set).
+    pub fn standardized(&self, mean: &[f64], std: &[f64]) -> Dataset {
+        let mut features = self.features.clone();
+        for i in 0..self.len() {
+            let row = features.row_mut(i);
+            for j in 0..row.len() {
+                row[j] = (row[j] - mean[j]) / std[j];
+            }
+        }
+        Dataset {
+            features,
+            labels: self.labels.clone(),
+        }
+    }
+
+    /// Standardizes a single feature vector with the same statistics.
+    pub fn standardize_row(row: &[f64], mean: &[f64], std: &[f64]) -> Vec<f64> {
+        row.iter()
+            .zip(mean.iter().zip(std))
+            .map(|(v, (m, s))| (v - m) / s)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn toy() -> Dataset {
+        Dataset::from_rows(
+            vec![
+                vec![0.0, 10.0],
+                vec![1.0, 20.0],
+                vec![2.0, 30.0],
+                vec![3.0, 40.0],
+            ],
+            vec![0.0, 0.0, 1.0, 1.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_checks_shapes() {
+        assert!(matches!(
+            Dataset::from_rows(vec![], vec![]),
+            Err(MlError::EmptyDataset)
+        ));
+        assert!(matches!(
+            Dataset::from_rows(vec![vec![1.0]], vec![1.0, 0.0]),
+            Err(MlError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            Dataset::from_rows(vec![vec![1.0], vec![1.0, 2.0]], vec![1.0, 0.0]),
+            Err(MlError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn accessors() {
+        let d = toy();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.label_of(2), 1.0);
+        assert_eq!(d.features_of(1), &[1.0, 20.0]);
+        assert_eq!(d.positive_rate(), 0.5);
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let d = toy();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let (train, val) = d.split(0.25, &mut rng);
+        assert_eq!(train.len() + val.len(), d.len());
+        assert!(!val.is_empty());
+        assert!(!train.is_empty());
+    }
+
+    #[test]
+    fn standardization_zero_mean_unit_variance() {
+        let d = toy();
+        let (mean, std) = d.feature_stats();
+        let s = d.standardized(&mean, &std);
+        let (m2, _) = s.feature_stats();
+        for m in m2 {
+            assert!(m.abs() < 1e-9);
+        }
+        // Constant feature does not blow up.
+        let d2 = Dataset::from_rows(vec![vec![5.0], vec![5.0]], vec![0.0, 1.0]).unwrap();
+        let (mean, std) = d2.feature_stats();
+        let s2 = d2.standardized(&mean, &std);
+        assert!(s2.features_of(0)[0].is_finite());
+    }
+
+    #[test]
+    fn subset_preserves_rows() {
+        let d = toy();
+        let s = d.subset(&[3, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.features_of(0), &[3.0, 40.0]);
+        assert_eq!(s.label_of(1), 0.0);
+        let empty = d.subset(&[]);
+        assert!(empty.is_empty());
+    }
+}

@@ -1,0 +1,195 @@
+//! Binary-classification metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// Confusion-matrix based summary of a binary classifier's predictions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BinaryMetrics {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl BinaryMetrics {
+    /// Computes the confusion matrix of `predictions` (probabilities) against
+    /// 0/1 `labels` at the 0.5 threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn from_predictions(predictions: &[f64], labels: &[f64]) -> Self {
+        Self::from_predictions_with_threshold(predictions, labels, 0.5)
+    }
+
+    /// Computes the confusion matrix at an explicit threshold.
+    pub fn from_predictions_with_threshold(
+        predictions: &[f64],
+        labels: &[f64],
+        threshold: f64,
+    ) -> Self {
+        assert_eq!(predictions.len(), labels.len(), "length mismatch");
+        let mut m = BinaryMetrics {
+            tp: 0,
+            fp: 0,
+            tn: 0,
+            fn_: 0,
+        };
+        for (&p, &y) in predictions.iter().zip(labels) {
+            let pred_pos = p >= threshold;
+            let actual_pos = y >= 0.5;
+            match (pred_pos, actual_pos) {
+                (true, true) => m.tp += 1,
+                (true, false) => m.fp += 1,
+                (false, false) => m.tn += 1,
+                (false, true) => m.fn_ += 1,
+            }
+        }
+        m
+    }
+
+    /// Total number of examples.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Accuracy = (TP + TN) / total.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.tp + self.tn) as f64 / self.total() as f64
+    }
+
+    /// Precision = TP / (TP + FP); 0 when no positive predictions were made.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / (self.tp + self.fp) as f64
+    }
+
+    /// Recall = TP / (TP + FN); 0 when there are no positive labels.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / (self.tp + self.fn_) as f64
+    }
+
+    /// F1 score (harmonic mean of precision and recall).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Area under the ROC curve computed by the rank-sum (Mann–Whitney) method.
+///
+/// Returns 0.5 for degenerate inputs (all labels identical).
+pub fn roc_auc(predictions: &[f64], labels: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    let mut pairs: Vec<(f64, bool)> = predictions
+        .iter()
+        .zip(labels)
+        .map(|(&p, &y)| (p, y >= 0.5))
+        .collect();
+    let n_pos = pairs.iter().filter(|(_, y)| *y).count();
+    let n_neg = pairs.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite predictions"));
+    // Assign average ranks to ties.
+    let mut ranks = vec![0.0; pairs.len()];
+    let mut i = 0;
+    while i < pairs.len() {
+        let mut j = i;
+        while j + 1 < pairs.len() && pairs[j + 1].0 == pairs[i].0 {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for r in ranks.iter_mut().take(j + 1).skip(i) {
+            *r = avg_rank;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 = pairs
+        .iter()
+        .zip(&ranks)
+        .filter(|((_, y), _)| *y)
+        .map(|(_, &r)| r)
+        .sum();
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos * n_neg) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let preds = [0.9, 0.8, 0.2, 0.4, 0.6];
+        let labels = [1.0, 0.0, 0.0, 1.0, 1.0];
+        let m = BinaryMetrics::from_predictions(&preds, &labels);
+        assert_eq!(m.tp, 2);
+        assert_eq!(m.fp, 1);
+        assert_eq!(m.tn, 1);
+        assert_eq!(m.fn_, 1);
+        assert_eq!(m.total(), 5);
+        assert!((m.accuracy() - 0.6).abs() < 1e-12);
+        assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!(m.f1() > 0.6);
+    }
+
+    #[test]
+    fn perfect_and_worst_predictions() {
+        let labels = [1.0, 0.0, 1.0, 0.0];
+        let perfect = BinaryMetrics::from_predictions(&[0.9, 0.1, 0.8, 0.2], &labels);
+        assert_eq!(perfect.accuracy(), 1.0);
+        assert_eq!(perfect.f1(), 1.0);
+        let worst = BinaryMetrics::from_predictions(&[0.1, 0.9, 0.2, 0.8], &labels);
+        assert_eq!(worst.accuracy(), 0.0);
+        assert_eq!(worst.f1(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_cases_do_not_divide_by_zero() {
+        let m = BinaryMetrics::from_predictions(&[], &[]);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+    }
+
+    #[test]
+    fn auc_perfect_random_and_inverted() {
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        assert!((roc_auc(&[0.9, 0.8, 0.2, 0.1], &labels) - 1.0).abs() < 1e-12);
+        assert!((roc_auc(&[0.1, 0.2, 0.8, 0.9], &labels) - 0.0).abs() < 1e-12);
+        // All equal predictions → ties → 0.5.
+        assert!((roc_auc(&[0.5, 0.5, 0.5, 0.5], &labels) - 0.5).abs() < 1e-12);
+        // Single-class labels → 0.5 by convention.
+        assert_eq!(roc_auc(&[0.3, 0.4], &[1.0, 1.0]), 0.5);
+    }
+
+    #[test]
+    fn threshold_variant() {
+        let preds = [0.4, 0.3];
+        let labels = [1.0, 0.0];
+        let strict = BinaryMetrics::from_predictions_with_threshold(&preds, &labels, 0.35);
+        assert_eq!(strict.tp, 1);
+        assert_eq!(strict.tn, 1);
+    }
+}

@@ -1,0 +1,214 @@
+//! Functional equivalence checking between netlists.
+//!
+//! Two flavours are provided:
+//!
+//! * [`exhaustive_equivalent`] — compares all `2^n` input patterns; only
+//!   feasible for small input counts and used in tests,
+//! * [`random_equivalent`] — compares a configurable number of random
+//!   patterns; a cheap *refutation-complete* check (a `false` answer is
+//!   definitive, a `true` answer means "no counterexample found").
+//!
+//! The locking crate uses these to assert the core logic-locking invariant:
+//! *locked netlist + correct key ≡ original netlist*.
+
+use crate::sim;
+use crate::{Netlist, NetlistError, Result};
+use rand::Rng;
+
+/// Maximum number of primary inputs for which [`exhaustive_equivalent`] will
+/// run (2^20 patterns).
+pub const EXHAUSTIVE_LIMIT: usize = 20;
+
+/// Checks that two netlists have compatible interfaces (same number of
+/// primary inputs and outputs). Key inputs may differ.
+pub fn compatible_interfaces(a: &Netlist, b: &Netlist) -> bool {
+    a.num_inputs() == b.num_inputs() && a.num_outputs() == b.num_outputs()
+}
+
+/// Exhaustively checks whether `a` (with key `key_a`) and `b` (with key
+/// `key_b`) compute the same function over all primary-input patterns.
+///
+/// # Errors
+///
+/// Returns an error if the interfaces are incompatible, the key lengths are
+/// wrong, or the input count exceeds [`EXHAUSTIVE_LIMIT`].
+pub fn exhaustive_equivalent(
+    a: &Netlist,
+    key_a: &[bool],
+    b: &Netlist,
+    key_b: &[bool],
+) -> Result<bool> {
+    if !compatible_interfaces(a, b) {
+        return Err(NetlistError::InputCountMismatch {
+            expected: a.num_inputs(),
+            got: b.num_inputs(),
+        });
+    }
+    let n = a.num_inputs();
+    if n > EXHAUSTIVE_LIMIT {
+        return Err(NetlistError::InputCountMismatch {
+            expected: EXHAUSTIVE_LIMIT,
+            got: n,
+        });
+    }
+    let total: u64 = 1u64 << n;
+    let mut pattern: u64 = 0;
+    while pattern < total {
+        // Pack up to 64 consecutive patterns.
+        let chunk = (total - pattern).min(64) as usize;
+        let mut pi_a = vec![0u64; n];
+        for p in 0..chunk {
+            let assignment = pattern + p as u64;
+            for (i, word) in pi_a.iter_mut().enumerate() {
+                if (assignment >> i) & 1 == 1 {
+                    *word |= 1 << p;
+                }
+            }
+        }
+        let sim_a = sim::simulate_with_key_bits(a, &pi_a, key_a, chunk)?;
+        let sim_b = sim::simulate_with_key_bits(b, &pi_a, key_b, chunk)?;
+        let out_a = sim::output_response(a, &sim_a);
+        let out_b = sim::output_response(b, &sim_b);
+        if out_a != out_b {
+            return Ok(false);
+        }
+        pattern += chunk as u64;
+    }
+    Ok(true)
+}
+
+/// Randomized equivalence check with `rounds * 64` patterns.
+///
+/// Returns `Ok(false)` as soon as a differing pattern is found; `Ok(true)`
+/// means no counterexample was observed.
+pub fn random_equivalent<R: Rng + ?Sized>(
+    a: &Netlist,
+    key_a: &[bool],
+    b: &Netlist,
+    key_b: &[bool],
+    rounds: usize,
+    rng: &mut R,
+) -> Result<bool> {
+    if !compatible_interfaces(a, b) {
+        return Err(NetlistError::InputCountMismatch {
+            expected: a.num_inputs(),
+            got: b.num_inputs(),
+        });
+    }
+    let n = a.num_inputs();
+    for _ in 0..rounds.max(1) {
+        let pi: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+        let sim_a = sim::simulate_with_key_bits(a, &pi, key_a, 64)?;
+        let sim_b = sim::simulate_with_key_bits(b, &pi, key_b, 64)?;
+        if sim::output_response(a, &sim_a) != sim::output_response(b, &sim_b) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Measures the output error rate of `b` (with key `key_b`) relative to the
+/// reference `a` (with key `key_a`) over `rounds * 64` random patterns:
+/// the fraction of (output, pattern) pairs that differ.
+pub fn output_corruption<R: Rng + ?Sized>(
+    a: &Netlist,
+    key_a: &[bool],
+    b: &Netlist,
+    key_b: &[bool],
+    rounds: usize,
+    rng: &mut R,
+) -> Result<f64> {
+    if !compatible_interfaces(a, b) {
+        return Err(NetlistError::InputCountMismatch {
+            expected: a.num_inputs(),
+            got: b.num_inputs(),
+        });
+    }
+    let n = a.num_inputs();
+    let mut total = 0.0;
+    let rounds = rounds.max(1);
+    for _ in 0..rounds {
+        let pi: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+        let sim_a = sim::simulate_with_key_bits(a, &pi, key_a, 64)?;
+        let sim_b = sim::simulate_with_key_bits(b, &pi, key_b, 64)?;
+        total += sim::output_error_rate(
+            &sim::output_response(a, &sim_a),
+            &sim::output_response(b, &sim_b),
+            64,
+        );
+    }
+    Ok(total / rounds as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateKind;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn xor_identity_pair() -> (Netlist, Netlist) {
+        // a: y = x1 & x2 ; b: same function but locked with an XOR key-gate.
+        let mut a = Netlist::new("orig");
+        let x1 = a.add_input("x1");
+        let x2 = a.add_input("x2");
+        let y = a.add_gate("y", GateKind::And, vec![x1, x2]).unwrap();
+        a.mark_output(y);
+
+        let mut b = Netlist::new("locked");
+        let x1 = b.add_input("x1");
+        let x2 = b.add_input("x2");
+        let k = b.add_key_input("keyinput0").unwrap();
+        let t = b.add_gate("t", GateKind::And, vec![x1, x2]).unwrap();
+        let y = b.add_gate("y", GateKind::Xor, vec![t, k]).unwrap();
+        b.mark_output(y);
+        (a, b)
+    }
+
+    #[test]
+    fn exhaustive_detects_equivalence_and_difference() {
+        let (a, b) = xor_identity_pair();
+        // Correct key (0) preserves the function, wrong key (1) inverts it.
+        assert!(exhaustive_equivalent(&a, &[], &b, &[false]).unwrap());
+        assert!(!exhaustive_equivalent(&a, &[], &b, &[true]).unwrap());
+    }
+
+    #[test]
+    fn random_check_agrees_with_exhaustive() {
+        let (a, b) = xor_identity_pair();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert!(random_equivalent(&a, &[], &b, &[false], 4, &mut rng).unwrap());
+        assert!(!random_equivalent(&a, &[], &b, &[true], 4, &mut rng).unwrap());
+    }
+
+    #[test]
+    fn corruption_is_zero_for_correct_key_and_high_for_wrong() {
+        let (a, b) = xor_identity_pair();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let good = output_corruption(&a, &[], &b, &[false], 4, &mut rng).unwrap();
+        let bad = output_corruption(&a, &[], &b, &[true], 4, &mut rng).unwrap();
+        assert_eq!(good, 0.0);
+        assert_eq!(bad, 1.0); // inverted output differs everywhere
+    }
+
+    #[test]
+    fn incompatible_interfaces_rejected() {
+        let (a, _) = xor_identity_pair();
+        let mut c = Netlist::new("c");
+        let x = c.add_input("x");
+        c.mark_output(x);
+        assert!(exhaustive_equivalent(&a, &[], &c, &[]).is_err());
+    }
+
+    #[test]
+    fn exhaustive_limit_enforced() {
+        let mut big = Netlist::new("big");
+        let mut last = None;
+        for i in 0..(EXHAUSTIVE_LIMIT + 1) {
+            last = Some(big.add_input(format!("i{i}")));
+        }
+        big.mark_output(last.unwrap());
+        let big2 = big.clone();
+        assert!(exhaustive_equivalent(&big, &[], &big2, &[]).is_err());
+    }
+}

@@ -1,0 +1,107 @@
+//! Error type for netlist operations.
+
+use crate::GateId;
+use std::fmt;
+
+/// Errors produced by netlist construction, parsing and analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A gate name was used more than once.
+    DuplicateName(String),
+    /// A referenced signal name does not exist.
+    UnknownSignal(String),
+    /// A referenced gate id is out of range for this netlist.
+    InvalidGateId(GateId),
+    /// A gate has an arity that its kind does not allow.
+    BadArity {
+        /// Offending gate name.
+        gate: String,
+        /// Kind of the offending gate.
+        kind: String,
+        /// Number of fan-ins the gate actually has.
+        got: usize,
+    },
+    /// The netlist contains a combinational cycle involving the named gate.
+    CombinationalCycle(String),
+    /// An output was declared but never defined as a gate or input.
+    UndefinedOutput(String),
+    /// Parse error in a `.bench` source.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A simulation or evaluation call supplied the wrong number of input values.
+    InputCountMismatch {
+        /// Number of values expected (primary inputs + key inputs as applicable).
+        expected: usize,
+        /// Number of values provided by the caller.
+        got: usize,
+    },
+    /// The requested operation does not apply to this gate kind.
+    WrongGateKind {
+        /// Offending gate.
+        gate: GateId,
+        /// What the operation expected.
+        expected: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateName(name) => write!(f, "duplicate signal name `{name}`"),
+            NetlistError::UnknownSignal(name) => write!(f, "unknown signal `{name}`"),
+            NetlistError::InvalidGateId(id) => write!(f, "invalid gate id {id}"),
+            NetlistError::BadArity { gate, kind, got } => {
+                write!(f, "gate `{gate}` of kind {kind} has invalid fan-in count {got}")
+            }
+            NetlistError::CombinationalCycle(name) => {
+                write!(f, "combinational cycle detected through gate `{name}`")
+            }
+            NetlistError::UndefinedOutput(name) => {
+                write!(f, "output `{name}` is never defined")
+            }
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            NetlistError::InputCountMismatch { expected, got } => {
+                write!(f, "expected {expected} input values, got {got}")
+            }
+            NetlistError::WrongGateKind { gate, expected } => {
+                write!(f, "gate {gate} is not of the expected kind ({expected})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = NetlistError::DuplicateName("x1".into());
+        assert!(e.to_string().contains("x1"));
+        let e = NetlistError::Parse {
+            line: 12,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 12"));
+        let e = NetlistError::InputCountMismatch {
+            expected: 3,
+            got: 1,
+        };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('1'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<NetlistError>();
+    }
+}

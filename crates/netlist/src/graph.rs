@@ -1,0 +1,361 @@
+//! Graph views of a netlist and enclosing-subgraph extraction.
+//!
+//! Link-prediction attacks (MuxLink-style) treat the netlist as an undirected
+//! graph whose nodes are gates and whose edges are driver→sink connections.
+//! This module provides the adjacency structures and the *enclosing subgraph*
+//! extraction (the h-hop neighbourhood around a candidate link) those attacks
+//! operate on, together with Double-Radius Node Labelling (DRNL) as used by
+//! SEAL-style link predictors.
+
+use crate::{GateId, Netlist};
+use std::collections::{HashMap, VecDeque};
+
+/// Undirected adjacency view of a netlist.
+#[derive(Debug, Clone)]
+pub struct UndirectedGraph {
+    adj: Vec<Vec<GateId>>,
+}
+
+impl UndirectedGraph {
+    /// Builds the undirected graph of a netlist (one node per gate, one edge
+    /// per driver→sink connection; duplicate edges are collapsed).
+    pub fn from_netlist(nl: &Netlist) -> Self {
+        let mut adj: Vec<Vec<GateId>> = vec![Vec::new(); nl.len()];
+        for (id, gate) in nl.iter() {
+            for &f in &gate.fanin {
+                if !adj[id.index()].contains(&f) {
+                    adj[id.index()].push(f);
+                }
+                if !adj[f.index()].contains(&id) {
+                    adj[f.index()].push(id);
+                }
+            }
+        }
+        UndirectedGraph { adj }
+    }
+
+    /// Builds the graph while ignoring a set of edges (given as `(driver,
+    /// sink)` pairs). The link-prediction attack removes the candidate link
+    /// itself before extracting its enclosing subgraph.
+    pub fn from_netlist_without_edges(nl: &Netlist, excluded: &[(GateId, GateId)]) -> Self {
+        let is_excluded = |a: GateId, b: GateId| {
+            excluded
+                .iter()
+                .any(|&(x, y)| (x == a && y == b) || (x == b && y == a))
+        };
+        let mut adj: Vec<Vec<GateId>> = vec![Vec::new(); nl.len()];
+        for (id, gate) in nl.iter() {
+            for &f in &gate.fanin {
+                if is_excluded(f, id) {
+                    continue;
+                }
+                if !adj[id.index()].contains(&f) {
+                    adj[id.index()].push(f);
+                }
+                if !adj[f.index()].contains(&id) {
+                    adj[f.index()].push(id);
+                }
+            }
+        }
+        UndirectedGraph { adj }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Neighbours of a node.
+    pub fn neighbors(&self, id: GateId) -> &[GateId] {
+        &self.adj[id.index()]
+    }
+
+    /// Node degree.
+    pub fn degree(&self, id: GateId) -> usize {
+        self.adj[id.index()].len()
+    }
+
+    /// Breadth-first distances from `source` up to `max_hops` (inclusive).
+    /// Nodes further away are absent from the map.
+    pub fn bfs_distances(&self, source: GateId, max_hops: usize) -> HashMap<GateId, usize> {
+        let mut dist = HashMap::new();
+        dist.insert(source, 0usize);
+        let mut queue = VecDeque::from([source]);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[&u];
+            if du == max_hops {
+                continue;
+            }
+            for &v in self.neighbors(u) {
+                if !dist.contains_key(&v) {
+                    dist.insert(v, du + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Returns a copy of the graph with the undirected edge `(a, b)` removed
+    /// (if present). Link-prediction training uses this to hide a known link
+    /// before extracting its enclosing subgraph.
+    pub fn without_edge(&self, a: GateId, b: GateId) -> UndirectedGraph {
+        let mut adj = self.adj.clone();
+        adj[a.index()].retain(|&n| n != b);
+        adj[b.index()].retain(|&n| n != a);
+        UndirectedGraph { adj }
+    }
+
+    /// Builds the graph while skipping every edge incident to a node for which
+    /// `hidden(node)` returns `true`. Attacks use this to remove key inputs
+    /// and key gates from the structural view.
+    pub fn from_netlist_filtered<F: Fn(GateId) -> bool>(nl: &Netlist, hidden: F) -> Self {
+        let mut adj: Vec<Vec<GateId>> = vec![Vec::new(); nl.len()];
+        for (id, gate) in nl.iter() {
+            if hidden(id) {
+                continue;
+            }
+            for &f in &gate.fanin {
+                if hidden(f) {
+                    continue;
+                }
+                if !adj[id.index()].contains(&f) {
+                    adj[id.index()].push(f);
+                }
+                if !adj[f.index()].contains(&id) {
+                    adj[f.index()].push(id);
+                }
+            }
+        }
+        UndirectedGraph { adj }
+    }
+
+    /// Number of common neighbours of two nodes (a classic link-prediction
+    /// heuristic, used by baseline attacks).
+    pub fn common_neighbors(&self, a: GateId, b: GateId) -> usize {
+        self.neighbors(a)
+            .iter()
+            .filter(|x| self.neighbors(b).contains(x))
+            .count()
+    }
+
+    /// Jaccard similarity of the neighbourhoods of two nodes.
+    pub fn jaccard(&self, a: GateId, b: GateId) -> f64 {
+        let common = self.common_neighbors(a, b);
+        let union = self.degree(a) + self.degree(b) - common;
+        if union == 0 {
+            0.0
+        } else {
+            common as f64 / union as f64
+        }
+    }
+}
+
+/// The enclosing subgraph of a candidate link `(u, v)`: all nodes within
+/// `hops` of either endpoint, with per-node structural labels.
+#[derive(Debug, Clone)]
+pub struct EnclosingSubgraph {
+    /// First endpoint of the candidate link.
+    pub u: GateId,
+    /// Second endpoint of the candidate link.
+    pub v: GateId,
+    /// Nodes of the subgraph (always contains `u` and `v`).
+    pub nodes: Vec<GateId>,
+    /// Hop distance from `u` for every node (usize::MAX if unreachable within
+    /// the hop budget).
+    pub dist_u: Vec<usize>,
+    /// Hop distance from `v` for every node.
+    pub dist_v: Vec<usize>,
+    /// DRNL label of every node.
+    pub drnl: Vec<usize>,
+    /// Edges of the subgraph as index pairs into `nodes`.
+    pub edges: Vec<(usize, usize)>,
+}
+
+/// Extracts the `hops`-hop enclosing subgraph of the candidate link `(u, v)`
+/// on `graph`. The candidate link itself must already be absent from `graph`
+/// (use [`UndirectedGraph::from_netlist_without_edges`]).
+pub fn enclosing_subgraph(
+    graph: &UndirectedGraph,
+    u: GateId,
+    v: GateId,
+    hops: usize,
+) -> EnclosingSubgraph {
+    let du = graph.bfs_distances(u, hops);
+    let dv = graph.bfs_distances(v, hops);
+    let mut nodes: Vec<GateId> = du.keys().chain(dv.keys()).copied().collect();
+    nodes.sort();
+    nodes.dedup();
+    // Always include endpoints even if isolated.
+    if !nodes.contains(&u) {
+        nodes.push(u);
+    }
+    if !nodes.contains(&v) {
+        nodes.push(v);
+        nodes.sort();
+        nodes.dedup();
+    }
+    let index_of: HashMap<GateId, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let dist_u: Vec<usize> = nodes
+        .iter()
+        .map(|n| du.get(n).copied().unwrap_or(usize::MAX))
+        .collect();
+    let dist_v: Vec<usize> = nodes
+        .iter()
+        .map(|n| dv.get(n).copied().unwrap_or(usize::MAX))
+        .collect();
+    let drnl: Vec<usize> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            if n == u || n == v {
+                1
+            } else {
+                drnl_label(dist_u[i], dist_v[i])
+            }
+        })
+        .collect();
+    let mut edges = Vec::new();
+    for (i, &n) in nodes.iter().enumerate() {
+        for &m in graph.neighbors(n) {
+            if let Some(&j) = index_of.get(&m) {
+                if i < j {
+                    edges.push((i, j));
+                }
+            }
+        }
+    }
+    EnclosingSubgraph {
+        u,
+        v,
+        nodes,
+        dist_u,
+        dist_v,
+        drnl,
+        edges,
+    }
+}
+
+/// Double-Radius Node Labelling (Zhang & Chen, SEAL). Labels encode the pair
+/// of distances `(d_u, d_v)` of a node to the two link endpoints; the two
+/// endpoints themselves get label 1. Unreachable nodes get label 0.
+pub fn drnl_label(d_u: usize, d_v: usize) -> usize {
+    if d_u == usize::MAX || d_v == usize::MAX {
+        return 0;
+    }
+    let d = d_u + d_v;
+    let half = d / 2;
+    // f(du, dv) = 1 + min(du, dv) + (d/2) * ((d/2) + (d % 2) - 1)
+    1 + d_u.min(d_v) + half * ((half + d % 2).saturating_sub(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateKind;
+
+    fn diamond() -> (Netlist, GateId, GateId, GateId, GateId) {
+        // a -> x, a -> y, x -> z, y -> z
+        let mut nl = Netlist::new("diamond");
+        let a = nl.add_input("a");
+        let x = nl.add_gate("x", GateKind::Not, vec![a]).unwrap();
+        let y = nl.add_gate("y", GateKind::Buf, vec![a]).unwrap();
+        let z = nl.add_gate("z", GateKind::And, vec![x, y]).unwrap();
+        nl.mark_output(z);
+        (nl, a, x, y, z)
+    }
+
+    #[test]
+    fn undirected_adjacency() {
+        let (nl, a, x, y, z) = diamond();
+        let g = UndirectedGraph::from_netlist(&nl);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.degree(a), 2);
+        assert_eq!(g.degree(z), 2);
+        assert!(g.neighbors(x).contains(&a));
+        assert!(g.neighbors(x).contains(&z));
+        assert_eq!(g.common_neighbors(x, y), 2); // a and z
+        assert!(g.jaccard(x, y) > 0.9);
+    }
+
+    #[test]
+    fn excluded_edges_are_absent() {
+        let (nl, a, x, _y, _z) = diamond();
+        let g = UndirectedGraph::from_netlist_without_edges(&nl, &[(a, x)]);
+        assert!(!g.neighbors(a).contains(&x));
+        assert!(!g.neighbors(x).contains(&a));
+    }
+
+    #[test]
+    fn without_edge_removes_both_directions() {
+        let (nl, a, x, _y, _z) = diamond();
+        let g = UndirectedGraph::from_netlist(&nl);
+        let g2 = g.without_edge(a, x);
+        assert!(!g2.neighbors(a).contains(&x));
+        assert!(!g2.neighbors(x).contains(&a));
+        // Original untouched.
+        assert!(g.neighbors(a).contains(&x));
+    }
+
+    #[test]
+    fn filtered_graph_hides_nodes() {
+        let (nl, a, x, y, z) = diamond();
+        let g = UndirectedGraph::from_netlist_filtered(&nl, |id| id == x);
+        assert!(g.neighbors(a).contains(&y));
+        assert!(!g.neighbors(a).contains(&x));
+        assert!(g.neighbors(x).is_empty());
+        assert!(!g.neighbors(z).contains(&x));
+    }
+
+    #[test]
+    fn bfs_distances_respect_hop_limit() {
+        let (nl, a, _x, _y, z) = diamond();
+        let g = UndirectedGraph::from_netlist(&nl);
+        let d = g.bfs_distances(a, 1);
+        assert_eq!(d[&a], 0);
+        assert!(!d.contains_key(&z)); // z is 2 hops away
+        let d2 = g.bfs_distances(a, 2);
+        assert_eq!(d2[&z], 2);
+    }
+
+    #[test]
+    fn enclosing_subgraph_contains_endpoints_and_labels() {
+        let (nl, a, x, y, z) = diamond();
+        let g = UndirectedGraph::from_netlist_without_edges(&nl, &[(x, z)]);
+        let sg = enclosing_subgraph(&g, x, z, 2);
+        assert!(sg.nodes.contains(&x));
+        assert!(sg.nodes.contains(&z));
+        assert!(sg.nodes.contains(&a));
+        assert!(sg.nodes.contains(&y));
+        // Endpoints labelled 1.
+        let xi = sg.nodes.iter().position(|&n| n == x).unwrap();
+        let zi = sg.nodes.iter().position(|&n| n == z).unwrap();
+        assert_eq!(sg.drnl[xi], 1);
+        assert_eq!(sg.drnl[zi], 1);
+        // The excluded edge must not appear.
+        assert!(!sg.edges.contains(&(xi.min(zi), xi.max(zi))));
+    }
+
+    #[test]
+    fn drnl_label_basics() {
+        assert_eq!(drnl_label(usize::MAX, 3), 0);
+        // (1,1): d=2, half=1 -> 1 + 1 + 1*(1+0-1) = 2
+        assert_eq!(drnl_label(1, 1), 2);
+        // (1,2): d=3, half=1 -> 1 + 1 + 1*(1+1-1) = 3
+        assert_eq!(drnl_label(1, 2), 3);
+        // (2,2): d=4, half=2 -> 1 + 2 + 2*(2+0-1) = 5
+        assert_eq!(drnl_label(2, 2), 5);
+        // labels are positive and deterministic
+        for du in 1..5 {
+            for dv in 1..5 {
+                assert!(drnl_label(du, dv) >= 1);
+                assert_eq!(drnl_label(du, dv), drnl_label(dv, du));
+            }
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! Parser for the ISCAS-89 style `.bench` netlist format.
+//!
+//! The accepted grammar (one statement per line):
+//!
+//! ```text
+//! # comment
+//! INPUT(a)
+//! OUTPUT(y)
+//! KEYINPUT(keyinput0)          # extension used by locked netlists
+//! y = NAND(a, b)
+//! m = MUX(sel, a, b)
+//! ```
+//!
+//! Key inputs may also be declared with the common convention of an ordinary
+//! `INPUT(keyinputN)` whose name starts with `keyinput`; the parser promotes
+//! those to [`GateKind::KeyInput`] automatically.
+
+use crate::{GateId, GateKind, Netlist, NetlistError, Result};
+use std::collections::HashMap;
+
+/// Parses a `.bench` source into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for malformed lines,
+/// [`NetlistError::UnknownSignal`] / [`NetlistError::UndefinedOutput`] for
+/// dangling references, and any error [`Netlist::validate`] reports.
+pub fn parse_bench(name: &str, source: &str) -> Result<Netlist> {
+    // First pass: collect declarations so gates can be created in dependency
+    // order regardless of textual order.
+    struct GateDecl {
+        line: usize,
+        name: String,
+        kind: GateKind,
+        fanin_names: Vec<String>,
+    }
+
+    let mut input_names: Vec<(usize, String)> = Vec::new();
+    let mut key_input_names: Vec<(usize, String)> = Vec::new();
+    let mut output_names: Vec<(usize, String)> = Vec::new();
+    let mut decls: Vec<GateDecl> = Vec::new();
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let text = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        }
+        .trim();
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(rest) = strip_directive(text, "INPUT") {
+            let sig = parse_single_arg(rest, line)?;
+            if sig.to_ascii_lowercase().starts_with("keyinput") {
+                key_input_names.push((line, sig));
+            } else {
+                input_names.push((line, sig));
+            }
+        } else if let Some(rest) = strip_directive(text, "KEYINPUT") {
+            let sig = parse_single_arg(rest, line)?;
+            key_input_names.push((line, sig));
+        } else if let Some(rest) = strip_directive(text, "OUTPUT") {
+            let sig = parse_single_arg(rest, line)?;
+            output_names.push((line, sig));
+        } else if let Some(eq) = text.find('=') {
+            let lhs = text[..eq].trim();
+            let rhs = text[eq + 1..].trim();
+            if lhs.is_empty() {
+                return Err(NetlistError::Parse {
+                    line,
+                    message: "missing signal name before `=`".into(),
+                });
+            }
+            let open = rhs.find('(').ok_or_else(|| NetlistError::Parse {
+                line,
+                message: format!("expected `KIND(...)` on right-hand side, got `{rhs}`"),
+            })?;
+            let close = rhs.rfind(')').ok_or_else(|| NetlistError::Parse {
+                line,
+                message: "missing closing parenthesis".into(),
+            })?;
+            if close < open {
+                return Err(NetlistError::Parse {
+                    line,
+                    message: "mismatched parentheses".into(),
+                });
+            }
+            let kw = rhs[..open].trim();
+            let kind = GateKind::from_bench_keyword(kw).ok_or_else(|| NetlistError::Parse {
+                line,
+                message: format!("unknown gate type `{kw}`"),
+            })?;
+            let args: Vec<String> = rhs[open + 1..close]
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            decls.push(GateDecl {
+                line,
+                name: lhs.to_string(),
+                kind,
+                fanin_names: args,
+            });
+        } else {
+            return Err(NetlistError::Parse {
+                line,
+                message: format!("unrecognized statement `{text}`"),
+            });
+        }
+    }
+
+    let mut nl = Netlist::new(name);
+    let mut ids: HashMap<String, GateId> = HashMap::new();
+
+    for (line, sig) in &input_names {
+        let id = nl.try_add_input(sig.clone()).map_err(|e| match e {
+            NetlistError::DuplicateName(n) => NetlistError::Parse {
+                line: *line,
+                message: format!("duplicate input `{n}`"),
+            },
+            other => other,
+        })?;
+        ids.insert(sig.clone(), id);
+    }
+    for (line, sig) in &key_input_names {
+        let id = nl.add_key_input(sig.clone()).map_err(|e| match e {
+            NetlistError::DuplicateName(n) => NetlistError::Parse {
+                line: *line,
+                message: format!("duplicate key input `{n}`"),
+            },
+            other => other,
+        })?;
+        ids.insert(sig.clone(), id);
+    }
+
+    // Insert logic gates in dependency order with a simple worklist: a decl is
+    // ready once all its fan-in names are defined.
+    let mut pending: Vec<GateDecl> = decls;
+    loop {
+        let before = pending.len();
+        let mut still_pending = Vec::new();
+        for decl in pending {
+            let ready = decl.fanin_names.iter().all(|n| ids.contains_key(n));
+            if ready {
+                let fanin: Vec<GateId> = decl.fanin_names.iter().map(|n| ids[n]).collect();
+                let id = nl
+                    .add_gate(decl.name.clone(), decl.kind, fanin)
+                    .map_err(|e| match e {
+                        NetlistError::DuplicateName(n) => NetlistError::Parse {
+                            line: decl.line,
+                            message: format!("signal `{n}` defined twice"),
+                        },
+                        NetlistError::BadArity { gate, kind, got } => NetlistError::Parse {
+                            line: decl.line,
+                            message: format!("gate `{gate}` of kind {kind} has invalid fan-in count {got}"),
+                        },
+                        other => other,
+                    })?;
+                ids.insert(decl.name, id);
+            } else {
+                still_pending.push(decl);
+            }
+        }
+        if still_pending.is_empty() {
+            break;
+        }
+        if still_pending.len() == before {
+            // No progress: either an unknown signal or a cycle.
+            let decl = &still_pending[0];
+            let missing = decl
+                .fanin_names
+                .iter()
+                .find(|n| !ids.contains_key(*n))
+                .cloned()
+                .unwrap_or_default();
+            let defined_later = still_pending.iter().any(|d| d.name == missing);
+            return Err(if defined_later {
+                NetlistError::CombinationalCycle(missing)
+            } else {
+                NetlistError::Parse {
+                    line: decl.line,
+                    message: format!("unknown signal `{missing}`"),
+                }
+            });
+        }
+        pending = still_pending;
+    }
+
+    for (_, sig) in &output_names {
+        let id = *ids
+            .get(sig)
+            .ok_or_else(|| NetlistError::UndefinedOutput(sig.clone()))?;
+        nl.mark_output(id);
+    }
+
+    nl.validate()?;
+    Ok(nl)
+}
+
+fn strip_directive<'a>(text: &'a str, keyword: &str) -> Option<&'a str> {
+    let upper = text.to_ascii_uppercase();
+    if upper.starts_with(keyword)
+        && text[keyword.len()..].trim_start().starts_with('(')
+        // Guard against e.g. "INPUTX(" matching "INPUT".
+        && !upper
+            .as_bytes()
+            .get(keyword.len())
+            .map(|b| b.is_ascii_alphanumeric() || *b == b'_')
+            .unwrap_or(false)
+    {
+        Some(text[keyword.len()..].trim_start())
+    } else {
+        None
+    }
+}
+
+fn parse_single_arg(rest: &str, line: usize) -> Result<String> {
+    let rest = rest.trim();
+    if !rest.starts_with('(') || !rest.ends_with(')') {
+        return Err(NetlistError::Parse {
+            line,
+            message: format!("expected `(signal)`, got `{rest}`"),
+        });
+    }
+    let sig = rest[1..rest.len() - 1].trim();
+    if sig.is_empty() || sig.contains(',') {
+        return Err(NetlistError::Parse {
+            line,
+            message: "expected exactly one signal name".into(),
+        });
+    }
+    Ok(sig.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C17_LIKE: &str = "
+# small test circuit
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G7)
+G5 = NAND(G1, G2)
+G6 = NAND(G2, G3)
+G7 = NAND(G5, G6)
+";
+
+    #[test]
+    fn parse_simple_circuit() {
+        let nl = parse_bench("c17ish", C17_LIKE).unwrap();
+        assert_eq!(nl.num_inputs(), 3);
+        assert_eq!(nl.num_outputs(), 1);
+        assert_eq!(nl.num_logic_gates(), 3);
+        // NAND(NAND(1,1), NAND(1,1)) = NAND(0,0) = 1
+        assert_eq!(nl.evaluate(&[true, true, true]).unwrap(), vec![true]);
+    }
+
+    #[test]
+    fn out_of_order_definitions_ok() {
+        let src = "
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = AND(x, b)
+x = NOT(a)
+";
+        let nl = parse_bench("ooo", src).unwrap();
+        assert_eq!(nl.evaluate(&[false, true]).unwrap(), vec![true]);
+    }
+
+    #[test]
+    fn keyinput_directive_and_prefix_promotion() {
+        let src = "
+INPUT(a)
+INPUT(keyinput0)
+KEYINPUT(keyinput1)
+OUTPUT(y)
+t = XOR(a, keyinput0)
+y = XNOR(t, keyinput1)
+";
+        let nl = parse_bench("keys", src).unwrap();
+        assert_eq!(nl.num_inputs(), 1);
+        assert_eq!(nl.num_key_inputs(), 2);
+    }
+
+    #[test]
+    fn unknown_gate_type_rejected() {
+        let err = parse_bench("x", "INPUT(a)\ny = FROB(a)\nOUTPUT(y)\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { .. }));
+        assert!(err.to_string().contains("FROB"));
+    }
+
+    #[test]
+    fn unknown_signal_rejected() {
+        let err = parse_bench("x", "INPUT(a)\nOUTPUT(y)\ny = AND(a, nosuch)\n").unwrap_err();
+        assert!(err.to_string().contains("nosuch"));
+    }
+
+    #[test]
+    fn undefined_output_rejected() {
+        let err = parse_bench("x", "INPUT(a)\nOUTPUT(zzz)\n").unwrap_err();
+        assert!(matches!(err, NetlistError::UndefinedOutput(_)));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let err = parse_bench(
+            "x",
+            "INPUT(a)\nOUTPUT(p)\np = AND(a, q)\nq = NOT(p)\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err, NetlistError::CombinationalCycle(_)));
+    }
+
+    #[test]
+    fn bad_arity_in_source_rejected() {
+        let err = parse_bench("x", "INPUT(a)\nOUTPUT(y)\ny = NOT(a, a)\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { .. }));
+    }
+
+    #[test]
+    fn mux_gate_parses() {
+        let src = "
+INPUT(s)
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = MUX(s, a, b)
+";
+        let nl = parse_bench("m", src).unwrap();
+        assert_eq!(nl.evaluate(&[false, true, false]).unwrap(), vec![true]);
+        assert_eq!(nl.evaluate(&[true, true, false]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "\n\n# header\nINPUT(a)  # trailing\nOUTPUT(y)\ny = BUF(a) # gate\n\n";
+        let nl = parse_bench("c", src).unwrap();
+        assert_eq!(nl.num_logic_gates(), 1);
+    }
+
+    #[test]
+    fn duplicate_definition_rejected() {
+        let err = parse_bench("d", "INPUT(a)\nOUTPUT(y)\ny = BUF(a)\ny = NOT(a)\n").unwrap_err();
+        assert!(err.to_string().contains("twice") || err.to_string().contains("duplicate"));
+    }
+}

@@ -1,0 +1,301 @@
+//! Bit-parallel logic simulation.
+//!
+//! Patterns are packed 64 per `u64` word, so one pass over the netlist
+//! evaluates 64 input vectors. This is the workhorse used by the equivalence
+//! checker, the overhead model (switching activity) and the attacks (output
+//! corruption measurements).
+
+use crate::{GateId, Netlist, NetlistError, Result};
+use rand::Rng;
+
+/// A set of simulation patterns for a fixed set of signals.
+///
+/// `words[i]` holds 64 packed values of signal `i` (one bit per pattern).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternSet {
+    /// Number of valid patterns (1..=64) packed in each word.
+    pub num_patterns: usize,
+    /// One word per signal.
+    pub words: Vec<u64>,
+}
+
+impl PatternSet {
+    /// Creates an all-zero pattern set for `num_signals` signals.
+    pub fn zeros(num_signals: usize, num_patterns: usize) -> Self {
+        assert!(num_patterns >= 1 && num_patterns <= 64);
+        PatternSet {
+            num_patterns,
+            words: vec![0; num_signals],
+        }
+    }
+
+    /// Creates a random pattern set.
+    pub fn random<R: Rng + ?Sized>(num_signals: usize, num_patterns: usize, rng: &mut R) -> Self {
+        assert!(num_patterns >= 1 && num_patterns <= 64);
+        let mask = Self::mask(num_patterns);
+        PatternSet {
+            num_patterns,
+            words: (0..num_signals).map(|_| rng.gen::<u64>() & mask).collect(),
+        }
+    }
+
+    /// Bit mask with the `num_patterns` lowest bits set.
+    pub fn mask(num_patterns: usize) -> u64 {
+        if num_patterns >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << num_patterns) - 1
+        }
+    }
+
+    /// Gets the value of signal `sig` in pattern `pat`.
+    pub fn get(&self, sig: usize, pat: usize) -> bool {
+        (self.words[sig] >> pat) & 1 == 1
+    }
+
+    /// Sets the value of signal `sig` in pattern `pat`.
+    pub fn set(&mut self, sig: usize, pat: usize, value: bool) {
+        if value {
+            self.words[sig] |= 1 << pat;
+        } else {
+            self.words[sig] &= !(1 << pat);
+        }
+    }
+}
+
+/// Result of a bit-parallel simulation: one word per gate in the netlist.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Number of valid patterns.
+    pub num_patterns: usize,
+    /// Packed values for every gate (indexed by [`GateId::index`]).
+    pub values: Vec<u64>,
+}
+
+impl SimResult {
+    /// Value of `gate` for pattern `pat`.
+    pub fn get(&self, gate: GateId, pat: usize) -> bool {
+        (self.values[gate.index()] >> pat) & 1 == 1
+    }
+
+    /// Packed word of `gate`.
+    pub fn word(&self, gate: GateId) -> u64 {
+        self.values[gate.index()]
+    }
+}
+
+/// Simulates up to 64 patterns in one pass.
+///
+/// `pi_patterns` and `key_patterns` supply one packed word per primary input
+/// (in [`Netlist::inputs`] order) and per key input (in [`Netlist::key_inputs`]
+/// order) respectively.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::InputCountMismatch`] if the word counts do not match
+/// the number of inputs, or a cycle error if the netlist is not combinational.
+pub fn simulate(
+    nl: &Netlist,
+    pi_patterns: &[u64],
+    key_patterns: &[u64],
+    num_patterns: usize,
+) -> Result<SimResult> {
+    let inputs = nl.inputs();
+    let keys = nl.key_inputs();
+    if pi_patterns.len() != inputs.len() {
+        return Err(NetlistError::InputCountMismatch {
+            expected: inputs.len(),
+            got: pi_patterns.len(),
+        });
+    }
+    if key_patterns.len() != keys.len() {
+        return Err(NetlistError::InputCountMismatch {
+            expected: keys.len(),
+            got: key_patterns.len(),
+        });
+    }
+    let order = crate::topo::topological_order(nl)?;
+    let mut values = vec![0u64; nl.len()];
+    for (id, &w) in inputs.iter().zip(pi_patterns) {
+        values[id.index()] = w;
+    }
+    for (id, &w) in keys.iter().zip(key_patterns) {
+        values[id.index()] = w;
+    }
+    let mut buf: Vec<u64> = Vec::with_capacity(8);
+    for id in order {
+        let gate = nl.gate(id);
+        if gate.kind.is_input() {
+            continue;
+        }
+        buf.clear();
+        buf.extend(gate.fanin.iter().map(|f| values[f.index()]));
+        values[id.index()] = gate.kind.eval_word(&buf);
+    }
+    let mask = PatternSet::mask(num_patterns);
+    for v in values.iter_mut() {
+        *v &= mask;
+    }
+    Ok(SimResult {
+        num_patterns,
+        values,
+    })
+}
+
+/// Simulates with a fixed (scalar) key replicated across all patterns.
+pub fn simulate_with_key_bits(
+    nl: &Netlist,
+    pi_patterns: &[u64],
+    key_bits: &[bool],
+    num_patterns: usize,
+) -> Result<SimResult> {
+    let key_words: Vec<u64> = key_bits
+        .iter()
+        .map(|&b| if b { u64::MAX } else { 0 })
+        .collect();
+    simulate(nl, pi_patterns, &key_words, num_patterns)
+}
+
+/// Output response of a simulation: one packed word per primary output.
+pub fn output_response(nl: &Netlist, sim: &SimResult) -> Vec<u64> {
+    nl.outputs().iter().map(|&o| sim.word(o)).collect()
+}
+
+/// Fraction of (output, pattern) pairs that differ between two simulations of
+/// netlists with the same output count. Used to quantify output corruption of
+/// a locked circuit under a wrong key.
+pub fn output_error_rate(a: &[u64], b: &[u64], num_patterns: usize) -> f64 {
+    assert_eq!(a.len(), b.len());
+    if a.is_empty() || num_patterns == 0 {
+        return 0.0;
+    }
+    let mask = PatternSet::mask(num_patterns);
+    let mut diff = 0u32;
+    for (&x, &y) in a.iter().zip(b) {
+        diff += ((x ^ y) & mask).count_ones();
+    }
+    diff as f64 / (a.len() * num_patterns) as f64
+}
+
+/// Estimates per-gate signal probability (fraction of patterns where the gate
+/// evaluates to 1) with `rounds * 64` random patterns. Used as a
+/// switching-activity / power proxy by the overhead model.
+pub fn signal_probabilities<R: Rng + ?Sized>(
+    nl: &Netlist,
+    key_bits: &[bool],
+    rounds: usize,
+    rng: &mut R,
+) -> Result<Vec<f64>> {
+    let n_pi = nl.num_inputs();
+    let mut ones = vec![0u64; nl.len()];
+    let total = (rounds.max(1) * 64) as f64;
+    for _ in 0..rounds.max(1) {
+        let pi: Vec<u64> = (0..n_pi).map(|_| rng.gen()).collect();
+        let sim = simulate_with_key_bits(nl, &pi, key_bits, 64)?;
+        for (o, v) in ones.iter_mut().zip(&sim.values) {
+            *o += v.count_ones() as u64;
+        }
+    }
+    Ok(ones.into_iter().map(|o| o as f64 / total).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateKind;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn full_adder() -> Netlist {
+        let mut nl = Netlist::new("fa");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let cin = nl.add_input("cin");
+        let ab = nl.add_gate("ab", GateKind::Xor, vec![a, b]).unwrap();
+        let sum = nl.add_gate("sum", GateKind::Xor, vec![ab, cin]).unwrap();
+        let and1 = nl.add_gate("and1", GateKind::And, vec![a, b]).unwrap();
+        let and2 = nl.add_gate("and2", GateKind::And, vec![ab, cin]).unwrap();
+        let cout = nl.add_gate("cout", GateKind::Or, vec![and1, and2]).unwrap();
+        nl.mark_output(sum);
+        nl.mark_output(cout);
+        nl
+    }
+
+    #[test]
+    fn parallel_sim_matches_scalar_eval() {
+        let nl = full_adder();
+        // 8 patterns: all combinations of 3 inputs.
+        let mut pi = vec![0u64; 3];
+        for pat in 0..8usize {
+            for (i, w) in pi.iter_mut().enumerate() {
+                if (pat >> i) & 1 == 1 {
+                    *w |= 1 << pat;
+                }
+            }
+        }
+        let sim = simulate(&nl, &pi, &[], 8).unwrap();
+        for pat in 0..8usize {
+            let a = (pat) & 1 == 1;
+            let b = (pat >> 1) & 1 == 1;
+            let c = (pat >> 2) & 1 == 1;
+            let expect = nl.evaluate(&[a, b, c]).unwrap();
+            let sum = sim.get(nl.find("sum").unwrap(), pat);
+            let cout = sim.get(nl.find("cout").unwrap(), pat);
+            assert_eq!(vec![sum, cout], expect, "pattern {pat}");
+        }
+    }
+
+    #[test]
+    fn wrong_input_count_rejected() {
+        let nl = full_adder();
+        assert!(simulate(&nl, &[0, 0], &[], 4).is_err());
+        assert!(simulate(&nl, &[0, 0, 0], &[0], 4).is_err());
+    }
+
+    #[test]
+    fn output_error_rate_bounds() {
+        assert_eq!(output_error_rate(&[0], &[0], 64), 0.0);
+        assert_eq!(output_error_rate(&[u64::MAX], &[0], 64), 1.0);
+        let half = output_error_rate(&[0xAAAA_AAAA_AAAA_AAAA], &[0], 64);
+        assert!((half - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pattern_set_get_set_roundtrip() {
+        let mut ps = PatternSet::zeros(3, 16);
+        ps.set(1, 5, true);
+        assert!(ps.get(1, 5));
+        ps.set(1, 5, false);
+        assert!(!ps.get(1, 5));
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let ps = PatternSet::random(4, 32, &mut rng);
+        for w in &ps.words {
+            assert_eq!(w & !PatternSet::mask(32), 0);
+        }
+    }
+
+    #[test]
+    fn signal_probabilities_reasonable() {
+        let nl = full_adder();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let probs = signal_probabilities(&nl, &[], 8, &mut rng).unwrap();
+        // XOR of two random inputs should be ~0.5; AND ~0.25.
+        let ab = nl.find("ab").unwrap();
+        let and1 = nl.find("and1").unwrap();
+        assert!((probs[ab.index()] - 0.5).abs() < 0.1);
+        assert!((probs[and1.index()] - 0.25).abs() < 0.1);
+    }
+
+    #[test]
+    fn keyed_simulation_uses_key_bits() {
+        let mut nl = Netlist::new("k");
+        let a = nl.add_input("a");
+        let k = nl.add_key_input("k0").unwrap();
+        let x = nl.add_gate("x", GateKind::Xor, vec![a, k]).unwrap();
+        nl.mark_output(x);
+        let sim0 = simulate_with_key_bits(&nl, &[0b01], &[false], 2).unwrap();
+        let sim1 = simulate_with_key_bits(&nl, &[0b01], &[true], 2).unwrap();
+        assert_eq!(sim0.word(x) & 0b11, 0b01);
+        assert_eq!(sim1.word(x) & 0b11, 0b10);
+    }
+}

@@ -1,0 +1,118 @@
+//! Structural statistics of a netlist.
+//!
+//! These feed the overhead model of the locking crate (area / delay proxies)
+//! and the documentation of the benchmark suite.
+
+use crate::{GateKind, Netlist, Result};
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a netlist.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetlistStats {
+    /// Design name.
+    pub name: String,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of key inputs.
+    pub key_inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of logic gates (excluding inputs, key inputs, constants).
+    pub gates: usize,
+    /// Longest input→output path length (levels of logic).
+    pub depth: usize,
+    /// Histogram of gate kinds, indexed by [`GateKind::code`].
+    pub kind_histogram: Vec<usize>,
+    /// Maximum fan-out over all gates.
+    pub max_fanout: usize,
+    /// Average fan-out over gates that have at least one sink.
+    pub avg_fanout: f64,
+    /// Maximum fan-in over all logic gates.
+    pub max_fanin: usize,
+}
+
+impl NetlistStats {
+    /// Number of occurrences of a particular gate kind.
+    pub fn count(&self, kind: GateKind) -> usize {
+        self.kind_histogram[kind.code()]
+    }
+}
+
+/// Computes [`NetlistStats`] for a netlist.
+///
+/// # Errors
+///
+/// Propagates a cycle error from depth computation if the netlist is invalid.
+pub fn netlist_stats(nl: &Netlist) -> Result<NetlistStats> {
+    let mut hist = vec![0usize; GateKind::NUM_CODES];
+    let mut max_fanin = 0usize;
+    for (_, gate) in nl.iter() {
+        hist[gate.kind.code()] += 1;
+        if !gate.kind.is_input() && !gate.kind.is_constant() {
+            max_fanin = max_fanin.max(gate.fanin.len());
+        }
+    }
+    let fanouts = nl.fanouts();
+    let max_fanout = fanouts.iter().map(|f| f.len()).max().unwrap_or(0);
+    let driving: Vec<usize> = fanouts
+        .iter()
+        .map(|f| f.len())
+        .filter(|&l| l > 0)
+        .collect();
+    let avg_fanout = if driving.is_empty() {
+        0.0
+    } else {
+        driving.iter().sum::<usize>() as f64 / driving.len() as f64
+    };
+    Ok(NetlistStats {
+        name: nl.name().to_string(),
+        inputs: nl.num_inputs(),
+        key_inputs: nl.num_key_inputs(),
+        outputs: nl.num_outputs(),
+        gates: nl.num_logic_gates(),
+        depth: crate::topo::depth(nl)?,
+        kind_histogram: hist,
+        max_fanout,
+        avg_fanout,
+        max_fanin,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateKind;
+
+    #[test]
+    fn stats_of_small_circuit() {
+        let mut nl = Netlist::new("s");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl.add_gate("x", GateKind::Nand, vec![a, b]).unwrap();
+        let y = nl.add_gate("y", GateKind::Not, vec![x]).unwrap();
+        let z = nl.add_gate("z", GateKind::Or, vec![x, y]).unwrap();
+        nl.mark_output(z);
+        let s = netlist_stats(&nl).unwrap();
+        assert_eq!(s.inputs, 2);
+        assert_eq!(s.outputs, 1);
+        assert_eq!(s.gates, 3);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.count(GateKind::Nand), 1);
+        assert_eq!(s.count(GateKind::Not), 1);
+        assert_eq!(s.count(GateKind::Or), 1);
+        assert_eq!(s.count(GateKind::Input), 2);
+        assert_eq!(s.max_fanout, 2); // x drives y and z
+        assert_eq!(s.max_fanin, 2);
+        assert!(s.avg_fanout > 1.0);
+    }
+
+    #[test]
+    fn stats_empty_netlist() {
+        let nl = Netlist::new("empty");
+        let s = netlist_stats(&nl).unwrap();
+        assert_eq!(s.gates, 0);
+        assert_eq!(s.depth, 0);
+        assert_eq!(s.max_fanout, 0);
+        assert_eq!(s.avg_fanout, 0.0);
+    }
+}

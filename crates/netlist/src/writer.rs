@@ -1,0 +1,114 @@
+//! Writer for the `.bench` netlist format.
+
+use crate::{GateKind, Netlist};
+use std::fmt::Write as _;
+
+/// Serializes a netlist to `.bench` text.
+///
+/// The output is accepted by [`crate::parse_bench`]; `write_bench` followed by
+/// `parse_bench` round-trips the netlist up to gate-id renumbering (names,
+/// connectivity, outputs and kinds are preserved).
+pub fn write_bench(nl: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", nl.name());
+    let _ = writeln!(
+        out,
+        "# {} inputs, {} key inputs, {} outputs, {} gates",
+        nl.num_inputs(),
+        nl.num_key_inputs(),
+        nl.num_outputs(),
+        nl.num_logic_gates()
+    );
+    for id in nl.inputs() {
+        let _ = writeln!(out, "INPUT({})", nl.gate(id).name);
+    }
+    for id in nl.key_inputs() {
+        let _ = writeln!(out, "INPUT({})", nl.gate(id).name);
+    }
+    for &id in nl.outputs() {
+        let _ = writeln!(out, "OUTPUT({})", nl.gate(id).name);
+    }
+    for (_, gate) in nl.iter() {
+        match gate.kind {
+            GateKind::Input | GateKind::KeyInput => continue,
+            GateKind::Const0 => {
+                let _ = writeln!(out, "{} = CONST0()", gate.name);
+            }
+            GateKind::Const1 => {
+                let _ = writeln!(out, "{} = CONST1()", gate.name);
+            }
+            kind => {
+                let args: Vec<&str> = gate
+                    .fanin
+                    .iter()
+                    .map(|f| nl.gate(*f).name.as_str())
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "{} = {}({})",
+                    gate.name,
+                    kind.bench_keyword().expect("logic gate has a keyword"),
+                    args.join(", ")
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_bench, GateKind, Netlist};
+
+    fn sample() -> Netlist {
+        let mut nl = Netlist::new("sample");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let k = nl.add_key_input("keyinput0").unwrap();
+        let x = nl.add_gate("x", GateKind::Nand, vec![a, b]).unwrap();
+        let m = nl.add_gate("m", GateKind::Mux, vec![k, x, a]).unwrap();
+        let y = nl.add_gate("y", GateKind::Not, vec![m]).unwrap();
+        nl.mark_output(y);
+        nl
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure_and_function() {
+        let nl = sample();
+        let text = write_bench(&nl);
+        let back = parse_bench("sample", &text).unwrap();
+        assert_eq!(back.num_inputs(), nl.num_inputs());
+        assert_eq!(back.num_key_inputs(), nl.num_key_inputs());
+        assert_eq!(back.num_outputs(), nl.num_outputs());
+        assert_eq!(back.num_logic_gates(), nl.num_logic_gates());
+        for pattern in 0..8u32 {
+            let vals: Vec<bool> = (0..3).map(|i| (pattern >> i) & 1 == 1).collect();
+            assert_eq!(nl.evaluate(&vals).unwrap(), back.evaluate(&vals).unwrap());
+        }
+    }
+
+    #[test]
+    fn output_contains_expected_lines() {
+        let text = write_bench(&sample());
+        assert!(text.contains("INPUT(a)"));
+        assert!(text.contains("INPUT(keyinput0)"));
+        assert!(text.contains("OUTPUT(y)"));
+        assert!(text.contains("x = NAND(a, b)"));
+        assert!(text.contains("m = MUX(keyinput0, x, a)"));
+    }
+
+    #[test]
+    fn constants_serialized() {
+        let mut nl = Netlist::new("c");
+        let c0 = nl.add_gate("zero", GateKind::Const0, vec![]).unwrap();
+        let c1 = nl.add_gate("one", GateKind::Const1, vec![]).unwrap();
+        let y = nl.add_gate("y", GateKind::Or, vec![c0, c1]).unwrap();
+        nl.mark_output(y);
+        let text = write_bench(&nl);
+        assert!(text.contains("zero = CONST0()"));
+        assert!(text.contains("one = CONST1()"));
+        let back = parse_bench("c", &text).unwrap();
+        assert_eq!(back.evaluate(&[]).unwrap(), vec![true]);
+    }
+}

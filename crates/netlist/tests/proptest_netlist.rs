@@ -1,0 +1,165 @@
+//! Property-based tests for the netlist substrate.
+
+use autolock_netlist::{graph, parse_bench, sim, stats, topo, write_bench, GateId, GateKind, Netlist};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Builds a random, valid, acyclic netlist from a seed-like description:
+/// `layers[i]` gates in layer i, each reading from earlier gates.
+fn build_random_netlist(num_inputs: usize, layer_sizes: &[u8], seed: u64) -> Netlist {
+    use rand::Rng;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut nl = Netlist::new(format!("rand_{seed}"));
+    let mut pool: Vec<GateId> = (0..num_inputs.max(1))
+        .map(|i| nl.add_input(format!("in{i}")))
+        .collect();
+    let kinds = [
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Not,
+        GateKind::Buf,
+    ];
+    let mut counter = 0usize;
+    for &sz in layer_sizes {
+        let mut new_layer = Vec::new();
+        for _ in 0..sz.clamp(1, 8) {
+            let kind = kinds[rng.gen_range(0..kinds.len())];
+            let arity = match kind {
+                GateKind::Not | GateKind::Buf => 1,
+                _ => 2,
+            };
+            let fanin: Vec<GateId> = (0..arity)
+                .map(|_| pool[rng.gen_range(0..pool.len())])
+                .collect();
+            let id = nl
+                .add_gate(format!("g{counter}"), kind, fanin)
+                .expect("valid gate");
+            counter += 1;
+            new_layer.push(id);
+        }
+        pool.extend(new_layer);
+    }
+    // Last few gates become outputs.
+    let n_out = pool.len().min(3);
+    for &id in pool.iter().rev().take(n_out) {
+        nl.mark_output(id);
+    }
+    nl
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_netlists_validate_and_roundtrip(
+        num_inputs in 1usize..6,
+        layers in proptest::collection::vec(1u8..6, 1..4),
+        seed in 0u64..5000,
+    ) {
+        let nl = build_random_netlist(num_inputs, &layers, seed);
+        prop_assert!(nl.validate().is_ok());
+
+        // .bench round trip preserves function on exhaustive inputs (inputs <= 5).
+        let text = write_bench(&nl);
+        let back = parse_bench(nl.name(), &text).unwrap();
+        prop_assert_eq!(back.num_logic_gates(), nl.num_logic_gates());
+        let n = nl.num_inputs();
+        for pattern in 0..(1u32 << n) {
+            let vals: Vec<bool> = (0..n).map(|i| (pattern >> i) & 1 == 1).collect();
+            prop_assert_eq!(nl.evaluate(&vals).unwrap(), back.evaluate(&vals).unwrap());
+        }
+    }
+
+    #[test]
+    fn topo_order_is_consistent_with_levels(
+        num_inputs in 1usize..5,
+        layers in proptest::collection::vec(1u8..5, 1..4),
+        seed in 0u64..5000,
+    ) {
+        let nl = build_random_netlist(num_inputs, &layers, seed);
+        let order = topo::topological_order(&nl).unwrap();
+        prop_assert_eq!(order.len(), nl.len());
+        let levels = topo::logic_levels(&nl).unwrap();
+        for (id, gate) in nl.iter() {
+            for &f in &gate.fanin {
+                prop_assert!(levels[f.index()] < levels[id.index()]);
+            }
+        }
+        let depth = topo::depth(&nl).unwrap();
+        let max_level = levels.iter().copied().max().unwrap_or(0);
+        prop_assert!(depth <= max_level);
+    }
+
+    #[test]
+    fn parallel_sim_matches_scalar_eval(
+        num_inputs in 1usize..5,
+        layers in proptest::collection::vec(1u8..5, 1..3),
+        seed in 0u64..5000,
+    ) {
+        let nl = build_random_netlist(num_inputs, &layers, seed);
+        let n = nl.num_inputs();
+        // Pack all exhaustive patterns (at most 16).
+        let total = 1usize << n;
+        let mut pi = vec![0u64; n];
+        for pat in 0..total {
+            for (i, w) in pi.iter_mut().enumerate() {
+                if (pat >> i) & 1 == 1 {
+                    *w |= 1 << pat;
+                }
+            }
+        }
+        let simres = sim::simulate(&nl, &pi, &[], total).unwrap();
+        for pat in 0..total {
+            let vals: Vec<bool> = (0..n).map(|i| (pat >> i) & 1 == 1).collect();
+            let expect = nl.evaluate(&vals).unwrap();
+            let got: Vec<bool> = nl.outputs().iter().map(|&o| simres.get(o, pat)).collect();
+            prop_assert_eq!(expect, got);
+        }
+    }
+
+    #[test]
+    fn stats_are_internally_consistent(
+        num_inputs in 1usize..5,
+        layers in proptest::collection::vec(1u8..5, 1..4),
+        seed in 0u64..5000,
+    ) {
+        let nl = build_random_netlist(num_inputs, &layers, seed);
+        let s = stats::netlist_stats(&nl).unwrap();
+        prop_assert_eq!(s.inputs, nl.num_inputs());
+        prop_assert_eq!(s.gates, nl.num_logic_gates());
+        let total_from_hist: usize = s.kind_histogram.iter().sum();
+        prop_assert_eq!(total_from_hist, nl.len());
+        prop_assert!(s.depth >= 1);
+    }
+
+    #[test]
+    fn undirected_graph_degrees_match_edges(
+        num_inputs in 1usize..5,
+        layers in proptest::collection::vec(1u8..5, 1..3),
+        seed in 0u64..5000,
+    ) {
+        let nl = build_random_netlist(num_inputs, &layers, seed);
+        let g = graph::UndirectedGraph::from_netlist(&nl);
+        // Symmetry: if a is neighbor of b then b is neighbor of a.
+        for id in nl.ids() {
+            for &nb in g.neighbors(id) {
+                prop_assert!(g.neighbors(nb).contains(&id));
+            }
+        }
+    }
+
+    #[test]
+    fn drnl_labels_positive_for_reachable(
+        du in 0usize..10,
+        dv in 0usize..10,
+    ) {
+        let l = graph::drnl_label(du, dv);
+        prop_assert!(l >= 1);
+        prop_assert_eq!(l, graph::drnl_label(dv, du));
+    }
+}

@@ -1,0 +1,174 @@
+//! CNF formula container with DIMACS import/export.
+
+use crate::{Lit, Solver, Var};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// A CNF formula: a number of variables and a list of clauses.
+///
+/// `CnfFormula` is a plain data structure; load it into a [`Solver`] with
+/// [`CnfFormula::load_into`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CnfFormula {
+    num_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl CnfFormula {
+    /// Creates an empty formula.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// Creates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.num_vars as u32);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Ensures at least `n` variables exist.
+    pub fn reserve_vars(&mut self, n: usize) {
+        self.num_vars = self.num_vars.max(n);
+    }
+
+    /// Adds a clause (no simplification is performed here).
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        let clause: Vec<Lit> = lits.into_iter().collect();
+        for l in &clause {
+            self.reserve_vars(l.var().index() + 1);
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Loads the formula into a solver (creating variables as needed).
+    /// Returns `false` if the solver became unsatisfiable while loading.
+    pub fn load_into(&self, solver: &mut Solver) -> bool {
+        solver.reserve_vars(self.num_vars);
+        let mut ok = true;
+        for clause in &self.clauses {
+            ok &= solver.add_clause(clause);
+        }
+        ok
+    }
+
+    /// Serializes the formula in DIMACS CNF format.
+    pub fn to_dimacs(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "p cnf {} {}", self.num_vars, self.clauses.len());
+        for clause in &self.clauses {
+            for lit in clause {
+                let _ = write!(out, "{} ", lit.to_dimacs());
+            }
+            let _ = writeln!(out, "0");
+        }
+        out
+    }
+
+    /// Parses a DIMACS CNF document.
+    ///
+    /// Returns `None` on malformed input (missing header, stray tokens,
+    /// zero-terminated clause spanning the header, ...).
+    pub fn from_dimacs(text: &str) -> Option<Self> {
+        let mut formula = CnfFormula::new();
+        let mut declared_vars = 0usize;
+        let mut seen_header = false;
+        let mut current: Vec<Lit> = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') {
+                continue;
+            }
+            if line.starts_with('p') {
+                let mut parts = line.split_whitespace();
+                parts.next()?; // p
+                if parts.next()? != "cnf" {
+                    return None;
+                }
+                declared_vars = parts.next()?.parse().ok()?;
+                let _num_clauses: usize = parts.next()?.parse().ok()?;
+                seen_header = true;
+                continue;
+            }
+            if !seen_header {
+                return None;
+            }
+            for tok in line.split_whitespace() {
+                let value: i64 = tok.parse().ok()?;
+                if value == 0 {
+                    formula.add_clause(current.drain(..).collect::<Vec<_>>());
+                } else {
+                    current.push(Lit::from_dimacs(value)?);
+                }
+            }
+        }
+        if !current.is_empty() {
+            formula.add_clause(current);
+        }
+        formula.reserve_vars(declared_vars);
+        Some(formula)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SolveResult;
+
+    #[test]
+    fn build_and_solve() {
+        let mut f = CnfFormula::new();
+        let a = f.new_var();
+        let b = f.new_var();
+        f.add_clause([Lit::pos(a), Lit::pos(b)]);
+        f.add_clause([Lit::neg(a)]);
+        let mut s = Solver::new();
+        assert!(f.load_into(&mut s));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(b), Some(true));
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        let mut f = CnfFormula::new();
+        let a = f.new_var();
+        let b = f.new_var();
+        let c = f.new_var();
+        f.add_clause([Lit::pos(a), Lit::neg(b)]);
+        f.add_clause([Lit::pos(c)]);
+        let text = f.to_dimacs();
+        assert!(text.starts_with("p cnf 3 2"));
+        let back = CnfFormula::from_dimacs(&text).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn dimacs_with_comments_and_multiline_clauses() {
+        let text = "c comment\np cnf 3 2\n1 -2\n0\n3 0\n";
+        let f = CnfFormula::from_dimacs(text).unwrap();
+        assert_eq!(f.num_clauses(), 2);
+        assert_eq!(f.num_vars(), 3);
+    }
+
+    #[test]
+    fn malformed_dimacs_rejected() {
+        assert!(CnfFormula::from_dimacs("1 2 0").is_none()); // no header
+        assert!(CnfFormula::from_dimacs("p cnf x y\n").is_none());
+        assert!(CnfFormula::from_dimacs("p sat 3 2\n1 0\n").is_none());
+    }
+}

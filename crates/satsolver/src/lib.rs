@@ -1,0 +1,41 @@
+//! A from-scratch CDCL SAT solver and netlist-to-CNF encoder.
+//!
+//! This crate is the substrate for the oracle-guided SAT attack on logic
+//! locking (crate `autolock-attacks`). It provides:
+//!
+//! * [`Solver`] — a conflict-driven clause-learning (CDCL) SAT solver with
+//!   two-watched-literal propagation, VSIDS-style activity decision heuristic,
+//!   first-UIP clause learning, non-chronological backtracking, geometric
+//!   restarts and incremental solving under assumptions;
+//! * [`CnfFormula`] — a clause container with DIMACS import/export;
+//! * [`encode`] — Tseitin encoding of an [`autolock_netlist::Netlist`] into
+//!   CNF, with a stable gate→variable mapping so the attack can constrain and
+//!   read back key bits.
+//!
+//! ```
+//! use autolock_satsolver::{Lit, Solver, SolveResult};
+//!
+//! let mut s = Solver::new();
+//! let a = s.new_var();
+//! let b = s.new_var();
+//! // (a OR b) AND (!a OR b) AND (a OR !b)  =>  a = b = true
+//! s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+//! s.add_clause(&[Lit::neg(a), Lit::pos(b)]);
+//! s.add_clause(&[Lit::pos(a), Lit::neg(b)]);
+//! assert_eq!(s.solve(), SolveResult::Sat);
+//! assert_eq!(s.value(a), Some(true));
+//! assert_eq!(s.value(b), Some(true));
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod cnf;
+pub mod encode;
+mod solver;
+mod types;
+
+pub use cnf::CnfFormula;
+pub use encode::CircuitEncoder;
+pub use solver::{SolveResult, Solver, SolverStats};
+pub use types::{Lit, Var};

@@ -1,0 +1,730 @@
+//! The CDCL solver.
+
+use crate::{Lit, Var};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; read it back with [`Solver::value`].
+    Sat,
+    /// The formula (under the given assumptions, if any) is unsatisfiable.
+    Unsat,
+}
+
+/// Counters describing the work a solver has performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SolverStats {
+    /// Number of decision literals picked.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of clauses learned.
+    pub learned_clauses: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+    /// Retained for future clause-database reduction policies.
+    #[allow(dead_code)]
+    learnt: bool,
+}
+
+const UNDEF: i8 = 0;
+
+/// A CDCL SAT solver.
+///
+/// See the [crate documentation](crate) for an example. The solver is
+/// incremental: clauses may be added between [`Solver::solve`] calls and
+/// [`Solver::solve_with_assumptions`] temporarily fixes literals without
+/// permanently constraining the formula.
+#[derive(Debug, Clone)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    /// watches[l.code()] = indices of clauses currently watching literal `l`.
+    watches: Vec<Vec<usize>>,
+    /// assigns[v] = 0 (unassigned), 1 (true), -1 (false).
+    assigns: Vec<i8>,
+    level: Vec<u32>,
+    reason: Vec<Option<usize>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    polarity: Vec<bool>,
+    model: Vec<i8>,
+    ok: bool,
+    stats: SolverStats,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            polarity: Vec::new(),
+            model: Vec::new(),
+            ok: true,
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// Number of variables created so far.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of clauses (original + learned).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Creates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(UNDEF);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.polarity.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.model.push(UNDEF);
+        v
+    }
+
+    /// Ensures at least `n` variables exist.
+    pub fn reserve_vars(&mut self, n: usize) {
+        while self.num_vars() < n {
+            self.new_var();
+        }
+    }
+
+    #[inline]
+    fn lit_value(&self, l: Lit) -> i8 {
+        let a = self.assigns[l.var().index()];
+        if a == UNDEF {
+            UNDEF
+        } else if l.is_neg() {
+            -a
+        } else {
+            a
+        }
+    }
+
+    #[inline]
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    /// Adds a clause. Returns `false` if the solver became trivially
+    /// unsatisfiable (empty clause at top level), `true` otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while the solver is not at decision level 0 (it always
+    /// is between `solve` calls) or if a literal references an unknown
+    /// variable.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        assert_eq!(self.decision_level(), 0, "clauses must be added at level 0");
+        if !self.ok {
+            return false;
+        }
+        for l in lits {
+            assert!(l.var().index() < self.num_vars(), "unknown variable {l}");
+        }
+        // Simplify: sort, dedup, drop false literals, detect tautology and
+        // satisfied clauses.
+        let mut simplified: Vec<Lit> = Vec::with_capacity(lits.len());
+        let mut sorted: Vec<Lit> = lits.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        for &l in &sorted {
+            if sorted.contains(&!l) && l.is_pos() {
+                // Tautology: always satisfied.
+                return true;
+            }
+            match self.lit_value(l) {
+                1 => return true,   // already satisfied at level 0
+                -1 => continue,     // falsified at level 0: drop
+                _ => simplified.push(l),
+            }
+        }
+        match simplified.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(simplified[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                    return false;
+                }
+                true
+            }
+            _ => {
+                self.attach_clause(simplified, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> usize {
+        debug_assert!(lits.len() >= 2);
+        let idx = self.clauses.len();
+        self.watches[lits[0].code()].push(idx);
+        self.watches[lits[1].code()].push(idx);
+        self.clauses.push(Clause { lits, learnt });
+        if learnt {
+            self.stats.learned_clauses += 1;
+        }
+        idx
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, from: Option<usize>) {
+        debug_assert_eq!(self.lit_value(l), UNDEF);
+        let v = l.var().index();
+        self.assigns[v] = if l.is_neg() { -1 } else { 1 };
+        self.level[v] = self.decision_level() as u32;
+        self.reason[v] = from;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation. Returns the index of a conflicting clause, if any.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let false_lit = !p;
+            let watch_code = false_lit.code();
+            let ws = std::mem::take(&mut self.watches[watch_code]);
+            let mut keep = Vec::with_capacity(ws.len());
+            let mut conflict = None;
+            let mut i = 0;
+            while i < ws.len() {
+                let ci = ws[i];
+                i += 1;
+                // Make sure the falsified literal is at position 1.
+                {
+                    let c = &mut self.clauses[ci];
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                }
+                let first = self.clauses[ci].lits[0];
+                if self.lit_value(first) == 1 {
+                    keep.push(ci);
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut found = false;
+                {
+                    let len = self.clauses[ci].lits.len();
+                    for k in 2..len {
+                        let lk = self.clauses[ci].lits[k];
+                        if self.lit_value(lk) != -1 {
+                            self.clauses[ci].lits.swap(1, k);
+                            let new_watch = self.clauses[ci].lits[1];
+                            self.watches[new_watch.code()].push(ci);
+                            found = true;
+                            break;
+                        }
+                    }
+                }
+                if found {
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                keep.push(ci);
+                if self.lit_value(first) == -1 {
+                    // Conflict: keep the remaining watchers and stop.
+                    keep.extend_from_slice(&ws[i..]);
+                    conflict = Some(ci);
+                    self.qhead = self.trail.len();
+                    break;
+                } else {
+                    self.unchecked_enqueue(first, Some(ci));
+                }
+            }
+            // Restore the (possibly appended-to) watch list.
+            let appended = std::mem::take(&mut self.watches[watch_code]);
+            keep.extend(appended);
+            self.watches[watch_code] = keep;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn cancel_until(&mut self, target_level: usize) {
+        if self.decision_level() <= target_level {
+            return;
+        }
+        let lim = self.trail_lim[target_level];
+        for idx in (lim..self.trail.len()).rev() {
+            let l = self.trail[idx];
+            let v = l.var().index();
+            self.polarity[v] = self.assigns[v] == 1;
+            self.assigns[v] = UNDEF;
+            self.reason[v] = None;
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(target_level);
+        self.qhead = self.trail.len();
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in self.activity.iter_mut() {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, conflict: usize) -> (Vec<Lit>, usize) {
+        let mut learnt: Vec<Lit> = vec![Lit::pos(Var(0))]; // slot 0 reserved for the UIP
+        let mut seen = vec![false; self.num_vars()];
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut confl = conflict;
+        let mut index = self.trail.len();
+        let current_level = self.decision_level() as u32;
+
+        loop {
+            let start = usize::from(p.is_some());
+            // Collect literals from the current reason/conflict clause.
+            let clause_lits: Vec<Lit> = self.clauses[confl].lits[start..].to_vec();
+            for q in clause_lits {
+                let v = q.var();
+                if !seen[v.index()] && self.level[v.index()] > 0 {
+                    seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] >= current_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select the next literal to resolve on: the most recently assigned
+            // literal that we've seen.
+            loop {
+                index -= 1;
+                if seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            let pv = pl.var();
+            seen[pv.index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                p = Some(pl);
+                break;
+            }
+            confl = self.reason[pv.index()].expect("non-decision literal has a reason");
+            p = Some(pl);
+        }
+        learnt[0] = !p.expect("at least one literal at the conflict level");
+
+        // Compute backtrack level: the second-highest level in the clause.
+        let backtrack_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()] as usize
+        };
+        (learnt, backtrack_level)
+    }
+
+    fn pick_branch_var(&self) -> Option<Var> {
+        let mut best: Option<(usize, f64)> = None;
+        for v in 0..self.num_vars() {
+            if self.assigns[v] == UNDEF {
+                match best {
+                    Some((_, act)) if act >= self.activity[v] => {}
+                    _ => best = Some((v, self.activity[v])),
+                }
+            }
+        }
+        best.map(|(v, _)| Var(v as u32))
+    }
+
+    /// Solves the current formula with no assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves the formula under the given assumption literals.
+    ///
+    /// Returns [`SolveResult::Unsat`] if no model exists that also satisfies
+    /// every assumption. The solver state (clauses, learned clauses) persists
+    /// across calls; the assumptions do not.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        let mut conflicts_since_restart: u64 = 0;
+        let mut restart_limit: u64 = 100;
+
+        let result = 'outer: loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    break 'outer SolveResult::Unsat;
+                }
+                let (learnt, back_level) = self.analyze(conflict);
+                // Never backtrack past the assumption prefix blindly: the
+                // assumption literals are re-decided by the decision loop, so
+                // plain backjumping is sound.
+                self.cancel_until(back_level);
+                let asserting = learnt[0];
+                if learnt.len() == 1 {
+                    self.unchecked_enqueue(asserting, None);
+                } else {
+                    let idx = self.attach_clause(learnt, true);
+                    self.unchecked_enqueue(asserting, Some(idx));
+                }
+                self.decay_activities();
+            } else {
+                // No conflict.
+                if conflicts_since_restart >= restart_limit {
+                    conflicts_since_restart = 0;
+                    restart_limit = (restart_limit as f64 * 1.5) as u64;
+                    self.stats.restarts += 1;
+                    self.cancel_until(0);
+                }
+                // Re-establish assumptions as the first decision levels.
+                if self.decision_level() < assumptions.len() {
+                    let p = assumptions[self.decision_level()];
+                    if p.var().index() >= self.num_vars() {
+                        // Unknown assumption variable: treat as free, create it.
+                        self.reserve_vars(p.var().index() + 1);
+                    }
+                    match self.lit_value(p) {
+                        1 => {
+                            // Already satisfied: open a dummy level to keep the
+                            // level <-> assumption-index correspondence.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        -1 => {
+                            break 'outer SolveResult::Unsat;
+                        }
+                        _ => {
+                            self.trail_lim.push(self.trail.len());
+                            self.stats.decisions += 1;
+                            self.unchecked_enqueue(p, None);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch_var() {
+                    None => {
+                        // All variables assigned: model found.
+                        self.model = self.assigns.clone();
+                        break 'outer SolveResult::Sat;
+                    }
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let phase = self.polarity[v.index()];
+                        self.unchecked_enqueue(Lit::new(v, phase), None);
+                    }
+                }
+            }
+        };
+        // Leave the solver at level 0 so that clauses can be added afterwards.
+        self.cancel_until(0);
+        result
+    }
+
+    /// Model value of `v` after a successful [`Solver::solve`] call.
+    ///
+    /// Returns `None` if the variable was never assigned in the model (cannot
+    /// happen for variables that existed before the call) or if the last call
+    /// was not satisfiable.
+    pub fn value(&self, v: Var) -> Option<bool> {
+        match self.model.get(v.index()).copied().unwrap_or(UNDEF) {
+            1 => Some(true),
+            -1 => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the solver is known to be unsatisfiable regardless of
+    /// assumptions (an empty clause was derived at level 0).
+    pub fn is_ok(&self) -> bool {
+        self.ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(solver: &mut Solver, n: usize) -> Vec<Var> {
+        (0..n).map(|_| solver.new_var()).collect()
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 1);
+        assert!(s.add_clause(&[Lit::pos(v[0])]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(v[0]), Some(true));
+
+        let mut s = Solver::new();
+        let v = lits(&mut s, 1);
+        s.add_clause(&[Lit::pos(v[0])]);
+        assert!(!s.add_clause(&[Lit::neg(v[0])]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn simple_implication_chain() {
+        // (a) & (!a | b) & (!b | c) => a,b,c all true
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause(&[Lit::pos(v[0])]);
+        s.add_clause(&[Lit::neg(v[0]), Lit::pos(v[1])]);
+        s.add_clause(&[Lit::neg(v[1]), Lit::pos(v[2])]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(v[0]), Some(true));
+        assert_eq!(s.value(v[1]), Some(true));
+        assert_eq!(s.value(v[2]), Some(true));
+    }
+
+    #[test]
+    fn xor_chain_unsat() {
+        // x1 xor x2 = 1, x2 xor x3 = 1, x1 xor x3 = 1 is unsatisfiable.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        let xor1 = |s: &mut Solver, a: Var, b: Var| {
+            s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+            s.add_clause(&[Lit::neg(a), Lit::neg(b)]);
+        };
+        xor1(&mut s, v[0], v[1]);
+        xor1(&mut s, v[1], v[2]);
+        xor1(&mut s, v[0], v[2]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // 3 pigeons, 2 holes. p[i][j] = pigeon i in hole j.
+        let mut s = Solver::new();
+        let mut p = [[Var(0); 2]; 3];
+        for row in p.iter_mut() {
+            for slot in row.iter_mut() {
+                *slot = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(&[Lit::pos(row[0]), Lit::pos(row[1])]);
+        }
+        for j in 0..2 {
+            for i in 0..3 {
+                for k in (i + 1)..3 {
+                    s.add_clause(&[Lit::neg(p[i][j]), Lit::neg(p[k][j])]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_3_sat() {
+        let mut s = Solver::new();
+        let mut p = [[Var(0); 3]; 3];
+        for row in p.iter_mut() {
+            for slot in row.iter_mut() {
+                *slot = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(&[Lit::pos(row[0]), Lit::pos(row[1]), Lit::pos(row[2])]);
+        }
+        for j in 0..3 {
+            for i in 0..3 {
+                for k in (i + 1)..3 {
+                    s.add_clause(&[Lit::neg(p[i][j]), Lit::neg(p[k][j])]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        // Each pigeon must be in at least one hole in the model.
+        for row in &p {
+            assert!(row.iter().any(|&v| s.value(v) == Some(true)));
+        }
+    }
+
+    #[test]
+    fn assumptions_are_temporary() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+        // Assuming !a forces b.
+        assert_eq!(s.solve_with_assumptions(&[Lit::neg(v[0])]), SolveResult::Sat);
+        assert_eq!(s.value(v[0]), Some(false));
+        assert_eq!(s.value(v[1]), Some(true));
+        // Conflicting assumptions yield Unsat but don't poison the solver.
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::neg(v[0]), Lit::neg(v[1])]),
+            SolveResult::Unsat
+        );
+        assert!(s.is_ok());
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1]), Lit::pos(v[2])]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        // Progressively forbid models.
+        s.add_clause(&[Lit::neg(v[0])]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.add_clause(&[Lit::neg(v[1])]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(v[2]), Some(true));
+        s.add_clause(&[Lit::neg(v[2])]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn tautology_and_duplicate_literals_handled() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        assert!(s.add_clause(&[Lit::pos(v[0]), Lit::neg(v[0])]));
+        assert!(s.add_clause(&[Lit::pos(v[1]), Lit::pos(v[1])]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(v[1]), Some(true));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 20);
+        // Random-ish unsatisfiable core plus satisfiable fluff.
+        for i in 0..19 {
+            s.add_clause(&[Lit::pos(v[i]), Lit::pos(v[i + 1])]);
+            s.add_clause(&[Lit::neg(v[i]), Lit::pos(v[i + 1])]);
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.stats().propagations > 0);
+    }
+
+    /// Brute-force model check used by the random CNF test below.
+    fn brute_force_sat(num_vars: usize, clauses: &[Vec<Lit>]) -> bool {
+        for assignment in 0..(1u32 << num_vars) {
+            let value = |l: Lit| {
+                let bit = (assignment >> l.var().index()) & 1 == 1;
+                if l.is_neg() {
+                    !bit
+                } else {
+                    bit
+                }
+            };
+            if clauses.iter().all(|c| c.iter().any(|&l| value(l))) {
+                return true;
+            }
+        }
+        false
+    }
+
+    #[test]
+    fn random_3sat_agrees_with_brute_force() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        for round in 0..60 {
+            let num_vars = 6;
+            let num_clauses = 3 + (round % 20);
+            let clauses: Vec<Vec<Lit>> = (0..num_clauses)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| {
+                            let v = Var(rng.gen_range(0..num_vars) as u32);
+                            Lit::new(v, rng.gen_bool(0.5))
+                        })
+                        .collect()
+                })
+                .collect();
+            let mut s = Solver::new();
+            s.reserve_vars(num_vars);
+            let mut early_unsat = false;
+            for c in &clauses {
+                if !s.add_clause(c) {
+                    early_unsat = true;
+                }
+            }
+            let expected = brute_force_sat(num_vars, &clauses);
+            let got = if early_unsat {
+                false
+            } else {
+                s.solve() == SolveResult::Sat
+            };
+            assert_eq!(got, expected, "round {round}: clauses {clauses:?}");
+            if got {
+                // Verify the model actually satisfies every clause.
+                for c in &clauses {
+                    assert!(c.iter().any(|&l| {
+                        let val = s.value(l.var()).unwrap();
+                        if l.is_neg() {
+                            !val
+                        } else {
+                            val
+                        }
+                    }));
+                }
+            }
+        }
+    }
+}

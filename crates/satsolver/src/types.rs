@@ -1,0 +1,160 @@
+//! Variables and literals.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, numbered densely from 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The variable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0 + 1)
+    }
+}
+
+/// A literal: a variable with a polarity.
+///
+/// The internal code is `var * 2 + (negated as u32)`, so literal codes are
+/// dense and can index watch lists directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Positive literal of `v`.
+    #[inline]
+    pub fn pos(v: Var) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// Negative literal of `v`.
+    #[inline]
+    pub fn neg(v: Var) -> Lit {
+        Lit((v.0 << 1) | 1)
+    }
+
+    /// Builds a literal with an explicit polarity (`true` = positive).
+    #[inline]
+    pub fn new(v: Var, positive: bool) -> Lit {
+        if positive {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    /// The underlying variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// `true` if this literal is negated.
+    #[inline]
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// `true` if this literal is positive.
+    #[inline]
+    pub fn is_pos(self) -> bool {
+        !self.is_neg()
+    }
+
+    /// Dense code usable as an index (2 codes per variable).
+    #[inline]
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Inverse of [`Lit::code`].
+    #[inline]
+    pub fn from_code(code: usize) -> Lit {
+        Lit(code as u32)
+    }
+
+    /// DIMACS integer representation (1-based, negative when negated).
+    pub fn to_dimacs(self) -> i64 {
+        let v = (self.var().0 + 1) as i64;
+        if self.is_neg() {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Parses a DIMACS integer (must be non-zero).
+    pub fn from_dimacs(value: i64) -> Option<Lit> {
+        if value == 0 {
+            return None;
+        }
+        let var = Var(value.unsigned_abs() as u32 - 1);
+        Some(Lit::new(var, value > 0))
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_neg() {
+            write!(f, "¬{}", self.var())
+        } else {
+            write!(f, "{}", self.var())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_codes_and_negation() {
+        let v = Var(3);
+        let p = Lit::pos(v);
+        let n = Lit::neg(v);
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert!(p.is_pos());
+        assert!(n.is_neg());
+        assert_eq!(!p, n);
+        assert_eq!(!n, p);
+        assert_eq!(p.code(), 6);
+        assert_eq!(n.code(), 7);
+        assert_eq!(Lit::from_code(p.code()), p);
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        let v = Var(9);
+        assert_eq!(Lit::pos(v).to_dimacs(), 10);
+        assert_eq!(Lit::neg(v).to_dimacs(), -10);
+        assert_eq!(Lit::from_dimacs(10), Some(Lit::pos(v)));
+        assert_eq!(Lit::from_dimacs(-10), Some(Lit::neg(v)));
+        assert_eq!(Lit::from_dimacs(0), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = Var(0);
+        assert_eq!(Lit::pos(v).to_string(), "x1");
+        assert_eq!(Lit::neg(v).to_string(), "¬x1");
+    }
+}
