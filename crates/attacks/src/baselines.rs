@@ -29,7 +29,13 @@ impl KeyRecoveryAttack for RandomGuessAttack {
                 confidence: 0.5,
             })
             .collect();
-        AttackOutcome::from_guesses(self.name(), locked, guesses, 0.75, start.elapsed().as_millis())
+        AttackOutcome::from_guesses(
+            self.name(),
+            locked,
+            guesses,
+            0.75,
+            start.elapsed().as_millis(),
+        )
     }
 }
 
@@ -78,7 +84,13 @@ impl KeyRecoveryAttack for XorStructuralAttack {
                 confidence,
             });
         }
-        AttackOutcome::from_guesses(self.name(), locked, guesses, 0.75, start.elapsed().as_millis())
+        AttackOutcome::from_guesses(
+            self.name(),
+            locked,
+            guesses,
+            0.75,
+            start.elapsed().as_millis(),
+        )
     }
 }
 
@@ -103,7 +115,9 @@ mod tests {
     fn random_guess_is_near_half_on_long_keys() {
         let original = synth_circuit("t", 12, 5, 300, 1);
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let locked = DMuxLocking::default().lock(&original, 64, &mut rng).unwrap();
+        let locked = DMuxLocking::default()
+            .lock(&original, 64, &mut rng)
+            .unwrap();
         let outcome = RandomGuessAttack.attack(&locked, &mut rng);
         assert!(outcome.key_accuracy > 0.25 && outcome.key_accuracy < 0.75);
         assert_eq!(outcome.attack, "random-guess");
@@ -123,7 +137,9 @@ mod tests {
     fn xor_structural_attack_is_uninformed_on_dmux() {
         let original = synth_circuit("t", 10, 4, 150, 3);
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let locked = DMuxLocking::default().lock(&original, 32, &mut rng).unwrap();
+        let locked = DMuxLocking::default()
+            .lock(&original, 32, &mut rng)
+            .unwrap();
         let outcome = XorStructuralAttack.attack(&locked, &mut rng);
         // All guesses are coin flips.
         assert!(outcome.guesses.iter().all(|g| g.confidence == 0.5));

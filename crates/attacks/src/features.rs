@@ -25,11 +25,7 @@ pub fn visible_levels(netlist: &Netlist, hidden: &HashSet<GateId>) -> Vec<usize>
         if hidden.contains(&id) {
             continue;
         }
-        indeg[id.index()] = gate
-            .fanin
-            .iter()
-            .filter(|f| !hidden.contains(f))
-            .count();
+        indeg[id.index()] = gate.fanin.iter().filter(|f| !hidden.contains(f)).count();
     }
     let mut levels = vec![0usize; netlist.len()];
     let mut queue: std::collections::VecDeque<GateId> = netlist
@@ -111,13 +107,7 @@ impl LinkFeatureExtractor {
                 // endpoint one-hots + endpoint degrees/fanio + pair stats +
                 // level features + subgraph stats + kind histogram + drnl
                 // histogram
-                2 * GateKind::NUM_CODES
-                    + 6
-                    + 5
-                    + 4
-                    + 4
-                    + GateKind::NUM_CODES
-                    + self.config.max_drnl
+                2 * GateKind::NUM_CODES + 6 + 5 + 4 + 4 + GateKind::NUM_CODES + self.config.max_drnl
             }
         }
     }
@@ -156,7 +146,15 @@ impl LinkFeatureExtractor {
         let deg_u = graph.degree(driver) as f64;
         let deg_v = graph.degree(sink) as f64;
         let fanin_v = netlist.gate(sink).fanin.len() as f64;
-        let fanout_u = graph.degree(driver) as f64; // undirected degree as proxy
+        // True directed fan-out of the driver within the visible graph: count
+        // the neighbours that actually read `driver` as a fan-in. Restricting
+        // to `graph` keeps the feature consistent with the attack's view
+        // (hidden gates and the removed candidate link are excluded).
+        let fanout_u = graph
+            .neighbors(driver)
+            .iter()
+            .filter(|&&nb| netlist.gate(nb).fanin.contains(&driver))
+            .count() as f64;
         features.push(deg_u);
         features.push(deg_v);
         features.push(fanin_v);
@@ -167,17 +165,26 @@ impl LinkFeatureExtractor {
         // Pairwise link-prediction heuristics.
         let common = graph.common_neighbors(driver, sink) as f64;
         let jaccard = graph.jaccard(driver, sink);
+        // Probe the endpoint distance well beyond the enclosing-subgraph
+        // radius: on larger netlists both the true driver (via alternate
+        // paths) and a decoy can exceed 2*hops, and saturating that early
+        // erases exactly the near/far contrast that separates them.
+        let dist_budget = (self.config.hops * 4).max(8);
         let dist = {
-            let d = graph.bfs_distances(driver, self.config.hops * 2);
+            let d = graph.bfs_distances(driver, dist_budget);
             d.get(&sink)
                 .copied()
                 .map(|x| x as f64)
-                .unwrap_or((self.config.hops * 2 + 1) as f64)
+                .unwrap_or((dist_budget + 1) as f64)
         };
         features.push(common);
         features.push(jaccard);
         features.push(dist);
-        features.push(if dist <= self.config.hops as f64 { 1.0 } else { 0.0 });
+        features.push(if dist <= self.config.hops as f64 {
+            1.0
+        } else {
+            0.0
+        });
         features.push(common / (deg_u + deg_v + 1.0));
 
         // Logic-level features: a true driver sits below its sink, usually by

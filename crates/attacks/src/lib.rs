@@ -4,9 +4,12 @@
 //! AutoLock paper discusses:
 //!
 //! * [`MuxLinkAttack`] — the oracle-less, ML-based link-prediction attack
-//!   (MuxLink, DATE 2022) rebuilt on a from-scratch feature extractor +
-//!   [`autolock_mlcore`] classifier. This is the attack AutoLock's genetic
-//!   algorithm uses as its fitness oracle.
+//!   (MuxLink, DATE 2022) with two selectable backends
+//!   ([`MuxLinkBackend`]): a from-scratch feature extractor + bagged
+//!   [`autolock_mlcore`] MLP ensemble, or the paper-faithful DGCNN from
+//!   [`autolock_gnn`] operating on raw enclosing subgraphs. This is the
+//!   attack AutoLock's genetic algorithm uses as its fitness oracle (either
+//!   backend can serve as the adversary).
 //! * [`SatAttack`] — the classic oracle-guided SAT attack (Subramanyan et
 //!   al.), built on the [`autolock_satsolver`] CDCL solver. Used by the
 //!   multi-objective experiments (E5, E8).
@@ -29,7 +32,7 @@ mod sat;
 
 pub use baselines::{has_mux_key_gates, RandomGuessAttack, XorStructuralAttack};
 pub use features::{visible_levels, FeatureMode, LinkFeatureConfig, LinkFeatureExtractor};
-pub use muxlink::{MuxLinkAttack, MuxLinkConfig, MuxCandidate};
+pub use muxlink::{MuxCandidate, MuxLinkAttack, MuxLinkBackend, MuxLinkConfig};
 pub use report::{AttackOutcome, KeyGuess};
 pub use sat::{SatAttack, SatAttackConfig, SatAttackOutcome};
 

@@ -8,22 +8,26 @@
 //! non-adjacent pairs as negatives, then scores the two candidate links behind
 //! every key-controlled MUX and picks the more link-like one.
 //!
-//! Pipeline of this reproduction (DGCNN replaced by an enclosing-subgraph
-//! feature extractor + MLP, see `DESIGN.md`):
+//! Pipeline of this reproduction:
 //!
 //! 1. hide key inputs and key MUXes from the structural view,
-//! 2. sample training links/non-links and extract features,
-//! 3. train an [`autolock_mlcore::Mlp`],
-//! 4. score each candidate link of each key MUX,
+//! 2. sample training links/non-links,
+//! 3. train the configured [`MuxLinkBackend`]: either a bagged
+//!    [`autolock_mlcore::Mlp`] ensemble over enclosing-subgraph statistics
+//!    (the seed approximation) or the faithful [`autolock_gnn::Dgcnn`] over
+//!    the raw enclosing subgraphs,
+//! 4. score each candidate link of each key MUX (with the cycle rule as a
+//!    hard override),
 //! 5. vote per key bit (both MUXes driven by the same key input contribute)
 //!    and report per-bit confidence = normalized score margin.
 
 use crate::features::{visible_levels, FeatureMode, LinkFeatureConfig, LinkFeatureExtractor};
 use crate::report::{AttackOutcome, KeyGuess};
 use crate::KeyRecoveryAttack;
+use autolock_gnn::{Dgcnn, DgcnnConfig, LinkPredictor, SubgraphTensor};
 use autolock_locking::LockedNetlist;
 use autolock_mlcore::{Dataset, Mlp, MlpConfig};
-use autolock_netlist::graph::UndirectedGraph;
+use autolock_netlist::graph::{enclosing_subgraph, UndirectedGraph};
 use autolock_netlist::{GateId, GateKind, Netlist};
 use rand::seq::SliceRandom;
 use rand::{Rng, RngCore, SeedableRng};
@@ -49,10 +53,27 @@ pub struct MuxCandidate {
     pub cand_key1: GateId,
 }
 
+/// Which learned model scores candidate links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum MuxLinkBackend {
+    /// Enclosing-subgraph statistics fed to a bagged MLP ensemble (the seed
+    /// reproduction's approximation of the published attack).
+    #[default]
+    Mlp,
+    /// A DGCNN over the raw enclosing subgraphs (`autolock_gnn`), faithful to
+    /// the published MuxLink architecture.
+    Gnn,
+}
+
 /// Configuration of [`MuxLinkAttack`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MuxLinkConfig {
-    /// Feature-extraction settings (hops, mode).
+    /// The model that scores candidate links.
+    pub backend: MuxLinkBackend,
+    /// Feature-extraction settings (hops, mode). `features.mode` is an
+    /// ablation of the *MLP* feature extractor; the GNN backend always sees
+    /// the raw enclosing subgraph, so with [`MuxLinkBackend::Gnn`] the mode
+    /// is ignored and the attack keeps its `muxlink-gnn` identity.
     pub features: LinkFeatureConfig,
     /// Hidden-layer sizes of the MLP.
     pub hidden: Vec<usize>,
@@ -62,6 +83,10 @@ pub struct MuxLinkConfig {
     pub learning_rate: f64,
     /// Maximum number of positive (and negative) training samples.
     pub max_train_samples_per_class: usize,
+    /// Number of independently initialized MLPs trained and averaged per
+    /// attack. Ensembling drains most of the variance a single small MLP
+    /// shows on the few hundred training links a small netlist yields.
+    pub ensemble: usize,
     /// Margin above which a key-bit prediction counts as "confident".
     pub confidence_threshold: f64,
 }
@@ -69,11 +94,13 @@ pub struct MuxLinkConfig {
 impl Default for MuxLinkConfig {
     fn default() -> Self {
         MuxLinkConfig {
+            backend: MuxLinkBackend::Mlp,
             features: LinkFeatureConfig::default(),
             hidden: vec![32, 16],
             epochs: 60,
             learning_rate: 0.01,
             max_train_samples_per_class: 400,
+            ensemble: 5,
             confidence_threshold: 0.6,
         }
     }
@@ -86,6 +113,28 @@ impl MuxLinkConfig {
         MuxLinkConfig {
             hidden: vec![16],
             epochs: 30,
+            max_train_samples_per_class: 300,
+            ensemble: 5,
+            ..Default::default()
+        }
+    }
+
+    /// The DGCNN backend with full-strength settings.
+    pub fn gnn() -> Self {
+        MuxLinkConfig {
+            backend: MuxLinkBackend::Gnn,
+            epochs: 30,
+            max_train_samples_per_class: 300,
+            ..Default::default()
+        }
+    }
+
+    /// A cheaper DGCNN configuration (fewer samples and epochs), the GNN
+    /// counterpart of [`MuxLinkConfig::fast`] for use inside fitness loops.
+    pub fn gnn_fast() -> Self {
+        MuxLinkConfig {
+            backend: MuxLinkBackend::Gnn,
+            epochs: 20,
             max_train_samples_per_class: 150,
             ..Default::default()
         }
@@ -104,10 +153,28 @@ impl MuxLinkConfig {
     }
 }
 
+/// A sampled set of (driver, sink) link examples.
+type LinkPairs = Vec<(GateId, GateId)>;
+
 /// The MuxLink-style attack.
 #[derive(Debug, Clone, Default)]
 pub struct MuxLinkAttack {
     config: MuxLinkConfig,
+}
+
+/// The trained link-scoring ensemble: bagged MLPs, each trained on its own
+/// sampling of the self-supervised link data; scores are ensemble means.
+struct LinkScorer {
+    mlps: Vec<Mlp>,
+}
+
+impl LinkScorer {
+    fn score(&self, row: &[f64]) -> f64 {
+        if self.mlps.is_empty() {
+            return 0.5;
+        }
+        self.mlps.iter().map(|m| m.predict(row)).sum::<f64>() / self.mlps.len() as f64
+    }
 }
 
 impl MuxLinkAttack {
@@ -172,17 +239,15 @@ impl MuxLinkAttack {
         hidden
     }
 
-    /// Builds the self-supervised training set: `(features, label)` rows.
-    #[allow(clippy::too_many_arguments)]
-    fn training_set<R: Rng + ?Sized>(
+    /// Samples the self-supervised training links: visible true wires as
+    /// positives, random non-adjacent pairs as negatives. Shared by both
+    /// backends.
+    fn sample_links<R: Rng + ?Sized>(
         &self,
         netlist: &Netlist,
-        graph: &UndirectedGraph,
-        levels: &[usize],
         hidden: &HashSet<GateId>,
-        extractor: &LinkFeatureExtractor,
         rng: &mut R,
-    ) -> (Vec<Vec<f64>>, Vec<f64>) {
+    ) -> (LinkPairs, LinkPairs) {
         // Positive examples: wires of the locked netlist that do not touch
         // hidden gates.
         let mut positives: Vec<(GateId, GateId)> = Vec::new();
@@ -200,10 +265,7 @@ impl MuxLinkAttack {
         positives.truncate(self.config.max_train_samples_per_class);
 
         // Negative examples: random non-adjacent (driver, sink) pairs.
-        let visible: Vec<GateId> = netlist
-            .ids()
-            .filter(|id| !hidden.contains(id))
-            .collect();
+        let visible: Vec<GateId> = netlist.ids().filter(|id| !hidden.contains(id)).collect();
         let sinks: Vec<GateId> = visible
             .iter()
             .copied()
@@ -229,20 +291,58 @@ impl MuxLinkAttack {
             }
             negatives.push((u, v));
         }
+        (positives, negatives)
+    }
 
+    /// Extracts MLP feature rows for sampled links.
+    fn training_rows(
+        &self,
+        netlist: &Netlist,
+        graph: &UndirectedGraph,
+        levels: &[usize],
+        extractor: &LinkFeatureExtractor,
+        positives: &[(GateId, GateId)],
+        negatives: &[(GateId, GateId)],
+    ) -> (Vec<Vec<f64>>, Vec<f64>) {
         let mut rows = Vec::with_capacity(positives.len() + negatives.len());
         let mut labels = Vec::with_capacity(rows.capacity());
-        for &(u, v) in &positives {
+        for &(u, v) in positives {
             // Hide the link itself before extracting its neighbourhood.
             let g = graph.without_edge(u, v);
             rows.push(extractor.extract(netlist, &g, levels, u, v));
             labels.push(1.0);
         }
-        for &(u, v) in &negatives {
+        for &(u, v) in negatives {
             rows.push(extractor.extract(netlist, graph, levels, u, v));
             labels.push(0.0);
         }
         (rows, labels)
+    }
+
+    /// Builds DGCNN subgraph tensors for sampled links.
+    fn training_tensors(
+        &self,
+        netlist: &Netlist,
+        graph: &UndirectedGraph,
+        positives: &[(GateId, GateId)],
+        negatives: &[(GateId, GateId)],
+    ) -> (Vec<SubgraphTensor>, Vec<f64>) {
+        let hops = self.config.features.hops;
+        let max_drnl = self.config.features.max_drnl;
+        let mut graphs = Vec::with_capacity(positives.len() + negatives.len());
+        let mut labels = Vec::with_capacity(graphs.capacity());
+        for &(u, v) in positives {
+            let g = graph.without_edge(u, v);
+            let sg = enclosing_subgraph(&g, u, v, hops);
+            graphs.push(SubgraphTensor::from_enclosing(netlist, &sg, max_drnl));
+            labels.push(1.0);
+        }
+        for &(u, v) in negatives {
+            let sg = enclosing_subgraph(graph, u, v, hops);
+            graphs.push(SubgraphTensor::from_enclosing(netlist, &sg, max_drnl));
+            labels.push(0.0);
+        }
+        (graphs, labels)
     }
 
     /// Directed adjacency of the visible (non-hidden) part of the netlist.
@@ -326,27 +426,82 @@ impl MuxLinkAttack {
         let visible_adj = Self::visible_fanouts(netlist, &hidden);
         let extractor = LinkFeatureExtractor::new(self.config.features);
 
-        // Self-supervised training.
-        let (rows, labels) =
-            self.training_set(netlist, &graph, &levels, &hidden, &extractor, &mut rng);
-        let (model, mean, std) = if rows.len() >= 8 && labels.iter().any(|&l| l > 0.5) && labels.iter().any(|&l| l < 0.5) {
-            let data = Dataset::from_rows(rows, labels).expect("consistent feature rows");
-            let (mean, std) = data.feature_stats();
-            let data = data.standardized(&mean, &std);
-            let mut mlp = Mlp::new(
-                MlpConfig {
-                    input_dim: extractor.dim(),
-                    hidden: self.config.hidden.clone(),
-                    epochs: self.config.epochs,
-                    learning_rate: self.config.learning_rate,
-                    ..Default::default()
-                },
-                &mut rng,
-            );
-            mlp.train(&data, &mut rng);
-            (Some(mlp), mean, std)
-        } else {
-            (None, vec![0.0; extractor.dim()], vec![1.0; extractor.dim()])
+        // Self-supervised training: sample links once, then train whichever
+        // backend is configured and wrap it behind a uniform scoring closure.
+        let (positives, negatives) = self.sample_links(netlist, &hidden, &mut rng);
+        let trainable = positives.len() + negatives.len() >= 8
+            && !positives.is_empty()
+            && !negatives.is_empty();
+        let score_model: Box<dyn Fn(GateId, GateId) -> f64> = match self.config.backend {
+            MuxLinkBackend::Mlp => {
+                let (rows, labels) = self
+                    .training_rows(netlist, &graph, &levels, &extractor, &positives, &negatives);
+                if !trainable {
+                    Box::new(|_, _| 0.5)
+                } else {
+                    let data = Dataset::from_rows(rows, labels).expect("consistent feature rows");
+                    let (mean, std) = data.feature_stats();
+                    let data = data.standardized(&mean, &std);
+                    let ensemble = self.config.ensemble.max(1);
+                    let mut mlps = Vec::with_capacity(ensemble);
+                    for member in 0..ensemble {
+                        // Bagging: each member after the first trains on a
+                        // bootstrap resample, so the ensemble averages out
+                        // data-sampling noise in addition to initialization
+                        // noise. Feature extraction is shared, so extra
+                        // members only cost MLP training time.
+                        let train = if member == 0 {
+                            data.clone()
+                        } else {
+                            data.bootstrap_sample(&mut rng)
+                        };
+                        let mut mlp = Mlp::new(
+                            MlpConfig {
+                                input_dim: extractor.dim(),
+                                hidden: self.config.hidden.clone(),
+                                epochs: self.config.epochs,
+                                learning_rate: self.config.learning_rate,
+                                ..Default::default()
+                            },
+                            &mut rng,
+                        );
+                        mlp.train(&train, &mut rng);
+                        mlps.push(mlp);
+                    }
+                    let scorer = LinkScorer { mlps };
+                    let extractor = extractor.clone();
+                    let graph_ref = &graph;
+                    let levels_ref = &levels;
+                    Box::new(move |driver, sink| {
+                        let f = extractor.extract(netlist, graph_ref, levels_ref, driver, sink);
+                        scorer.score(&Dataset::standardize_row(&f, &mean, &std))
+                    })
+                }
+            }
+            MuxLinkBackend::Gnn => {
+                if !trainable {
+                    Box::new(|_, _| 0.5)
+                } else {
+                    let (graphs, labels) =
+                        self.training_tensors(netlist, &graph, &positives, &negatives);
+                    let max_drnl = self.config.features.max_drnl;
+                    let mut model = Dgcnn::new(
+                        DgcnnConfig {
+                            epochs: self.config.epochs,
+                            learning_rate: self.config.learning_rate,
+                            ..DgcnnConfig::for_features(SubgraphTensor::feature_dim_for(max_drnl))
+                        },
+                        &mut rng,
+                    );
+                    model.train(&graphs, &labels, &mut rng);
+                    let hops = self.config.features.hops;
+                    let graph_ref = &graph;
+                    Box::new(move |driver, sink| {
+                        let sg = enclosing_subgraph(graph_ref, driver, sink, hops);
+                        model.score(&SubgraphTensor::from_enclosing(netlist, &sg, max_drnl))
+                    })
+                }
+            }
         };
 
         // Score every candidate link. The model score is overridden by the
@@ -359,11 +514,7 @@ impl MuxLinkAttack {
                 if Self::reaches(&visible_adj, cand.sink, driver) {
                     return 0.0;
                 }
-                let f = extractor.extract(netlist, &graph, &levels, driver, cand.sink);
-                match &model {
-                    Some(m) => m.predict(&Dataset::standardize_row(&f, &mean, &std)),
-                    None => 0.5,
-                }
+                score_model(driver, cand.sink)
             };
             scored.push((*cand, score(cand.cand_key0), score(cand.cand_key1)));
         }
@@ -413,9 +564,12 @@ impl MuxLinkAttack {
 
 impl KeyRecoveryAttack for MuxLinkAttack {
     fn name(&self) -> &str {
-        match self.config.features.mode {
-            FeatureMode::Full => "muxlink",
-            FeatureMode::LocalityOnly => "locality-only",
+        match (self.config.backend, self.config.features.mode) {
+            // The locality ablation only exists for the MLP feature
+            // extractor; the DGCNN always consumes raw subgraphs.
+            (MuxLinkBackend::Gnn, _) => "muxlink-gnn",
+            (MuxLinkBackend::Mlp, FeatureMode::LocalityOnly) => "locality-only",
+            (MuxLinkBackend::Mlp, FeatureMode::Full) => "muxlink",
         }
     }
 
@@ -450,7 +604,9 @@ mod tests {
     fn muxlink_beats_random_on_dmux() {
         let original = synth_circuit("t", 12, 5, 200, 7);
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let locked = DMuxLocking::default().lock(&original, 16, &mut rng).unwrap();
+        let locked = DMuxLocking::default()
+            .lock(&original, 16, &mut rng)
+            .unwrap();
         let attack = MuxLinkAttack::new(MuxLinkConfig::fast());
         let outcome = attack.attack(&locked, &mut rng);
         assert_eq!(outcome.guesses.len(), 16);

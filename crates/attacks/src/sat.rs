@@ -155,7 +155,9 @@ impl SatAttack {
                     // Constrain both miter key copies and the key solver with
                     // the observed input/output behaviour.
                     for enc in [&enc_a, &enc_b] {
-                        Self::add_io_constraint(&mut miter, netlist, enc, &pis, &keys, &outs, &dip, &response);
+                        Self::add_io_constraint(
+                            &mut miter, netlist, enc, &pis, &keys, &outs, &dip, &response,
+                        );
                     }
                     Self::add_io_constraint_new_copy(
                         &mut key_solver,
@@ -331,7 +333,9 @@ mod tests {
     fn iteration_budget_is_respected() {
         let original = synth_circuit("t", 10, 4, 120, 17);
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let locked = DMuxLocking::default().lock(&original, 12, &mut rng).unwrap();
+        let locked = DMuxLocking::default()
+            .lock(&original, 12, &mut rng)
+            .unwrap();
         let attack = SatAttack::new(SatAttackConfig {
             max_iterations: 0,
             timeout_ms: 60_000,

@@ -16,7 +16,9 @@ fn attack_outcomes_are_well_formed_for_every_attack_and_scheme() {
     let mut rng = ChaCha8Rng::seed_from_u64(1);
     let lockings = vec![
         XorLocking::default().lock(&original, 12, &mut rng).unwrap(),
-        DMuxLocking::default().lock(&original, 12, &mut rng).unwrap(),
+        DMuxLocking::default()
+            .lock(&original, 12, &mut rng)
+            .unwrap(),
     ];
     let attacks: Vec<Box<dyn KeyRecoveryAttack>> = vec![
         Box::new(RandomGuessAttack),
@@ -51,7 +53,9 @@ fn attack_outcomes_are_well_formed_for_every_attack_and_scheme() {
 fn muxlink_candidates_cover_every_key_bit_of_dmux() {
     let original = suite_circuit("s160").unwrap();
     let mut rng = ChaCha8Rng::seed_from_u64(4);
-    let locked = DMuxLocking::default().lock(&original, 10, &mut rng).unwrap();
+    let locked = DMuxLocking::default()
+        .lock(&original, 10, &mut rng)
+        .unwrap();
     let candidates = MuxLinkAttack::find_candidates(locked.netlist());
     for bit in 0..10 {
         let n = candidates.iter().filter(|c| c.key_bit == bit).count();
@@ -74,7 +78,7 @@ fn muxlink_accuracy_scales_with_circuit_size() {
     let locked_small = DMuxLocking::default().lock(&small, 16, &mut rng).unwrap();
     let locked_large = DMuxLocking::default().lock(&large, 16, &mut rng).unwrap();
     let attack = MuxLinkAttack::new(MuxLinkConfig::fast());
-    let mut acc = |l| {
+    let acc = |l| {
         let mut total = 0.0;
         for s in 0..3u64 {
             let mut rng = ChaCha8Rng::seed_from_u64(100 + s);
@@ -88,7 +92,10 @@ fn muxlink_accuracy_scales_with_circuit_size() {
         acc_large >= 0.75,
         "expected a strong attack on the low-density locking, got {acc_large}"
     );
-    assert!(acc_large + 0.15 >= acc_small, "small {acc_small}, large {acc_large}");
+    assert!(
+        acc_large + 0.15 >= acc_small,
+        "small {acc_small}, large {acc_large}"
+    );
 }
 
 #[test]
@@ -112,7 +119,10 @@ fn sat_attack_key_is_always_functionally_correct_when_successful() {
             &mut rng,
         )
         .unwrap();
-        assert!(ok, "seed {seed}: recovered key must be functionally correct");
+        assert!(
+            ok,
+            "seed {seed}: recovered key must be functionally correct"
+        );
         assert!(outcome.iterations as usize <= 400);
     }
 }
@@ -121,12 +131,16 @@ fn sat_attack_key_is_always_functionally_correct_when_successful() {
 fn locality_only_attack_is_much_weaker_than_full_muxlink_on_dmux() {
     let original = synth_circuit("loc", 16, 8, 400, 21);
     let mut rng = ChaCha8Rng::seed_from_u64(7);
-    let locked = DMuxLocking::default().lock(&original, 24, &mut rng).unwrap();
-    let mut run = |cfg: MuxLinkConfig| {
+    let locked = DMuxLocking::default()
+        .lock(&original, 24, &mut rng)
+        .unwrap();
+    let run = |cfg: MuxLinkConfig| {
         let mut total = 0.0;
         for s in 0..3u64 {
             let mut rng = ChaCha8Rng::seed_from_u64(50 + s);
-            total += MuxLinkAttack::new(cfg.clone()).attack(&locked, &mut rng).key_accuracy;
+            total += MuxLinkAttack::new(cfg.clone())
+                .attack(&locked, &mut rng)
+                .key_accuracy;
         }
         total / 3.0
     };

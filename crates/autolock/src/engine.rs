@@ -70,8 +70,12 @@ impl AutoLock {
         }
 
         // Step 2: fitness = 1 - MuxLink accuracy.
-        let mut fitness =
-            MuxLinkFitness::new(original.clone(), cfg.attack.clone(), cfg.seed, cfg.attack_repeats);
+        let mut fitness = MuxLinkFitness::new(
+            original.clone(),
+            cfg.attack.clone(),
+            cfg.seed,
+            cfg.attack_repeats,
+        );
         if let Some(t) = cfg.target_fitness {
             fitness = fitness.with_target(t);
         }
@@ -112,7 +116,10 @@ impl AutoLock {
                 worst_attack_accuracy: 1.0 - s.worst,
             })
             .collect();
-        let baseline_attack_accuracy = history.first().map(|h| h.mean_attack_accuracy).unwrap_or(1.0);
+        let baseline_attack_accuracy = history
+            .first()
+            .map(|h| h.mean_attack_accuracy)
+            .unwrap_or(1.0);
 
         Ok(AutoLockResult {
             locked,

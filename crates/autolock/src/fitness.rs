@@ -1,7 +1,9 @@
 //! Fitness functions: the GA ↔ attack integration.
 
 use crate::genotype::{genotype_hash, LockingGenotype};
-use autolock_attacks::{KeyRecoveryAttack, MuxLinkAttack, MuxLinkConfig, SatAttack, SatAttackConfig};
+use autolock_attacks::{
+    KeyRecoveryAttack, MuxLinkAttack, MuxLinkConfig, SatAttack, SatAttackConfig,
+};
 use autolock_evo::{FitnessFunction, MultiObjectiveFitness};
 use autolock_locking::{apply_loci, LockedNetlist};
 use autolock_netlist::Netlist;
@@ -31,7 +33,12 @@ pub struct MuxLinkFitness {
 
 impl MuxLinkFitness {
     /// Creates the fitness function.
-    pub fn new(original: Arc<Netlist>, attack_config: MuxLinkConfig, seed: u64, repeats: usize) -> Self {
+    pub fn new(
+        original: Arc<Netlist>,
+        attack_config: MuxLinkConfig,
+        seed: u64,
+        repeats: usize,
+    ) -> Self {
         MuxLinkFitness {
             original,
             attack: MuxLinkAttack::new(attack_config),
@@ -177,14 +184,16 @@ impl MultiObjectiveFitness<LockingGenotype> for MultiObjectiveLockingFitness {
                         extra / self.original.num_logic_gates().max(1) as f64
                     }
                     ObjectiveKind::DepthOverhead => {
-                        let original_depth =
-                            autolock_netlist::topo::depth(&self.original).unwrap_or(1).max(1);
-                        let locked_depth =
-                            autolock_netlist::topo::depth(locked.netlist()).unwrap_or(original_depth);
+                        let original_depth = autolock_netlist::topo::depth(&self.original)
+                            .unwrap_or(1)
+                            .max(1);
+                        let locked_depth = autolock_netlist::topo::depth(locked.netlist())
+                            .unwrap_or(original_depth);
                         (locked_depth as f64 - original_depth as f64) / original_depth as f64
                     }
                     ObjectiveKind::SatVulnerability => {
-                        let outcome = SatAttack::new(self.sat_config).attack(&locked, &self.original);
+                        let outcome =
+                            SatAttack::new(self.sat_config).attack(&locked, &self.original);
                         if outcome.success {
                             1.0 / (1.0 + outcome.iterations as f64)
                         } else {
@@ -243,10 +252,22 @@ mod tests {
     }
 
     #[test]
+    fn fitness_can_target_the_gnn_adversary() {
+        // The evolutionary loop can optimize against the DGCNN backend just
+        // by configuring it; the fitness plumbing is backend-agnostic.
+        let (original, genotype) = setup();
+        let fitness = MuxLinkFitness::new(original, MuxLinkConfig::gnn_fast(), 11, 1);
+        let f = fitness.evaluate(&genotype);
+        assert!((0.0..=1.0).contains(&f));
+        // Cached and deterministic like the MLP-backed fitness.
+        assert_eq!(fitness.evaluate(&genotype), f);
+        assert_eq!(fitness.evaluations(), 1);
+    }
+
+    #[test]
     fn target_is_propagated() {
         let (original, _) = setup();
-        let fitness =
-            MuxLinkFitness::new(original, MuxLinkConfig::fast(), 11, 1).with_target(0.5);
+        let fitness = MuxLinkFitness::new(original, MuxLinkConfig::fast(), 11, 1).with_target(0.5);
         assert_eq!(FitnessFunction::target(&fitness), Some(0.5));
     }
 

@@ -113,9 +113,9 @@ pub fn repair_genotype(
     let mut extra: Vec<(GateId, GateId)> = Vec::new();
     let mut repaired: LockingGenotype = Vec::with_capacity(key_len);
     let commit = |locus: MuxPairLocus,
-                      used: &mut HashSet<(GateId, GateId)>,
-                      extra: &mut Vec<(GateId, GateId)>,
-                      repaired: &mut LockingGenotype| {
+                  used: &mut HashSet<(GateId, GateId)>,
+                  extra: &mut Vec<(GateId, GateId)>,
+                  repaired: &mut LockingGenotype| {
         for w in locus.wires() {
             used.insert(w);
         }

@@ -76,10 +76,8 @@ impl LocusCrossover {
                 }
                 let mut child_a = a.clone();
                 let mut child_b = b.clone();
-                for i in c1..c2 {
-                    child_a[i] = b[i];
-                    child_b[i] = a[i];
-                }
+                child_a[c1..c2].clone_from_slice(&b[c1..c2]);
+                child_b[c1..c2].clone_from_slice(&a[c1..c2]);
                 (child_a, child_b)
             }
             CrossoverKind::Uniform => {
@@ -153,7 +151,12 @@ impl LocusMutation {
         self.kind
     }
 
-    fn apply_kind(&self, kind: MutationKind, genotype: &mut LockingGenotype, rng: &mut dyn RngCore) {
+    fn apply_kind(
+        &self,
+        kind: MutationKind,
+        genotype: &mut LockingGenotype,
+        rng: &mut dyn RngCore,
+    ) {
         if genotype.is_empty() {
             return;
         }
@@ -166,7 +169,8 @@ impl LocusMutation {
                 if let (Some(&(f_i, g_i)), Some(&(f_j, g_j))) =
                     (self.wires.choose(rng), self.wires.choose(rng))
                 {
-                    genotype[idx] = autolock_locking::MuxPairLocus::new(f_i, g_i, f_j, g_j, rng.gen());
+                    genotype[idx] =
+                        autolock_locking::MuxPairLocus::new(f_i, g_i, f_j, g_j, rng.gen());
                 }
             }
             MutationKind::RewirePartner => {
@@ -222,7 +226,11 @@ mod tests {
 
     #[test]
     fn all_crossover_kinds_produce_valid_children() {
-        for kind in [CrossoverKind::OnePoint, CrossoverKind::TwoPoint, CrossoverKind::Uniform] {
+        for kind in [
+            CrossoverKind::OnePoint,
+            CrossoverKind::TwoPoint,
+            CrossoverKind::Uniform,
+        ] {
             let (original, a, b, mut rng) = setup(10);
             let op = LocusCrossover::new(original.clone(), 10, kind);
             let (c, d) = op.crossover(&a, &b, &mut rng);
@@ -257,7 +265,10 @@ mod tests {
             let mut child = a.clone();
             op.mutate(&mut child, &mut rng);
             assert_eq!(child.len(), 8);
-            assert!(is_valid(&original, &child), "{kind:?} produced invalid child");
+            assert!(
+                is_valid(&original, &child),
+                "{kind:?} produced invalid child"
+            );
         }
     }
 
@@ -267,11 +278,7 @@ mod tests {
         let op = LocusMutation::new(original, 8, MutationKind::KeyFlip);
         let mut child = a.clone();
         op.mutate(&mut child, &mut rng);
-        let changed = a
-            .iter()
-            .zip(&child)
-            .filter(|(x, y)| x != y)
-            .count();
+        let changed = a.iter().zip(&child).filter(|(x, y)| x != y).count();
         assert!(changed >= 1);
     }
 

@@ -1,6 +1,6 @@
 //! AutoLock result and error types.
 
-use autolock_locking::{LockedNetlist, LockError};
+use autolock_locking::{LockError, LockedNetlist};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 

@@ -39,7 +39,9 @@ fn kernel_config(key_len: usize) -> AutoLockConfig {
 fn e1_kernel(c: &mut Criterion) {
     let original = suite_circuit("s380").unwrap();
     let mut rng = ChaCha8Rng::seed_from_u64(1);
-    let dmux = DMuxLocking::default().lock(&original, 16, &mut rng).unwrap();
+    let dmux = DMuxLocking::default()
+        .lock(&original, 16, &mut rng)
+        .unwrap();
     let mut group = c.benchmark_group("E1_autolock_vs_dmux");
     group.bench_function("muxlink_attack_dmux_k16", |b| {
         b.iter(|| {
@@ -79,7 +81,9 @@ fn e2_kernel(c: &mut Criterion) {
 fn e4_kernel(c: &mut Criterion) {
     let original = suite_circuit("s380").unwrap();
     let mut rng = ChaCha8Rng::seed_from_u64(4);
-    let dmux = DMuxLocking::default().lock(&original, 16, &mut rng).unwrap();
+    let dmux = DMuxLocking::default()
+        .lock(&original, 16, &mut rng)
+        .unwrap();
     let xor = XorLocking::default().lock(&original, 16, &mut rng).unwrap();
     let mut group = c.benchmark_group("E4_attack_matrix");
     group.bench_function("random_guess", |b| {
@@ -135,7 +139,9 @@ fn e6_kernel(c: &mut Criterion) {
     group.bench_function("dmux_lock_and_overhead_k32", |b| {
         b.iter(|| {
             let mut rng = ChaCha8Rng::seed_from_u64(7);
-            let locked = DMuxLocking::default().lock(&original, 32, &mut rng).unwrap();
+            let locked = DMuxLocking::default()
+                .lock(&original, 32, &mut rng)
+                .unwrap();
             black_box(
                 overhead_report(&original, &locked, 4, &mut rng)
                     .unwrap()

@@ -1,0 +1,99 @@
+//! Micro-benchmarks of the DGCNN kernels: graph-conv forward/backward,
+//! SortPooling, full-model scoring and one training epoch.
+
+use autolock_gnn::{Dgcnn, DgcnnConfig, GraphConv, LinkPredictor, SortPooling, SubgraphTensor};
+use autolock_mlcore::Matrix;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+/// A random connected graph tensor with `n` nodes and `f` features.
+fn random_graph(n: usize, f: usize, seed: u64) -> SubgraphTensor {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut x = Matrix::zeros(n, f);
+    for r in 0..n {
+        for c in 0..f {
+            x.set(r, c, rng.gen_range(-1.0..1.0));
+        }
+    }
+    let mut edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    for _ in 0..n {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b && !edges.contains(&(a, b)) && !edges.contains(&(b, a)) {
+            edges.push((a, b));
+        }
+    }
+    let mut degree = vec![0usize; n];
+    for &(a, b) in &edges {
+        degree[a] += 1;
+        degree[b] += 1;
+    }
+    let mut adj: Vec<Vec<(usize, f64)>> = (0..n).map(|i| vec![(i, 1.0)]).collect();
+    for &(a, b) in &edges {
+        adj[a].push((b, 1.0));
+        adj[b].push((a, 1.0));
+    }
+    for (i, row) in adj.iter_mut().enumerate() {
+        let norm = 1.0 / (degree[i] as f64 + 1.0);
+        for e in row.iter_mut() {
+            e.1 *= norm;
+        }
+    }
+    SubgraphTensor::from_parts(x, adj)
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let graph = random_graph(40, 22, 1);
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let conv = GraphConv::new(22, 16, &mut rng);
+    let mut group = c.benchmark_group("G1_graphconv");
+    group.bench_function("forward_40n_22f_16c", |b| {
+        b.iter(|| conv.forward(black_box(&graph), black_box(graph.features())))
+    });
+    let cache = conv.forward(&graph, graph.features());
+    let grad = Matrix::from_vec(40, 16, vec![0.01; 40 * 16]);
+    group.bench_function("backward_40n_22f_16c", |b| {
+        b.iter(|| conv.backward(black_box(&graph), black_box(&cache), black_box(&grad)))
+    });
+    group.finish();
+}
+
+fn bench_sortpool(c: &mut Criterion) {
+    let graph = random_graph(60, 33, 3);
+    let pool = SortPooling::new(10);
+    let mut group = c.benchmark_group("G2_sortpool");
+    group.bench_function("forward_60n_33f_k10", |b| {
+        b.iter(|| pool.forward(black_box(graph.features())))
+    });
+    group.finish();
+}
+
+fn bench_model(c: &mut Criterion) {
+    let graphs: Vec<SubgraphTensor> = (0..32).map(|i| random_graph(30, 22, 10 + i)).collect();
+    let labels: Vec<f64> = (0..32).map(|i| f64::from(i % 2 == 0)).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let mut model = Dgcnn::new(
+        DgcnnConfig {
+            epochs: 1,
+            ..DgcnnConfig::for_features(22)
+        },
+        &mut rng,
+    );
+    let mut group = c.benchmark_group("G3_dgcnn");
+    group.bench_function("score_30n", |b| {
+        b.iter(|| model.score(black_box(&graphs[0])))
+    });
+    group.bench_function("train_epoch_32graphs", |b| {
+        b.iter(|| model.train(black_box(&graphs), black_box(&labels), &mut rng))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = gnn;
+    config = Criterion::default().sample_size(10);
+    targets = bench_conv, bench_sortpool, bench_model
+}
+criterion_main!(gnn);

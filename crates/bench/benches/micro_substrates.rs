@@ -94,7 +94,9 @@ fn bench_satsolver(c: &mut Criterion) {
 fn bench_feature_extraction(c: &mut Criterion) {
     let original = synth_circuit("bfeat", 24, 12, 400, 5);
     let mut rng = ChaCha8Rng::seed_from_u64(5);
-    let locked = DMuxLocking::default().lock(&original, 32, &mut rng).unwrap();
+    let locked = DMuxLocking::default()
+        .lock(&original, 32, &mut rng)
+        .unwrap();
     let netlist = locked.netlist();
     let hidden: HashSet<_> = MuxLinkAttack::hidden_gates(netlist);
     let graph = UndirectedGraph::from_netlist_filtered(netlist, |id| hidden.contains(&id));

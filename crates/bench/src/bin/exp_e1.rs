@@ -8,7 +8,9 @@ use autolock_bench::{experiment_scale, results_dir};
 
 fn main() {
     let scale = experiment_scale();
-    eprintln!("running E1: MuxLink accuracy, D-MUX vs AutoLock (headline claim) at {scale:?} scale...");
+    eprintln!(
+        "running E1: MuxLink accuracy, D-MUX vs AutoLock (headline claim) at {scale:?} scale..."
+    );
     let table = e1_autolock_vs_dmux(scale);
     table.emit(&results_dir());
 }

@@ -1,0 +1,14 @@
+//! E10: MuxLink backend comparison (enclosing-subgraph MLP vs DGCNN)
+//!
+//! Run with `cargo run --release -p autolock_bench --bin exp_e10`.
+//! Set `AUTOLOCK_SCALE=full` for the paper-sized (slower) version.
+
+use autolock_bench::experiments::e10_backend_comparison;
+use autolock_bench::{experiment_scale, results_dir};
+
+fn main() {
+    let scale = experiment_scale();
+    eprintln!("running E10: MuxLink backend comparison at {scale:?} scale...");
+    let table = e10_backend_comparison(scale);
+    table.emit(&results_dir());
+}

@@ -48,7 +48,8 @@ fn evaluation_attack() -> MuxLinkAttack {
 fn evaluated_accuracy(locked: &LockedNetlist, seed: u64) -> f64 {
     let mut total = 0.0;
     for s in 0..3u64 {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(s + 1)));
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(s + 1)));
         total += evaluation_attack().attack(locked, &mut rng).key_accuracy;
     }
     total / 3.0
@@ -122,7 +123,9 @@ pub fn e1_autolock_vs_dmux(scale: Scale) -> ResultTable {
             }
             let dmux_acc = dmux_acc / 3.0;
 
-            let result = AutoLock::new(autolock_config(scale, k, 0xE1)).run(&original).unwrap();
+            let result = AutoLock::new(autolock_config(scale, k, 0xE1))
+                .run(&original)
+                .unwrap();
             let in_loop_acc = result.final_attack_accuracy;
             let retrained_acc = evaluated_accuracy(&result.locked, 0xEAA);
 
@@ -145,11 +148,18 @@ pub fn e2_convergence(scale: Scale) -> ResultTable {
     let mut table = ResultTable::new(
         "E2",
         "AutoLock convergence (attack accuracy per generation)",
-        &["generation", "best accuracy", "mean accuracy", "worst accuracy"],
+        &[
+            "generation",
+            "best accuracy",
+            "mean accuracy",
+            "worst accuracy",
+        ],
     );
     let original = circuit(circuits_for(scale)[0]);
     let key_len = 32;
-    let result = AutoLock::new(autolock_config(scale, key_len, 0xE2)).run(&original).unwrap();
+    let result = AutoLock::new(autolock_config(scale, key_len, 0xE2))
+        .run(&original)
+        .unwrap();
     for rec in &result.history {
         table.push_row(vec![
             rec.generation.to_string(),
@@ -183,7 +193,9 @@ pub fn e3_key_sweep(scale: Scale) -> ResultTable {
         let mut rng = ChaCha8Rng::seed_from_u64(0xE3);
         let dmux = DMuxLocking::default().lock(&original, k, &mut rng).unwrap();
         let dmux_acc = evaluated_accuracy(&dmux, 0xE3A);
-        let result = AutoLock::new(autolock_config(scale, k, 0xE3)).run(&original).unwrap();
+        let result = AutoLock::new(autolock_config(scale, k, 0xE3))
+            .run(&original)
+            .unwrap();
         let auto_acc = evaluated_accuracy(&result.locked, 0xE3A);
         table.push_row(vec![
             k.to_string(),
@@ -206,8 +218,12 @@ pub fn e4_attack_matrix(scale: Scale) -> ResultTable {
     let original = circuit(circuits_for(scale)[0]);
     let key_len = 32;
     let mut rng = ChaCha8Rng::seed_from_u64(0xE4);
-    let xor = XorLocking::default().lock(&original, key_len, &mut rng).unwrap();
-    let dmux = DMuxLocking::default().lock(&original, key_len, &mut rng).unwrap();
+    let xor = XorLocking::default()
+        .lock(&original, key_len, &mut rng)
+        .unwrap();
+    let dmux = DMuxLocking::default()
+        .lock(&original, key_len, &mut rng)
+        .unwrap();
     let auto = AutoLock::new(autolock_config(scale, key_len, 0xE4))
         .run(&original)
         .unwrap()
@@ -276,7 +292,7 @@ pub fn e5_sat_attack(scale: Scale) -> ResultTable {
             }
         }
         // AutoLock netlists are MUX-locked too; include one row per circuit.
-        let k = key_lens[0].max(8).min(16);
+        let k = key_lens[0].clamp(8, 16);
         if let Ok(result) = AutoLock::new(autolock_config(scale, k, 0xE5)).run(&original) {
             let outcome = SatAttack::new(SatAttackConfig {
                 max_iterations: 500,
@@ -376,7 +392,11 @@ pub fn e7_operator_ablation(scale: Scale) -> ResultTable {
         ],
     };
     let crossovers = [CrossoverKind::OnePoint, CrossoverKind::Uniform];
-    let mutations = [MutationKind::KeyFlip, MutationKind::Relocate, MutationKind::Composite];
+    let mutations = [
+        MutationKind::KeyFlip,
+        MutationKind::Relocate,
+        MutationKind::Composite,
+    ];
     for sel in &selections {
         for &cx in &crossovers {
             for &mu in &mutations {
@@ -426,8 +446,13 @@ pub fn e8_multi_objective(scale: Scale) -> ResultTable {
         vec![ObjectiveKind::MuxLinkAccuracy, ObjectiveKind::DepthOverhead],
         0xE8,
     );
-    let crossover = autolock::operators::LocusCrossover::new(original.clone(), key_len, CrossoverKind::OnePoint);
-    let mutation = autolock::operators::LocusMutation::new(original.clone(), key_len, MutationKind::Composite);
+    let crossover = autolock::operators::LocusCrossover::new(
+        original.clone(),
+        key_len,
+        CrossoverKind::OnePoint,
+    );
+    let mutation =
+        autolock::operators::LocusMutation::new(original.clone(), key_len, MutationKind::Composite);
     let result = Nsga2::new(Nsga2Config {
         generations: gens,
         parallel: true,
@@ -450,7 +475,12 @@ pub fn e9_sensitivity(scale: Scale) -> ResultTable {
     let mut table = ResultTable::new(
         "E9",
         "Hyper-parameter sensitivity: final accuracy per (population, mutation rate)",
-        &["population", "mutation rate", "final accuracy", "evaluations"],
+        &[
+            "population",
+            "mutation rate",
+            "final accuracy",
+            "evaluations",
+        ],
     );
     let original = circuit(circuits_for(scale)[0]);
     let key_len = 24;
@@ -470,6 +500,60 @@ pub fn e9_sensitivity(scale: Scale) -> ResultTable {
                 format!("{rate:.1}"),
                 pct(result.final_attack_accuracy),
                 result.fitness_evaluations.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+/// E10 — MuxLink backend comparison: the seed's feature+MLP approximation vs
+/// the faithful DGCNN (`autolock_gnn`) on the same locked circuits.
+///
+/// For every circuit, both backends attack the same D-MUX-locked netlist with
+/// identical seeds; accuracy is averaged over three attacker seeds. The DGCNN
+/// is the stronger, paper-faithful adversary; this table quantifies the gap
+/// the `gnn` crate closes.
+pub fn e10_backend_comparison(scale: Scale) -> ResultTable {
+    use autolock_circuits::synth_circuit;
+    use std::time::Instant;
+
+    let mut table = ResultTable::new(
+        "E10",
+        "MuxLink backends: enclosing-subgraph MLP vs DGCNN (key accuracy, mean of 3 seeds)",
+        &["circuit", "backend", "key accuracy", "runtime ms"],
+    );
+    let key_len = match scale {
+        Scale::Quick => 16,
+        Scale::Full => 32,
+    };
+    let mut targets: Vec<(String, Netlist)> = vec![(
+        "synth600".to_string(),
+        synth_circuit("synth600", 24, 10, 600, 0xE10),
+    )];
+    for name in circuits_for(scale) {
+        targets.push((name.to_string(), circuit(name)));
+    }
+    for (name, original) in &targets {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xE10);
+        let locked = DMuxLocking::default()
+            .lock(original, key_len, &mut rng)
+            .unwrap();
+        for (backend, config) in [
+            ("mlp", MuxLinkConfig::default()),
+            ("dgcnn", MuxLinkConfig::gnn()),
+        ] {
+            let attack = MuxLinkAttack::new(config);
+            let start = Instant::now();
+            let mut total = 0.0;
+            for s in 0..3u64 {
+                let mut rng = ChaCha8Rng::seed_from_u64(0xE10A + s);
+                total += attack.attack(&locked, &mut rng).key_accuracy;
+            }
+            table.push_row(vec![
+                name.clone(),
+                backend.to_string(),
+                pct(total / 3.0),
+                format!("{}", start.elapsed().as_millis() / 3),
             ]);
         }
     }

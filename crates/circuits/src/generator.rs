@@ -48,7 +48,12 @@ pub struct GeneratorConfig {
 impl GeneratorConfig {
     /// A configuration with ISCAS-like defaults for a circuit of roughly
     /// `num_gates` gates.
-    pub fn sized(name: impl Into<String>, num_inputs: usize, num_outputs: usize, num_gates: usize) -> Self {
+    pub fn sized(
+        name: impl Into<String>,
+        num_inputs: usize,
+        num_outputs: usize,
+        num_gates: usize,
+    ) -> Self {
         GeneratorConfig {
             name: name.into(),
             num_inputs,
@@ -59,7 +64,7 @@ impl GeneratorConfig {
             motif_prob: 0.45,
             // NAND/NOR-heavy mix as in technology-mapped ISCAS netlists.
             kind_weights: [1.5, 3.0, 1.2, 2.2, 0.7, 0.5, 1.2, 0.4],
-            seed: 0xA07_0C_C5EED,
+            seed: 0x00A0_70CC_5EED,
         }
     }
 
@@ -180,9 +185,7 @@ impl CircuitGenerator {
         let fanouts = nl.fanouts();
         let mut sinks: Vec<GateId> = nl
             .ids()
-            .filter(|id| {
-                fanouts[id.index()].is_empty() && !nl.gate(*id).kind.is_input()
-            })
+            .filter(|id| fanouts[id.index()].is_empty() && !nl.gate(*id).kind.is_input())
             .collect();
         // Deterministic order: by id descending (latest gates first).
         sinks.sort_by_key(|id| std::cmp::Reverse(id.index()));
@@ -220,9 +223,17 @@ impl CircuitGenerator {
 
 /// Convenience: generates a synthetic circuit with `num_gates` gates using the
 /// default ISCAS-like profile and the given seed.
-pub fn synth_circuit(name: &str, num_inputs: usize, num_outputs: usize, num_gates: usize, seed: u64) -> Netlist {
-    CircuitGenerator::new(GeneratorConfig::sized(name, num_inputs, num_outputs, num_gates).with_seed(seed))
-        .generate()
+pub fn synth_circuit(
+    name: &str,
+    num_inputs: usize,
+    num_outputs: usize,
+    num_gates: usize,
+    seed: u64,
+) -> Netlist {
+    CircuitGenerator::new(
+        GeneratorConfig::sized(name, num_inputs, num_outputs, num_gates).with_seed(seed),
+    )
+    .generate()
 }
 
 #[cfg(test)]

@@ -28,13 +28,14 @@ pub struct SuiteEntry {
 
 /// Descriptors of all members of the standard suite, in increasing size.
 pub fn suite_entries() -> Vec<SuiteEntry> {
-    let synth = |name: &str, inputs: usize, outputs: usize, gates: usize, original: &str| SuiteEntry {
-        name: name.to_string(),
-        inputs,
-        outputs,
-        gates,
-        stands_in_for: Some(original.to_string()),
-    };
+    let synth =
+        |name: &str, inputs: usize, outputs: usize, gates: usize, original: &str| SuiteEntry {
+            name: name.to_string(),
+            inputs,
+            outputs,
+            gates,
+            stands_in_for: Some(original.to_string()),
+        };
     vec![
         SuiteEntry {
             name: "c17".into(),

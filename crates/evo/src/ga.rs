@@ -163,11 +163,12 @@ impl GeneticAlgorithm {
             while next.len() < pop_size {
                 let pa = self.config.selection.select(&scores, rng);
                 let pb = self.config.selection.select(&scores, rng);
-                let (mut child_a, mut child_b) = if rng.gen_bool(self.config.crossover_rate.clamp(0.0, 1.0)) {
-                    crossover.crossover(&population[pa], &population[pb], rng)
-                } else {
-                    (population[pa].clone(), population[pb].clone())
-                };
+                let (mut child_a, mut child_b) =
+                    if rng.gen_bool(self.config.crossover_rate.clamp(0.0, 1.0)) {
+                        crossover.crossover(&population[pa], &population[pb], rng)
+                    } else {
+                        (population[pa].clone(), population[pb].clone())
+                    };
                 if rng.gen_bool(self.config.mutation_rate.clamp(0.0, 1.0)) {
                     mutation.mutate(&mut child_a, rng);
                 }
@@ -294,14 +295,19 @@ mod tests {
         assert_eq!(result.history.len(), 81);
         assert_eq!(result.evaluations, 30 * 81);
         // History best is monotone non-decreasing at the "best so far" level.
-        assert!(result
-            .history
-            .iter()
-            .map(|s| s.best)
-            .fold((f64::NEG_INFINITY, true), |(prev, ok), b| {
-                (b.max(prev), ok && (b >= prev || b >= result.history[0].best))
-            })
-            .1);
+        assert!(
+            result
+                .history
+                .iter()
+                .map(|s| s.best)
+                .fold((f64::NEG_INFINITY, true), |(prev, ok), b| {
+                    (
+                        b.max(prev),
+                        ok && (b >= prev || b >= result.history[0].best),
+                    )
+                })
+                .1
+        );
     }
 
     #[test]
@@ -361,7 +367,8 @@ mod tests {
             parallel: false,
             ..Default::default()
         };
-        let result = GeneticAlgorithm::new(config).run(pop, &OneMax, &UniformCrossover, &BitFlip, &mut rng);
+        let result =
+            GeneticAlgorithm::new(config).run(pop, &OneMax, &UniformCrossover, &BitFlip, &mut rng);
         assert_eq!(result.best_fitness, 24.0);
         assert!(result.history.iter().all(|s| s.best == 24.0));
     }
@@ -376,7 +383,13 @@ mod tests {
                 ..Default::default()
             };
             GeneticAlgorithm::new(config)
-                .run(initial(12, 20, 1), &OneMax, &UniformCrossover, &BitFlip, &mut rng)
+                .run(
+                    initial(12, 20, 1),
+                    &OneMax,
+                    &UniformCrossover,
+                    &BitFlip,
+                    &mut rng,
+                )
                 .best_fitness
         };
         assert_eq!(run(11), run(11));
@@ -392,13 +405,25 @@ mod tests {
             parallel: false,
             ..Default::default()
         })
-        .run(initial(10, 16, 2), &OneMax, &UniformCrossover, &BitFlip, &mut rng_a);
+        .run(
+            initial(10, 16, 2),
+            &OneMax,
+            &UniformCrossover,
+            &BitFlip,
+            &mut rng_a,
+        );
         let parallel = GeneticAlgorithm::new(GaConfig {
             generations: 15,
             parallel: true,
             ..Default::default()
         })
-        .run(initial(10, 16, 2), &OneMax, &UniformCrossover, &BitFlip, &mut rng_b);
+        .run(
+            initial(10, 16, 2),
+            &OneMax,
+            &UniformCrossover,
+            &BitFlip,
+            &mut rng_b,
+        );
         assert_eq!(serial.best_fitness, parallel.best_fitness);
         assert_eq!(serial.history, parallel.history);
     }

@@ -278,6 +278,7 @@ pub fn crowding_distances(objectives: &[Vec<f64>], fronts: &[Vec<usize>]) -> Vec
             }
             continue;
         }
+        #[allow(clippy::needless_range_loop)]
         for obj in 0..m {
             let mut sorted: Vec<usize> = front.clone();
             sorted.sort_by(|&a, &b| {
@@ -350,7 +351,12 @@ mod tests {
 
     #[test]
     fn crowding_prefers_extremes() {
-        let objectives = vec![vec![0.0, 4.0], vec![1.0, 2.0], vec![2.0, 1.5], vec![4.0, 0.0]];
+        let objectives = vec![
+            vec![0.0, 4.0],
+            vec![1.0, 2.0],
+            vec![2.0, 1.5],
+            vec![4.0, 0.0],
+        ];
         let fronts = fast_non_dominated_sort(&objectives);
         let d = crowding_distances(&objectives, &fronts);
         assert!(d[0].is_infinite());
@@ -412,6 +418,12 @@ mod tests {
     #[should_panic(expected = "must not be empty")]
     fn empty_population_panics() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        Nsga2::new(Nsga2Config::default()).run(Vec::<f64>::new(), &Schaffer, &Blend, &Jitter, &mut rng);
+        Nsga2::new(Nsga2Config::default()).run(
+            Vec::<f64>::new(),
+            &Schaffer,
+            &Blend,
+            &Jitter,
+            &mut rng,
+        );
     }
 }

@@ -32,7 +32,10 @@ impl SelectionMethod {
     ///
     /// Panics if `fitness` is empty.
     pub fn select(&self, fitness: &[f64], rng: &mut dyn RngCore) -> usize {
-        assert!(!fitness.is_empty(), "cannot select from an empty population");
+        assert!(
+            !fitness.is_empty(),
+            "cannot select from an empty population"
+        );
         let n = fitness.len();
         match *self {
             SelectionMethod::Tournament { size } => {

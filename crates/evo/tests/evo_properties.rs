@@ -114,7 +114,12 @@ impl FitnessFunction<Vec<bool>> for OneMax {
 }
 struct Uniform;
 impl CrossoverOperator<Vec<bool>> for Uniform {
-    fn crossover(&self, a: &Vec<bool>, b: &Vec<bool>, rng: &mut dyn RngCore) -> (Vec<bool>, Vec<bool>) {
+    fn crossover(
+        &self,
+        a: &Vec<bool>,
+        b: &Vec<bool>,
+        rng: &mut dyn RngCore,
+    ) -> (Vec<bool>, Vec<bool>) {
         let mut c = a.clone();
         let mut d = b.clone();
         for i in 0..a.len().min(b.len()) {

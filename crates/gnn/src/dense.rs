@@ -1,0 +1,229 @@
+//! The dense classification head applied after SortPooling.
+
+use autolock_mlcore::optim::{AdamParams, AdamState, AdamVecState};
+use autolock_mlcore::Matrix;
+use rand::Rng;
+
+/// One fully-connected layer of the head.
+#[derive(Debug, Clone)]
+struct DenseLayer {
+    weights: Matrix, // in × out
+    bias: Vec<f64>,
+    opt_w: AdamState,
+    opt_b: AdamVecState,
+}
+
+impl DenseLayer {
+    fn new<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        let scale = (6.0 / in_dim as f64).sqrt();
+        DenseLayer {
+            weights: Matrix::random(in_dim, out_dim, scale, rng),
+            bias: vec![0.0; out_dim],
+            opt_w: AdamState::new(in_dim, out_dim),
+            opt_b: AdamVecState::new(out_dim),
+        }
+    }
+}
+
+/// A ReLU multi-layer head ending in a single linear logit, with
+/// backpropagation to its input (needed to keep training the conv stack
+/// below it).
+#[derive(Debug, Clone)]
+pub struct DenseStack {
+    layers: Vec<DenseLayer>,
+}
+
+/// Forward cache: the input to every layer plus each layer's pre-activation.
+#[derive(Debug, Clone)]
+pub struct DenseCache {
+    inputs: Vec<Vec<f64>>,
+    pre: Vec<Vec<f64>>,
+}
+
+impl DenseCache {
+    /// The final logit.
+    pub fn logit(&self) -> f64 {
+        self.pre.last().expect("at least one layer")[0]
+    }
+}
+
+/// Per-layer parameter gradients of the head.
+#[derive(Debug, Clone)]
+pub struct DenseGrads {
+    weights: Vec<Matrix>,
+    bias: Vec<Vec<f64>>,
+}
+
+impl DenseGrads {
+    /// Zero gradients shaped like `stack`.
+    pub fn zeros_like(stack: &DenseStack) -> Self {
+        DenseGrads {
+            weights: stack
+                .layers
+                .iter()
+                .map(|l| Matrix::zeros(l.weights.rows(), l.weights.cols()))
+                .collect(),
+            bias: stack
+                .layers
+                .iter()
+                .map(|l| vec![0.0; l.bias.len()])
+                .collect(),
+        }
+    }
+
+    /// Accumulates another gradient contribution.
+    pub fn add(&mut self, other: &DenseGrads) {
+        for (a, b) in self.weights.iter_mut().zip(&other.weights) {
+            a.add_scaled(1.0, b);
+        }
+        for (a, b) in self.bias.iter_mut().zip(&other.bias) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        }
+    }
+
+    /// Scales all gradients.
+    pub fn scale(&mut self, alpha: f64) {
+        for w in self.weights.iter_mut() {
+            w.scale(alpha);
+        }
+        for b in self.bias.iter_mut() {
+            for v in b.iter_mut() {
+                *v *= alpha;
+            }
+        }
+    }
+}
+
+impl DenseStack {
+    /// Builds a head `input_dim → hidden… → 1`.
+    pub fn new<R: Rng + ?Sized>(input_dim: usize, hidden: &[usize], rng: &mut R) -> Self {
+        let mut dims = vec![input_dim];
+        dims.extend_from_slice(hidden);
+        dims.push(1);
+        DenseStack {
+            layers: dims
+                .windows(2)
+                .map(|w| DenseLayer::new(w[0], w[1], rng))
+                .collect(),
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().expect("non-empty").weights.rows()
+    }
+
+    /// Forward pass; hidden layers ReLU, output linear.
+    pub fn forward(&self, input: &[f64]) -> DenseCache {
+        let mut inputs = Vec::with_capacity(self.layers.len());
+        let mut pre = Vec::with_capacity(self.layers.len());
+        let mut current = input.to_vec();
+        for (i, layer) in self.layers.iter().enumerate() {
+            inputs.push(current.clone());
+            let mut z = layer.weights.matvec_t(&current);
+            for (v, b) in z.iter_mut().zip(&layer.bias) {
+                *v += b;
+            }
+            let next = if i + 1 == self.layers.len() {
+                z.clone()
+            } else {
+                z.iter().map(|&v| v.max(0.0)).collect()
+            };
+            pre.push(z);
+            current = next;
+        }
+        DenseCache { inputs, pre }
+    }
+
+    /// Backward pass from dL/d(logit); returns parameter gradients and
+    /// dL/d(input).
+    pub fn backward(&self, cache: &DenseCache, grad_logit: f64) -> (DenseGrads, Vec<f64>) {
+        let mut grads = DenseGrads::zeros_like(self);
+        let mut delta = vec![grad_logit];
+        for idx in (0..self.layers.len()).rev() {
+            let layer = &self.layers[idx];
+            let input = &cache.inputs[idx];
+            // weights are in × out: dW[i][o] += input[i] * delta[o]
+            grads.weights[idx].add_outer(1.0, input, &delta);
+            for (b, d) in grads.bias[idx].iter_mut().zip(&delta) {
+                *b += d;
+            }
+            if idx > 0 {
+                let back = layer.weights.matvec(&delta);
+                let prev_pre = &cache.pre[idx - 1];
+                delta = back
+                    .iter()
+                    .zip(prev_pre)
+                    .map(|(&g, &z)| if z > 0.0 { g } else { 0.0 })
+                    .collect();
+            } else {
+                delta = layer.weights.matvec(&delta);
+            }
+        }
+        (grads, delta)
+    }
+
+    /// Applies one Adam update.
+    pub fn apply(&mut self, grads: &DenseGrads, hp: &AdamParams) {
+        for (layer, (gw, gb)) in self
+            .layers
+            .iter_mut()
+            .zip(grads.weights.iter().zip(&grads.bias))
+        {
+            layer.opt_w.step(&mut layer.weights, gw, hp);
+            layer.opt_b.step(&mut layer.bias, gb, hp);
+        }
+    }
+
+    /// Mutable weight access for finite-difference tests:
+    /// `(layer, row, col)` indexing.
+    pub fn weight_mut(&mut self, layer: usize, row: usize, col: usize) -> &mut f64 {
+        let l = &mut self.layers[layer];
+        let cols = l.weights.cols();
+        &mut l.weights.data_mut()[row * cols + col]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn forward_shapes_and_relu() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let stack = DenseStack::new(4, &[3], &mut rng);
+        let cache = stack.forward(&[0.5, -0.5, 1.0, 0.0]);
+        assert_eq!(cache.inputs[0].len(), 4);
+        assert_eq!(cache.pre[0].len(), 3);
+        assert_eq!(cache.pre[1].len(), 1);
+        assert!(cache.logit().is_finite());
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let stack = DenseStack::new(5, &[4, 3], &mut rng);
+        let x: Vec<f64> = (0..5).map(|i| 0.3 * i as f64 - 0.6).collect();
+        let cache = stack.forward(&x);
+        let (_, grad_in) = stack.backward(&cache, 1.0);
+        let eps = 1e-6;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let up = stack.forward(&xp).logit();
+            let mut xm = x.clone();
+            xm[i] -= eps;
+            let down = stack.forward(&xm).logit();
+            let fd = (up - down) / (2.0 * eps);
+            assert!(
+                (fd - grad_in[i]).abs() < 1e-6,
+                "input {i}: fd {fd} vs analytic {}",
+                grad_in[i]
+            );
+        }
+    }
+}

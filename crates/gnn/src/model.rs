@@ -1,0 +1,314 @@
+//! The full DGCNN: conv stack → channel concat → SortPooling → dense head.
+
+use crate::conv::{ConvCache, ConvGrads, GraphConv};
+use crate::dense::{DenseGrads, DenseStack};
+use crate::sortpool::SortPooling;
+use crate::{LinkPredictor, SubgraphTensor};
+use autolock_mlcore::optim::AdamParams;
+use autolock_mlcore::{sigmoid, Matrix};
+use rand::seq::SliceRandom;
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of a [`Dgcnn`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DgcnnConfig {
+    /// Per-node input feature dimensionality.
+    pub node_feature_dim: usize,
+    /// Output channels of each graph-convolution layer. The last layer's
+    /// final channel drives the SortPooling node ordering, so DGCNN keeps it
+    /// small (classically 1).
+    pub conv_channels: Vec<usize>,
+    /// Number of nodes kept by SortPooling.
+    pub sortpool_k: usize,
+    /// Hidden sizes of the dense head.
+    pub dense_hidden: Vec<usize>,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization strength.
+    pub l2: f64,
+}
+
+impl DgcnnConfig {
+    /// The default architecture for a given node-feature dimensionality:
+    /// three conv layers (last one a single sort channel), `k = 10`, one
+    /// hidden dense layer.
+    pub fn for_features(node_feature_dim: usize) -> Self {
+        DgcnnConfig {
+            node_feature_dim,
+            conv_channels: vec![16, 16, 1],
+            sortpool_k: 10,
+            dense_hidden: vec![32],
+            epochs: 25,
+            batch_size: 16,
+            learning_rate: 0.01,
+            l2: 1e-4,
+        }
+    }
+}
+
+/// The DGCNN link scorer.
+#[derive(Debug, Clone)]
+pub struct Dgcnn {
+    config: DgcnnConfig,
+    convs: Vec<GraphConv>,
+    pool: SortPooling,
+    head: DenseStack,
+}
+
+/// All parameter gradients of one backward pass.
+struct Gradients {
+    convs: Vec<ConvGrads>,
+    head: DenseGrads,
+}
+
+impl Gradients {
+    fn zeros_like(model: &Dgcnn) -> Self {
+        Gradients {
+            convs: model.convs.iter().map(ConvGrads::zeros_like).collect(),
+            head: DenseGrads::zeros_like(&model.head),
+        }
+    }
+
+    fn add(&mut self, other: &Gradients) {
+        for (a, b) in self.convs.iter_mut().zip(&other.convs) {
+            a.add(b);
+        }
+        self.head.add(&other.head);
+    }
+
+    fn scale(&mut self, alpha: f64) {
+        for g in self.convs.iter_mut() {
+            g.scale(alpha);
+        }
+        self.head.scale(alpha);
+    }
+}
+
+impl Dgcnn {
+    /// Creates a randomly initialized model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.conv_channels` is empty.
+    pub fn new<R: Rng + ?Sized>(config: DgcnnConfig, rng: &mut R) -> Self {
+        assert!(
+            !config.conv_channels.is_empty(),
+            "at least one conv layer required"
+        );
+        let mut convs = Vec::with_capacity(config.conv_channels.len());
+        let mut in_dim = config.node_feature_dim;
+        for &out_dim in &config.conv_channels {
+            convs.push(GraphConv::new(in_dim, out_dim, rng));
+            in_dim = out_dim;
+        }
+        let total_channels: usize = config.conv_channels.iter().sum();
+        let pool = SortPooling::new(config.sortpool_k);
+        let head = DenseStack::new(pool.k() * total_channels, &config.dense_hidden, rng);
+        Dgcnn {
+            config,
+            convs,
+            pool,
+            head,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DgcnnConfig {
+        &self.config
+    }
+
+    /// Forward pass to the raw logit (used by tests; [`Dgcnn::score`] applies
+    /// the sigmoid).
+    pub fn logit(&self, graph: &SubgraphTensor) -> f64 {
+        self.forward(graph).2.logit()
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn forward(
+        &self,
+        graph: &SubgraphTensor,
+    ) -> (
+        Vec<ConvCache>,
+        crate::sortpool::SortPoolCache,
+        crate::dense::DenseCache,
+    ) {
+        let mut caches: Vec<ConvCache> = Vec::with_capacity(self.convs.len());
+        for conv in &self.convs {
+            let input = caches
+                .last()
+                .map(|c: &ConvCache| &c.output)
+                .unwrap_or(graph.features());
+            caches.push(conv.forward(graph, input));
+        }
+        // Channel-wise concatenation of every conv output. The sort channel
+        // (last column of the last conv) ends up as the last column overall.
+        let n = graph.num_nodes();
+        let total: usize = self.convs.iter().map(GraphConv::out_dim).sum();
+        let mut concat = Matrix::zeros(n, total);
+        let mut offset = 0;
+        for cache in &caches {
+            let w = cache.output.cols();
+            for r in 0..n {
+                concat.row_mut(r)[offset..offset + w].copy_from_slice(cache.output.row(r));
+            }
+            offset += w;
+        }
+        let (pooled, pool_cache) = self.pool.forward(&concat);
+        let flat: Vec<f64> = (0..pooled.rows())
+            .flat_map(|r| pooled.row(r).to_vec())
+            .collect();
+        let head_cache = self.head.forward(&flat);
+        (caches, pool_cache, head_cache)
+    }
+
+    /// Forward + backward on one example; returns `(loss, gradients)`.
+    fn forward_backward(&self, graph: &SubgraphTensor, label: f64) -> (f64, Gradients) {
+        let (conv_caches, pool_cache, head_cache) = self.forward(graph);
+        let logit = head_cache.logit();
+        let p = sigmoid(logit);
+        let loss = binary_cross_entropy(p, label);
+
+        // dL/dlogit for sigmoid + BCE.
+        let (head_grads, grad_flat) = self.head.backward(&head_cache, p - label);
+
+        // Un-flatten into the pooled matrix shape and push through the pool.
+        let total: usize = self.convs.iter().map(GraphConv::out_dim).sum();
+        let grad_pooled = Matrix::from_vec(self.pool.k(), total, grad_flat);
+        let grad_concat = self.pool.backward(&pool_cache, &grad_pooled);
+
+        // Split the concat gradient per conv layer, then walk the stack
+        // backwards: layer i receives its concat slice plus whatever layer
+        // i+1 propagated into its input.
+        let n = graph.num_nodes();
+        let mut conv_grads: Vec<Option<ConvGrads>> = (0..self.convs.len()).map(|_| None).collect();
+        let mut carried: Option<Matrix> = None;
+        let mut offset_end = total;
+        for idx in (0..self.convs.len()).rev() {
+            let w = self.convs[idx].out_dim();
+            let offset = offset_end - w;
+            let mut grad_out = Matrix::zeros(n, w);
+            for r in 0..n {
+                grad_out
+                    .row_mut(r)
+                    .copy_from_slice(&grad_concat.row(r)[offset..offset_end]);
+            }
+            if let Some(extra) = carried.take() {
+                grad_out.add_scaled(1.0, &extra);
+            }
+            let (grads, grad_input) = self.convs[idx].backward(graph, &conv_caches[idx], &grad_out);
+            conv_grads[idx] = Some(grads);
+            carried = Some(grad_input);
+            offset_end = offset;
+        }
+        (
+            loss,
+            Gradients {
+                convs: conv_grads
+                    .into_iter()
+                    .map(|g| g.expect("every conv visited"))
+                    .collect(),
+                head: head_grads,
+            },
+        )
+    }
+
+    /// Trains for `config.epochs` epochs of mini-batch Adam; returns the mean
+    /// loss of the final epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graphs` and `labels` lengths differ or are empty.
+    pub fn train<R: Rng + ?Sized>(
+        &mut self,
+        graphs: &[SubgraphTensor],
+        labels: &[f64],
+        rng: &mut R,
+    ) -> f64 {
+        assert_eq!(graphs.len(), labels.len(), "one label per graph required");
+        assert!(!graphs.is_empty(), "cannot train on zero graphs");
+        let hp = AdamParams {
+            learning_rate: self.config.learning_rate,
+            l2: self.config.l2,
+            ..Default::default()
+        };
+        let mut indices: Vec<usize> = (0..graphs.len()).collect();
+        let mut last_epoch_loss = f64::INFINITY;
+        for _ in 0..self.config.epochs {
+            indices.shuffle(rng);
+            let mut epoch_loss = 0.0;
+            for batch in indices.chunks(self.config.batch_size.max(1)) {
+                let mut total = Gradients::zeros_like(self);
+                for &i in batch {
+                    let (loss, grads) = self.forward_backward(&graphs[i], labels[i]);
+                    epoch_loss += loss;
+                    total.add(&grads);
+                }
+                total.scale(1.0 / batch.len() as f64);
+                for (conv, g) in self.convs.iter_mut().zip(&total.convs) {
+                    conv.apply(g, &hp);
+                }
+                self.head.apply(&total.head, &hp);
+            }
+            last_epoch_loss = epoch_loss / graphs.len() as f64;
+        }
+        last_epoch_loss
+    }
+
+    /// Mean binary cross-entropy over a labelled set (no training).
+    pub fn mean_loss(&self, graphs: &[SubgraphTensor], labels: &[f64]) -> f64 {
+        if graphs.is_empty() {
+            return 0.0;
+        }
+        graphs
+            .iter()
+            .zip(labels)
+            .map(|(g, &y)| binary_cross_entropy(self.score(g), y))
+            .sum::<f64>()
+            / graphs.len() as f64
+    }
+
+    /// Test hook: mutable access to a conv layer (finite-difference checks).
+    pub fn conv_mut(&mut self, idx: usize) -> &mut GraphConv {
+        &mut self.convs[idx]
+    }
+
+    /// Test hook: mutable access to the dense head.
+    pub fn head_mut(&mut self) -> &mut DenseStack {
+        &mut self.head
+    }
+
+    /// Test hook: parameter gradients of one example as
+    /// `(conv_weight_grads, head)` for gradient checking.
+    pub fn example_gradients(&self, graph: &SubgraphTensor, label: f64) -> (Vec<Matrix>, f64) {
+        let (loss, grads) = self.forward_backward(graph, label);
+        (grads.convs.into_iter().map(|g| g.weights).collect(), loss)
+    }
+
+    /// The loss of one example (for finite differences).
+    pub fn example_loss(&self, graph: &SubgraphTensor, label: f64) -> f64 {
+        binary_cross_entropy(self.score(graph), label)
+    }
+}
+
+impl LinkPredictor for Dgcnn {
+    fn fit(&mut self, graphs: &[SubgraphTensor], labels: &[f64], rng: &mut dyn RngCore) -> f64 {
+        // Derive an owned RNG so `dyn RngCore` callers stay deterministic.
+        let mut rng = ChaCha8Rng::seed_from_u64(rng.next_u64());
+        self.train(graphs, labels, &mut rng)
+    }
+
+    fn score(&self, graph: &SubgraphTensor) -> f64 {
+        sigmoid(self.logit(graph))
+    }
+}
+
+fn binary_cross_entropy(p: f64, y: f64) -> f64 {
+    let p = p.clamp(1e-12, 1.0 - 1e-12);
+    -(y * p.ln() + (1.0 - y) * (1.0 - p).ln())
+}

@@ -1,0 +1,127 @@
+//! DGCNN SortPooling: a fixed-size, order-invariant graph readout.
+
+use autolock_mlcore::Matrix;
+
+/// SortPooling with a fixed `k`: nodes are ordered by their **last feature
+/// channel** (descending, ties broken by node index for determinism) and the
+/// first `k` rows are kept; graphs with fewer than `k` nodes are zero-padded.
+/// The result is a `k × f` matrix regardless of graph size, which the dense
+/// head consumes flattened.
+#[derive(Debug, Clone, Copy)]
+pub struct SortPooling {
+    k: usize,
+}
+
+/// Cache for the backward pass: which input row landed in each output slot.
+#[derive(Debug, Clone)]
+pub struct SortPoolCache {
+    /// `selected[slot] = Some(input_row)` or `None` for zero padding.
+    pub selected: Vec<Option<usize>>,
+    /// Input row count.
+    pub input_rows: usize,
+}
+
+impl SortPooling {
+    /// Creates the pooling with output size `k` (≥ 1).
+    pub fn new(k: usize) -> Self {
+        SortPooling { k: k.max(1) }
+    }
+
+    /// The output row count.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Forward pass: returns the pooled `k × f` matrix and the permutation
+    /// cache.
+    pub fn forward(&self, x: &Matrix) -> (Matrix, SortPoolCache) {
+        let n = x.rows();
+        let f = x.cols();
+        let sort_channel = f.saturating_sub(1);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            x.get(b, sort_channel)
+                .partial_cmp(&x.get(a, sort_channel))
+                .expect("finite sort keys")
+                .then(a.cmp(&b))
+        });
+        let mut out = Matrix::zeros(self.k, f);
+        let mut selected = vec![None; self.k];
+        for slot in 0..self.k.min(n) {
+            let src = order[slot];
+            out.row_mut(slot).copy_from_slice(x.row(src));
+            selected[slot] = Some(src);
+        }
+        (
+            out,
+            SortPoolCache {
+                selected,
+                input_rows: n,
+            },
+        )
+    }
+
+    /// Backward pass: scatters dL/d(pooled) back to the input rows (padded
+    /// slots contribute nothing; unselected nodes receive zero gradient).
+    pub fn backward(&self, cache: &SortPoolCache, grad_output: &Matrix) -> Matrix {
+        let mut grad_input = Matrix::zeros(cache.input_rows, grad_output.cols());
+        for (slot, sel) in cache.selected.iter().enumerate() {
+            if let Some(src) = sel {
+                let g = grad_output.row(slot).to_vec();
+                let dst = grad_input.row_mut(*src);
+                for (d, v) in dst.iter_mut().zip(g) {
+                    *d += v;
+                }
+            }
+        }
+        grad_input
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_by_last_channel_and_pads() {
+        let x = Matrix::from_vec(
+            3,
+            2,
+            vec![
+                1.0, 0.1, //
+                2.0, 0.9, //
+                3.0, 0.5,
+            ],
+        );
+        let pool = SortPooling::new(4);
+        let (y, cache) = pool.forward(&x);
+        // Order by last channel desc: rows 1 (0.9), 2 (0.5), 0 (0.1), pad.
+        assert_eq!(y.row(0), &[2.0, 0.9]);
+        assert_eq!(y.row(1), &[3.0, 0.5]);
+        assert_eq!(y.row(2), &[1.0, 0.1]);
+        assert_eq!(y.row(3), &[0.0, 0.0]);
+        assert_eq!(cache.selected, vec![Some(1), Some(2), Some(0), None]);
+    }
+
+    #[test]
+    fn truncates_to_k_and_backward_scatters() {
+        let x = Matrix::from_vec(3, 1, vec![0.3, 0.1, 0.2]);
+        let pool = SortPooling::new(2);
+        let (y, cache) = pool.forward(&x);
+        assert_eq!(y.row(0), &[0.3]);
+        assert_eq!(y.row(1), &[0.2]);
+        let grad = Matrix::from_vec(2, 1, vec![10.0, 20.0]);
+        let gi = pool.backward(&cache, &grad);
+        assert_eq!(gi.row(0), &[10.0]); // row 0 was slot 0
+        assert_eq!(gi.row(1), &[0.0]); // dropped by pooling
+        assert_eq!(gi.row(2), &[20.0]); // row 2 was slot 1
+    }
+
+    #[test]
+    fn ties_break_by_node_index() {
+        let x = Matrix::from_vec(2, 1, vec![0.5, 0.5]);
+        let pool = SortPooling::new(2);
+        let (_, cache) = pool.forward(&x);
+        assert_eq!(cache.selected, vec![Some(0), Some(1)]);
+    }
+}

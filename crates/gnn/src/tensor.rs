@@ -1,0 +1,219 @@
+//! Enclosing subgraphs as tensors: normalized adjacency + node features.
+
+use autolock_mlcore::Matrix;
+use autolock_netlist::graph::EnclosingSubgraph;
+use autolock_netlist::{GateKind, Netlist};
+
+/// An enclosing subgraph prepared for the DGCNN: node features `X` and the
+/// degree-normalized adjacency `Â = D̃⁻¹(A + I)` stored row-sparse.
+#[derive(Debug, Clone)]
+pub struct SubgraphTensor {
+    /// `n × f` node-feature matrix.
+    x: Matrix,
+    /// Row-sparse normalized adjacency: `adj[i]` lists `(j, Â_ij)`.
+    adj: Vec<Vec<(usize, f64)>>,
+}
+
+impl SubgraphTensor {
+    /// Builds the tensor for an extracted enclosing subgraph.
+    ///
+    /// Node features are, per node: the gate-kind one-hot
+    /// ([`GateKind::NUM_CODES`] entries), the DRNL label as a one-hot clipped
+    /// into `max_drnl` buckets (the same labelling MuxLink feeds its DGCNN),
+    /// and the subgraph-normalized degree. The adjacency includes self-loops
+    /// and is normalized by the (self-loop-augmented) degree, so each
+    /// convolution averages over the closed neighbourhood.
+    pub fn from_enclosing(netlist: &Netlist, sg: &EnclosingSubgraph, max_drnl: usize) -> Self {
+        let n = sg.nodes.len();
+        let max_drnl = max_drnl.max(1);
+        let f = GateKind::NUM_CODES + max_drnl + 1;
+
+        // Local degrees (within the subgraph).
+        let mut degree = vec![0usize; n];
+        for &(i, j) in &sg.edges {
+            degree[i] += 1;
+            degree[j] += 1;
+        }
+        let max_degree = degree.iter().copied().max().unwrap_or(0).max(1) as f64;
+
+        let mut x = Matrix::zeros(n, f);
+        for (idx, &node) in sg.nodes.iter().enumerate() {
+            let row = x.row_mut(idx);
+            row[netlist.gate(node).kind.code()] = 1.0;
+            let bucket = sg.drnl[idx].min(max_drnl - 1);
+            row[GateKind::NUM_CODES + bucket] = 1.0;
+            row[f - 1] = degree[idx] as f64 / max_degree;
+        }
+
+        // Â = D̃⁻¹ (A + I) with D̃_ii = degree_i + 1 (self-loop included).
+        let mut adj: Vec<Vec<(usize, f64)>> = (0..n).map(|_| Vec::new()).collect();
+        for (i, row) in adj.iter_mut().enumerate() {
+            row.push((i, 1.0));
+        }
+        for &(i, j) in &sg.edges {
+            adj[i].push((j, 1.0));
+            adj[j].push((i, 1.0));
+        }
+        for (i, row) in adj.iter_mut().enumerate() {
+            let norm = 1.0 / (degree[i] as f64 + 1.0);
+            for entry in row.iter_mut() {
+                entry.1 *= norm;
+            }
+        }
+        SubgraphTensor { x, adj }
+    }
+
+    /// Builds a tensor directly from parts (used by tests and benchmarks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `adj.len() != x.rows()`.
+    pub fn from_parts(x: Matrix, adj: Vec<Vec<(usize, f64)>>) -> Self {
+        assert_eq!(adj.len(), x.rows(), "adjacency rows must match node count");
+        SubgraphTensor { x, adj }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Per-node feature dimensionality.
+    pub fn feature_dim(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// The node-feature matrix.
+    pub fn features(&self) -> &Matrix {
+        &self.x
+    }
+
+    /// The row-sparse normalized adjacency.
+    pub fn adjacency(&self) -> &[Vec<(usize, f64)>] {
+        &self.adj
+    }
+
+    /// The feature dimensionality produced by [`Self::from_enclosing`] for a
+    /// given DRNL clip value.
+    pub fn feature_dim_for(max_drnl: usize) -> usize {
+        GateKind::NUM_CODES + max_drnl.max(1) + 1
+    }
+
+    /// Sparse product `Â · m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m.rows() != num_nodes()`.
+    pub fn propagate(&self, m: &Matrix) -> Matrix {
+        assert_eq!(m.rows(), self.num_nodes(), "propagate shape mismatch");
+        let mut out = Matrix::zeros(m.rows(), m.cols());
+        for (i, row) in self.adj.iter().enumerate() {
+            for &(j, w) in row {
+                let src = m.row(j);
+                let dst = out.row_mut(i);
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d += w * s;
+                }
+            }
+        }
+        out
+    }
+
+    /// Sparse product with the transpose, `Âᵀ · m` (the backward direction of
+    /// [`Self::propagate`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m.rows() != num_nodes()`.
+    pub fn propagate_transpose(&self, m: &Matrix) -> Matrix {
+        assert_eq!(m.rows(), self.num_nodes(), "propagate shape mismatch");
+        let mut out = Matrix::zeros(m.rows(), m.cols());
+        for (i, row) in self.adj.iter().enumerate() {
+            let src = m.row(i).to_vec();
+            for &(j, w) in row {
+                let dst = out.row_mut(j);
+                for (d, &s) in dst.iter_mut().zip(&src) {
+                    *d += w * s;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autolock_netlist::graph::{enclosing_subgraph, UndirectedGraph};
+    use autolock_netlist::{GateKind, Netlist};
+
+    fn tiny() -> (Netlist, SubgraphTensor) {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_gate("g", GateKind::And, vec![a, b]).unwrap();
+        let y = nl.add_gate("y", GateKind::Not, vec![g]).unwrap();
+        nl.mark_output(y);
+        let graph = UndirectedGraph::from_netlist_without_edges(&nl, &[(a, g)]);
+        let sg = enclosing_subgraph(&graph, a, g, 2);
+        let t = SubgraphTensor::from_enclosing(&nl, &sg, 8);
+        (nl, t)
+    }
+
+    #[test]
+    fn features_have_expected_shape_and_content() {
+        let (_, t) = tiny();
+        assert_eq!(t.feature_dim(), SubgraphTensor::feature_dim_for(8));
+        assert!(t.num_nodes() >= 2);
+        // Each row: exactly one kind one-hot, one DRNL one-hot, bounded degree.
+        for i in 0..t.num_nodes() {
+            let row = t.features().row(i);
+            let kind_ones: f64 = row[..GateKind::NUM_CODES].iter().sum();
+            let drnl_ones: f64 = row[GateKind::NUM_CODES..GateKind::NUM_CODES + 8]
+                .iter()
+                .sum();
+            assert_eq!(kind_ones, 1.0);
+            assert_eq!(drnl_ones, 1.0);
+            let deg = row[t.feature_dim() - 1];
+            assert!((0.0..=1.0).contains(&deg));
+        }
+    }
+
+    #[test]
+    fn adjacency_rows_are_normalized() {
+        let (_, t) = tiny();
+        for row in &t.adj {
+            let total: f64 = row.iter().map(|&(_, w)| w).sum();
+            assert!((total - 1.0).abs() < 1e-12, "row sums to {total}");
+        }
+    }
+
+    #[test]
+    fn propagate_matches_dense_reference() {
+        let (_, t) = tiny();
+        let n = t.num_nodes();
+        // Dense Â.
+        let mut dense = Matrix::zeros(n, n);
+        for (i, row) in t.adj.iter().enumerate() {
+            for &(j, w) in row {
+                dense.set(i, j, dense.get(i, j) + w);
+            }
+        }
+        let m = Matrix::from_vec(n, 2, (0..n * 2).map(|v| v as f64 * 0.3 - 1.0).collect());
+        let sparse = t.propagate(&m);
+        let reference = dense.matmul(&m);
+        for r in 0..n {
+            for c in 0..2 {
+                assert!((sparse.get(r, c) - reference.get(r, c)).abs() < 1e-12);
+            }
+        }
+        // Transpose path.
+        let sparse_t = t.propagate_transpose(&m);
+        let reference_t = dense.transpose().matmul(&m);
+        for r in 0..n {
+            for c in 0..2 {
+                assert!((sparse_t.get(r, c) - reference_t.get(r, c)).abs() < 1e-12);
+            }
+        }
+    }
+}

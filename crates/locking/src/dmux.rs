@@ -88,28 +88,29 @@ impl DMuxLocking {
         // against this view guarantees that `apply_loci` will not hit a cycle.
         let mut extra_edges: HashMap<GateId, Vec<GateId>> = HashMap::new();
         let fanouts = original.fanouts();
-        let reachable = |extra: &HashMap<GateId, Vec<GateId>>, from: GateId, target: GateId| -> bool {
-            if from == target {
-                return true;
-            }
-            let mut visited = vec![false; original.len()];
-            let mut stack = vec![from];
-            visited[from.index()] = true;
-            while let Some(node) = stack.pop() {
-                let direct = fanouts[node.index()].iter();
-                let added = extra.get(&node).map(|v| v.iter()).unwrap_or_default();
-                for &next in direct.chain(added) {
-                    if next == target {
-                        return true;
-                    }
-                    if !visited[next.index()] {
-                        visited[next.index()] = true;
-                        stack.push(next);
+        let reachable =
+            |extra: &HashMap<GateId, Vec<GateId>>, from: GateId, target: GateId| -> bool {
+                if from == target {
+                    return true;
+                }
+                let mut visited = vec![false; original.len()];
+                let mut stack = vec![from];
+                visited[from.index()] = true;
+                while let Some(node) = stack.pop() {
+                    let direct = fanouts[node.index()].iter();
+                    let added = extra.get(&node).map(|v| v.iter()).unwrap_or_default();
+                    for &next in direct.chain(added) {
+                        if next == target {
+                            return true;
+                        }
+                        if !visited[next.index()] {
+                            visited[next.index()] = true;
+                            stack.push(next);
+                        }
                     }
                 }
-            }
-            false
-        };
+                false
+            };
 
         let mut used: HashSet<(GateId, GateId)> = HashSet::new();
         let mut loci = Vec::with_capacity(key_len);
@@ -264,7 +265,9 @@ mod tests {
     fn dmux_locks_synthetic_circuit() {
         let original = synth_circuit("t", 12, 6, 250, 5);
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let locked = DMuxLocking::default().lock(&original, 32, &mut rng).unwrap();
+        let locked = DMuxLocking::default()
+            .lock(&original, 32, &mut rng)
+            .unwrap();
         assert_eq!(locked.key_len(), 32);
         assert!(locked.verify_functional(&original, 8, &mut rng).unwrap());
     }

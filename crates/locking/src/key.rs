@@ -112,14 +112,11 @@ impl Key {
         let mut out = String::new();
         // Pad to a multiple of 4 on the most significant side.
         let pad = (4 - self.bits.len() % 4) % 4;
-        let padded: Vec<bool> = std::iter::repeat(false)
-            .take(pad)
+        let padded: Vec<bool> = std::iter::repeat_n(false, pad)
             .chain(self.bits.iter().copied())
             .collect();
         for nibble in padded.chunks(4) {
-            let v = nibble
-                .iter()
-                .fold(0u8, |acc, &b| (acc << 1) | u8::from(b));
+            let v = nibble.iter().fold(0u8, |acc, &b| (acc << 1) | u8::from(b));
             out.push_str(&format!("{v:x}"));
         }
         out
@@ -127,7 +124,10 @@ impl Key {
 
     /// Bit-string representation (`"0101..."`, index 0 first).
     pub fn to_bit_string(&self) -> String {
-        self.bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
+        self.bits
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect()
     }
 
     /// Parses a bit string (`'0'`/`'1'` characters, index 0 first).

@@ -261,7 +261,8 @@ mod tests {
         assert_eq!(corruption, 1.0);
         let right = Key::zeros(1);
         assert_eq!(
-            ln.corruption_under_key(&original, &right, 4, &mut rng).unwrap(),
+            ln.corruption_under_key(&original, &right, 4, &mut rng)
+                .unwrap(),
             0.0
         );
         assert!(ln

@@ -389,7 +389,8 @@ mod tests {
         let (f_i, g_i) = c17_wire(&original, "G10gat", "G22gat");
         let (f_j, g_j) = c17_wire(&original, "G11gat", "G16gat");
         // key_bit = false -> true driver sits at MUX position 1 (selected by 0).
-        let locked = apply_loci(&original, &[MuxPairLocus::new(f_i, g_i, f_j, g_j, false)]).unwrap();
+        let locked =
+            apply_loci(&original, &[MuxPairLocus::new(f_i, g_i, f_j, g_j, false)]).unwrap();
         if let KeyGateProvenance::MuxPair { mux_i, .. } = locked.provenance()[0] {
             let mux_gate = locked.netlist().gate(mux_i);
             assert_eq!(mux_gate.fanin[1], f_i);

@@ -93,12 +93,7 @@ pub fn overhead_report<R: Rng + ?Sized>(
         original_depth: topo::depth(original)?,
         locked_depth: topo::depth(locked.netlist())?,
         original_switching: switching_activity(original, &[], rounds, rng)?,
-        locked_switching: switching_activity(
-            locked.netlist(),
-            locked.key().bits(),
-            rounds,
-            rng,
-        )?,
+        locked_switching: switching_activity(locked.netlist(), locked.key().bits(), rounds, rng)?,
     })
 }
 

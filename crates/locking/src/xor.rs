@@ -15,20 +15,12 @@ use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 
 /// Random XOR/XNOR locking.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct XorLocking {
     /// If `true`, only wires between two logic gates are locked (primary-input
     /// wires are excluded). Excluding input wires matches the common practice
     /// of keeping the interface untouched.
     pub exclude_input_wires: bool,
-}
-
-impl Default for XorLocking {
-    fn default() -> Self {
-        XorLocking {
-            exclude_input_wires: false,
-        }
-    }
 }
 
 impl LockingScheme for XorLocking {
@@ -63,7 +55,11 @@ impl LockingScheme for XorLocking {
         for (idx, &(driver, sink)) in chosen.iter().enumerate() {
             let key_bit: bool = rng.gen();
             let key_input = locked.add_key_input(locked.fresh_name(&format!("keyinput{idx}")))?;
-            let kind = if key_bit { GateKind::Xnor } else { GateKind::Xor };
+            let kind = if key_bit {
+                GateKind::Xnor
+            } else {
+                GateKind::Xor
+            };
             let key_gate = locked.add_gate(
                 locked.fresh_name(&format!("keygate{idx}")),
                 kind,

@@ -1,7 +1,7 @@
 //! Property-based and integration tests for the locking crate.
 
 use autolock_circuits::{suite_circuit, synth_circuit};
-use autolock_locking::mux::{apply_loci, lockable_wires, loci_from_provenance};
+use autolock_locking::mux::{apply_loci, loci_from_provenance, lockable_wires};
 use autolock_locking::overhead::overhead_report;
 use autolock_locking::{DMuxLocking, Key, LockingScheme, PairSelectionStrategy, XorLocking};
 use proptest::prelude::*;
@@ -110,7 +110,9 @@ proptest! {
 fn key_helpers_compose_on_real_lockings() {
     let original = suite_circuit("s160").unwrap();
     let mut rng = ChaCha8Rng::seed_from_u64(5);
-    let locked = DMuxLocking::default().lock(&original, 16, &mut rng).unwrap();
+    let locked = DMuxLocking::default()
+        .lock(&original, 16, &mut rng)
+        .unwrap();
     let key = locked.key().clone();
     assert_eq!(key.len(), 16);
     assert_eq!(Key::from_bit_string(&key.to_bit_string()).unwrap(), key);

@@ -111,6 +111,14 @@ impl Dataset {
         }
     }
 
+    /// Bootstrap resample: `len()` examples drawn uniformly with replacement,
+    /// for bagged ensembles.
+    pub fn bootstrap_sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Dataset {
+        let n = self.len();
+        let indices: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+        self.subset(&indices)
+    }
+
     /// Computes per-feature mean and standard deviation (for standardization).
     pub fn feature_stats(&self) -> (Vec<f64>, Vec<f64>) {
         let n = self.len().max(1) as f64;

@@ -38,11 +38,13 @@ mod logistic;
 mod matrix;
 pub mod metrics;
 mod mlp;
+pub mod optim;
 
 pub use dataset::Dataset;
 pub use logistic::{LogisticConfig, LogisticRegression};
 pub use matrix::Matrix;
 pub use mlp::{Mlp, MlpConfig};
+pub use optim::{AdamParams, AdamState, AdamVecState};
 
 /// Errors produced by the ML substrate.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -67,7 +67,11 @@ impl LogisticRegression {
     ///
     /// Panics if the feature length does not match the configured dimension.
     pub fn predict(&self, features: &[f64]) -> f64 {
-        assert_eq!(features.len(), self.weights.len(), "feature dimension mismatch");
+        assert_eq!(
+            features.len(),
+            self.weights.len(),
+            "feature dimension mismatch"
+        );
         let z: f64 = self
             .weights
             .iter()
@@ -80,7 +84,11 @@ impl LogisticRegression {
 
     /// Trains on `data`, returning the mean training loss of the final epoch.
     pub fn train<R: Rng + ?Sized>(&mut self, data: &Dataset, rng: &mut R) -> f64 {
-        assert_eq!(data.dim(), self.config.input_dim, "dataset dimension mismatch");
+        assert_eq!(
+            data.dim(),
+            self.config.input_dim,
+            "dataset dimension mismatch"
+        );
         let n = data.len();
         let mut indices: Vec<usize> = (0..n).collect();
         let mut last_loss = f64::INFINITY;

@@ -54,8 +54,11 @@ struct Layer {
 
 impl Layer {
     fn new<R: Rng + ?Sized>(inputs: usize, outputs: usize, rng: &mut R) -> Self {
-        // He-style initialization.
-        let scale = (2.0 / inputs as f64).sqrt();
+        // He-uniform initialization: U(-b, b) with b = sqrt(6 / fan_in) has
+        // the He variance 2 / fan_in (a uniform bound of sqrt(2 / fan_in)
+        // would under-scale the weights by 3x in variance and starves deep
+        // ReLU stacks of gradient).
+        let scale = (6.0 / inputs as f64).sqrt();
         Layer {
             weights: Matrix::random(outputs, inputs, scale, rng),
             bias: vec![0.0; outputs],
@@ -198,7 +201,11 @@ impl Mlp {
     }
 
     fn train_epoch<R: Rng + ?Sized>(&mut self, data: &Dataset, rng: &mut R) -> f64 {
-        assert_eq!(data.dim(), self.config.input_dim, "dataset dimension mismatch");
+        assert_eq!(
+            data.dim(),
+            self.config.input_dim,
+            "dataset dimension mismatch"
+        );
         let n = data.len();
         let mut indices: Vec<usize> = (0..n).collect();
         indices.shuffle(rng);
@@ -216,7 +223,11 @@ impl Mlp {
             .iter()
             .map(|l| Matrix::zeros(l.weights.rows(), l.weights.cols()))
             .collect();
-        let mut grad_b: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.bias.len()]).collect();
+        let mut grad_b: Vec<Vec<f64>> = self
+            .layers
+            .iter()
+            .map(|l| vec![0.0; l.bias.len()])
+            .collect();
         let mut batch_loss = 0.0;
 
         for &i in batch {
@@ -270,8 +281,8 @@ impl Mlp {
                     layer.weights.set(r, c, layer.weights.get(r, c) - step);
                 }
             }
-            for j in 0..layer.bias.len() {
-                let g = gb[j] * scale;
+            for (j, &gbj) in gb.iter().enumerate().take(layer.bias.len()) {
+                let g = gbj * scale;
                 layer.m_b[j] = beta1 * layer.m_b[j] + (1.0 - beta1) * g;
                 layer.v_b[j] = beta2 * layer.v_b[j] + (1.0 - beta2) * g * g;
                 let m_hat = layer.m_b[j] / (1.0 - beta1.powf(t));

@@ -1,0 +1,182 @@
+//! Reusable first-order optimizers.
+//!
+//! [`Mlp`](crate::Mlp) keeps its historical inline Adam update (so its
+//! training trajectories stay byte-stable); new learners — in particular the
+//! DGCNN in `autolock_gnn` — share this implementation instead of re-rolling
+//! the moment bookkeeping per parameter tensor.
+
+use crate::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Adam hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdamParams {
+    /// Step size.
+    pub learning_rate: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Denominator fuzz.
+    pub epsilon: f64,
+    /// L2 regularization strength, folded into the gradient before the
+    /// moment updates (classic coupled L2, not AdamW-style decoupled decay).
+    pub l2: f64,
+}
+
+impl Default for AdamParams {
+    fn default() -> Self {
+        AdamParams {
+            learning_rate: 0.01,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            l2: 0.0,
+        }
+    }
+}
+
+/// Adam state for one matrix-shaped parameter tensor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdamState {
+    m: Matrix,
+    v: Matrix,
+    t: u64,
+}
+
+impl AdamState {
+    /// Fresh state for a `rows x cols` parameter.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        AdamState {
+            m: Matrix::zeros(rows, cols),
+            v: Matrix::zeros(rows, cols),
+            t: 0,
+        }
+    }
+
+    /// Applies one Adam update to `params` given the loss gradient `grad`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes of `params`, `grad` and the state disagree.
+    pub fn step(&mut self, params: &mut Matrix, grad: &Matrix, hp: &AdamParams) {
+        assert_eq!(params.rows(), self.m.rows(), "Adam state shape mismatch");
+        assert_eq!(params.cols(), self.m.cols(), "Adam state shape mismatch");
+        assert_eq!(params.rows(), grad.rows(), "Adam gradient shape mismatch");
+        assert_eq!(params.cols(), grad.cols(), "Adam gradient shape mismatch");
+        self.t += 1;
+        let t = self.t as f64;
+        let bc1 = 1.0 - hp.beta1.powf(t);
+        let bc2 = 1.0 - hp.beta2.powf(t);
+        for i in 0..params.rows() {
+            for j in 0..params.cols() {
+                let g = grad.get(i, j) + hp.l2 * params.get(i, j);
+                let m = hp.beta1 * self.m.get(i, j) + (1.0 - hp.beta1) * g;
+                let v = hp.beta2 * self.v.get(i, j) + (1.0 - hp.beta2) * g * g;
+                self.m.set(i, j, m);
+                self.v.set(i, j, v);
+                let step = hp.learning_rate * (m / bc1) / ((v / bc2).sqrt() + hp.epsilon);
+                params.set(i, j, params.get(i, j) - step);
+            }
+        }
+    }
+}
+
+/// Adam state for a vector-shaped parameter (e.g. a bias).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdamVecState {
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl AdamVecState {
+    /// Fresh state for a length-`n` parameter.
+    pub fn new(n: usize) -> Self {
+        AdamVecState {
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            t: 0,
+        }
+    }
+
+    /// Applies one Adam update to `params` given the loss gradient `grad`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths disagree.
+    pub fn step(&mut self, params: &mut [f64], grad: &[f64], hp: &AdamParams) {
+        assert_eq!(params.len(), self.m.len(), "Adam state length mismatch");
+        assert_eq!(params.len(), grad.len(), "Adam gradient length mismatch");
+        self.t += 1;
+        let t = self.t as f64;
+        let bc1 = 1.0 - hp.beta1.powf(t);
+        let bc2 = 1.0 - hp.beta2.powf(t);
+        for i in 0..params.len() {
+            let g = grad[i] + hp.l2 * params[i];
+            self.m[i] = hp.beta1 * self.m[i] + (1.0 - hp.beta1) * g;
+            self.v[i] = hp.beta2 * self.v[i] + (1.0 - hp.beta2) * g * g;
+            let step =
+                hp.learning_rate * (self.m[i] / bc1) / ((self.v[i] / bc2).sqrt() + hp.epsilon);
+            params[i] -= step;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_minimizes_a_quadratic() {
+        // minimize f(x) = (x - 3)^2 elementwise
+        let mut x = Matrix::zeros(2, 2);
+        let mut state = AdamState::new(2, 2);
+        let hp = AdamParams {
+            learning_rate: 0.1,
+            ..Default::default()
+        };
+        for _ in 0..500 {
+            let grad = x.map(|v| 2.0 * (v - 3.0));
+            state.step(&mut x, &grad, &hp);
+        }
+        for r in 0..2 {
+            for c in 0..2 {
+                assert!((x.get(r, c) - 3.0).abs() < 1e-3, "{}", x.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn adam_vec_minimizes_a_quadratic() {
+        let mut x = vec![0.0; 3];
+        let mut state = AdamVecState::new(3);
+        let hp = AdamParams {
+            learning_rate: 0.1,
+            ..Default::default()
+        };
+        for _ in 0..500 {
+            let grad: Vec<f64> = x.iter().map(|&v| 2.0 * (v + 1.0)).collect();
+            state.step(&mut x, &grad, &hp);
+        }
+        for v in x {
+            assert!((v + 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn l2_pulls_parameters_toward_zero() {
+        let mut x = Matrix::from_vec(1, 1, vec![5.0]);
+        let mut state = AdamState::new(1, 1);
+        let hp = AdamParams {
+            learning_rate: 0.05,
+            l2: 1.0,
+            ..Default::default()
+        };
+        for _ in 0..400 {
+            let grad = Matrix::zeros(1, 1); // no data gradient, only decay
+            state.step(&mut x, &grad, &hp);
+        }
+        assert!(x.get(0, 0).abs() < 0.5);
+    }
+}

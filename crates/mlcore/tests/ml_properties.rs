@@ -144,7 +144,9 @@ fn logistic_regression_separates_shifted_gaussians() {
         ..Default::default()
     });
     model.train(&data, &mut rng);
-    let preds: Vec<f64> = (0..data.len()).map(|i| model.predict(data.features_of(i))).collect();
+    let preds: Vec<f64> = (0..data.len())
+        .map(|i| model.predict(data.features_of(i)))
+        .collect();
     let metrics = BinaryMetrics::from_predictions(&preds, data.labels());
     assert!(metrics.accuracy() > 0.9, "accuracy {}", metrics.accuracy());
     assert!(roc_auc(&preds, data.labels()) > 0.95);

@@ -55,7 +55,10 @@ impl fmt::Display for NetlistError {
             NetlistError::UnknownSignal(name) => write!(f, "unknown signal `{name}`"),
             NetlistError::InvalidGateId(id) => write!(f, "invalid gate id {id}"),
             NetlistError::BadArity { gate, kind, got } => {
-                write!(f, "gate `{gate}` of kind {kind} has invalid fan-in count {got}")
+                write!(
+                    f,
+                    "gate `{gate}` of kind {kind} has invalid fan-in count {got}"
+                )
             }
             NetlistError::CombinationalCycle(name) => {
                 write!(f, "combinational cycle detected through gate `{name}`")

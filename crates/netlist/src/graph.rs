@@ -92,8 +92,8 @@ impl UndirectedGraph {
                 continue;
             }
             for &v in self.neighbors(u) {
-                if !dist.contains_key(&v) {
-                    dist.insert(v, du + 1);
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(v) {
+                    e.insert(du + 1);
                     queue.push_back(v);
                 }
             }

@@ -232,7 +232,12 @@ impl Netlist {
 
     /// Rewires every sink of `old` (optionally also the output list) to read
     /// from `new` instead. Returns the number of rewired connections.
-    pub fn replace_all_uses(&mut self, old: GateId, new: GateId, include_outputs: bool) -> Result<usize> {
+    pub fn replace_all_uses(
+        &mut self,
+        old: GateId,
+        new: GateId,
+        include_outputs: bool,
+    ) -> Result<usize> {
         if new.index() >= self.gates.len() {
             return Err(NetlistError::InvalidGateId(new));
         }

@@ -153,7 +153,9 @@ pub fn parse_bench(name: &str, source: &str) -> Result<Netlist> {
                         },
                         NetlistError::BadArity { gate, kind, got } => NetlistError::Parse {
                             line: decl.line,
-                            message: format!("gate `{gate}` of kind {kind} has invalid fan-in count {got}"),
+                            message: format!(
+                                "gate `{gate}` of kind {kind} has invalid fan-in count {got}"
+                            ),
                         },
                         other => other,
                     })?;
@@ -307,11 +309,7 @@ y = XNOR(t, keyinput1)
 
     #[test]
     fn cycle_rejected() {
-        let err = parse_bench(
-            "x",
-            "INPUT(a)\nOUTPUT(p)\np = AND(a, q)\nq = NOT(p)\n",
-        )
-        .unwrap_err();
+        let err = parse_bench("x", "INPUT(a)\nOUTPUT(p)\np = AND(a, q)\nq = NOT(p)\n").unwrap_err();
         assert!(matches!(err, NetlistError::CombinationalCycle(_)));
     }
 

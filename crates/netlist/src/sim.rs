@@ -22,7 +22,7 @@ pub struct PatternSet {
 impl PatternSet {
     /// Creates an all-zero pattern set for `num_signals` signals.
     pub fn zeros(num_signals: usize, num_patterns: usize) -> Self {
-        assert!(num_patterns >= 1 && num_patterns <= 64);
+        assert!((1..=64).contains(&num_patterns));
         PatternSet {
             num_patterns,
             words: vec![0; num_signals],
@@ -31,7 +31,7 @@ impl PatternSet {
 
     /// Creates a random pattern set.
     pub fn random<R: Rng + ?Sized>(num_signals: usize, num_patterns: usize, rng: &mut R) -> Self {
-        assert!(num_patterns >= 1 && num_patterns <= 64);
+        assert!((1..=64).contains(&num_patterns));
         let mask = Self::mask(num_patterns);
         PatternSet {
             num_patterns,

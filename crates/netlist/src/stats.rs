@@ -54,11 +54,7 @@ pub fn netlist_stats(nl: &Netlist) -> Result<NetlistStats> {
     }
     let fanouts = nl.fanouts();
     let max_fanout = fanouts.iter().map(|f| f.len()).max().unwrap_or(0);
-    let driving: Vec<usize> = fanouts
-        .iter()
-        .map(|f| f.len())
-        .filter(|&l| l > 0)
-        .collect();
+    let driving: Vec<usize> = fanouts.iter().map(|f| f.len()).filter(|&l| l > 0).collect();
     let avg_fanout = if driving.is_empty() {
         0.0
     } else {

@@ -153,7 +153,10 @@ pub fn is_reachable(nl: &Netlist, from: GateId, target: GateId) -> bool {
 pub fn levelized(nl: &Netlist) -> Result<Vec<(GateId, usize)>> {
     let order = topological_order(nl)?;
     let levels = logic_levels(nl)?;
-    Ok(order.into_iter().map(|id| (id, levels[id.index()])).collect())
+    Ok(order
+        .into_iter()
+        .map(|id| (id, levels[id.index()]))
+        .collect())
 }
 
 /// Returns all gates whose kind is ordinary logic (not inputs/keys/constants).

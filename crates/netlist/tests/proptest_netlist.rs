@@ -1,6 +1,8 @@
 //! Property-based tests for the netlist substrate.
 
-use autolock_netlist::{graph, parse_bench, sim, stats, topo, write_bench, GateId, GateKind, Netlist};
+use autolock_netlist::{
+    graph, parse_bench, sim, stats, topo, write_bench, GateId, GateKind, Netlist,
+};
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;

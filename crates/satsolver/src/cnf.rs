@@ -111,7 +111,7 @@ impl CnfFormula {
             for tok in line.split_whitespace() {
                 let value: i64 = tok.parse().ok()?;
                 if value == 0 {
-                    formula.add_clause(current.drain(..).collect::<Vec<_>>());
+                    formula.add_clause(std::mem::take(&mut current));
                 } else {
                     current.push(Lit::from_dimacs(value)?);
                 }

@@ -63,7 +63,13 @@ impl CircuitEncoder {
 
     /// Adds clauses forcing the variables of `gate_a` (in this encoding) and
     /// `gate_b` (in `other`) to be equal.
-    pub fn assert_equal(&self, solver: &mut Solver, gate_a: GateId, other: &CircuitEncoder, gate_b: GateId) {
+    pub fn assert_equal(
+        &self,
+        solver: &mut Solver,
+        gate_a: GateId,
+        other: &CircuitEncoder,
+        gate_b: GateId,
+    ) {
         let a = Lit::pos(self.var(gate_a));
         let b = Lit::pos(other.var(gate_b));
         solver.add_clause(&[!a, b]);
@@ -116,7 +122,7 @@ impl CircuitEncoder {
                 let s = fanin[0];
                 let a = fanin[1]; // selected when s = 0
                 let b = fanin[2]; // selected when s = 1
-                // out = (!s & a) | (s & b)
+                                  // out = (!s & a) | (s & b)
                 solver.add_clause(&[s, !a, out]);
                 solver.add_clause(&[s, a, !out]);
                 solver.add_clause(&[!s, !b, out]);
@@ -194,7 +200,9 @@ mod tests {
         let total_bits = inputs.len() + keys.len();
         assert!(total_bits <= 10, "test helper is exhaustive");
         for assignment in 0..(1u32 << total_bits) {
-            let bits: Vec<bool> = (0..total_bits).map(|i| (assignment >> i) & 1 == 1).collect();
+            let bits: Vec<bool> = (0..total_bits)
+                .map(|i| (assignment >> i) & 1 == 1)
+                .collect();
             let expected = nl.evaluate(&bits).unwrap();
 
             let mut solver = Solver::new();
@@ -202,7 +210,11 @@ mod tests {
             for (i, &id) in inputs.iter().chain(keys.iter()).enumerate() {
                 enc.assert_value(&mut solver, id, bits[i]);
             }
-            assert_eq!(solver.solve(), SolveResult::Sat, "circuit CNF must be satisfiable");
+            assert_eq!(
+                solver.solve(),
+                SolveResult::Sat,
+                "circuit CNF must be satisfiable"
+            );
             let got: Vec<bool> = nl
                 .outputs()
                 .iter()
@@ -226,7 +238,9 @@ mod tests {
         let xnor = nl.add_gate("xnor", GateKind::Xnor, vec![and, or]).unwrap();
         let not = nl.add_gate("not", GateKind::Not, vec![nand]).unwrap();
         let buf = nl.add_gate("buf", GateKind::Buf, vec![nor]).unwrap();
-        let mux = nl.add_gate("mux", GateKind::Mux, vec![a, xor, xnor]).unwrap();
+        let mux = nl
+            .add_gate("mux", GateKind::Mux, vec![a, xor, xnor])
+            .unwrap();
         let c1 = nl.add_gate("one", GateKind::Const1, vec![]).unwrap();
         let fin = nl
             .add_gate("fin", GateKind::And, vec![mux, not, buf, c1])

@@ -171,8 +171,8 @@ impl Solver {
                 return true;
             }
             match self.lit_value(l) {
-                1 => return true,   // already satisfied at level 0
-                -1 => continue,     // falsified at level 0: drop
+                1 => return true, // already satisfied at level 0
+                -1 => continue,   // falsified at level 0: drop
                 _ => simplified.push(l),
             }
         }
@@ -568,6 +568,7 @@ mod tests {
         for row in &p {
             s.add_clause(&[Lit::pos(row[0]), Lit::pos(row[1])]);
         }
+        #[allow(clippy::needless_range_loop)]
         for j in 0..2 {
             for i in 0..3 {
                 for k in (i + 1)..3 {
@@ -590,6 +591,7 @@ mod tests {
         for row in &p {
             s.add_clause(&[Lit::pos(row[0]), Lit::pos(row[1]), Lit::pos(row[2])]);
         }
+        #[allow(clippy::needless_range_loop)]
         for j in 0..3 {
             for i in 0..3 {
                 for k in (i + 1)..3 {
@@ -610,7 +612,10 @@ mod tests {
         let v = lits(&mut s, 2);
         s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
         // Assuming !a forces b.
-        assert_eq!(s.solve_with_assumptions(&[Lit::neg(v[0])]), SolveResult::Sat);
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::neg(v[0])]),
+            SolveResult::Sat
+        );
         assert_eq!(s.value(v[0]), Some(false));
         assert_eq!(s.value(v[1]), Some(true));
         // Conflicting assumptions yield Unsat but don't poison the solver.

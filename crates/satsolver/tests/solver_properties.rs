@@ -23,8 +23,11 @@ fn brute_force_sat(num_vars: usize, clauses: &[Vec<Lit>]) -> bool {
 }
 
 fn clause_strategy(num_vars: usize) -> impl Strategy<Value = Vec<Lit>> {
-    proptest::collection::vec((0..num_vars as u32, proptest::bool::ANY), 1..4)
-        .prop_map(|lits| lits.into_iter().map(|(v, pos)| Lit::new(Var(v), pos)).collect())
+    proptest::collection::vec((0..num_vars as u32, proptest::bool::ANY), 1..4).prop_map(|lits| {
+        lits.into_iter()
+            .map(|(v, pos)| Lit::new(Var(v), pos))
+            .collect()
+    })
 }
 
 proptest! {

@@ -56,7 +56,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Box::new(MuxLinkAttack::new(MuxLinkConfig::default())),
     ];
 
-    println!("{:<16} {}", "attack \\ scheme", schemes.iter().map(|(n, _)| format!("{n:>12}")).collect::<String>());
+    println!(
+        "{:<16} {}",
+        "attack \\ scheme",
+        schemes
+            .iter()
+            .map(|(n, _)| format!("{n:>12}"))
+            .collect::<String>()
+    );
     for attack in &attacks {
         let mut line = format!("{:<16}", attack.name());
         for (_, locked) in &schemes {

@@ -72,7 +72,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (dmux_acc - auto_acc) * 100.0
     );
     println!("\nconvergence (best attack accuracy per generation):");
-    for record in result.history.iter().step_by(5.max(result.history.len() / 12)) {
+    for record in result
+        .history
+        .iter()
+        .step_by(5.max(result.history.len() / 12))
+    {
         println!(
             "  gen {:>3}: best {:.1}%  mean {:.1}%",
             record.generation,

@@ -1,0 +1,46 @@
+//! Head-to-head: the seed's enclosing-subgraph MLP backend vs the faithful
+//! DGCNN backend of the MuxLink attack, on the same D-MUX-locked circuit.
+//!
+//! Run with `cargo run --release --example gnn_vs_mlp`.
+
+use autolock_suite::attacks::{KeyRecoveryAttack, MuxLinkAttack, MuxLinkConfig};
+use autolock_suite::circuits::synth_circuit;
+use autolock_suite::locking::{DMuxLocking, LockingScheme};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+fn main() {
+    let original = synth_circuit("demo", 24, 10, 600, 42);
+    let key_len = 16;
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let locked = DMuxLocking::default()
+        .lock(&original, key_len, &mut rng)
+        .expect("lockable circuit");
+    println!(
+        "circuit: {} gates, {}-bit D-MUX key\n",
+        original.num_logic_gates(),
+        key_len
+    );
+
+    for config in [MuxLinkConfig::default(), MuxLinkConfig::gnn()] {
+        let attack = MuxLinkAttack::new(config);
+        let start = Instant::now();
+        let mut total = 0.0;
+        let runs = 3u64;
+        for seed in 0..runs {
+            let mut attack_rng = ChaCha8Rng::seed_from_u64(100 + seed);
+            let outcome = attack.attack(&locked, &mut attack_rng);
+            total += outcome.key_accuracy;
+        }
+        println!(
+            "{:>12}: key accuracy {:.1}% (mean of {} runs, {:?} total)",
+            attack.name(),
+            100.0 * total / runs as f64,
+            runs,
+            start.elapsed()
+        );
+    }
+    println!("\nThe DGCNN sees the raw enclosing subgraph instead of summary");
+    println!("statistics, which is what the published MuxLink attack does.");
+}

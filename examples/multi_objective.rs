@@ -5,7 +5,9 @@
 
 use autolock_suite::attacks::MuxLinkConfig;
 use autolock_suite::attacks::SatAttackConfig;
-use autolock_suite::autolock::operators::{CrossoverKind, LocusCrossover, LocusMutation, MutationKind};
+use autolock_suite::autolock::operators::{
+    CrossoverKind, LocusCrossover, LocusMutation, MutationKind,
+};
 use autolock_suite::autolock::{random_genotype, MultiObjectiveLockingFitness, ObjectiveKind};
 use autolock_suite::circuits::suite_circuit;
 use autolock_suite::evo::{Nsga2, Nsga2Config};
@@ -48,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .run(initial, &fitness, &crossover, &mutation, &mut rng);
 
     println!("Pareto front ({} points):", result.front.len());
-    println!("{:<8} {:>18} {:>16}", "point", "MuxLink accuracy", "area overhead");
+    println!(
+        "{:<8} {:>18} {:>16}",
+        "point", "MuxLink accuracy", "area overhead"
+    );
     let mut points = result.front.clone();
     points.sort_by(|a, b| a.objectives[0].partial_cmp(&b.objectives[0]).unwrap());
     for (i, p) in points.iter().enumerate() {

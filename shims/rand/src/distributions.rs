@@ -1,0 +1,256 @@
+//! Distributions: the `Standard` distribution, uniform range sampling and
+//! `WeightedIndex`.
+
+use crate::RngCore;
+use core::borrow::Borrow;
+
+/// Types that can produce values of `T` given a source of randomness.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a primitive type: uniform over all values
+/// for integers, uniform in `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Uniform sampling over ranges.
+pub mod uniform {
+    use crate::RngCore;
+
+    /// Marker for types `gen_range` can sample.
+    pub trait SampleUniform: Sized {
+        /// Uniform sample from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`
+        /// (`inclusive = true`).
+        fn sample_uniform<R: RngCore + ?Sized>(
+            lo: Self,
+            hi: Self,
+            inclusive: bool,
+            rng: &mut R,
+        ) -> Self;
+    }
+
+    macro_rules! uniform_int {
+        ($($t:ty => $wide:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform<R: RngCore + ?Sized>(
+                    lo: Self,
+                    hi: Self,
+                    inclusive: bool,
+                    rng: &mut R,
+                ) -> Self {
+                    let (lo_w, hi_w) = (lo as i128, hi as i128);
+                    let span = if inclusive { hi_w - lo_w + 1 } else { hi_w - lo_w };
+                    assert!(span > 0, "cannot sample from empty range");
+                    // Widening multiply: maps 64 random bits onto the span
+                    // with negligible bias for the span sizes used here.
+                    let r = rng.next_u64() as u128;
+                    let off = ((r * span as u128) >> 64) as i128;
+                    (lo_w + off) as $t
+                }
+            }
+        )*};
+    }
+    uniform_int!(
+        u8 => u16, u16 => u32, u32 => u64, u64 => u128, usize => u128,
+        i8 => i16, i16 => i32, i32 => i64, i64 => i128, isize => i128
+    );
+
+    macro_rules! uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform<R: RngCore + ?Sized>(
+                    lo: Self,
+                    hi: Self,
+                    inclusive: bool,
+                    rng: &mut R,
+                ) -> Self {
+                    let _ = inclusive; // [lo, hi) and [lo, hi] coincide a.s.
+                    assert!(lo < hi || (inclusive && lo == hi), "cannot sample from empty range");
+                    let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                    (lo as f64 + unit * (hi as f64 - lo as f64)) as $t
+                }
+            }
+        )*};
+    }
+    uniform_float!(f32, f64);
+
+    /// Range forms accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Draws one uniform sample from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_uniform(self.start, self.end, false, rng)
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for core::ops::RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_uniform(*self.start(), *self.end(), true, rng)
+        }
+    }
+}
+
+/// Error produced by [`WeightedIndex::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WeightedError {
+    /// No weights were provided.
+    NoItem,
+    /// A weight was negative or non-finite.
+    InvalidWeight,
+    /// The weights sum to zero.
+    AllWeightsZero,
+}
+
+impl core::fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WeightedError::NoItem => write!(f, "no weights provided"),
+            WeightedError::InvalidWeight => write!(f, "negative or non-finite weight"),
+            WeightedError::AllWeightsZero => write!(f, "all weights are zero"),
+        }
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+/// Samples indices `0..n` proportionally to a list of non-negative weights.
+#[derive(Debug, Clone)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl WeightedIndex {
+    /// Builds the sampler from an iterator of weights.
+    pub fn new<I>(weights: I) -> Result<WeightedIndex, WeightedError>
+    where
+        I: IntoIterator,
+        I::Item: core::borrow::Borrow<f64>,
+    {
+        let mut cumulative = Vec::new();
+        let mut total = 0.0f64;
+        for w in weights {
+            let w = *w.borrow();
+            if !(w.is_finite() && w >= 0.0) {
+                return Err(WeightedError::InvalidWeight);
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if cumulative.is_empty() {
+            return Err(WeightedError::NoItem);
+        }
+        if total <= 0.0 {
+            return Err(WeightedError::AllWeightsZero);
+        }
+        Ok(WeightedIndex { cumulative, total })
+    }
+}
+
+impl Distribution<usize> for WeightedIndex {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let target = unit * self.total;
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&target).expect("finite weights"))
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fill_bytes_via_u64;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            fill_bytes_via_u64(self, dest)
+        }
+    }
+
+    #[test]
+    fn weighted_index_respects_zero_weights() {
+        let w = WeightedIndex::new([0.0, 1.0, 0.0]).unwrap();
+        let mut rng = Lcg(9);
+        for _ in 0..200 {
+            assert_eq!(w.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn weighted_index_rejects_bad_input() {
+        assert!(matches!(
+            WeightedIndex::new(Vec::<f64>::new()),
+            Err(WeightedError::NoItem)
+        ));
+        assert!(WeightedIndex::new([-1.0]).is_err());
+        assert!(WeightedIndex::new([0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn weighted_index_is_roughly_proportional() {
+        let w = WeightedIndex::new([1.0, 3.0]).unwrap();
+        let mut rng = Lcg(11);
+        let mut counts = [0usize; 2];
+        for _ in 0..4000 {
+            counts[w.sample(&mut rng)] += 1;
+        }
+        let ratio = counts[1] as f64 / counts[0] as f64;
+        assert!((2.0..4.5).contains(&ratio), "ratio {ratio}");
+    }
+}

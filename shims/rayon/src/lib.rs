@@ -1,0 +1,141 @@
+//! Offline shim for the subset of `rayon` this workspace uses:
+//! `slice.par_iter().map(f).collect::<Vec<_>>()`.
+//!
+//! Unlike a sequential stub, this actually runs the mapped closure in
+//! parallel: the input is split into one contiguous chunk per available core
+//! and each chunk is processed on a scoped `std::thread`. Output order is
+//! preserved. There is no work stealing — fitness-evaluation workloads in
+//! this workspace are uniform enough that static chunking is adequate.
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    //! Glob-importable API surface, mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelRefIterator, ParMap, ParSlice};
+}
+
+/// Types whose references can be iterated in parallel.
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type.
+    type Item: Sync + 'data;
+
+    /// A parallel iterator over `&Self::Item`.
+    fn par_iter(&'data self) -> ParSlice<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParSlice<'data, T> {
+        ParSlice { items: self }
+    }
+}
+
+/// A parallel iterator over a slice.
+#[derive(Debug, Clone, Copy)]
+pub struct ParSlice<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParSlice<'a, T> {
+    /// Maps every element through `f` (in parallel at collect time).
+    pub fn map<F, R>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParSlice::map`]; evaluation happens in [`ParMap::collect`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Runs the map on all elements, preserving order, and collects the
+    /// results.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+        C: From<Vec<R>>,
+    {
+        C::from(par_map_slice(self.items, &self.f))
+    }
+}
+
+fn par_map_slice<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync>(items: &'a [T], f: &F) -> Vec<R> {
+    let threads = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    let mut results: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_size)
+            .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        results = handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel map worker panicked"))
+            .collect();
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for part in results {
+        out.extend(part);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_on_tiny_and_empty_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        let out: Vec<u8> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [5usize];
+        let out: Vec<usize> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![6]);
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        let input: Vec<usize> = (0..256).collect();
+        let _: Vec<usize> = input
+            .par_iter()
+            .map(|&x| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                x
+            })
+            .collect();
+        let n = ids.lock().unwrap().len();
+        // On a multi-core box this is > 1; on a single-core box it must be 1.
+        let cores = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1);
+        assert!(n >= 1 && n <= cores.max(1));
+    }
+}

@@ -4,7 +4,7 @@
 
 use autolock_suite::circuits::{CircuitGenerator, GeneratorConfig};
 use autolock_suite::locking::{DMuxLocking, Key, LockingScheme, XorLocking};
-use autolock_suite::netlist::{equiv, stats, write_bench, parse_bench};
+use autolock_suite::netlist::{equiv, parse_bench, stats, write_bench};
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;

@@ -21,23 +21,22 @@ fn locked_netlists_survive_bench_roundtrip_and_stay_equivalent() {
     let text = write_bench(locked.netlist());
     let reparsed = parse_bench("roundtrip", &text).unwrap();
     assert_eq!(reparsed.num_key_inputs(), 8);
-    let equivalent = equiv::random_equivalent(
-        &original,
-        &[],
-        &reparsed,
-        locked.key().bits(),
-        8,
-        &mut rng,
-    )
-    .unwrap();
-    assert!(equivalent, "re-parsed locked netlist must still unlock correctly");
+    let equivalent =
+        equiv::random_equivalent(&original, &[], &reparsed, locked.key().bits(), 8, &mut rng)
+            .unwrap();
+    assert!(
+        equivalent,
+        "re-parsed locked netlist must still unlock correctly"
+    );
 }
 
 #[test]
 fn muxlink_beats_baselines_on_dmux_and_structural_attack_breaks_xor() {
     let original = suite_circuit("s160").unwrap();
     let mut rng = ChaCha8Rng::seed_from_u64(2);
-    let dmux = DMuxLocking::default().lock(&original, 16, &mut rng).unwrap();
+    let dmux = DMuxLocking::default()
+        .lock(&original, 16, &mut rng)
+        .unwrap();
     let xor = XorLocking::default().lock(&original, 16, &mut rng).unwrap();
 
     let mut attack_rng = ChaCha8Rng::seed_from_u64(3);
@@ -49,20 +48,30 @@ fn muxlink_beats_baselines_on_dmux_and_structural_attack_breaks_xor() {
         .attack(&dmux, &mut attack_rng)
         .key_accuracy;
     let mut attack_rng = ChaCha8Rng::seed_from_u64(3);
-    let random = RandomGuessAttack.attack(&dmux, &mut attack_rng).key_accuracy;
+    let random = RandomGuessAttack
+        .attack(&dmux, &mut attack_rng)
+        .key_accuracy;
 
     // The ordering the paper's narrative depends on: link prediction breaks
     // D-MUX, locality-only learning and random guessing do not.
     assert!(muxlink > 0.7, "muxlink accuracy {muxlink}");
-    assert!(muxlink > locality, "muxlink {muxlink} vs locality {locality}");
+    assert!(
+        muxlink > locality,
+        "muxlink {muxlink} vs locality {locality}"
+    );
     assert!(
         (0.2..=0.8).contains(&random),
         "random guessing should hover around 0.5, got {random}"
     );
 
     let mut attack_rng = ChaCha8Rng::seed_from_u64(4);
-    let xor_structural = XorStructuralAttack.attack(&xor, &mut attack_rng).key_accuracy;
-    assert_eq!(xor_structural, 1.0, "naive XOR locking leaks its key structurally");
+    let xor_structural = XorStructuralAttack
+        .attack(&xor, &mut attack_rng)
+        .key_accuracy;
+    assert_eq!(
+        xor_structural, 1.0,
+        "naive XOR locking leaks its key structurally"
+    );
 }
 
 #[test]
@@ -102,7 +111,10 @@ fn autolock_end_to_end_improves_or_matches_dmux_and_stays_functional() {
 
     // Functional correctness of the evolved locking.
     let mut rng = ChaCha8Rng::seed_from_u64(6);
-    assert!(result.locked.verify_functional(&original, 8, &mut rng).unwrap());
+    assert!(result
+        .locked
+        .verify_functional(&original, 8, &mut rng)
+        .unwrap());
     assert_eq!(result.locked.key_len(), 12);
     assert_eq!(result.locked.scheme(), "autolock");
 
