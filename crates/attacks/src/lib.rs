@@ -30,6 +30,7 @@ mod muxlink;
 mod report;
 mod sat;
 
+pub use autolock_gnn::SortPoolK;
 pub use baselines::{has_mux_key_gates, RandomGuessAttack, XorStructuralAttack};
 pub use features::{visible_levels, FeatureMode, LinkFeatureConfig, LinkFeatureExtractor};
 pub use muxlink::{MuxCandidate, MuxLinkAttack, MuxLinkBackend, MuxLinkConfig};

@@ -24,7 +24,7 @@
 use crate::features::{visible_levels, FeatureMode, LinkFeatureConfig, LinkFeatureExtractor};
 use crate::report::{AttackOutcome, KeyGuess};
 use crate::KeyRecoveryAttack;
-use autolock_gnn::{Dgcnn, DgcnnConfig, LinkPredictor, SubgraphTensor};
+use autolock_gnn::{Dgcnn, DgcnnConfig, LinkPredictor, SortPoolK, SubgraphTensor};
 use autolock_locking::LockedNetlist;
 use autolock_mlcore::{Dataset, Mlp, MlpConfig};
 use autolock_netlist::graph::{enclosing_subgraph, UndirectedGraph};
@@ -32,6 +32,7 @@ use autolock_netlist::{GateId, GateKind, Netlist};
 use rand::seq::SliceRandom;
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
@@ -89,6 +90,15 @@ pub struct MuxLinkConfig {
     pub ensemble: usize,
     /// Margin above which a key-bit prediction counts as "confident".
     pub confidence_threshold: f64,
+    /// Threads for the GNN backend's batch-parallel training, tensor
+    /// construction and scoring: `0` = all available cores, `1` = serial,
+    /// `n` = exactly `n`. The attack outcome is bit-for-bit identical for
+    /// every setting; this knob only trades wall-clock time.
+    pub gnn_threads: usize,
+    /// SortPooling output size of the GNN backend: a fixed `k`, or
+    /// [`SortPoolK::Percentile`] to apply DGCNN's dataset-percentile rule to
+    /// the sampled training subgraphs of each attacked netlist.
+    pub gnn_sortpool_k: SortPoolK,
 }
 
 impl Default for MuxLinkConfig {
@@ -102,6 +112,8 @@ impl Default for MuxLinkConfig {
             max_train_samples_per_class: 400,
             ensemble: 5,
             confidence_threshold: 0.6,
+            gnn_threads: 0,
+            gnn_sortpool_k: SortPoolK::Fixed(10),
         }
     }
 }
@@ -130,7 +142,14 @@ impl MuxLinkConfig {
     }
 
     /// A cheaper DGCNN configuration (fewer samples and epochs), the GNN
-    /// counterpart of [`MuxLinkConfig::fast`] for use inside fitness loops.
+    /// counterpart of [`MuxLinkConfig::fast`] for use inside fitness loops —
+    /// this is the adversary the E11 experiment evolves against.
+    ///
+    /// Like every GNN preset it trains and scores batch-parallel across all
+    /// cores (`gnn_threads: 0`) with a fixed SortPooling `k`; tune either
+    /// knob with [`MuxLinkConfig::with_gnn_threads`] /
+    /// [`MuxLinkConfig::with_adaptive_k`] — neither changes the attack's
+    /// output, percentile-`k` aside, so presets stay reproducible.
     pub fn gnn_fast() -> Self {
         MuxLinkConfig {
             backend: MuxLinkBackend::Gnn,
@@ -138,6 +157,21 @@ impl MuxLinkConfig {
             max_train_samples_per_class: 150,
             ..Default::default()
         }
+    }
+
+    /// Sets the GNN backend's thread count (`0` = all cores, `1` = serial).
+    /// Purely a wall-clock knob: outcomes are identical for every value.
+    pub fn with_gnn_threads(mut self, threads: usize) -> Self {
+        self.gnn_threads = threads;
+        self
+    }
+
+    /// Switches the GNN backend to adaptive SortPooling: `k` becomes the
+    /// node count at the given dataset percentile (DGCNN picks `k` so that
+    /// this fraction of training subgraphs have ≥ `k` nodes).
+    pub fn with_adaptive_k(mut self, percentile: f64) -> Self {
+        self.gnn_sortpool_k = SortPoolK::Percentile(percentile);
+        self
     }
 
     /// The locality-only ablation (gate-type features only); models
@@ -155,6 +189,13 @@ impl MuxLinkConfig {
 
 /// A sampled set of (driver, sink) link examples.
 type LinkPairs = Vec<(GateId, GateId)>;
+
+/// A trained batch link scorer: `out[i]` answers `pairs[i]`.
+type BatchScorer<'a> = Box<dyn Fn(&[(GateId, GateId)]) -> Vec<f64> + 'a>;
+
+/// One candidate link's score: resolved by the cycle rule (`Ok`) or deferred
+/// to slot `i` of the batched model query (`Err(i)`).
+type ScoreSlot = Result<f64, usize>;
 
 /// The MuxLink-style attack.
 #[derive(Debug, Clone, Default)]
@@ -319,7 +360,41 @@ impl MuxLinkAttack {
         (rows, labels)
     }
 
-    /// Builds DGCNN subgraph tensors for sampled links.
+    /// Builds DGCNN subgraph tensors for a batch of links, fanning the
+    /// independent subgraph extractions across `gnn_threads` rayon workers
+    /// (order-preserving, so results are identical to the serial loop).
+    /// `drop_link` hides the link itself before extracting its
+    /// neighbourhood, as required for positive training examples.
+    fn gnn_tensors(
+        &self,
+        netlist: &Netlist,
+        graph: &UndirectedGraph,
+        pairs: &[(GateId, GateId)],
+        drop_link: bool,
+    ) -> Vec<SubgraphTensor> {
+        let hops = self.config.features.hops;
+        let max_drnl = self.config.features.max_drnl;
+        let build = |&(u, v): &(GateId, GateId)| -> SubgraphTensor {
+            let sg = if drop_link {
+                let g = graph.without_edge(u, v);
+                enclosing_subgraph(&g, u, v, hops)
+            } else {
+                enclosing_subgraph(graph, u, v, hops)
+            };
+            SubgraphTensor::from_enclosing(netlist, &sg, max_drnl)
+        };
+        if self.config.gnn_threads == 1 || pairs.len() <= 1 {
+            pairs.iter().map(build).collect()
+        } else {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(self.config.gnn_threads)
+                .build()
+                .expect("failed to build rayon thread pool")
+                .install(|| pairs.par_iter().map(build).collect())
+        }
+    }
+
+    /// Builds DGCNN training tensors for sampled links.
     fn training_tensors(
         &self,
         netlist: &Netlist,
@@ -327,21 +402,11 @@ impl MuxLinkAttack {
         positives: &[(GateId, GateId)],
         negatives: &[(GateId, GateId)],
     ) -> (Vec<SubgraphTensor>, Vec<f64>) {
-        let hops = self.config.features.hops;
-        let max_drnl = self.config.features.max_drnl;
-        let mut graphs = Vec::with_capacity(positives.len() + negatives.len());
-        let mut labels = Vec::with_capacity(graphs.capacity());
-        for &(u, v) in positives {
-            let g = graph.without_edge(u, v);
-            let sg = enclosing_subgraph(&g, u, v, hops);
-            graphs.push(SubgraphTensor::from_enclosing(netlist, &sg, max_drnl));
-            labels.push(1.0);
-        }
-        for &(u, v) in negatives {
-            let sg = enclosing_subgraph(graph, u, v, hops);
-            graphs.push(SubgraphTensor::from_enclosing(netlist, &sg, max_drnl));
-            labels.push(0.0);
-        }
+        // Positives hide the link itself before extracting its neighbourhood.
+        let mut graphs = self.gnn_tensors(netlist, graph, positives, true);
+        graphs.extend(self.gnn_tensors(netlist, graph, negatives, false));
+        let mut labels = vec![1.0; positives.len()];
+        labels.resize(graphs.len(), 0.0);
         (graphs, labels)
     }
 
@@ -427,17 +492,19 @@ impl MuxLinkAttack {
         let extractor = LinkFeatureExtractor::new(self.config.features);
 
         // Self-supervised training: sample links once, then train whichever
-        // backend is configured and wrap it behind a uniform scoring closure.
+        // backend is configured and wrap it behind a uniform *batch* scoring
+        // closure (`scores[i]` answers `pairs[i]`), so the GNN backend can
+        // fan tensor construction and forward passes across its thread pool.
         let (positives, negatives) = self.sample_links(netlist, &hidden, &mut rng);
         let trainable = positives.len() + negatives.len() >= 8
             && !positives.is_empty()
             && !negatives.is_empty();
-        let score_model: Box<dyn Fn(GateId, GateId) -> f64> = match self.config.backend {
+        let score_model: BatchScorer = match self.config.backend {
             MuxLinkBackend::Mlp => {
                 let (rows, labels) = self
                     .training_rows(netlist, &graph, &levels, &extractor, &positives, &negatives);
                 if !trainable {
-                    Box::new(|_, _| 0.5)
+                    Box::new(|pairs| vec![0.5; pairs.len()])
                 } else {
                     let data = Dataset::from_rows(rows, labels).expect("consistent feature rows");
                     let (mean, std) = data.feature_stats();
@@ -472,33 +539,45 @@ impl MuxLinkAttack {
                     let extractor = extractor.clone();
                     let graph_ref = &graph;
                     let levels_ref = &levels;
-                    Box::new(move |driver, sink| {
-                        let f = extractor.extract(netlist, graph_ref, levels_ref, driver, sink);
-                        scorer.score(&Dataset::standardize_row(&f, &mean, &std))
+                    Box::new(move |pairs| {
+                        pairs
+                            .iter()
+                            .map(|&(driver, sink)| {
+                                let f =
+                                    extractor.extract(netlist, graph_ref, levels_ref, driver, sink);
+                                scorer.score(&Dataset::standardize_row(&f, &mean, &std))
+                            })
+                            .collect()
                     })
                 }
             }
             MuxLinkBackend::Gnn => {
                 if !trainable {
-                    Box::new(|_, _| 0.5)
+                    Box::new(|pairs| vec![0.5; pairs.len()])
                 } else {
                     let (graphs, labels) =
                         self.training_tensors(netlist, &graph, &positives, &negatives);
                     let max_drnl = self.config.features.max_drnl;
-                    let mut model = Dgcnn::new(
+                    // Resolve the SortPooling size against the sampled
+                    // training subgraphs (the DGCNN percentile rule when
+                    // `gnn_sortpool_k` is adaptive), then train with
+                    // batch-level parallelism.
+                    let mut model = Dgcnn::for_dataset(
                         DgcnnConfig {
                             epochs: self.config.epochs,
                             learning_rate: self.config.learning_rate,
+                            sortpool_k: self.config.gnn_sortpool_k,
+                            num_threads: self.config.gnn_threads,
                             ..DgcnnConfig::for_features(SubgraphTensor::feature_dim_for(max_drnl))
                         },
+                        &graphs,
                         &mut rng,
                     );
                     model.train(&graphs, &labels, &mut rng);
-                    let hops = self.config.features.hops;
                     let graph_ref = &graph;
-                    Box::new(move |driver, sink| {
-                        let sg = enclosing_subgraph(graph_ref, driver, sink, hops);
-                        model.score(&SubgraphTensor::from_enclosing(netlist, &sg, max_drnl))
+                    Box::new(move |pairs| {
+                        let tensors = self.gnn_tensors(netlist, graph_ref, pairs, false);
+                        model.score_batch(&tensors)
                     })
                 }
             }
@@ -508,16 +587,30 @@ impl MuxLinkAttack {
         // cycle rule (also used by the published MuxLink post-processing): a
         // candidate connection whose sink already reaches its driver would
         // close a combinational loop and therefore cannot be the true wire.
-        let mut scored: Vec<(MuxCandidate, f64, f64)> = Vec::with_capacity(candidates.len());
+        // Cycle-free links are pooled into one batched model query.
+        let mut pending: Vec<(GateId, GateId)> = Vec::new();
+        // `Err(i)` defers to `model_scores[i]`; `Ok(s)` is a cycle override.
+        let mut plan: Vec<(MuxCandidate, ScoreSlot, ScoreSlot)> =
+            Vec::with_capacity(candidates.len());
         for cand in &candidates {
-            let score = |driver: GateId| -> f64 {
+            let mut slot = |driver: GateId| -> ScoreSlot {
                 if Self::reaches(&visible_adj, cand.sink, driver) {
-                    return 0.0;
+                    Ok(0.0)
+                } else {
+                    pending.push((driver, cand.sink));
+                    Err(pending.len() - 1)
                 }
-                score_model(driver, cand.sink)
             };
-            scored.push((*cand, score(cand.cand_key0), score(cand.cand_key1)));
+            let s0 = slot(cand.cand_key0);
+            let s1 = slot(cand.cand_key1);
+            plan.push((*cand, s0, s1));
         }
+        let model_scores = score_model(&pending);
+        let resolve = |s: ScoreSlot| s.unwrap_or_else(|i| model_scores[i]);
+        let scored: Vec<(MuxCandidate, f64, f64)> = plan
+            .into_iter()
+            .map(|(cand, s0, s1)| (cand, resolve(s0), resolve(s1)))
+            .collect();
 
         // Vote per key bit: candidates controlled by the same key input pool
         // their link scores.

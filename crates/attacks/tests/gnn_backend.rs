@@ -51,6 +51,92 @@ fn gnn_backend_name_and_determinism() {
     assert_eq!(run(42), run(42), "same seed must give identical outcomes");
 }
 
+/// Adaptive SortPooling (DGCNN's percentile-k rule) must stay at key-accuracy
+/// parity with the fixed-k baseline on the small suite: same circuit, same
+/// seeds, accuracies within a ±0.25 band and both clearly above coin-flip.
+#[test]
+fn adaptive_k_config_matches_fixed_k_within_tolerance() {
+    let original = synth_circuit("a", 12, 5, 180, 23);
+    let mut rng = ChaCha8Rng::seed_from_u64(8);
+    let locked = DMuxLocking::default()
+        .lock(&original, 12, &mut rng)
+        .unwrap();
+
+    let accuracy = |config: MuxLinkConfig| {
+        let mut total = 0.0;
+        for seed in 0..2u64 {
+            let mut r = ChaCha8Rng::seed_from_u64(31 + seed);
+            total += MuxLinkAttack::new(config.clone())
+                .attack(&locked, &mut r)
+                .key_accuracy;
+        }
+        total / 2.0
+    };
+    let fixed = accuracy(MuxLinkConfig::gnn_fast());
+    let adaptive = accuracy(MuxLinkConfig::gnn_fast().with_adaptive_k(0.6));
+    assert!((0.0..=1.0).contains(&adaptive));
+    assert!(
+        (adaptive - fixed).abs() <= 0.25,
+        "adaptive-k accuracy {adaptive} strayed from fixed-k baseline {fixed}"
+    );
+    assert!(
+        adaptive > 0.55,
+        "adaptive-k backend should still beat random guessing, got {adaptive}"
+    );
+}
+
+/// The adaptive-k attack stays deterministic for a fixed seed (percentile
+/// resolution is a pure function of the sampled training subgraphs).
+#[test]
+fn adaptive_k_attack_is_deterministic() {
+    let original = synth_circuit("ad", 10, 4, 110, 19);
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let locked = DMuxLocking::default().lock(&original, 8, &mut rng).unwrap();
+    let attack = MuxLinkAttack::new(MuxLinkConfig::gnn_fast().with_adaptive_k(0.6));
+    let run = |seed: u64| {
+        let mut r = ChaCha8Rng::seed_from_u64(seed);
+        attack.attack(&locked, &mut r).key_accuracy
+    };
+    assert_eq!(run(12), run(12));
+}
+
+/// The parallelism/determinism contract at the attack level: the GNN backend
+/// must produce the identical outcome — every guess and every confidence —
+/// whether it trains serially or fans batches across rayon threads.
+#[test]
+fn gnn_attack_outcome_is_identical_across_thread_counts() {
+    let original = synth_circuit("t", 10, 4, 120, 29);
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    let locked = DMuxLocking::default().lock(&original, 8, &mut rng).unwrap();
+    let run = |threads: usize| {
+        let mut r = ChaCha8Rng::seed_from_u64(55);
+        MuxLinkAttack::new(MuxLinkConfig::gnn_fast().with_gnn_threads(threads))
+            .attack(&locked, &mut r)
+    };
+    let serial = run(1);
+    for threads in [2, 4, 0] {
+        let parallel = run(threads);
+        assert_eq!(
+            parallel.key_accuracy, serial.key_accuracy,
+            "key accuracy diverged at gnn_threads = {threads}"
+        );
+        assert_eq!(parallel.guesses.len(), serial.guesses.len());
+        for (p, s) in parallel.guesses.iter().zip(&serial.guesses) {
+            assert_eq!(p.bit, s.bit);
+            assert_eq!(
+                p.value, s.value,
+                "bit {} flipped at {threads} threads",
+                p.bit
+            );
+            assert_eq!(
+                p.confidence, s.confidence,
+                "bit {} confidence drifted at {threads} threads",
+                p.bit
+            );
+        }
+    }
+}
+
 /// The full-strength GNN config also runs and stays within bounds (smoke
 /// test for the heavier configuration used by experiments).
 #[test]

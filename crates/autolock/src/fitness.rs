@@ -265,6 +265,37 @@ mod tests {
     }
 
     #[test]
+    fn one_generation_evolves_against_the_parallel_gnn_adversary() {
+        // The E11 seed path: a (tiny) AutoLock run whose fitness oracle is
+        // the batch-parallel DGCNN attack. One generation is enough to prove
+        // the GA ↔ parallel-GNN integration end-to-end: the engine must
+        // evaluate every individual, record the generation, and return a
+        // well-formed evolved locking.
+        use crate::{AutoLock, AutoLockConfig};
+        let original = synth_circuit("evo-gnn", 10, 4, 130, 47);
+        let config = AutoLockConfig {
+            key_len: 6,
+            population_size: 4,
+            generations: 1,
+            attack: MuxLinkConfig::gnn_fast().with_gnn_threads(0),
+            seed: 0xE11,
+            ..AutoLockConfig::tiny()
+        };
+        let result = AutoLock::new(config).run(&original).unwrap();
+        assert_eq!(result.locked.key_len(), 6);
+        assert!((0.0..=1.0).contains(&result.final_attack_accuracy));
+        assert!((0.0..=1.0).contains(&result.baseline_attack_accuracy));
+        // Initial population + one generation, each recorded.
+        assert_eq!(result.history.len(), 2);
+        assert!(result.fitness_evaluations >= 4);
+        // Elitism guarantees the best never regresses between generations.
+        assert!(
+            result.history[1].best_attack_accuracy
+                <= result.history[0].best_attack_accuracy + 1e-12
+        );
+    }
+
+    #[test]
     fn target_is_propagated() {
         let (original, _) = setup();
         let fitness = MuxLinkFitness::new(original, MuxLinkConfig::fast(), 11, 1).with_target(0.5);

@@ -1,5 +1,10 @@
 //! Micro-benchmarks of the DGCNN kernels: graph-conv forward/backward,
-//! SortPooling, full-model scoring and one training epoch.
+//! SortPooling, full-model scoring, one training epoch, and the
+//! parallel-vs-serial comparison of batched training/scoring.
+//!
+//! Set `AUTOLOCK_BENCH_QUICK=1` for a CI smoke run (fewer samples, smaller
+//! batches) that still exercises every kernel and prints the
+//! parallel-vs-serial numbers.
 
 use autolock_gnn::{Dgcnn, DgcnnConfig, GraphConv, LinkPredictor, SortPooling, SubgraphTensor};
 use autolock_mlcore::Matrix;
@@ -7,6 +12,15 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::hint::black_box;
+
+/// CI smoke mode: fewer samples, smaller batches, same coverage.
+fn quick() -> bool {
+    std::env::var_os("AUTOLOCK_BENCH_QUICK").is_some()
+}
+
+fn bench_config() -> Criterion {
+    Criterion::default().sample_size(if quick() { 3 } else { 10 })
+}
 
 /// A random connected graph tensor with `n` nodes and `f` features.
 fn random_graph(n: usize, f: usize, seed: u64) -> SubgraphTensor {
@@ -71,12 +85,16 @@ fn bench_sortpool(c: &mut Criterion) {
 }
 
 fn bench_model(c: &mut Criterion) {
-    let graphs: Vec<SubgraphTensor> = (0..32).map(|i| random_graph(30, 22, 10 + i)).collect();
-    let labels: Vec<f64> = (0..32).map(|i| f64::from(i % 2 == 0)).collect();
+    let count = if quick() { 8 } else { 32 };
+    let graphs: Vec<SubgraphTensor> = (0..count)
+        .map(|i| random_graph(30, 22, 10 + i as u64))
+        .collect();
+    let labels: Vec<f64> = (0..count).map(|i| f64::from(i % 2 == 0)).collect();
     let mut rng = ChaCha8Rng::seed_from_u64(4);
     let mut model = Dgcnn::new(
         DgcnnConfig {
             epochs: 1,
+            num_threads: 1,
             ..DgcnnConfig::for_features(22)
         },
         &mut rng,
@@ -85,15 +103,48 @@ fn bench_model(c: &mut Criterion) {
     group.bench_function("score_30n", |b| {
         b.iter(|| model.score(black_box(&graphs[0])))
     });
-    group.bench_function("train_epoch_32graphs", |b| {
+    group.bench_function(&format!("train_epoch_{count}graphs"), |b| {
         b.iter(|| model.train(black_box(&graphs), black_box(&labels), &mut rng))
     });
     group.finish();
 }
 
+/// Parallel vs serial batched forward/backward (one training epoch over one
+/// large mini-batch) and batched scoring. The determinism suite proves the
+/// outputs are bit-identical for every thread count, so these entries are a
+/// pure wall-clock comparison; on a multi-core machine the 4-thread rows
+/// should run ≥2x faster than the serial ones.
+fn bench_parallel(c: &mut Criterion) {
+    let count = if quick() { 16 } else { 64 };
+    let graphs: Vec<SubgraphTensor> = (0..count)
+        .map(|i| random_graph(40, 22, 100 + i as u64))
+        .collect();
+    let labels: Vec<f64> = (0..count).map(|i| f64::from(i % 2 == 0)).collect();
+    let mut group = c.benchmark_group("G4_parallel");
+    for threads in [1usize, 2, 4] {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let mut model = Dgcnn::new(
+            DgcnnConfig {
+                epochs: 1,
+                batch_size: count, // one parallel fan-out per epoch
+                num_threads: threads,
+                ..DgcnnConfig::for_features(22)
+            },
+            &mut rng,
+        );
+        group.bench_function(&format!("train_epoch_{count}x40n_{threads}threads"), |b| {
+            b.iter(|| model.train(black_box(&graphs), black_box(&labels), &mut rng))
+        });
+        group.bench_function(&format!("score_batch_{count}x40n_{threads}threads"), |b| {
+            b.iter(|| model.score_batch(black_box(&graphs)))
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = gnn;
-    config = Criterion::default().sample_size(10);
-    targets = bench_conv, bench_sortpool, bench_model
+    config = bench_config();
+    targets = bench_conv, bench_sortpool, bench_model, bench_parallel
 }
 criterion_main!(gnn);

@@ -1,0 +1,14 @@
+//! E11: AutoLock evolved against the DGCNN adversary end-to-end
+//!
+//! Run with `cargo run --release -p autolock_bench --bin exp_e11`.
+//! Set `AUTOLOCK_SCALE=full` for the paper-sized (slower) version.
+
+use autolock_bench::experiments::e11_gnn_adversary_evolution;
+use autolock_bench::{experiment_scale, results_dir};
+
+fn main() {
+    let scale = experiment_scale();
+    eprintln!("running E11: GNN-targeted evolution at {scale:?} scale...");
+    let table = e11_gnn_adversary_evolution(scale);
+    table.emit(&results_dir());
+}

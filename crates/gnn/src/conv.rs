@@ -104,12 +104,12 @@ impl GraphConv {
         cache: &ConvCache,
         grad_output: &Matrix,
     ) -> (ConvGrads, Matrix) {
-        // Through tanh: dZ = dOut ∘ (1 - out²).
+        // Through tanh: dZ = dOut ∘ (1 - out²). `grad_z` and the cache are
+        // distinct tensors, so both flat row slices stream without copies.
         let mut grad_z = grad_output.clone();
         for r in 0..grad_z.rows() {
-            let out_row = cache.output.row(r).to_vec();
             let row = grad_z.row_mut(r);
-            for (g, o) in row.iter_mut().zip(out_row) {
+            for (g, &o) in row.iter_mut().zip(cache.output.row(r)) {
                 *g *= 1.0 - o * o;
             }
         }

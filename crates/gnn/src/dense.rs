@@ -94,6 +94,16 @@ impl DenseGrads {
             }
         }
     }
+
+    /// Per-layer weight gradients (finite-difference tests).
+    pub fn layer_weights(&self) -> &[Matrix] {
+        &self.weights
+    }
+
+    /// Per-layer bias gradients (finite-difference tests).
+    pub fn layer_biases(&self) -> &[Vec<f64>] {
+        &self.bias
+    }
 }
 
 impl DenseStack {
@@ -177,12 +187,28 @@ impl DenseStack {
         }
     }
 
+    /// Number of layers (hidden layers + the final logit layer).
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// A layer's weight shape as `(in_dim, out_dim)`.
+    pub fn layer_shape(&self, layer: usize) -> (usize, usize) {
+        let w = &self.layers[layer].weights;
+        (w.rows(), w.cols())
+    }
+
     /// Mutable weight access for finite-difference tests:
     /// `(layer, row, col)` indexing.
     pub fn weight_mut(&mut self, layer: usize, row: usize, col: usize) -> &mut f64 {
         let l = &mut self.layers[layer];
         let cols = l.weights.cols();
         &mut l.weights.data_mut()[row * cols + col]
+    }
+
+    /// Mutable bias access for finite-difference tests.
+    pub fn bias_mut(&mut self, layer: usize) -> &mut [f64] {
+        &mut self.layers[layer].bias
     }
 }
 

@@ -74,7 +74,7 @@ mod tensor;
 pub use conv::{ConvCache, ConvGrads, GraphConv};
 pub use dense::{DenseCache, DenseGrads, DenseStack};
 pub use model::{Dgcnn, DgcnnConfig};
-pub use sortpool::{SortPoolCache, SortPooling};
+pub use sortpool::{SortPoolCache, SortPoolK, SortPooling};
 pub use tensor::SubgraphTensor;
 
 use rand::RngCore;
@@ -90,4 +90,12 @@ pub trait LinkPredictor {
 
     /// Probability in `[0, 1]` that the candidate link is real.
     fn score(&self, graph: &SubgraphTensor) -> f64;
+
+    /// Scores a batch of candidate links; `out[i]` corresponds to
+    /// `graphs[i]`. Implementations may parallelize but must return exactly
+    /// the values the serial [`Self::score`] loop would (the default does
+    /// just that).
+    fn score_batch(&self, graphs: &[SubgraphTensor]) -> Vec<f64> {
+        graphs.iter().map(|g| self.score(g)).collect()
+    }
 }

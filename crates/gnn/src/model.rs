@@ -2,13 +2,14 @@
 
 use crate::conv::{ConvCache, ConvGrads, GraphConv};
 use crate::dense::{DenseGrads, DenseStack};
-use crate::sortpool::SortPooling;
+use crate::sortpool::{SortPoolK, SortPooling};
 use crate::{LinkPredictor, SubgraphTensor};
 use autolock_mlcore::optim::AdamParams;
 use autolock_mlcore::{sigmoid, Matrix};
 use rand::seq::SliceRandom;
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Hyper-parameters of a [`Dgcnn`].
@@ -20,8 +21,10 @@ pub struct DgcnnConfig {
     /// final channel drives the SortPooling node ordering, so DGCNN keeps it
     /// small (classically 1).
     pub conv_channels: Vec<usize>,
-    /// Number of nodes kept by SortPooling.
-    pub sortpool_k: usize,
+    /// Number of nodes kept by SortPooling: fixed, or resolved from the
+    /// training set as a node-count percentile (the DGCNN rule) by
+    /// [`Dgcnn::for_dataset`].
+    pub sortpool_k: SortPoolK,
     /// Hidden sizes of the dense head.
     pub dense_hidden: Vec<usize>,
     /// Training epochs.
@@ -32,22 +35,28 @@ pub struct DgcnnConfig {
     pub learning_rate: f64,
     /// L2 regularization strength.
     pub l2: f64,
+    /// Threads used for batch-parallel training and scoring: `0` = all
+    /// available cores, `1` = serial, `n` = exactly `n`. Results are
+    /// bit-for-bit identical for every setting (see the crate README's
+    /// parallelism/determinism contract).
+    pub num_threads: usize,
 }
 
 impl DgcnnConfig {
     /// The default architecture for a given node-feature dimensionality:
     /// three conv layers (last one a single sort channel), `k = 10`, one
-    /// hidden dense layer.
+    /// hidden dense layer, parallel training across all cores.
     pub fn for_features(node_feature_dim: usize) -> Self {
         DgcnnConfig {
             node_feature_dim,
             conv_channels: vec![16, 16, 1],
-            sortpool_k: 10,
+            sortpool_k: SortPoolK::Fixed(10),
             dense_hidden: vec![32],
             epochs: 25,
             batch_size: 16,
             learning_rate: 0.01,
             l2: 1e-4,
+            num_threads: 0,
         }
     }
 }
@@ -91,16 +100,46 @@ impl Gradients {
 }
 
 impl Dgcnn {
-    /// Creates a randomly initialized model.
+    /// Creates a randomly initialized model with a fixed SortPooling `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.conv_channels` is empty, or if `config.sortpool_k`
+    /// is [`SortPoolK::Percentile`] — an adaptive `k` needs the training set,
+    /// so build those models with [`Dgcnn::for_dataset`].
+    pub fn new<R: Rng + ?Sized>(config: DgcnnConfig, rng: &mut R) -> Self {
+        let SortPoolK::Fixed(_) = config.sortpool_k else {
+            panic!("percentile sortpool_k requires Dgcnn::for_dataset (needs node counts)");
+        };
+        Self::with_resolved_k(config, rng)
+    }
+
+    /// Creates a randomly initialized model whose SortPooling `k` is resolved
+    /// against the given training graphs: a [`SortPoolK::Percentile`] becomes
+    /// the dataset-percentile node count (DGCNN's rule), a
+    /// [`SortPoolK::Fixed`] is used as-is. The resolved value is written back
+    /// into the stored config, so [`Dgcnn::config`] always reports the
+    /// concrete architecture.
     ///
     /// # Panics
     ///
     /// Panics if `config.conv_channels` is empty.
-    pub fn new<R: Rng + ?Sized>(config: DgcnnConfig, rng: &mut R) -> Self {
+    pub fn for_dataset<R: Rng + ?Sized>(
+        mut config: DgcnnConfig,
+        graphs: &[SubgraphTensor],
+        rng: &mut R,
+    ) -> Self {
+        let counts: Vec<usize> = graphs.iter().map(SubgraphTensor::num_nodes).collect();
+        config.sortpool_k = SortPoolK::Fixed(config.sortpool_k.resolve(&counts));
+        Self::with_resolved_k(config, rng)
+    }
+
+    fn with_resolved_k<R: Rng + ?Sized>(config: DgcnnConfig, rng: &mut R) -> Self {
         assert!(
             !config.conv_channels.is_empty(),
             "at least one conv layer required"
         );
+        let k = config.sortpool_k.resolve(&[]);
         let mut convs = Vec::with_capacity(config.conv_channels.len());
         let mut in_dim = config.node_feature_dim;
         for &out_dim in &config.conv_channels {
@@ -108,7 +147,7 @@ impl Dgcnn {
             in_dim = out_dim;
         }
         let total_channels: usize = config.conv_channels.iter().sum();
-        let pool = SortPooling::new(config.sortpool_k);
+        let pool = SortPooling::new(k);
         let head = DenseStack::new(pool.k() * total_channels, &config.dense_hidden, rng);
         Dgcnn {
             config,
@@ -118,9 +157,20 @@ impl Dgcnn {
         }
     }
 
-    /// The configuration.
+    /// The configuration (with `sortpool_k` resolved to its concrete value).
     pub fn config(&self) -> &DgcnnConfig {
         &self.config
+    }
+
+    /// The thread pool matching `config.num_threads`, or `None` for the
+    /// serial path (`num_threads == 1`).
+    fn thread_pool(&self) -> Option<rayon::ThreadPool> {
+        (self.config.num_threads != 1).then(|| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(self.config.num_threads)
+                .build()
+                .expect("failed to build rayon thread pool")
+        })
     }
 
     /// Forward pass to the raw logit (used by tests; [`Dgcnn::score`] applies
@@ -221,6 +271,12 @@ impl Dgcnn {
     /// Trains for `config.epochs` epochs of mini-batch Adam; returns the mean
     /// loss of the final epoch.
     ///
+    /// Per-example forward/backward passes within a mini-batch are fanned out
+    /// across `config.num_threads` rayon threads; the per-example gradients
+    /// are then reduced **in fixed example order** before the Adam step, so
+    /// the floating-point accumulation order — and therefore the full
+    /// training trajectory — is bit-for-bit identical for every thread count.
+    ///
     /// # Panics
     ///
     /// Panics if `graphs` and `labels` lengths differ or are empty.
@@ -237,17 +293,31 @@ impl Dgcnn {
             l2: self.config.l2,
             ..Default::default()
         };
+        let pool = self.thread_pool();
         let mut indices: Vec<usize> = (0..graphs.len()).collect();
         let mut last_epoch_loss = f64::INFINITY;
         for _ in 0..self.config.epochs {
             indices.shuffle(rng);
             let mut epoch_loss = 0.0;
             for batch in indices.chunks(self.config.batch_size.max(1)) {
+                // Fan the independent per-example passes across the pool
+                // (order-preserving), then reduce serially in example order.
+                let passes: Vec<(f64, Gradients)> = match &pool {
+                    Some(pool) => pool.install(|| {
+                        batch
+                            .par_iter()
+                            .map(|&i| self.forward_backward(&graphs[i], labels[i]))
+                            .collect()
+                    }),
+                    None => batch
+                        .iter()
+                        .map(|&i| self.forward_backward(&graphs[i], labels[i]))
+                        .collect(),
+                };
                 let mut total = Gradients::zeros_like(self);
-                for &i in batch {
-                    let (loss, grads) = self.forward_backward(&graphs[i], labels[i]);
+                for (loss, grads) in &passes {
                     epoch_loss += loss;
-                    total.add(&grads);
+                    total.add(grads);
                 }
                 total.scale(1.0 / batch.len() as f64);
                 for (conv, g) in self.convs.iter_mut().zip(&total.convs) {
@@ -283,11 +353,15 @@ impl Dgcnn {
         &mut self.head
     }
 
-    /// Test hook: parameter gradients of one example as
-    /// `(conv_weight_grads, head)` for gradient checking.
-    pub fn example_gradients(&self, graph: &SubgraphTensor, label: f64) -> (Vec<Matrix>, f64) {
+    /// Test hook: all parameter gradients of one example as
+    /// `(per-conv grads, dense-head grads, loss)` for gradient checking.
+    pub fn example_gradients(
+        &self,
+        graph: &SubgraphTensor,
+        label: f64,
+    ) -> (Vec<ConvGrads>, DenseGrads, f64) {
         let (loss, grads) = self.forward_backward(graph, label);
-        (grads.convs.into_iter().map(|g| g.weights).collect(), loss)
+        (grads.convs, grads.head, loss)
     }
 
     /// The loss of one example (for finite differences).
@@ -305,6 +379,18 @@ impl LinkPredictor for Dgcnn {
 
     fn score(&self, graph: &SubgraphTensor) -> f64 {
         sigmoid(self.logit(graph))
+    }
+
+    /// Scores a batch of candidate links, fanning the independent forward
+    /// passes across `config.num_threads` rayon threads. Output order (and
+    /// every value, bit-for-bit) matches the serial [`Self::score`] loop.
+    fn score_batch(&self, graphs: &[SubgraphTensor]) -> Vec<f64> {
+        match self.thread_pool() {
+            Some(pool) if graphs.len() > 1 => {
+                pool.install(|| graphs.par_iter().map(|g| sigmoid(self.logit(g))).collect())
+            }
+            _ => graphs.iter().map(|g| sigmoid(self.logit(g))).collect(),
+        }
     }
 }
 

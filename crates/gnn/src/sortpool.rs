@@ -1,6 +1,51 @@
 //! DGCNN SortPooling: a fixed-size, order-invariant graph readout.
 
 use autolock_mlcore::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// How the SortPooling output size `k` is chosen.
+///
+/// DGCNN (Zhang et al., AAAI 2018) does not hand-tune `k`: it picks `k` "such
+/// that f% of graphs have more than k nodes" — a dataset percentile. The seed
+/// reproduction hardcoded `k = 10`; [`SortPoolK::Percentile`] restores the
+/// paper's rule while [`SortPoolK::Fixed`] keeps the explicit knob for
+/// experiments that want architectural parity across datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SortPoolK {
+    /// Use exactly this `k` (clamped to ≥ 1).
+    Fixed(usize),
+    /// Choose `k` so that at least this fraction (in `(0, 1]`) of the
+    /// training graphs have ≥ `k` nodes.
+    Percentile(f64),
+}
+
+impl Default for SortPoolK {
+    fn default() -> Self {
+        SortPoolK::Fixed(10)
+    }
+}
+
+impl SortPoolK {
+    /// Resolves to a concrete `k` for a dataset with the given per-graph node
+    /// counts. `Fixed` ignores the counts; `Percentile(p)` returns the
+    /// largest `k` such that at least `⌈p·len⌉` graphs have ≥ `k` nodes
+    /// (at least 1, and for an empty dataset falls back to 1).
+    pub fn resolve(&self, node_counts: &[usize]) -> usize {
+        match *self {
+            SortPoolK::Fixed(k) => k.max(1),
+            SortPoolK::Percentile(p) => {
+                if node_counts.is_empty() {
+                    return 1;
+                }
+                let p = p.clamp(f64::MIN_POSITIVE, 1.0);
+                let mut sorted = node_counts.to_vec();
+                sorted.sort_unstable_by(|a, b| b.cmp(a)); // descending
+                let need = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+                sorted[need - 1].max(1)
+            }
+        }
+    }
+}
 
 /// SortPooling with a fixed `k`: nodes are ordered by their **last feature
 /// channel** (descending, ties broken by node index for determinism) and the
@@ -123,5 +168,21 @@ mod tests {
         let pool = SortPooling::new(2);
         let (_, cache) = pool.forward(&x);
         assert_eq!(cache.selected, vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn percentile_k_follows_the_dgcnn_rule() {
+        // Counts 4..=13: with p = 0.6, six graphs must have ≥ k nodes, so
+        // k is the 6th-largest count = 8.
+        let counts: Vec<usize> = (4..14).collect();
+        assert_eq!(SortPoolK::Percentile(0.6).resolve(&counts), 8);
+        // p = 1.0 keeps every graph un-padded: k = smallest count.
+        assert_eq!(SortPoolK::Percentile(1.0).resolve(&counts), 4);
+        // Tiny p degenerates to the largest count.
+        assert_eq!(SortPoolK::Percentile(1e-9).resolve(&counts), 13);
+        // Fixed ignores the dataset; both clamp to ≥ 1.
+        assert_eq!(SortPoolK::Fixed(7).resolve(&counts), 7);
+        assert_eq!(SortPoolK::Fixed(0).resolve(&counts), 1);
+        assert_eq!(SortPoolK::Percentile(0.5).resolve(&[]), 1);
     }
 }

@@ -5,13 +5,25 @@ use autolock_netlist::graph::EnclosingSubgraph;
 use autolock_netlist::{GateKind, Netlist};
 
 /// An enclosing subgraph prepared for the DGCNN: node features `X` and the
-/// degree-normalized adjacency `Â = D̃⁻¹(A + I)` stored row-sparse.
+/// degree-normalized adjacency `Â = D̃⁻¹(A + I)`.
+///
+/// The adjacency is stored in flat CSR (compressed sparse row) form — one
+/// contiguous `row_ptr`/`col`/`val` triple instead of a `Vec` of per-row
+/// `Vec`s — so [`SubgraphTensor::propagate`] streams through two flat arrays
+/// with no pointer chasing. Together with the row-major [`Matrix`] this keeps
+/// the conv hot loop (the dominant DGCNN kernel) cache-friendly, and the
+/// tensor is `Send + Sync`, which is what lets per-example forward/backward
+/// passes fan out across rayon threads during batch training.
 #[derive(Debug, Clone)]
 pub struct SubgraphTensor {
     /// `n × f` node-feature matrix.
     x: Matrix,
-    /// Row-sparse normalized adjacency: `adj[i]` lists `(j, Â_ij)`.
-    adj: Vec<Vec<(usize, f64)>>,
+    /// CSR row boundaries: row `i`'s entries live at `row_ptr[i]..row_ptr[i+1]`.
+    row_ptr: Vec<usize>,
+    /// CSR column indices.
+    col: Vec<usize>,
+    /// CSR values (`Â_ij`), aligned with `col`.
+    val: Vec<f64>,
 }
 
 impl SubgraphTensor {
@@ -45,37 +57,99 @@ impl SubgraphTensor {
             row[f - 1] = degree[idx] as f64 / max_degree;
         }
 
-        // Â = D̃⁻¹ (A + I) with D̃_ii = degree_i + 1 (self-loop included).
-        let mut adj: Vec<Vec<(usize, f64)>> = (0..n).map(|_| Vec::new()).collect();
-        for (i, row) in adj.iter_mut().enumerate() {
-            row.push((i, 1.0));
+        // Â = D̃⁻¹ (A + I) with D̃_ii = degree_i + 1 (self-loop included),
+        // assembled straight into CSR: count entries per row, prefix-sum into
+        // row_ptr, then scatter (self-loop first, then incident edges).
+        let mut row_ptr = vec![0usize; n + 1];
+        for (i, &d) in degree.iter().enumerate() {
+            row_ptr[i + 1] = d + 1; // self-loop + incident edges
+        }
+        for i in 0..n {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let nnz = row_ptr[n];
+        let mut col = vec![0usize; nnz];
+        let mut val = vec![0.0; nnz];
+        let mut cursor: Vec<usize> = row_ptr[..n].to_vec();
+        for (i, c) in cursor.iter_mut().enumerate() {
+            col[*c] = i;
+            *c += 1;
         }
         for &(i, j) in &sg.edges {
-            adj[i].push((j, 1.0));
-            adj[j].push((i, 1.0));
+            col[cursor[i]] = j;
+            cursor[i] += 1;
+            col[cursor[j]] = i;
+            cursor[j] += 1;
         }
-        for (i, row) in adj.iter_mut().enumerate() {
+        for i in 0..n {
             let norm = 1.0 / (degree[i] as f64 + 1.0);
-            for entry in row.iter_mut() {
-                entry.1 *= norm;
+            for v in &mut val[row_ptr[i]..row_ptr[i + 1]] {
+                *v = norm;
             }
         }
-        SubgraphTensor { x, adj }
+        SubgraphTensor {
+            x,
+            row_ptr,
+            col,
+            val,
+        }
     }
 
-    /// Builds a tensor directly from parts (used by tests and benchmarks).
+    /// Builds a tensor directly from parts (used by tests and benchmarks);
+    /// `adj[i]` lists row `i`'s `(column, Â_ij)` entries, which are packed
+    /// into the internal CSR layout.
     ///
     /// # Panics
     ///
-    /// Panics if `adj.len() != x.rows()`.
+    /// Panics if `adj.len() != x.rows()` or any column index is out of range.
     pub fn from_parts(x: Matrix, adj: Vec<Vec<(usize, f64)>>) -> Self {
-        assert_eq!(adj.len(), x.rows(), "adjacency rows must match node count");
-        SubgraphTensor { x, adj }
+        let n = x.rows();
+        assert_eq!(adj.len(), n, "adjacency rows must match node count");
+        let nnz: usize = adj.iter().map(Vec::len).sum();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col = Vec::with_capacity(nnz);
+        let mut val = Vec::with_capacity(nnz);
+        row_ptr.push(0);
+        for row in &adj {
+            for &(j, w) in row {
+                assert!(j < n, "adjacency column {j} out of range for {n} nodes");
+                col.push(j);
+                val.push(w);
+            }
+            row_ptr.push(col.len());
+        }
+        SubgraphTensor {
+            x,
+            row_ptr,
+            col,
+            val,
+        }
+    }
+
+    /// A copy of this tensor with the same adjacency but different node
+    /// features (tests perturb features while keeping the graph fixed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != num_nodes()`.
+    pub fn with_features(&self, x: Matrix) -> Self {
+        assert_eq!(x.rows(), self.num_nodes(), "feature rows must match nodes");
+        SubgraphTensor {
+            x,
+            row_ptr: self.row_ptr.clone(),
+            col: self.col.clone(),
+            val: self.val.clone(),
+        }
     }
 
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
         self.x.rows()
+    }
+
+    /// Number of stored adjacency entries (including self-loops).
+    pub fn num_entries(&self) -> usize {
+        self.col.len()
     }
 
     /// Per-node feature dimensionality.
@@ -88,9 +162,11 @@ impl SubgraphTensor {
         &self.x
     }
 
-    /// The row-sparse normalized adjacency.
-    pub fn adjacency(&self) -> &[Vec<(usize, f64)>] {
-        &self.adj
+    /// Row `i` of the normalized adjacency as parallel `(columns, values)`
+    /// slices of the CSR storage.
+    pub fn adj_row(&self, i: usize) -> (&[usize], &[f64]) {
+        let span = self.row_ptr[i]..self.row_ptr[i + 1];
+        (&self.col[span.clone()], &self.val[span])
     }
 
     /// The feature dimensionality produced by [`Self::from_enclosing`] for a
@@ -107,11 +183,14 @@ impl SubgraphTensor {
     pub fn propagate(&self, m: &Matrix) -> Matrix {
         assert_eq!(m.rows(), self.num_nodes(), "propagate shape mismatch");
         let mut out = Matrix::zeros(m.rows(), m.cols());
-        for (i, row) in self.adj.iter().enumerate() {
-            for &(j, w) in row {
-                let src = m.row(j);
-                let dst = out.row_mut(i);
-                for (d, &s) in dst.iter_mut().zip(src) {
+        for i in 0..self.num_nodes() {
+            let (cols, vals) = (
+                &self.col[self.row_ptr[i]..self.row_ptr[i + 1]],
+                &self.val[self.row_ptr[i]..self.row_ptr[i + 1]],
+            );
+            let dst = out.row_mut(i);
+            for (&j, &w) in cols.iter().zip(vals) {
+                for (d, &s) in dst.iter_mut().zip(m.row(j)) {
                     *d += w * s;
                 }
             }
@@ -128,11 +207,11 @@ impl SubgraphTensor {
     pub fn propagate_transpose(&self, m: &Matrix) -> Matrix {
         assert_eq!(m.rows(), self.num_nodes(), "propagate shape mismatch");
         let mut out = Matrix::zeros(m.rows(), m.cols());
-        for (i, row) in self.adj.iter().enumerate() {
-            let src = m.row(i).to_vec();
-            for &(j, w) in row {
+        for i in 0..self.num_nodes() {
+            let span = self.row_ptr[i]..self.row_ptr[i + 1];
+            for (&j, &w) in self.col[span.clone()].iter().zip(&self.val[span]) {
                 let dst = out.row_mut(j);
-                for (d, &s) in dst.iter_mut().zip(&src) {
+                for (d, &s) in dst.iter_mut().zip(m.row(i)) {
                     *d += w * s;
                 }
             }
@@ -182,9 +261,40 @@ mod tests {
     #[test]
     fn adjacency_rows_are_normalized() {
         let (_, t) = tiny();
-        for row in &t.adj {
-            let total: f64 = row.iter().map(|&(_, w)| w).sum();
+        for i in 0..t.num_nodes() {
+            let (cols, vals) = t.adj_row(i);
+            assert_eq!(cols.len(), vals.len());
+            assert!(cols.contains(&i), "row {i} must contain its self-loop");
+            let total: f64 = vals.iter().sum();
             assert!((total - 1.0).abs() < 1e-12, "row sums to {total}");
+        }
+    }
+
+    #[test]
+    fn csr_round_trips_through_from_parts() {
+        let (_, t) = tiny();
+        let n = t.num_nodes();
+        let adj: Vec<Vec<(usize, f64)>> = (0..n)
+            .map(|i| {
+                let (cols, vals) = t.adj_row(i);
+                cols.iter().copied().zip(vals.iter().copied()).collect()
+            })
+            .collect();
+        let rebuilt = SubgraphTensor::from_parts(t.features().clone(), adj);
+        assert_eq!(rebuilt.num_entries(), t.num_entries());
+        for i in 0..n {
+            assert_eq!(rebuilt.adj_row(i), t.adj_row(i));
+        }
+    }
+
+    #[test]
+    fn with_features_keeps_adjacency() {
+        let (_, t) = tiny();
+        let shifted = t.with_features(t.features().map(|v| v + 1.0));
+        assert_eq!(shifted.num_entries(), t.num_entries());
+        for i in 0..t.num_nodes() {
+            assert_eq!(shifted.adj_row(i), t.adj_row(i));
+            assert_eq!(shifted.features().get(i, 0), t.features().get(i, 0) + 1.0);
         }
     }
 
@@ -194,8 +304,9 @@ mod tests {
         let n = t.num_nodes();
         // Dense Â.
         let mut dense = Matrix::zeros(n, n);
-        for (i, row) in t.adj.iter().enumerate() {
-            for &(j, w) in row {
+        for i in 0..n {
+            let (cols, vals) = t.adj_row(i);
+            for (&j, &w) in cols.iter().zip(vals) {
                 dense.set(i, j, dense.get(i, j) + w);
             }
         }

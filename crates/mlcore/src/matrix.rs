@@ -216,12 +216,21 @@ impl Matrix {
         out
     }
 
-    /// Transposed copy.
+    /// Transposed copy. Works in square tiles so both the source rows and
+    /// the destination rows stay cache-resident even for matrices whose rows
+    /// far exceed a cache line.
     pub fn transpose(&self) -> Matrix {
+        const TILE: usize = 32;
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for (c, &v) in self.row(r).iter().enumerate() {
-                out.set(c, r, v);
+        for r0 in (0..self.rows).step_by(TILE) {
+            let r1 = (r0 + TILE).min(self.rows);
+            for c0 in (0..self.cols).step_by(TILE) {
+                let c1 = (c0 + TILE).min(self.cols);
+                for r in r0..r1 {
+                    for (c, &v) in self.row(r)[c0..c1].iter().enumerate() {
+                        out.data[(c0 + c) * self.rows + r] = v;
+                    }
+                }
             }
         }
         out
@@ -304,6 +313,22 @@ mod tests {
     #[should_panic(expected = "rows*cols")]
     fn from_vec_wrong_len_panics() {
         Matrix::from_vec(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    fn transpose_is_exact_and_involutive_across_tile_boundaries() {
+        // 37 × 53 straddles the 32-wide tiles in both dimensions.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let m = Matrix::random(37, 53, 1.0, &mut rng);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 53);
+        assert_eq!(t.cols(), 37);
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                assert_eq!(t.get(c, r), m.get(r, c));
+            }
+        }
+        assert_eq!(t.transpose(), m);
     }
 
     #[test]

@@ -65,20 +65,17 @@ impl AdamState {
         assert_eq!(params.rows(), grad.rows(), "Adam gradient shape mismatch");
         assert_eq!(params.cols(), grad.cols(), "Adam gradient shape mismatch");
         self.t += 1;
-        let t = self.t as f64;
-        let bc1 = 1.0 - hp.beta1.powf(t);
-        let bc2 = 1.0 - hp.beta2.powf(t);
-        for i in 0..params.rows() {
-            for j in 0..params.cols() {
-                let g = grad.get(i, j) + hp.l2 * params.get(i, j);
-                let m = hp.beta1 * self.m.get(i, j) + (1.0 - hp.beta1) * g;
-                let v = hp.beta2 * self.v.get(i, j) + (1.0 - hp.beta2) * g * g;
-                self.m.set(i, j, m);
-                self.v.set(i, j, v);
-                let step = hp.learning_rate * (m / bc1) / ((v / bc2).sqrt() + hp.epsilon);
-                params.set(i, j, params.get(i, j) - step);
-            }
-        }
+        // One pass over the flat row-major storage: params, grad and both
+        // moment tensors share the same layout, so the update is four
+        // streamed arrays instead of per-element (row, col) indexing.
+        adam_step_flat(
+            params.data_mut(),
+            grad.data(),
+            self.m.data_mut(),
+            self.v.data_mut(),
+            self.t,
+            hp,
+        );
     }
 }
 
@@ -109,17 +106,31 @@ impl AdamVecState {
         assert_eq!(params.len(), self.m.len(), "Adam state length mismatch");
         assert_eq!(params.len(), grad.len(), "Adam gradient length mismatch");
         self.t += 1;
-        let t = self.t as f64;
-        let bc1 = 1.0 - hp.beta1.powf(t);
-        let bc2 = 1.0 - hp.beta2.powf(t);
-        for i in 0..params.len() {
-            let g = grad[i] + hp.l2 * params[i];
-            self.m[i] = hp.beta1 * self.m[i] + (1.0 - hp.beta1) * g;
-            self.v[i] = hp.beta2 * self.v[i] + (1.0 - hp.beta2) * g * g;
-            let step =
-                hp.learning_rate * (self.m[i] / bc1) / ((self.v[i] / bc2).sqrt() + hp.epsilon);
-            params[i] -= step;
-        }
+        adam_step_flat(params, grad, &mut self.m, &mut self.v, self.t, hp);
+    }
+}
+
+/// The shared flat-slice Adam kernel behind [`AdamState`] and
+/// [`AdamVecState`]: identical arithmetic per element, applied in storage
+/// order (which keeps updates deterministic and cache-friendly for
+/// row-major tensors).
+fn adam_step_flat(
+    params: &mut [f64],
+    grad: &[f64],
+    m: &mut [f64],
+    v: &mut [f64],
+    t: u64,
+    hp: &AdamParams,
+) {
+    let t = t as f64;
+    let bc1 = 1.0 - hp.beta1.powf(t);
+    let bc2 = 1.0 - hp.beta2.powf(t);
+    for (((p, &g0), m), v) in params.iter_mut().zip(grad).zip(m).zip(v) {
+        let g = g0 + hp.l2 * *p;
+        *m = hp.beta1 * *m + (1.0 - hp.beta1) * g;
+        *v = hp.beta2 * *v + (1.0 - hp.beta2) * g * g;
+        let step = hp.learning_rate * (*m / bc1) / ((*v / bc2).sqrt() + hp.epsilon);
+        *p -= step;
     }
 }
 
