@@ -26,13 +26,12 @@ use crate::report::{AttackOutcome, KeyGuess};
 use crate::KeyRecoveryAttack;
 use autolock_gnn::{Dgcnn, DgcnnConfig, LinkPredictor, SortPoolK, SubgraphTensor};
 use autolock_locking::LockedNetlist;
-use autolock_mlcore::{Dataset, Mlp, MlpConfig};
+use autolock_mlcore::{Dataset, MlpConfig, MlpEnsemble, MlpEnsembleConfig};
 use autolock_netlist::graph::{enclosing_subgraph, UndirectedGraph};
 use autolock_netlist::{GateId, GateKind, Netlist};
 use rand::seq::SliceRandom;
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
@@ -90,11 +89,28 @@ pub struct MuxLinkConfig {
     pub ensemble: usize,
     /// Margin above which a key-bit prediction counts as "confident".
     pub confidence_threshold: f64,
-    /// Threads for the GNN backend's batch-parallel training, tensor
-    /// construction and scoring: `0` = all available cores, `1` = serial,
-    /// `n` = exactly `n`. The attack outcome is bit-for-bit identical for
-    /// every setting; this knob only trades wall-clock time.
-    pub gnn_threads: usize,
+    /// Worker threads for everything parallel inside one attack invocation:
+    /// `0` = all available cores, `1` = serial, `n` = exactly `n`. The
+    /// attack outcome is bit-for-bit identical for every setting; this knob
+    /// only trades wall-clock time.
+    ///
+    /// This is the **single source of truth** for attack-level parallelism
+    /// — the precedence chain, top to bottom:
+    ///
+    /// 1. Experiment drivers that fan whole attack repeats or per-circuit
+    ///    runs across workers (`autolock_bench::parallel_map`, sized by the
+    ///    `AUTOLOCK_THREADS` env var) sit *above* the attack and should set
+    ///    this knob to `1` so nested pools do not oversubscribe the machine.
+    /// 2. Within one attack, this value reaches **both backends**: it sizes
+    ///    the MLP bagged-ensemble pool ([`autolock_mlcore::MlpEnsembleConfig::threads`]),
+    ///    the GNN training pool ([`autolock_gnn::DgcnnConfig::num_threads`]),
+    ///    and the shared candidate-scoring / tensor-construction fan-outs.
+    /// 3. `DgcnnConfig::num_threads` is never set independently by this
+    ///    crate; standalone `autolock_gnn` users may still set it directly.
+    ///
+    /// Because thread count never changes outcomes, presets stay
+    /// reproducible across machines with any core count.
+    pub threads: usize,
     /// SortPooling output size of the GNN backend: a fixed `k`, or
     /// [`SortPoolK::Percentile`] to apply DGCNN's dataset-percentile rule to
     /// the sampled training subgraphs of each attacked netlist.
@@ -112,7 +128,7 @@ impl Default for MuxLinkConfig {
             max_train_samples_per_class: 400,
             ensemble: 5,
             confidence_threshold: 0.6,
-            gnn_threads: 0,
+            threads: 0,
             gnn_sortpool_k: SortPoolK::Fixed(10),
         }
     }
@@ -145,11 +161,11 @@ impl MuxLinkConfig {
     /// counterpart of [`MuxLinkConfig::fast`] for use inside fitness loops —
     /// this is the adversary the E11 experiment evolves against.
     ///
-    /// Like every GNN preset it trains and scores batch-parallel across all
-    /// cores (`gnn_threads: 0`) with a fixed SortPooling `k`; tune either
-    /// knob with [`MuxLinkConfig::with_gnn_threads`] /
-    /// [`MuxLinkConfig::with_adaptive_k`] — neither changes the attack's
-    /// output, percentile-`k` aside, so presets stay reproducible.
+    /// Like every preset it trains and scores parallel across all cores
+    /// (`threads: 0`) with a fixed SortPooling `k`; tune either knob with
+    /// [`MuxLinkConfig::with_threads`] / [`MuxLinkConfig::with_adaptive_k`]
+    /// — neither changes the attack's output, percentile-`k` aside, so
+    /// presets stay reproducible.
     pub fn gnn_fast() -> Self {
         MuxLinkConfig {
             backend: MuxLinkBackend::Gnn,
@@ -159,11 +175,23 @@ impl MuxLinkConfig {
         }
     }
 
-    /// Sets the GNN backend's thread count (`0` = all cores, `1` = serial).
-    /// Purely a wall-clock knob: outcomes are identical for every value.
-    pub fn with_gnn_threads(mut self, threads: usize) -> Self {
-        self.gnn_threads = threads;
+    /// Sets the attack's thread count (`0` = all cores, `1` = serial),
+    /// reaching both backends — see [`MuxLinkConfig::threads`] for the
+    /// precedence rules. Purely a wall-clock knob: outcomes are identical
+    /// for every value.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
+    }
+
+    /// Former name of [`MuxLinkConfig::with_threads`], from when only the
+    /// GNN backend was parallel.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `with_threads`; the knob now reaches both backends"
+    )]
+    pub fn with_gnn_threads(self, threads: usize) -> Self {
+        self.with_threads(threads)
     }
 
     /// Switches the GNN backend to adaptive SortPooling: `k` becomes the
@@ -201,21 +229,6 @@ type ScoreSlot = Result<f64, usize>;
 #[derive(Debug, Clone, Default)]
 pub struct MuxLinkAttack {
     config: MuxLinkConfig,
-}
-
-/// The trained link-scoring ensemble: bagged MLPs, each trained on its own
-/// sampling of the self-supervised link data; scores are ensemble means.
-struct LinkScorer {
-    mlps: Vec<Mlp>,
-}
-
-impl LinkScorer {
-    fn score(&self, row: &[f64]) -> f64 {
-        if self.mlps.is_empty() {
-            return 0.5;
-        }
-        self.mlps.iter().map(|m| m.predict(row)).sum::<f64>() / self.mlps.len() as f64
-    }
 }
 
 impl MuxLinkAttack {
@@ -360,8 +373,16 @@ impl MuxLinkAttack {
         (rows, labels)
     }
 
+    /// Order-preserving map of `f` over `items` across this attack's rayon
+    /// pool ([`MuxLinkConfig::threads`]). Shared by GNN tensor construction
+    /// and MLP candidate scoring — `out[i]` always answers `items[i]`, so
+    /// results are identical to the serial loop for every thread count.
+    fn pooled<T: Sync, R: Send>(&self, items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+        autolock_mlcore::parallel::pooled_map(self.config.threads, items, f)
+    }
+
     /// Builds DGCNN subgraph tensors for a batch of links, fanning the
-    /// independent subgraph extractions across `gnn_threads` rayon workers
+    /// independent subgraph extractions across the attack's rayon pool
     /// (order-preserving, so results are identical to the serial loop).
     /// `drop_link` hides the link itself before extracting its
     /// neighbourhood, as required for positive training examples.
@@ -374,7 +395,7 @@ impl MuxLinkAttack {
     ) -> Vec<SubgraphTensor> {
         let hops = self.config.features.hops;
         let max_drnl = self.config.features.max_drnl;
-        let build = |&(u, v): &(GateId, GateId)| -> SubgraphTensor {
+        self.pooled(pairs, |&(u, v)| {
             let sg = if drop_link {
                 let g = graph.without_edge(u, v);
                 enclosing_subgraph(&g, u, v, hops)
@@ -382,16 +403,7 @@ impl MuxLinkAttack {
                 enclosing_subgraph(graph, u, v, hops)
             };
             SubgraphTensor::from_enclosing(netlist, &sg, max_drnl)
-        };
-        if self.config.gnn_threads == 1 || pairs.len() <= 1 {
-            pairs.iter().map(build).collect()
-        } else {
-            rayon::ThreadPoolBuilder::new()
-                .num_threads(self.config.gnn_threads)
-                .build()
-                .expect("failed to build rayon thread pool")
-                .install(|| pairs.par_iter().map(build).collect())
-        }
+        })
     }
 
     /// Builds DGCNN training tensors for sampled links.
@@ -509,45 +521,38 @@ impl MuxLinkAttack {
                     let data = Dataset::from_rows(rows, labels).expect("consistent feature rows");
                     let (mean, std) = data.feature_stats();
                     let data = data.standardized(&mean, &std);
-                    let ensemble = self.config.ensemble.max(1);
-                    let mut mlps = Vec::with_capacity(ensemble);
-                    for member in 0..ensemble {
-                        // Bagging: each member after the first trains on a
-                        // bootstrap resample, so the ensemble averages out
-                        // data-sampling noise in addition to initialization
-                        // noise. Feature extraction is shared, so extra
-                        // members only cost MLP training time.
-                        let train = if member == 0 {
-                            data.clone()
-                        } else {
-                            data.bootstrap_sample(&mut rng)
-                        };
-                        let mut mlp = Mlp::new(
-                            MlpConfig {
+                    // Bagged ensemble: member training (full data for member
+                    // 0, bootstrap resamples after) fans out across the
+                    // attack's rayon pool with per-member seeded RNGs, so
+                    // the trained ensemble is bit-identical for every
+                    // `threads` value. Feature extraction is shared, so
+                    // extra members only cost MLP training time.
+                    let model = MlpEnsemble::train(
+                        MlpEnsembleConfig {
+                            mlp: MlpConfig {
                                 input_dim: extractor.dim(),
                                 hidden: self.config.hidden.clone(),
                                 epochs: self.config.epochs,
                                 learning_rate: self.config.learning_rate,
                                 ..Default::default()
                             },
-                            &mut rng,
-                        );
-                        mlp.train(&train, &mut rng);
-                        mlps.push(mlp);
-                    }
-                    let scorer = LinkScorer { mlps };
+                            members: self.config.ensemble.max(1),
+                            threads: self.config.threads,
+                        },
+                        &data,
+                        &mut rng,
+                    );
                     let extractor = extractor.clone();
                     let graph_ref = &graph;
                     let levels_ref = &levels;
                     Box::new(move |pairs| {
-                        pairs
-                            .iter()
-                            .map(|&(driver, sink)| {
-                                let f =
-                                    extractor.extract(netlist, graph_ref, levels_ref, driver, sink);
-                                scorer.score(&Dataset::standardize_row(&f, &mean, &std))
-                            })
-                            .collect()
+                        // Candidate scoring fans pairs (feature extraction +
+                        // ensemble forward) across the same pool,
+                        // order-preserving.
+                        self.pooled(pairs, |&(driver, sink)| {
+                            let f = extractor.extract(netlist, graph_ref, levels_ref, driver, sink);
+                            model.predict(&Dataset::standardize_row(&f, &mean, &std))
+                        })
                     })
                 }
             }
@@ -567,7 +572,7 @@ impl MuxLinkAttack {
                             epochs: self.config.epochs,
                             learning_rate: self.config.learning_rate,
                             sortpool_k: self.config.gnn_sortpool_k,
-                            num_threads: self.config.gnn_threads,
+                            num_threads: self.config.threads,
                             ..DgcnnConfig::for_features(SubgraphTensor::feature_dim_for(max_drnl))
                         },
                         &graphs,

@@ -110,15 +110,14 @@ fn gnn_attack_outcome_is_identical_across_thread_counts() {
     let locked = DMuxLocking::default().lock(&original, 8, &mut rng).unwrap();
     let run = |threads: usize| {
         let mut r = ChaCha8Rng::seed_from_u64(55);
-        MuxLinkAttack::new(MuxLinkConfig::gnn_fast().with_gnn_threads(threads))
-            .attack(&locked, &mut r)
+        MuxLinkAttack::new(MuxLinkConfig::gnn_fast().with_threads(threads)).attack(&locked, &mut r)
     };
     let serial = run(1);
     for threads in [2, 4, 0] {
         let parallel = run(threads);
         assert_eq!(
             parallel.key_accuracy, serial.key_accuracy,
-            "key accuracy diverged at gnn_threads = {threads}"
+            "key accuracy diverged at threads = {threads}"
         );
         assert_eq!(parallel.guesses.len(), serial.guesses.len());
         for (p, s) in parallel.guesses.iter().zip(&serial.guesses) {

@@ -69,10 +69,20 @@ impl AutoLock {
             population.push(random_genotype(&original, cfg.key_len, &mut rng)?);
         }
 
-        // Step 2: fitness = 1 - MuxLink accuracy.
+        // Step 2: fitness = 1 - MuxLink accuracy. When the GA itself fans
+        // fitness evaluations across all cores, each in-loop attack must run
+        // serially — the thread-knob precedence rule documented on
+        // `MuxLinkConfig::threads` — or every worker would nest its own
+        // all-core pools. Thread count never changes attack outcomes, so
+        // this only affects wall clock.
+        let attack_config = if cfg.parallel {
+            cfg.attack.clone().with_threads(1)
+        } else {
+            cfg.attack.clone()
+        };
         let mut fitness = MuxLinkFitness::new(
             original.clone(),
-            cfg.attack.clone(),
+            attack_config,
             cfg.seed,
             cfg.attack_repeats,
         );

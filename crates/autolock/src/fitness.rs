@@ -277,7 +277,7 @@ mod tests {
             key_len: 6,
             population_size: 4,
             generations: 1,
-            attack: MuxLinkConfig::gnn_fast().with_gnn_threads(0),
+            attack: MuxLinkConfig::gnn_fast().with_threads(0),
             seed: 0xE11,
             ..AutoLockConfig::tiny()
         };

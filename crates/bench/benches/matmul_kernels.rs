@@ -1,0 +1,337 @@
+//! Micro-benchmarks of the shared `mlcore` dense-kernel layer: the blocked
+//! `matmul`/`matmul_tn`/`matmul_nt` against their naive references, and the
+//! parallel MLP-ensemble fan-out against serial training/scoring.
+//!
+//! Besides the usual Criterion entries, this bench writes a
+//! **machine-readable perf trajectory** to
+//! `<results>/BENCH_kernels.json` — one entry per (op, dims, threads) with
+//! ns/iter and the speedup over its baseline (naive kernel, or the serial
+//! pool) — so future PRs can diff kernel performance instead of eyeballing
+//! bench logs. On a multi-core runner the blocked kernels should hold
+//! ≥ 1.5× naive on the ≥128×128 shapes and the 4-thread ensemble rows
+//! should beat serial; the JSON records whether they did. (The determinism
+//! suites prove blocked-vs-naive and parallel-vs-serial outputs are
+//! bit-identical, so every entry is a pure wall-clock comparison.)
+//!
+//! Set `AUTOLOCK_BENCH_QUICK=1` for a CI smoke run (fewer samples, smaller
+//! shapes) that still exercises every kernel and writes the JSON.
+
+use autolock_bench::results_dir;
+use autolock_mlcore::{Dataset, Matrix, MlpConfig, MlpEnsemble, MlpEnsembleConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// CI smoke mode: fewer samples, smaller shapes, same coverage.
+fn quick() -> bool {
+    std::env::var_os("AUTOLOCK_BENCH_QUICK").is_some()
+}
+
+fn bench_config() -> Criterion {
+    Criterion::default().sample_size(if quick() { 3 } else { 10 })
+}
+
+/// Square matmul shapes; always includes the 128³ point the perf target is
+/// stated against.
+fn shapes() -> Vec<usize> {
+    if quick() {
+        vec![32, 128]
+    } else {
+        vec![32, 64, 128, 256]
+    }
+}
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Matrix::random(rows, cols, 1.0, &mut rng)
+}
+
+/// A linearly-separable-ish training set for the ensemble rows.
+fn ensemble_dataset(n: usize, dim: usize) -> Dataset {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xB0B);
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let label = f64::from(i % 2 == 0);
+        let base = if label > 0.5 { 0.8 } else { -0.8 };
+        rows.push(
+            (0..dim)
+                .map(|d| base * f64::from(d % 2 == 0) + rng.gen_range(-0.5..0.5))
+                .collect(),
+        );
+        labels.push(label);
+    }
+    Dataset::from_rows(rows, labels).unwrap()
+}
+
+fn ensemble_config(threads: usize) -> MlpEnsembleConfig {
+    MlpEnsembleConfig {
+        mlp: MlpConfig {
+            input_dim: 16,
+            hidden: vec![16],
+            epochs: if quick() { 4 } else { 10 },
+            ..Default::default()
+        },
+        members: 8,
+        threads,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Criterion entries
+// ---------------------------------------------------------------------------
+
+fn bench_blocked_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("K1_matmul");
+    for &s in &shapes() {
+        let a = random_matrix(s, s, 1000 + s as u64);
+        let b = random_matrix(s, s, 2000 + s as u64);
+        group.bench_function(&format!("matmul_blocked_{s}x{s}"), |bch| {
+            bch.iter(|| black_box(&a).matmul(black_box(&b)))
+        });
+        group.bench_function(&format!("matmul_naive_{s}x{s}"), |bch| {
+            bch.iter(|| black_box(&a).matmul_naive(black_box(&b)))
+        });
+        group.bench_function(&format!("matmul_tn_blocked_{s}x{s}"), |bch| {
+            bch.iter(|| black_box(&a).matmul_tn(black_box(&b)))
+        });
+        group.bench_function(&format!("matmul_tn_naive_{s}x{s}"), |bch| {
+            bch.iter(|| black_box(&a).matmul_tn_naive(black_box(&b)))
+        });
+        group.bench_function(&format!("matmul_nt_blocked_{s}x{s}"), |bch| {
+            bch.iter(|| black_box(&a).matmul_nt(black_box(&b)))
+        });
+        group.bench_function(&format!("matmul_nt_naive_{s}x{s}"), |bch| {
+            bch.iter(|| black_box(&a).matmul_nt_naive(black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+/// Parallel vs serial bagged-ensemble training and batch scoring. The
+/// ensemble determinism suite proves outputs are bit-identical for every
+/// thread count, so these entries are a pure wall-clock comparison; on a
+/// multi-core machine the 4-thread rows should clearly beat serial.
+fn bench_ensemble_parallel(c: &mut Criterion) {
+    let data = ensemble_dataset(if quick() { 64 } else { 256 }, 16);
+    let rows: Vec<Vec<f64>> = (0..data.len())
+        .map(|i| data.features_of(i).to_vec())
+        .collect();
+    let mut group = c.benchmark_group("K2_ensemble");
+    for threads in [1usize, 2, 4] {
+        group.bench_function(&format!("train_8members_{threads}threads"), |bch| {
+            bch.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(7);
+                MlpEnsemble::train(ensemble_config(threads), black_box(&data), &mut rng)
+            })
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let ensemble = MlpEnsemble::train(ensemble_config(threads), &data, &mut rng);
+        group.bench_function(&format!("predict_batch_{threads}threads"), |bch| {
+            bch.iter(|| ensemble.predict_batch(black_box(&rows)))
+        });
+    }
+    group.finish();
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable trajectory
+// ---------------------------------------------------------------------------
+
+/// One measured point of the perf trajectory.
+#[derive(Serialize)]
+struct BenchEntry {
+    /// Operation name (`matmul`, `matmul_tn`, `matmul_nt`,
+    /// `ensemble_train`, `ensemble_predict_batch`).
+    op: String,
+    /// Shape, `MxKxN` for matmuls or `members x examples` for the ensemble.
+    dims: String,
+    /// Thread count of this entry (matmul kernels are single-threaded).
+    threads: usize,
+    /// Median wall clock per iteration, nanoseconds.
+    ns_per_iter: f64,
+    /// What `speedup_vs_baseline` compares against: `naive` (same op/dims)
+    /// or `threads=1` (same op, serial pool).
+    baseline: String,
+    /// Median ns/iter of the baseline.
+    baseline_ns_per_iter: f64,
+    /// `baseline_ns_per_iter / ns_per_iter` — > 1 means this entry is
+    /// faster than its baseline (blocked beats naive / parallel beats
+    /// serial).
+    speedup_vs_baseline: f64,
+}
+
+/// The file written to `<results>/BENCH_kernels.json`.
+#[derive(Serialize)]
+struct BenchTrajectory {
+    bench: String,
+    quick: bool,
+    entries: Vec<BenchEntry>,
+}
+
+/// A boxed timing routine (blocked or naive variant of one op).
+type TimedOp<'a> = Box<dyn Fn() + 'a>;
+
+/// Median ns/iter of `f` over `samples` timed runs (one discarded warm-up).
+fn median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    times[times.len() / 2]
+}
+
+/// Measures every kernel and fan-out pair and writes the JSON trajectory.
+/// Runs as a Criterion target so `cargo bench --bench matmul_kernels`
+/// always refreshes the file.
+fn emit_trajectory(_c: &mut Criterion) {
+    // More samples than the criterion smoke: these medians feed the gated
+    // JSON trajectory, so buy extra noise margin (the ops are sub-ms).
+    let samples = if quick() { 5 } else { 9 };
+    let mut entries = Vec::new();
+
+    for &s in &shapes() {
+        let a = random_matrix(s, s, 1000 + s as u64);
+        let b = random_matrix(s, s, 2000 + s as u64);
+        let ops: Vec<(&str, TimedOp, TimedOp)> = vec![
+            (
+                "matmul",
+                Box::new(|| {
+                    black_box(black_box(&a).matmul(black_box(&b)));
+                }),
+                Box::new(|| {
+                    black_box(black_box(&a).matmul_naive(black_box(&b)));
+                }),
+            ),
+            (
+                "matmul_tn",
+                Box::new(|| {
+                    black_box(black_box(&a).matmul_tn(black_box(&b)));
+                }),
+                Box::new(|| {
+                    black_box(black_box(&a).matmul_tn_naive(black_box(&b)));
+                }),
+            ),
+            (
+                "matmul_nt",
+                Box::new(|| {
+                    black_box(black_box(&a).matmul_nt(black_box(&b)));
+                }),
+                Box::new(|| {
+                    black_box(black_box(&a).matmul_nt_naive(black_box(&b)));
+                }),
+            ),
+        ];
+        for (op, blocked, naive) in ops {
+            let blocked_ns = median_ns(samples, &*blocked);
+            let naive_ns = median_ns(samples, &*naive);
+            entries.push(BenchEntry {
+                op: op.to_string(),
+                dims: format!("{s}x{s}x{s}"),
+                threads: 1,
+                ns_per_iter: blocked_ns,
+                baseline: "naive".to_string(),
+                baseline_ns_per_iter: naive_ns,
+                speedup_vs_baseline: naive_ns / blocked_ns,
+            });
+        }
+    }
+
+    let data = ensemble_dataset(if quick() { 64 } else { 256 }, 16);
+    let rows: Vec<Vec<f64>> = (0..data.len())
+        .map(|i| data.features_of(i).to_vec())
+        .collect();
+    let train_ns = |threads: usize| {
+        median_ns(samples, || {
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            black_box(MlpEnsemble::train(
+                ensemble_config(threads),
+                black_box(&data),
+                &mut rng,
+            ));
+        })
+    };
+    let serial_train = train_ns(1);
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let serial_ensemble = MlpEnsemble::train(ensemble_config(1), &data, &mut rng);
+    let serial_predict = median_ns(samples, || {
+        black_box(serial_ensemble.predict_batch(black_box(&rows)));
+    });
+    for threads in [1usize, 2, 4] {
+        let t_train = if threads == 1 {
+            serial_train
+        } else {
+            train_ns(threads)
+        };
+        entries.push(BenchEntry {
+            op: "ensemble_train".to_string(),
+            dims: format!("8members_x_{}examples", data.len()),
+            threads,
+            ns_per_iter: t_train,
+            baseline: "threads=1".to_string(),
+            baseline_ns_per_iter: serial_train,
+            speedup_vs_baseline: serial_train / t_train,
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let ensemble = MlpEnsemble::train(ensemble_config(threads), &data, &mut rng);
+        let t_predict = if threads == 1 {
+            serial_predict
+        } else {
+            median_ns(samples, || {
+                black_box(ensemble.predict_batch(black_box(&rows)));
+            })
+        };
+        entries.push(BenchEntry {
+            op: "ensemble_predict_batch".to_string(),
+            dims: format!("8members_x_{}rows", rows.len()),
+            threads,
+            ns_per_iter: t_predict,
+            baseline: "threads=1".to_string(),
+            baseline_ns_per_iter: serial_predict,
+            speedup_vs_baseline: serial_predict / t_predict,
+        });
+    }
+
+    for e in &entries {
+        println!(
+            "trajectory {}/{} threads={}: {:.0} ns/iter, {:.2}x vs {}",
+            e.op, e.dims, e.threads, e.ns_per_iter, e.speedup_vs_baseline, e.baseline
+        );
+    }
+    let trajectory = BenchTrajectory {
+        bench: "matmul_kernels".to_string(),
+        quick: quick(),
+        entries,
+    };
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join("BENCH_kernels.json");
+    match serde_json::to_string_pretty(&trajectory) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("(wrote {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize trajectory: {e}"),
+    }
+}
+
+criterion_group! {
+    name = kernels;
+    config = bench_config();
+    targets = bench_blocked_vs_naive, bench_ensemble_parallel, emit_trajectory
+}
+criterion_main!(kernels);

@@ -4,7 +4,7 @@
 //! `exp_e*` binaries wrap them with output handling, and the Criterion
 //! benches time representative slices of them.
 
-use crate::{pct, ResultTable, Scale};
+use crate::{experiment_threads, parallel_map, pct, ResultTable, Scale};
 use autolock::operators::{CrossoverKind, MutationKind};
 use autolock::{AutoLock, AutoLockConfig, MultiObjectiveLockingFitness, ObjectiveKind};
 use autolock_attacks::{
@@ -37,22 +37,39 @@ fn circuit(name: &str) -> Netlist {
     suite_circuit(name).unwrap_or_else(|| panic!("unknown suite circuit {name}"))
 }
 
+/// Thread count for an attack that runs directly under the driver-level
+/// repeat fan-out: serial while the driver pool is fanning (the precedence
+/// chain documented on `MuxLinkConfig::threads` — nesting an all-cores pool
+/// per attack under [`parallel_map`] would only oversubscribe), but all
+/// cores when `AUTOLOCK_THREADS=1` makes the driver serial, so that mode
+/// still uses the machine via intra-attack parallelism. Thread count never
+/// changes outcomes either way.
+fn attack_threads() -> usize {
+    if crate::experiment_threads() == 1 {
+        0
+    } else {
+        1
+    }
+}
+
 /// The independent evaluation attack: the same MuxLink pipeline, but freshly
 /// retrained with seeds never used inside the GA loop.
 fn evaluation_attack() -> MuxLinkAttack {
-    MuxLinkAttack::new(MuxLinkConfig::default())
+    MuxLinkAttack::new(MuxLinkConfig::default().with_threads(attack_threads()))
 }
 
 /// MuxLink accuracy of the evaluation attack on a locked netlist, averaged
-/// over three retrained attacker instances.
+/// over three retrained attacker instances fanned across the driver pool
+/// (summed in fixed seed order, so the mean is reproducible).
 fn evaluated_accuracy(locked: &LockedNetlist, seed: u64) -> f64 {
-    let mut total = 0.0;
-    for s in 0..3u64 {
-        let mut rng =
-            ChaCha8Rng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(s + 1)));
-        total += evaluation_attack().attack(locked, &mut rng).key_accuracy;
-    }
-    total / 3.0
+    let seeds: Vec<u64> = (0..3u64)
+        .map(|s| seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(s + 1)))
+        .collect();
+    let accs = parallel_map(&seeds, |&s| {
+        let mut rng = ChaCha8Rng::seed_from_u64(s);
+        evaluation_attack().attack(locked, &mut rng).key_accuracy
+    });
+    accs.iter().sum::<f64>() / accs.len() as f64
 }
 
 /// AutoLock configuration used by the headline experiments at a given scale.
@@ -436,9 +453,11 @@ pub fn e8_multi_objective(scale: Scale) -> ResultTable {
     let initial: Vec<autolock::LockingGenotype> = (0..pop)
         .map(|_| autolock::random_genotype(&original, key_len, &mut rng).unwrap())
         .collect();
+    // NSGA-II evaluates the population in parallel, so the in-loop attack
+    // runs serially (the thread-knob precedence rule).
     let fitness = MultiObjectiveLockingFitness::new(
         original.clone(),
-        MuxLinkConfig::fast(),
+        MuxLinkConfig::fast().with_threads(1),
         SatAttackConfig {
             max_iterations: 100,
             timeout_ms: 10_000,
@@ -548,18 +567,27 @@ pub fn e10_backend_comparison(scale: Scale) -> ResultTable {
                 MuxLinkConfig::gnn().with_adaptive_k(0.6),
             ),
         ] {
-            let attack = MuxLinkAttack::new(config);
-            let start = Instant::now();
-            let mut total = 0.0;
-            for s in 0..3u64 {
-                let mut rng = ChaCha8Rng::seed_from_u64(0xE10A + s);
-                total += attack.attack(&locked, &mut rng).key_accuracy;
-            }
+            // The three retrains fan across the driver pool; each attack
+            // runs serially underneath (`attack_threads`, the thread-knob
+            // precedence rule), and accuracies reduce in fixed seed order.
+            // Runtime is wall clock per attack, timed inside the fan-out:
+            // with enough idle cores it matches the serial per-attack cost,
+            // but when workers oversubscribe the machine it includes
+            // time-slicing — run with AUTOLOCK_THREADS=1 for the cleanest
+            // runtime column.
+            let attack = MuxLinkAttack::new(config.with_threads(attack_threads()));
+            let seeds: Vec<u64> = (0..3u64).map(|s| 0xE10A + s).collect();
+            let runs = parallel_map(&seeds, |&s| {
+                let mut rng = ChaCha8Rng::seed_from_u64(s);
+                let start = Instant::now();
+                let accuracy = attack.attack(&locked, &mut rng).key_accuracy;
+                (accuracy, start.elapsed().as_millis())
+            });
             table.push_row(vec![
                 name.clone(),
                 backend.to_string(),
-                pct(total / 3.0),
-                format!("{}", start.elapsed().as_millis() / 3),
+                pct(runs.iter().map(|r| r.0).sum::<f64>() / 3.0),
+                format!("{}", runs.iter().map(|r| r.1).sum::<u128>() / 3),
             ]);
         }
     }
@@ -613,25 +641,31 @@ pub fn e11_gnn_adversary_evolution(scale: Scale) -> ResultTable {
                 12,
             ),
         };
-    for (name, original) in &targets {
-        // In-loop fitness trains the GNN serially (`with_gnn_threads(1)`):
-        // the GA already evaluates the population across all cores, so
-        // nesting an all-cores pool per evaluation would only oversubscribe.
-        // Thread count never changes outcomes (the determinism contract), so
-        // this is purely the faster arrangement.
+    // Per-circuit runs are independent, so they fan across the driver pool
+    // (rows collected in fixed target order). Exactly one level of the
+    // stack runs parallel (the precedence rule on `MuxLinkConfig::threads`):
+    // when the circuits actually fan, each AutoLock run evaluates its GA
+    // population serially; when the driver pool is inactive (one target, or
+    // AUTOLOCK_THREADS=1), the GA keeps its all-cores population pool. The
+    // in-loop attack always trains serially — the GA level above it is the
+    // parallel one either way. None of this changes outcomes (the
+    // determinism contract); it only avoids nested-pool oversubscription.
+    let fan_circuits = experiment_threads() != 1 && targets.len() > 1;
+    let rows = parallel_map(&targets, |(name, original)| {
         let config = AutoLockConfig {
             key_len,
             population_size,
             generations,
             attack: MuxLinkConfig::gnn_fast()
                 .with_adaptive_k(0.6)
-                .with_gnn_threads(1),
+                .with_threads(1),
             attack_repeats: 1,
             seed: 0xE11,
+            parallel: !fan_circuits,
             ..Default::default()
         };
         let result = AutoLock::new(config).run(original).expect("E11 run failed");
-        table.push_row(vec![
+        vec![
             name.clone(),
             key_len.to_string(),
             pct(result.baseline_attack_accuracy),
@@ -640,7 +674,10 @@ pub fn e11_gnn_adversary_evolution(scale: Scale) -> ResultTable {
             result.history.len().saturating_sub(1).to_string(),
             result.fitness_evaluations.to_string(),
             result.runtime_ms.to_string(),
-        ]);
+        ]
+    });
+    for row in rows {
+        table.push_row(row);
     }
     table
 }

@@ -114,6 +114,35 @@ pub fn experiment_scale() -> Scale {
     }
 }
 
+/// Worker count for the experiment drivers' own fan-outs (independent
+/// attack repeats, per-circuit runs): the `AUTOLOCK_THREADS` environment
+/// variable, `0`/unset = all available cores, `1` = serial.
+///
+/// This knob sits *above* the attack-level [`MuxLinkConfig::threads`]
+/// (`autolock_attacks`) in the precedence chain documented there: drivers
+/// that fan whole repeats across workers run each attack with
+/// `threads = 1`, so the machine is never oversubscribed. Like every
+/// thread knob in this workspace it only trades wall clock — results are
+/// bit-for-bit identical for every value because [`parallel_map`] preserves
+/// order and reductions stay serial.
+///
+/// [`MuxLinkConfig::threads`]: autolock_attacks::MuxLinkConfig
+pub fn experiment_threads() -> usize {
+    std::env::var("AUTOLOCK_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Order-preserving parallel map across [`experiment_threads`] workers:
+/// `out[i]` answers `items[i]` no matter which thread computed it, so any
+/// fixed-order reduction over the result is identical to the serial loop.
+/// Serial when `AUTOLOCK_THREADS=1` or for singleton batches. (The shared
+/// pooled-map pattern lives in `autolock_mlcore::parallel`.)
+pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    autolock_mlcore::parallel::pooled_map(experiment_threads(), items, f)
+}
+
 /// Experiment scale selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {

@@ -5,11 +5,11 @@ use crate::dense::{DenseGrads, DenseStack};
 use crate::sortpool::{SortPoolK, SortPooling};
 use crate::{LinkPredictor, SubgraphTensor};
 use autolock_mlcore::optim::AdamParams;
+use autolock_mlcore::parallel::pooled_map;
 use autolock_mlcore::{sigmoid, Matrix};
 use rand::seq::SliceRandom;
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Hyper-parameters of a [`Dgcnn`].
@@ -162,17 +162,6 @@ impl Dgcnn {
         &self.config
     }
 
-    /// The thread pool matching `config.num_threads`, or `None` for the
-    /// serial path (`num_threads == 1`).
-    fn thread_pool(&self) -> Option<rayon::ThreadPool> {
-        (self.config.num_threads != 1).then(|| {
-            rayon::ThreadPoolBuilder::new()
-                .num_threads(self.config.num_threads)
-                .build()
-                .expect("failed to build rayon thread pool")
-        })
-    }
-
     /// Forward pass to the raw logit (used by tests; [`Dgcnn::score`] applies
     /// the sigmoid).
     pub fn logit(&self, graph: &SubgraphTensor) -> f64 {
@@ -293,27 +282,19 @@ impl Dgcnn {
             l2: self.config.l2,
             ..Default::default()
         };
-        let pool = self.thread_pool();
         let mut indices: Vec<usize> = (0..graphs.len()).collect();
         let mut last_epoch_loss = f64::INFINITY;
         for _ in 0..self.config.epochs {
             indices.shuffle(rng);
             let mut epoch_loss = 0.0;
             for batch in indices.chunks(self.config.batch_size.max(1)) {
-                // Fan the independent per-example passes across the pool
-                // (order-preserving), then reduce serially in example order.
-                let passes: Vec<(f64, Gradients)> = match &pool {
-                    Some(pool) => pool.install(|| {
-                        batch
-                            .par_iter()
-                            .map(|&i| self.forward_backward(&graphs[i], labels[i]))
-                            .collect()
-                    }),
-                    None => batch
-                        .iter()
-                        .map(|&i| self.forward_backward(&graphs[i], labels[i]))
-                        .collect(),
-                };
+                // Fan the independent per-example passes across the shared
+                // pooled map (order-preserving), then reduce serially in
+                // example order.
+                let passes: Vec<(f64, Gradients)> =
+                    pooled_map(self.config.num_threads, batch, |&i| {
+                        self.forward_backward(&graphs[i], labels[i])
+                    });
                 let mut total = Gradients::zeros_like(self);
                 for (loss, grads) in &passes {
                     epoch_loss += loss;
@@ -385,12 +366,7 @@ impl LinkPredictor for Dgcnn {
     /// passes across `config.num_threads` rayon threads. Output order (and
     /// every value, bit-for-bit) matches the serial [`Self::score`] loop.
     fn score_batch(&self, graphs: &[SubgraphTensor]) -> Vec<f64> {
-        match self.thread_pool() {
-            Some(pool) if graphs.len() > 1 => {
-                pool.install(|| graphs.par_iter().map(|g| sigmoid(self.logit(g))).collect())
-            }
-            _ => graphs.iter().map(|g| sigmoid(self.logit(g))).collect(),
-        }
+        pooled_map(self.config.num_threads, graphs, |g| sigmoid(self.logit(g)))
     }
 }
 

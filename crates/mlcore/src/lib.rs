@@ -12,6 +12,10 @@
 //! * [`LogisticRegression`] — linear baseline classifier,
 //! * [`Mlp`] — multi-layer perceptron (ReLU hidden layers, sigmoid output)
 //!   trained with mini-batch Adam,
+//! * [`MlpEnsemble`] — bagged MLP ensemble, trained and scored in parallel
+//!   with bit-for-bit thread-count determinism (see `README.md`),
+//! * [`kernels`] — cache-blocked, register-tiled dense matmul kernels behind
+//!   [`Matrix::matmul`] and friends, bit-identical to the naive loops,
 //! * [`metrics`] — binary-classification metrics (accuracy, precision,
 //!   recall, F1, ROC-AUC).
 //!
@@ -34,13 +38,17 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 mod dataset;
+mod ensemble;
+pub mod kernels;
 mod logistic;
 mod matrix;
 pub mod metrics;
 mod mlp;
 pub mod optim;
+pub mod parallel;
 
 pub use dataset::Dataset;
+pub use ensemble::{MlpEnsemble, MlpEnsembleConfig};
 pub use logistic::{LogisticConfig, LogisticRegression};
 pub use matrix::Matrix;
 pub use mlp::{Mlp, MlpConfig};

@@ -145,7 +145,8 @@ impl Matrix {
         self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
     }
 
-    /// Matrix product `self * other`.
+    /// Matrix product `self * other`, computed by the cache-blocked kernels
+    /// in [`crate::kernels`]. Bit-for-bit identical to [`Matrix::matmul_naive`].
     ///
     /// # Panics
     ///
@@ -153,24 +154,20 @@ impl Matrix {
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for r in 0..self.rows {
-            let a_row = self.row(r);
-            let out_row = out.row_mut(r);
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::kernels::matmul_nn(
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
         out
     }
 
-    /// Transposed product `selfᵀ * other` (without materializing the
-    /// transpose).
+    /// Transposed product `selfᵀ * other` (without the caller materializing
+    /// the transpose), via the blocked kernels. Bit-for-bit identical to
+    /// [`Matrix::matmul_tn_naive`].
     ///
     /// # Panics
     ///
@@ -178,23 +175,19 @@ impl Matrix {
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "matmul_tn dimension mismatch");
         let mut out = Matrix::zeros(self.cols, other.cols);
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = other.row(k);
-            for (r, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = out.row_mut(r);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::kernels::matmul_tn(
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
         out
     }
 
-    /// Product with the transpose `self * otherᵀ`.
+    /// Product with the transpose `self * otherᵀ`, via the blocked kernels.
+    /// Bit-for-bit identical to [`Matrix::matmul_nt_naive`].
     ///
     /// # Panics
     ///
@@ -202,17 +195,61 @@ impl Matrix {
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmul_nt dimension mismatch");
         let mut out = Matrix::zeros(self.rows, other.rows);
-        for r in 0..self.rows {
-            let a_row = self.row(r);
-            for c in 0..other.rows {
-                let b_row = other.row(c);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                out.set(r, c, acc);
-            }
-        }
+        crate::kernels::matmul_nt(
+            self.rows,
+            self.cols,
+            other.rows,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// Reference (naive triple-loop) `self * other`. Exists so tests and the
+    /// `matmul_kernels` bench can pin the blocked kernels against the
+    /// original scalar loops; production code should call [`Matrix::matmul`].
+    pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        crate::kernels::matmul_nn_naive(
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// Reference (naive) `selfᵀ * other`; see [`Matrix::matmul_naive`].
+    pub fn matmul_tn_naive(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "matmul_tn dimension mismatch");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        crate::kernels::matmul_tn_naive(
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// Reference (naive) `self * otherᵀ`; see [`Matrix::matmul_naive`].
+    pub fn matmul_nt_naive(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_nt dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        crate::kernels::matmul_nt_naive(
+            self.rows,
+            self.cols,
+            other.rows,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
         out
     }
 

@@ -1,0 +1,58 @@
+//! The one order-preserving pooled map every deterministic fan-out uses.
+//!
+//! The workspace's bit-for-bit thread-count contract (see `README.md` and
+//! `crates/gnn/README.md`) rests on a single pattern: fan independent items
+//! across a bounded rayon pool with slot `i` of the output always answering
+//! item `i`, and keep every floating-point *reduction* serial and in fixed
+//! order at the call site. This module holds the pattern once so the
+//! ensemble, the attack-level fan-outs and the experiment drivers cannot
+//! drift apart.
+
+use rayon::prelude::*;
+
+/// Order-preserving parallel map across a pool of `threads` workers
+/// (`0` = all available cores, `1` = serial): `out[i]` answers `items[i]`
+/// no matter which thread computed it, so any fixed-order reduction over
+/// the result is identical to the serial loop. Serial for `threads == 1`
+/// and for singleton/empty batches (not worth a pool).
+///
+/// Building the pool per call is free with the vendored rayon shim (its
+/// `ThreadPool` owns no threads — workers are scoped threads spawned per
+/// parallel call). If the workspace ever swaps in real rayon, hot callers
+/// should hold one pool and `install` their batches into it instead.
+pub fn pooled_map<T: Sync, R: Send>(
+    threads: usize,
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    if threads == 1 || items.len() <= 1 {
+        items.iter().map(f).collect()
+    } else {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("failed to build rayon thread pool")
+            .install(|| items.par_iter().map(&f).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_for_every_thread_count() {
+        let items: Vec<usize> = (0..37).collect();
+        let expect: Vec<usize> = items.iter().map(|i| i * i).collect();
+        for threads in [0, 1, 2, 3, 8] {
+            assert_eq!(pooled_map(threads, &items, |&i| i * i), expect);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_batches_stay_serial() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(pooled_map(0, &empty, |&v| v).is_empty());
+        assert_eq!(pooled_map(0, &[9u32], |&v| v + 1), vec![10]);
+    }
+}

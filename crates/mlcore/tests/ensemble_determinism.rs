@@ -1,0 +1,105 @@
+//! The MLP-ensemble parallelism/determinism contract, mirroring
+//! `crates/gnn/tests/determinism.rs`: for a fixed master seed, a bagged
+//! ensemble trained with any `threads` value — serial, any fixed count, or
+//! "all cores" — has bit-for-bit identical members and predictions, because
+//! per-member RNGs are seeded up front in member order and predictions are
+//! reduced in fixed member order.
+
+use autolock_mlcore::{Dataset, MlpConfig, MlpEnsemble, MlpEnsembleConfig};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Two noisy Gaussian-ish blobs, linearly separable on average.
+fn blob_dataset(n: usize, seed: u64) -> Dataset {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let label = f64::from(i % 2 == 0);
+        let base = if label > 0.5 { 1.0 } else { -1.0 };
+        rows.push(vec![
+            base + rng.gen_range(-0.6..0.6),
+            -base + rng.gen_range(-0.6..0.6),
+            rng.gen_range(-1.0..1.0),
+        ]);
+        labels.push(label);
+    }
+    Dataset::from_rows(rows, labels).unwrap()
+}
+
+fn config(threads: usize) -> MlpEnsembleConfig {
+    MlpEnsembleConfig {
+        mlp: MlpConfig {
+            input_dim: 3,
+            hidden: vec![6, 4],
+            epochs: 12,
+            ..Default::default()
+        },
+        members: 6,
+        threads,
+    }
+}
+
+fn train_with_threads(threads: usize, data: &Dataset) -> MlpEnsemble {
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    MlpEnsemble::train(config(threads), data, &mut rng)
+}
+
+/// The headline guarantee: any thread count (including "all cores") vs
+/// serial — identical trained members and identical predictions, compared
+/// with exact equality, no tolerance.
+#[test]
+fn training_is_bit_identical_across_thread_counts() {
+    let data = blob_dataset(48, 7);
+    let probes: Vec<Vec<f64>> = (0..10)
+        .map(|i| {
+            let mut rng = ChaCha8Rng::seed_from_u64(500 + i);
+            (0..3).map(|_| rng.gen_range(-1.5..1.5)).collect()
+        })
+        .collect();
+    let serial = train_with_threads(1, &data);
+    let serial_scores: Vec<u64> = probes.iter().map(|p| serial.predict(p).to_bits()).collect();
+    for threads in [2, 3, 4, 0] {
+        let parallel = train_with_threads(threads, &data);
+        assert_eq!(
+            parallel.members(),
+            serial.members(),
+            "trained members diverged at threads = {threads}"
+        );
+        let scores: Vec<u64> = probes
+            .iter()
+            .map(|p| parallel.predict(p).to_bits())
+            .collect();
+        assert_eq!(
+            scores, serial_scores,
+            "predictions diverged at threads = {threads}"
+        );
+    }
+}
+
+/// Parallel batch scoring must equal the serial per-row prediction loop
+/// exactly, for the same trained ensemble.
+#[test]
+fn predict_batch_matches_serial_predictions_exactly() {
+    let data = blob_dataset(32, 3);
+    let ensemble = train_with_threads(4, &data);
+    let rows: Vec<Vec<f64>> = (0..data.len())
+        .map(|i| data.features_of(i).to_vec())
+        .collect();
+    let serial: Vec<f64> = rows.iter().map(|r| ensemble.predict(r)).collect();
+    assert_eq!(ensemble.predict_batch(&rows), serial);
+    assert!(ensemble.predict_batch(&[]).is_empty());
+}
+
+/// The same master seed reproduces the same ensemble; a different seed
+/// produces a different one (the seeds really reach the members).
+#[test]
+fn master_seed_controls_the_ensemble() {
+    let data = blob_dataset(32, 5);
+    let run = |seed: u64| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        MlpEnsemble::train(config(1), &data, &mut rng)
+    };
+    assert_eq!(run(11).members(), run(11).members());
+    assert_ne!(run(11).members(), run(12).members());
+}

@@ -1,0 +1,115 @@
+//! The blocked-kernel contract: `Matrix::matmul` / `matmul_tn` / `matmul_nt`
+//! (cache-blocked, register-tiled) are **bit-for-bit** equal to the naive
+//! reference loops for every shape — compared with `f64::to_bits`, so even a
+//! signed-zero difference would fail. Shapes range over degenerate 0/1-dim
+//! cases up to sizes that straddle the `NR`/`MC` register and row tiles; a
+//! dedicated case crosses the `KC`/`NC` panel boundaries.
+
+use autolock_mlcore::{kernels, Matrix};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Matrix::random(rows, cols, 1.0, &mut rng)
+}
+
+fn assert_bits_eq(blocked: &Matrix, naive: &Matrix) {
+    assert_eq!(blocked.rows(), naive.rows());
+    assert_eq!(blocked.cols(), naive.cols());
+    for (i, (b, n)) in blocked.data().iter().zip(naive.data()).enumerate() {
+        assert_eq!(
+            b.to_bits(),
+            n.to_bits(),
+            "element {i} diverged: blocked {b} vs naive {n}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `A·B` blocked vs naive over random shapes, including 0- and 1-dim
+    /// degenerate cases (empty operands, single rows/columns).
+    fn blocked_matmul_matches_naive_bitwise(
+        m in 0usize..36,
+        k in 0usize..36,
+        n in 0usize..36,
+        seed in proptest::any::<u64>(),
+    ) {
+        let a = random_matrix(m, k, seed);
+        let b = random_matrix(k, n, seed ^ 0x9e37_79b9_7f4a_7c15);
+        assert_bits_eq(&a.matmul(&b), &a.matmul_naive(&b));
+    }
+
+    /// `Aᵀ·B` blocked (packed transpose + nn kernel) vs the naive
+    /// implicit-transpose loop.
+    fn blocked_matmul_tn_matches_naive_bitwise(
+        k in 0usize..36,
+        m in 0usize..36,
+        n in 0usize..36,
+        seed in proptest::any::<u64>(),
+    ) {
+        let a = random_matrix(k, m, seed);
+        let b = random_matrix(k, n, seed ^ 0x51a9_b0c3);
+        assert_bits_eq(&a.matmul_tn(&b), &a.matmul_tn_naive(&b));
+    }
+
+    /// `A·Bᵀ` blocked (interleaved B panel, NR simultaneous dot products)
+    /// vs the naive per-element dot product.
+    fn blocked_matmul_nt_matches_naive_bitwise(
+        m in 0usize..36,
+        k in 0usize..36,
+        n in 0usize..36,
+        seed in proptest::any::<u64>(),
+    ) {
+        let a = random_matrix(m, k, seed);
+        let b = random_matrix(n, k, seed ^ 0xabc_def);
+        assert_bits_eq(&a.matmul_nt(&b), &a.matmul_nt_naive(&b));
+    }
+}
+
+/// Shapes that cross every blocking boundary at once (`KC`/`NC` panels,
+/// `MC` row tiles, `NR` register tiles, plus odd remainders): the
+/// proptest shapes above stay small for speed, so this pins the panel
+/// loops explicitly.
+#[test]
+fn blocked_kernels_match_naive_across_panel_boundaries() {
+    let (m, k, n) = (
+        kernels::MC + 7,
+        kernels::KC + 13,
+        kernels::NC + kernels::NR + 3,
+    );
+    let a = random_matrix(m, k, 1);
+    let b = random_matrix(k, n, 2);
+    assert_bits_eq(&a.matmul(&b), &a.matmul_naive(&b));
+
+    let at = random_matrix(k, m, 3);
+    assert_bits_eq(&at.matmul_tn(&b), &at.matmul_tn_naive(&b));
+
+    let bt = random_matrix(n, k, 4);
+    assert_bits_eq(&a.matmul_nt(&bt), &a.matmul_nt_naive(&bt));
+}
+
+/// The dropped zero-skip branch must not resurface: a left operand riddled
+/// with exact zeros still produces bit-identical results (the IEEE edge the
+/// old skip silently changed: `acc + (-0.0)` and `0.0 * negative`).
+#[test]
+fn zero_heavy_operands_stay_bitwise_equal() {
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let mut a = Matrix::random(33, 17, 1.0, &mut rng);
+    for r in 0..a.rows() {
+        for c in 0..a.cols() {
+            if (r + c) % 3 != 0 {
+                a.set(r, c, 0.0);
+            }
+        }
+    }
+    let b = Matrix::random(17, 21, 1.0, &mut rng);
+    assert_bits_eq(&a.matmul(&b), &a.matmul_naive(&b));
+    let b_tn = Matrix::random(33, 21, 1.0, &mut rng);
+    assert_bits_eq(&a.matmul_tn(&b_tn), &a.matmul_tn_naive(&b_tn));
+    let b_nt = Matrix::random(21, 17, 1.0, &mut rng);
+    assert_bits_eq(&a.matmul_nt(&b_nt), &a.matmul_nt_naive(&b_nt));
+}

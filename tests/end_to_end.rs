@@ -34,19 +34,28 @@ fn locked_netlists_survive_bench_roundtrip_and_stay_equivalent() {
 fn muxlink_beats_baselines_on_dmux_and_structural_attack_breaks_xor() {
     let original = suite_circuit("s160").unwrap();
     let mut rng = ChaCha8Rng::seed_from_u64(2);
+    // 12 key bits on s160 keeps the locking density in the regime the paper
+    // evaluates; 16+ bits saturate a circuit this small with MUXes, which
+    // degrades every attack (see `circuits_for` in autolock_bench).
     let dmux = DMuxLocking::default()
-        .lock(&original, 16, &mut rng)
+        .lock(&original, 12, &mut rng)
         .unwrap();
     let xor = XorLocking::default().lock(&original, 16, &mut rng).unwrap();
 
-    let mut attack_rng = ChaCha8Rng::seed_from_u64(3);
-    let muxlink = MuxLinkAttack::new(MuxLinkConfig::fast())
-        .attack(&dmux, &mut attack_rng)
-        .key_accuracy;
-    let mut attack_rng = ChaCha8Rng::seed_from_u64(3);
-    let locality = MuxLinkAttack::new(MuxLinkConfig::locality_only())
-        .attack(&dmux, &mut attack_rng)
-        .key_accuracy;
+    // Mean of three retrains: a single 12-bit-key attack on a circuit this
+    // small swings by ±0.1, so one seed is not a fair strength measure.
+    let mean_acc = |config: MuxLinkConfig| {
+        let attack = MuxLinkAttack::new(config);
+        (3u64..6)
+            .map(|seed| {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                attack.attack(&dmux, &mut rng).key_accuracy
+            })
+            .sum::<f64>()
+            / 3.0
+    };
+    let muxlink = mean_acc(MuxLinkConfig::fast());
+    let locality = mean_acc(MuxLinkConfig::locality_only());
     let mut attack_rng = ChaCha8Rng::seed_from_u64(3);
     let random = RandomGuessAttack
         .attack(&dmux, &mut attack_rng)
