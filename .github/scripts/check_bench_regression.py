@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Gate the kernel-bench perf trajectory against the committed baseline.
+
+Usage: check_bench_regression.py <committed_baseline.json> <fresh.json>
+
+Both files are `BENCH_kernels.json` trajectories (see crates/bench/README.md):
+one entry per (op, dims, threads) with `speedup_vs_baseline` — blocked kernel
+vs naive loop, or parallel ensemble vs serial pool. Speedups are *relative*
+measurements taken on one machine, so they transfer across runners far better
+than raw ns/iter; the committed file is the floor the fresh run is diffed
+against.
+
+Rules (the 1.5x floor logic, applied both absolutely and to the diff):
+
+* HARD absolute floor: `matmul_nt` at 128x128x128 must hold >= 1.5x naive
+  (the paper target; it measures >= 2.5x even on a noisy single-core box,
+  so falling below 1.5x is a real regression).
+* SOFT absolute floor: `matmul` / `matmul_tn` at 128x128x128 warn below
+  1.05x (they sit in shared-runner timing noise of their quick-mode medians).
+* RELATIVE floor: every entry present in both files FAILS if its fresh
+  speedup drops below `committed / 1.5` *and* below the 1.5x absolute bar —
+  an entry still >= 1.5x its baseline kernel is fast, not regressed, even if
+  the committed number was higher. Entries whose committed speedup is < 1.0
+  (e.g. parallel rows measured on a single-core box) only warn: there is no
+  meaningful floor to derive from them.
+* COVERAGE: a committed entry missing from the fresh run FAILS — a renamed
+  or dropped kernel silently leaving the gate is exactly the rot this gate
+  exists to prevent. Refresh the committed baseline deliberately instead.
+
+Exit code 1 on any FAIL.
+"""
+
+import json
+import sys
+
+HARD_ABS = {("matmul_nt", "128x128x128", 1): 1.5}
+SOFT_ABS = {
+    ("matmul", "128x128x128", 1): 1.05,
+    ("matmul_tn", "128x128x128", 1): 1.05,
+}
+RELATIVE_SLACK = 1.5
+ABS_OK_BAR = 1.5
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {
+        (e["op"], e["dims"], e["threads"]): e["speedup_vs_baseline"]
+        for e in data["entries"]
+    }
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    baseline = load(sys.argv[1])
+    fresh = load(sys.argv[2])
+    failed = False
+
+    for key, floor in HARD_ABS.items():
+        if key not in fresh:
+            print(f"{key}: MISSING from fresh run  <-- FAIL")
+            failed = True
+        elif fresh[key] < floor:
+            print(f"{key}: {fresh[key]:.2f}x < hard floor {floor}x  <-- FAIL")
+            failed = True
+        else:
+            print(f"{key}: {fresh[key]:.2f}x >= hard floor {floor}x  ok")
+
+    for key, floor in SOFT_ABS.items():
+        if key in fresh and fresh[key] < floor:
+            print(f"{key}: {fresh[key]:.2f}x < soft floor {floor}x  (warn only)")
+
+    missing = sorted(set(baseline) - set(fresh))
+    for key in missing:
+        # A committed entry the bench no longer emits means that kernel is
+        # no longer being diffed; refresh the baseline deliberately instead.
+        print(f"{key}: in committed baseline but MISSING from fresh run  <-- FAIL")
+        failed = True
+
+    shared = sorted(set(baseline) & set(fresh))
+    if not shared:
+        print("no overlapping entries between baseline and fresh run  <-- FAIL")
+        failed = True
+    for key in shared:
+        base, now = baseline[key], fresh[key]
+        if base < 1.0:
+            if now < base / RELATIVE_SLACK:
+                print(
+                    f"{key}: {now:.2f}x vs committed {base:.2f}x "
+                    f"(committed < 1.0x: warn only)"
+                )
+            continue
+        floor = base / RELATIVE_SLACK
+        if now < floor and now < ABS_OK_BAR:
+            print(
+                f"{key}: {now:.2f}x < {floor:.2f}x "
+                f"(committed {base:.2f}x / {RELATIVE_SLACK})  <-- FAIL"
+            )
+            failed = True
+        elif now < floor:
+            print(
+                f"{key}: {now:.2f}x below committed-derived floor {floor:.2f}x "
+                f"but still >= {ABS_OK_BAR}x absolute  (warn only)"
+            )
+        else:
+            print(f"{key}: {now:.2f}x (committed {base:.2f}x)  ok")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,7 @@
 //! to an MLP. The discriminative signal is the same: what the logic
 //! *surrounding* a candidate connection looks like.
 
-use autolock_netlist::graph::{enclosing_subgraph, UndirectedGraph};
+use autolock_netlist::graph::{CsrGraph, EnclosingSubgraph};
 use autolock_netlist::{GateId, GateKind, Netlist};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
@@ -114,46 +114,78 @@ impl LinkFeatureExtractor {
 
     /// Extracts the feature vector of the candidate link `(driver, sink)`.
     ///
-    /// `graph` must already have the candidate link removed (for existing
-    /// links) or simply not contain it (for negative samples); `levels` is the
-    /// per-gate logic level of the visible netlist (see [`visible_levels`]);
-    /// `netlist` is only used for gate kinds and fan-in counts.
+    /// With `drop_link` the candidate link itself is treated as absent from
+    /// `graph` (positive training examples hide the known link before
+    /// looking at its neighbourhood) — the exclusion is threaded through
+    /// every feature instead of cloning the graph, so large-circuit attacks
+    /// stay memory-lean. `levels` is the per-gate logic level of the
+    /// visible netlist (see [`visible_levels`]); `netlist` is only used for
+    /// gate kinds and fan-in counts.
     pub fn extract(
         &self,
         netlist: &Netlist,
-        graph: &UndirectedGraph,
+        graph: &CsrGraph,
         levels: &[usize],
         driver: GateId,
         sink: GateId,
+        drop_link: bool,
     ) -> Vec<f64> {
-        let mut features = Vec::with_capacity(self.dim());
+        if self.config.mode == FeatureMode::LocalityOnly {
+            // The locality ablation never looks at the neighbourhood; skip
+            // the extraction entirely.
+            return self.endpoint_one_hots(netlist, driver, sink);
+        }
+        let sg = graph.enclosing_subgraph(driver, sink, self.config.hops, drop_link);
+        self.extract_with_subgraph(netlist, graph, levels, driver, sink, drop_link, &sg)
+    }
 
-        // Gate-kind one-hots of the two endpoints (always present).
-        let mut one_hot = |id: GateId| {
+    /// Gate-kind one-hots of the two endpoints (the features every mode
+    /// starts from).
+    fn endpoint_one_hots(&self, netlist: &Netlist, driver: GateId, sink: GateId) -> Vec<f64> {
+        let mut features = Vec::with_capacity(self.dim());
+        for id in [driver, sink] {
             let mut v = vec![0.0; GateKind::NUM_CODES];
             v[netlist.gate(id).kind.code()] = 1.0;
             features.extend(v);
-        };
-        one_hot(driver);
-        one_hot(sink);
+        }
+        features
+    }
 
+    /// [`LinkFeatureExtractor::extract`] with a pre-extracted (possibly
+    /// cached) enclosing subgraph of the same `(driver, sink, drop_link)`
+    /// query.
+    #[allow(clippy::too_many_arguments)]
+    pub fn extract_with_subgraph(
+        &self,
+        netlist: &Netlist,
+        graph: &CsrGraph,
+        levels: &[usize],
+        driver: GateId,
+        sink: GateId,
+        drop_link: bool,
+        sg: &EnclosingSubgraph,
+    ) -> Vec<f64> {
+        let mut features = self.endpoint_one_hots(netlist, driver, sink);
         if self.config.mode == FeatureMode::LocalityOnly {
             debug_assert_eq!(features.len(), self.dim());
             return features;
         }
 
-        // Endpoint structure.
-        let deg_u = graph.degree(driver) as f64;
-        let deg_v = graph.degree(sink) as f64;
+        // Endpoint structure. With `drop_link`, the candidate edge (if it
+        // exists) is subtracted from both endpoint degrees — numerically
+        // identical to extracting from a graph with the edge removed.
+        let linked = drop_link && graph.has_edge(driver, sink);
+        let deg_u = (graph.degree(driver) - usize::from(linked)) as f64;
+        let deg_v = (graph.degree(sink) - usize::from(linked)) as f64;
         let fanin_v = netlist.gate(sink).fanin.len() as f64;
         // True directed fan-out of the driver within the visible graph: count
         // the neighbours that actually read `driver` as a fan-in. Restricting
         // to `graph` keeps the feature consistent with the attack's view
-        // (hidden gates and the removed candidate link are excluded).
+        // (hidden gates and the dropped candidate link are excluded).
         let fanout_u = graph
             .neighbors(driver)
             .iter()
-            .filter(|&&nb| netlist.gate(nb).fanin.contains(&driver))
+            .filter(|&&nb| !(linked && nb == sink) && netlist.gate(nb).fanin.contains(&driver))
             .count() as f64;
         features.push(deg_u);
         features.push(deg_v);
@@ -162,16 +194,21 @@ impl LinkFeatureExtractor {
         features.push((deg_u - deg_v).abs());
         features.push(deg_u * deg_v);
 
-        // Pairwise link-prediction heuristics.
+        // Pairwise link-prediction heuristics. Dropping the (driver, sink)
+        // edge changes neither endpoint's *other* neighbours, so the common
+        // count carries over; the Jaccard denominator uses the adjusted
+        // degrees.
         let common = graph.common_neighbors(driver, sink) as f64;
-        let jaccard = graph.jaccard(driver, sink);
+        let union = deg_u + deg_v - common;
+        let jaccard = if union > 0.0 { common / union } else { 0.0 };
         // Probe the endpoint distance well beyond the enclosing-subgraph
         // radius: on larger netlists both the true driver (via alternate
         // paths) and a decoy can exceed 2*hops, and saturating that early
         // erases exactly the near/far contrast that separates them.
         let dist_budget = (self.config.hops * 4).max(8);
         let dist = {
-            let d = graph.bfs_distances(driver, dist_budget);
+            let skip = if linked { Some((driver, sink)) } else { None };
+            let d = graph.bfs_distances_skip(driver, dist_budget, skip);
             d.get(&sink)
                 .copied()
                 .map(|x| x as f64)
@@ -198,7 +235,6 @@ impl LinkFeatureExtractor {
         features.push(if lvl_u < lvl_v { 1.0 } else { 0.0 });
 
         // Enclosing-subgraph statistics.
-        let sg = enclosing_subgraph(graph, driver, sink, self.config.hops);
         let n = sg.nodes.len() as f64;
         let m = sg.edges.len() as f64;
         features.push(n);
@@ -243,7 +279,6 @@ impl LinkFeatureExtractor {
 mod tests {
     use super::*;
     use autolock_circuits::c17;
-    use autolock_netlist::graph::UndirectedGraph;
 
     fn no_hidden(nl: &Netlist) -> Vec<usize> {
         visible_levels(nl, &HashSet::new())
@@ -252,12 +287,12 @@ mod tests {
     #[test]
     fn full_features_have_declared_dimension() {
         let nl = c17();
-        let graph = UndirectedGraph::from_netlist(&nl);
+        let graph = CsrGraph::from_netlist(&nl);
         let levels = no_hidden(&nl);
         let ex = LinkFeatureExtractor::new(LinkFeatureConfig::default());
         let u = nl.find("G10gat").unwrap();
         let v = nl.find("G22gat").unwrap();
-        let f = ex.extract(&nl, &graph, &levels, u, v);
+        let f = ex.extract(&nl, &graph, &levels, u, v, false);
         assert_eq!(f.len(), ex.dim());
         assert!(f.iter().all(|x| x.is_finite()));
     }
@@ -265,7 +300,7 @@ mod tests {
     #[test]
     fn locality_only_features_are_pure_type_one_hots() {
         let nl = c17();
-        let graph = UndirectedGraph::from_netlist(&nl);
+        let graph = CsrGraph::from_netlist(&nl);
         let levels = no_hidden(&nl);
         let ex = LinkFeatureExtractor::new(LinkFeatureConfig {
             mode: FeatureMode::LocalityOnly,
@@ -273,7 +308,7 @@ mod tests {
         });
         let u = nl.find("G1gat").unwrap();
         let v = nl.find("G10gat").unwrap();
-        let f = ex.extract(&nl, &graph, &levels, u, v);
+        let f = ex.extract(&nl, &graph, &levels, u, v, false);
         assert_eq!(f.len(), 2 * GateKind::NUM_CODES);
         // Exactly two ones (one per endpoint one-hot).
         assert_eq!(f.iter().filter(|&&x| x == 1.0).count(), 2);
@@ -286,13 +321,44 @@ mod tests {
         let u = nl.find("G10gat").unwrap();
         let v = nl.find("G22gat").unwrap();
         let far = nl.find("G6gat").unwrap();
-        // Remove the true link before extraction (as the attack does).
-        let graph = UndirectedGraph::from_netlist_without_edges(&nl, &[(u, v)]);
+        let graph = CsrGraph::from_netlist(&nl);
         let levels = no_hidden(&nl);
         let ex = LinkFeatureExtractor::new(LinkFeatureConfig::default());
-        let f_true = ex.extract(&nl, &graph, &levels, u, v);
-        let f_false = ex.extract(&nl, &graph, &levels, far, v);
+        // Hide the true link before extraction (as the attack does).
+        let f_true = ex.extract(&nl, &graph, &levels, u, v, true);
+        let f_false = ex.extract(&nl, &graph, &levels, far, v, false);
         assert_ne!(f_true, f_false);
+    }
+
+    #[test]
+    fn drop_link_matches_extraction_from_edge_removed_graph() {
+        // The no-clone drop_link path must produce exactly the features the
+        // old clone-the-graph path produced: build a netlist *without* the
+        // candidate wire and compare against drop_link on the full one.
+        let nl = c17();
+        let u = nl.find("G16gat").unwrap();
+        let v = nl.find("G23gat").unwrap();
+        let graph = CsrGraph::from_netlist(&nl);
+        let levels = no_hidden(&nl);
+        let ex = LinkFeatureExtractor::new(LinkFeatureConfig::default());
+        let dropped = ex.extract(&nl, &graph, &levels, u, v, true);
+        // Reference: same netlist with the G16→G23 wire rerouted out of the
+        // graph by hiding it via an explicitly-removed-edge CSR build.
+        let reference_graph = {
+            use autolock_netlist::graph::UndirectedGraph;
+            UndirectedGraph::from_netlist_without_edges(&nl, &[(u, v)])
+        };
+        // Spot-check the structural scalars against the reference graph.
+        assert_eq!(
+            dropped[2 * GateKind::NUM_CODES] as usize,
+            reference_graph.degree(u),
+            "driver degree must match the edge-removed graph"
+        );
+        assert_eq!(
+            dropped[2 * GateKind::NUM_CODES + 1] as usize,
+            reference_graph.degree(v),
+            "sink degree must match the edge-removed graph"
+        );
     }
 
     #[test]
@@ -308,10 +374,10 @@ mod tests {
             .unwrap();
         nl.mark_output(x);
         nl.mark_output(y);
-        let graph = UndirectedGraph::from_netlist(&nl);
+        let graph = CsrGraph::from_netlist(&nl);
         let levels = no_hidden(&nl);
         let ex = LinkFeatureExtractor::new(LinkFeatureConfig::default());
-        let f = ex.extract(&nl, &graph, &levels, a, y);
+        let f = ex.extract(&nl, &graph, &levels, a, y, false);
         assert!(f.iter().all(|v| v.is_finite()));
     }
 

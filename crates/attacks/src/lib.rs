@@ -25,6 +25,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 mod baselines;
+mod cache;
 mod features;
 mod muxlink;
 mod report;
@@ -32,6 +33,7 @@ mod sat;
 
 pub use autolock_gnn::SortPoolK;
 pub use baselines::{has_mux_key_gates, RandomGuessAttack, XorStructuralAttack};
+pub use cache::{netlist_fingerprint, CacheStats, SubgraphCache};
 pub use features::{visible_levels, FeatureMode, LinkFeatureConfig, LinkFeatureExtractor};
 pub use muxlink::{MuxCandidate, MuxLinkAttack, MuxLinkBackend, MuxLinkConfig};
 pub use report::{AttackOutcome, KeyGuess};

@@ -21,19 +21,21 @@
 //! 5. vote per key bit (both MUXes driven by the same key input contribute)
 //!    and report per-bit confidence = normalized score margin.
 
+use crate::cache::{netlist_fingerprint, CacheStats, SubgraphCache};
 use crate::features::{visible_levels, FeatureMode, LinkFeatureConfig, LinkFeatureExtractor};
 use crate::report::{AttackOutcome, KeyGuess};
 use crate::KeyRecoveryAttack;
 use autolock_gnn::{Dgcnn, DgcnnConfig, LinkPredictor, SortPoolK, SubgraphTensor};
 use autolock_locking::LockedNetlist;
 use autolock_mlcore::{Dataset, MlpConfig, MlpEnsemble, MlpEnsembleConfig};
-use autolock_netlist::graph::{enclosing_subgraph, UndirectedGraph};
+use autolock_netlist::graph::{CsrGraph, EnclosingSubgraph};
 use autolock_netlist::{GateId, GateKind, Netlist};
 use rand::seq::SliceRandom;
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One candidate decision point: a key-controlled MUX and the two links it
@@ -115,6 +117,21 @@ pub struct MuxLinkConfig {
     /// [`SortPoolK::Percentile`] to apply DGCNN's dataset-percentile rule to
     /// the sampled training subgraphs of each attacked netlist.
     pub gnn_sortpool_k: SortPoolK,
+    /// Capacity of the LRU cache of extracted enclosing subgraphs (`0`
+    /// disables caching). The cache lives on the attack *instance* and is
+    /// keyed by a structural fingerprint of the attacked netlist, so
+    /// retrained repeats on the same locked circuit — the standard
+    /// evaluation protocol of every experiment driver — reuse each
+    /// candidate's neighbourhood instead of re-extracting it. Caching never
+    /// changes outcomes (extraction is deterministic).
+    pub subgraph_cache: usize,
+    /// Candidate links scored per batch: scoring (and GNN tensor
+    /// construction) walks the pending candidate list in chunks of this
+    /// size through the attack's thread pool, which bounds peak memory by
+    /// `score_chunk` subgraph tensors instead of the whole candidate set —
+    /// what keeps ISCAS-sized sweeps (hundreds of key bits) memory-lean.
+    /// `0` means unchunked.
+    pub score_chunk: usize,
 }
 
 impl Default for MuxLinkConfig {
@@ -130,6 +147,8 @@ impl Default for MuxLinkConfig {
             confidence_threshold: 0.6,
             threads: 0,
             gnn_sortpool_k: SortPoolK::Fixed(10),
+            subgraph_cache: 8192,
+            score_chunk: 64,
         }
     }
 }
@@ -202,6 +221,13 @@ impl MuxLinkConfig {
         self
     }
 
+    /// Sets the subgraph-cache capacity (`0` disables caching). Purely a
+    /// wall-clock/memory knob: outcomes are identical for every value.
+    pub fn with_subgraph_cache(mut self, capacity: usize) -> Self {
+        self.subgraph_cache = capacity;
+        self
+    }
+
     /// The locality-only ablation (gate-type features only); models
     /// pre-MuxLink structural learning attacks.
     pub fn locality_only() -> Self {
@@ -226,20 +252,67 @@ type BatchScorer<'a> = Box<dyn Fn(&[(GateId, GateId)]) -> Vec<f64> + 'a>;
 type ScoreSlot = Result<f64, usize>;
 
 /// The MuxLink-style attack.
-#[derive(Debug, Clone, Default)]
+///
+/// The instance owns the LRU subgraph cache
+/// ([`MuxLinkConfig::subgraph_cache`]), so reusing one instance across
+/// attack repeats on the same locked netlist — as the experiment drivers do
+/// — shares extracted neighbourhoods between repeats.
+#[derive(Debug, Default)]
 pub struct MuxLinkAttack {
     config: MuxLinkConfig,
+    cache: SubgraphCache,
+}
+
+impl Clone for MuxLinkAttack {
+    /// Clones the configuration; the clone starts with an empty cache (the
+    /// cache is a performance artifact, not attack state).
+    fn clone(&self) -> Self {
+        MuxLinkAttack::new(self.config.clone())
+    }
 }
 
 impl MuxLinkAttack {
     /// Creates the attack with the given configuration.
     pub fn new(config: MuxLinkConfig) -> Self {
-        MuxLinkAttack { config }
+        MuxLinkAttack {
+            config,
+            cache: SubgraphCache::default(),
+        }
     }
 
     /// The configuration.
     pub fn config(&self) -> &MuxLinkConfig {
         &self.config
+    }
+
+    /// Hit/miss/eviction counters of the instance's subgraph cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The enclosing subgraph of `(u, v)`, served from the instance cache
+    /// when enabled (see [`MuxLinkConfig::subgraph_cache`]).
+    fn subgraph(
+        &self,
+        fingerprint: u64,
+        graph: &CsrGraph,
+        u: GateId,
+        v: GateId,
+        drop_link: bool,
+    ) -> Arc<EnclosingSubgraph> {
+        let hops = self.config.features.hops;
+        if self.config.subgraph_cache == 0 {
+            return Arc::new(graph.enclosing_subgraph(u, v, hops, drop_link));
+        }
+        self.cache.get_or_extract(
+            fingerprint,
+            graph,
+            u,
+            v,
+            hops,
+            drop_link,
+            self.config.subgraph_cache,
+        )
     }
 
     /// Structurally discovers every key-controlled MUX and the candidate links
@@ -348,28 +421,36 @@ impl MuxLinkAttack {
         (positives, negatives)
     }
 
-    /// Extracts MLP feature rows for sampled links.
+    /// Extracts MLP feature rows for sampled links, fanned across the
+    /// attack's pool in scoring-sized chunks (order-preserving, so the
+    /// dataset is identical to the serial loop).
+    #[allow(clippy::too_many_arguments)]
     fn training_rows(
         &self,
         netlist: &Netlist,
-        graph: &UndirectedGraph,
+        graph: &CsrGraph,
+        fingerprint: u64,
         levels: &[usize],
         extractor: &LinkFeatureExtractor,
         positives: &[(GateId, GateId)],
         negatives: &[(GateId, GateId)],
     ) -> (Vec<Vec<f64>>, Vec<f64>) {
-        let mut rows = Vec::with_capacity(positives.len() + negatives.len());
-        let mut labels = Vec::with_capacity(rows.capacity());
-        for &(u, v) in positives {
-            // Hide the link itself before extracting its neighbourhood.
-            let g = graph.without_edge(u, v);
-            rows.push(extractor.extract(netlist, &g, levels, u, v));
-            labels.push(1.0);
-        }
-        for &(u, v) in negatives {
-            rows.push(extractor.extract(netlist, graph, levels, u, v));
-            labels.push(0.0);
-        }
+        let row = |&(u, v): &(GateId, GateId), drop_link: bool| {
+            // The locality ablation never reads the neighbourhood — skip
+            // extraction (and the cache) entirely for it.
+            if self.config.features.mode == FeatureMode::LocalityOnly {
+                return extractor.extract(netlist, graph, levels, u, v, drop_link);
+            }
+            // Positives hide the link itself before extracting its
+            // neighbourhood (`drop_link` threads the exclusion through
+            // without cloning the graph).
+            let sg = self.subgraph(fingerprint, graph, u, v, drop_link);
+            extractor.extract_with_subgraph(netlist, graph, levels, u, v, drop_link, &sg)
+        };
+        let mut rows = self.chunked(positives, |p| row(p, true));
+        rows.extend(self.chunked(negatives, |p| row(p, false)));
+        let mut labels = vec![1.0; positives.len()];
+        labels.resize(rows.len(), 0.0);
         (rows, labels)
     }
 
@@ -381,27 +462,45 @@ impl MuxLinkAttack {
         autolock_mlcore::parallel::pooled_map(self.config.threads, items, f)
     }
 
-    /// Builds DGCNN subgraph tensors for a batch of links, fanning the
-    /// independent subgraph extractions across the attack's rayon pool
-    /// (order-preserving, so results are identical to the serial loop).
-    /// `drop_link` hides the link itself before extracting its
-    /// neighbourhood, as required for positive training examples.
+    /// Effective chunk length for a batch of `n` items: the configured
+    /// [`MuxLinkConfig::score_chunk`], with `0` meaning one unchunked batch.
+    /// The single source of the chunking policy for both backends.
+    fn chunk_size(&self, n: usize) -> usize {
+        if self.config.score_chunk == 0 {
+            n.max(1)
+        } else {
+            self.config.score_chunk
+        }
+    }
+
+    /// [`MuxLinkAttack::pooled`] in [`MuxLinkAttack::chunk_size`]-sized
+    /// chunks: only one chunk's intermediates are in flight at a time, which
+    /// bounds peak memory on ISCAS-sized candidate sets while keeping the
+    /// result order (and therefore the outcome) identical.
+    fn chunked<T: Sync, R: Send>(&self, items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+        let mut out = Vec::with_capacity(items.len());
+        for part in items.chunks(self.chunk_size(items.len())) {
+            out.extend(self.pooled(part, &f));
+        }
+        out
+    }
+
+    /// Builds DGCNN subgraph tensors for a batch of links, chunked through
+    /// the attack's rayon pool (order-preserving, so results are identical
+    /// to the serial loop). `drop_link` hides the link itself before
+    /// extracting its neighbourhood, as required for positive training
+    /// examples.
     fn gnn_tensors(
         &self,
         netlist: &Netlist,
-        graph: &UndirectedGraph,
+        graph: &CsrGraph,
+        fingerprint: u64,
         pairs: &[(GateId, GateId)],
         drop_link: bool,
     ) -> Vec<SubgraphTensor> {
-        let hops = self.config.features.hops;
         let max_drnl = self.config.features.max_drnl;
-        self.pooled(pairs, |&(u, v)| {
-            let sg = if drop_link {
-                let g = graph.without_edge(u, v);
-                enclosing_subgraph(&g, u, v, hops)
-            } else {
-                enclosing_subgraph(graph, u, v, hops)
-            };
+        self.chunked(pairs, |&(u, v)| {
+            let sg = self.subgraph(fingerprint, graph, u, v, drop_link);
             SubgraphTensor::from_enclosing(netlist, &sg, max_drnl)
         })
     }
@@ -410,13 +509,14 @@ impl MuxLinkAttack {
     fn training_tensors(
         &self,
         netlist: &Netlist,
-        graph: &UndirectedGraph,
+        graph: &CsrGraph,
+        fingerprint: u64,
         positives: &[(GateId, GateId)],
         negatives: &[(GateId, GateId)],
     ) -> (Vec<SubgraphTensor>, Vec<f64>) {
         // Positives hide the link itself before extracting its neighbourhood.
-        let mut graphs = self.gnn_tensors(netlist, graph, positives, true);
-        graphs.extend(self.gnn_tensors(netlist, graph, negatives, false));
+        let mut graphs = self.gnn_tensors(netlist, graph, fingerprint, positives, true);
+        graphs.extend(self.gnn_tensors(netlist, graph, fingerprint, negatives, false));
         let mut labels = vec![1.0; positives.len()];
         labels.resize(graphs.len(), 0.0);
         (graphs, labels)
@@ -498,7 +598,8 @@ impl MuxLinkAttack {
         }
 
         let hidden = Self::hidden_gates(netlist);
-        let graph = UndirectedGraph::from_netlist_filtered(netlist, |id| hidden.contains(&id));
+        let graph = CsrGraph::from_netlist_filtered(netlist, |id| hidden.contains(&id));
+        let fingerprint = netlist_fingerprint(netlist);
         let levels = visible_levels(netlist, &hidden);
         let visible_adj = Self::visible_fanouts(netlist, &hidden);
         let extractor = LinkFeatureExtractor::new(self.config.features);
@@ -513,8 +614,15 @@ impl MuxLinkAttack {
             && !negatives.is_empty();
         let score_model: BatchScorer = match self.config.backend {
             MuxLinkBackend::Mlp => {
-                let (rows, labels) = self
-                    .training_rows(netlist, &graph, &levels, &extractor, &positives, &negatives);
+                let (rows, labels) = self.training_rows(
+                    netlist,
+                    &graph,
+                    fingerprint,
+                    &levels,
+                    &extractor,
+                    &positives,
+                    &negatives,
+                );
                 if !trainable {
                     Box::new(|pairs| vec![0.5; pairs.len()])
                 } else {
@@ -546,11 +654,20 @@ impl MuxLinkAttack {
                     let graph_ref = &graph;
                     let levels_ref = &levels;
                     Box::new(move |pairs| {
-                        // Candidate scoring fans pairs (feature extraction +
-                        // ensemble forward) across the same pool,
-                        // order-preserving.
-                        self.pooled(pairs, |&(driver, sink)| {
-                            let f = extractor.extract(netlist, graph_ref, levels_ref, driver, sink);
+                        // Candidate scoring walks pairs (cached subgraph +
+                        // feature extraction + ensemble forward) in chunks
+                        // across the same pool, order-preserving.
+                        self.chunked(pairs, |&(driver, sink)| {
+                            let f = if extractor.config().mode == FeatureMode::LocalityOnly {
+                                // No neighbourhood needed: skip extraction.
+                                extractor
+                                    .extract(netlist, graph_ref, levels_ref, driver, sink, false)
+                            } else {
+                                let sg = self.subgraph(fingerprint, graph_ref, driver, sink, false);
+                                extractor.extract_with_subgraph(
+                                    netlist, graph_ref, levels_ref, driver, sink, false, &sg,
+                                )
+                            };
                             model.predict(&Dataset::standardize_row(&f, &mean, &std))
                         })
                     })
@@ -561,7 +678,7 @@ impl MuxLinkAttack {
                     Box::new(|pairs| vec![0.5; pairs.len()])
                 } else {
                     let (graphs, labels) =
-                        self.training_tensors(netlist, &graph, &positives, &negatives);
+                        self.training_tensors(netlist, &graph, fingerprint, &positives, &negatives);
                     let max_drnl = self.config.features.max_drnl;
                     // Resolve the SortPooling size against the sampled
                     // training subgraphs (the DGCNN percentile rule when
@@ -581,8 +698,15 @@ impl MuxLinkAttack {
                     model.train(&graphs, &labels, &mut rng);
                     let graph_ref = &graph;
                     Box::new(move |pairs| {
-                        let tensors = self.gnn_tensors(netlist, graph_ref, pairs, false);
-                        model.score_batch(&tensors)
+                        // Chunked tensor construction + forward pass: at most
+                        // `score_chunk` tensors are alive at a time.
+                        let mut scores = Vec::with_capacity(pairs.len());
+                        for part in pairs.chunks(self.chunk_size(pairs.len())) {
+                            let tensors =
+                                self.gnn_tensors(netlist, graph_ref, fingerprint, part, false);
+                            scores.extend(model.score_batch(&tensors));
+                        }
+                        scores
                     })
                 }
             }

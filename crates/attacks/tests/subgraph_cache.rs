@@ -1,0 +1,128 @@
+//! The subgraph cache must be a pure performance artifact: identical
+//! outcomes with and without it, real hits across attack repeats, and a
+//! large-circuit attack that stays inside the bounded cache.
+
+use autolock_attacks::{KeyRecoveryAttack, MuxLinkAttack, MuxLinkConfig};
+use autolock_circuits::{suite_circuit, SuiteScale};
+use autolock_locking::{DMuxLocking, LockingScheme};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn assert_same_outcome(a: &autolock_attacks::AttackOutcome, b: &autolock_attacks::AttackOutcome) {
+    assert_eq!(a.key_accuracy, b.key_accuracy);
+    assert_eq!(a.guesses.len(), b.guesses.len());
+    for (x, y) in a.guesses.iter().zip(&b.guesses) {
+        assert_eq!(x.bit, y.bit);
+        assert_eq!(x.value, y.value);
+        assert_eq!(x.confidence.to_bits(), y.confidence.to_bits());
+    }
+}
+
+#[test]
+fn cached_and_uncached_attacks_are_bit_identical() {
+    let original = autolock_circuits::synth_circuit("cache_eq", 14, 6, 250, 17);
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let locked = DMuxLocking::default()
+        .lock(&original, 12, &mut rng)
+        .unwrap();
+    for config in [MuxLinkConfig::fast(), MuxLinkConfig::gnn_fast()] {
+        let cached = MuxLinkAttack::new(config.clone().with_subgraph_cache(4096));
+        let uncached = MuxLinkAttack::new(config.with_subgraph_cache(0));
+        let run = |attack: &MuxLinkAttack| {
+            let mut r = ChaCha8Rng::seed_from_u64(42);
+            attack.attack(&locked, &mut r)
+        };
+        assert_same_outcome(&run(&cached), &run(&uncached));
+        assert!(cached.cache_stats().misses > 0, "cache was never consulted");
+        assert_eq!(uncached.cache_stats().misses, 0);
+    }
+}
+
+#[test]
+fn repeats_on_the_same_netlist_hit_the_cache() {
+    let original = autolock_circuits::synth_circuit("cache_hits", 14, 6, 250, 19);
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let locked = DMuxLocking::default()
+        .lock(&original, 12, &mut rng)
+        .unwrap();
+    let attack = MuxLinkAttack::new(MuxLinkConfig::fast());
+    let run = |seed: u64| {
+        let mut r = ChaCha8Rng::seed_from_u64(seed);
+        attack.attack(&locked, &mut r)
+    };
+    let first = run(100);
+    let misses_after_first = attack.cache_stats().misses;
+    let hits_after_first = attack.cache_stats().hits;
+    let second = run(100);
+    // Identical RNG seed => identical outcome, now largely served from the
+    // cache: every candidate-scoring subgraph repeats.
+    assert_same_outcome(&first, &second);
+    let stats = attack.cache_stats();
+    assert!(
+        stats.hits > hits_after_first,
+        "second repeat produced no cache hits: {stats:?}"
+    );
+    // The candidate set is identical across repeats, so scoring misses must
+    // not grow by the full candidate count again.
+    assert!(
+        stats.misses < misses_after_first * 2,
+        "second repeat re-extracted everything: {stats:?}"
+    );
+}
+
+#[test]
+fn switching_netlists_resets_the_cache_domain() {
+    let a = autolock_circuits::synth_circuit("cache_a", 12, 5, 200, 23);
+    let b = autolock_circuits::synth_circuit("cache_b", 12, 5, 200, 29);
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let locked_a = DMuxLocking::default().lock(&a, 10, &mut rng).unwrap();
+    let locked_b = DMuxLocking::default().lock(&b, 10, &mut rng).unwrap();
+    let shared = MuxLinkAttack::new(MuxLinkConfig::fast());
+    let run = |attack: &MuxLinkAttack, locked| {
+        let mut r = ChaCha8Rng::seed_from_u64(7);
+        attack.attack(locked, &mut r)
+    };
+    // Warm the shared instance on netlist A, then attack B: the outcome
+    // must equal a fresh instance's (no cross-netlist contamination).
+    run(&shared, &locked_a);
+    let contaminated = run(&shared, &locked_b);
+    let fresh = run(&MuxLinkAttack::new(MuxLinkConfig::fast()), &locked_b);
+    assert_same_outcome(&contaminated, &fresh);
+}
+
+/// The attack completes on a structured ISCAS-scale member with the
+/// *bounded* cache exercised (more distinct subgraphs than capacity), i.e.
+/// memory stays capped by `capacity` entries + one scoring chunk. The
+/// member is scale-dependent: CI (quick) uses the c2670-class circuit, a
+/// full-scale run (`AUTOLOCK_SUITE_SCALE=full`) the c7552-class one.
+#[test]
+fn structured_member_attack_completes_with_bounded_cache() {
+    let name = match SuiteScale::from_env() {
+        SuiteScale::Quick => "st2670",
+        SuiteScale::Full => "st7552",
+    };
+    let original = suite_circuit(name).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let locked = DMuxLocking::default()
+        .lock(&original, 24, &mut rng)
+        .unwrap();
+    // Capacity far below the number of distinct subgraphs the attack
+    // touches, so eviction must kick in and stay correct.
+    let attack = MuxLinkAttack::new(
+        MuxLinkConfig::fast()
+            .with_subgraph_cache(64)
+            .with_threads(1),
+    );
+    let outcome = attack.attack(&locked, &mut rng);
+    assert_eq!(outcome.guesses.len(), 24);
+    let stats = attack.cache_stats();
+    assert!(
+        stats.evictions > 0,
+        "cache bound never exercised: {stats:?}"
+    );
+    assert!(
+        outcome.key_accuracy > 0.5,
+        "attack should beat chance on {name}, got {}",
+        outcome.key_accuracy
+    );
+}

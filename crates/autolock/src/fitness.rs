@@ -233,6 +233,26 @@ mod tests {
     }
 
     #[test]
+    fn subgraph_cache_does_not_change_fitness_across_repeats() {
+        // The in-loop attack inherits `MuxLinkConfig::subgraph_cache`
+        // through `AutoLockConfig::attack`; with `repeats > 1` the repeats
+        // of one evaluation share the instance cache (same locked netlist),
+        // and the result must be bit-identical to a cache-disabled oracle.
+        let (original, genotype) = setup();
+        let cached = MuxLinkFitness::new(original.clone(), MuxLinkConfig::fast(), 11, 2);
+        let plain = MuxLinkFitness::new(
+            original,
+            MuxLinkConfig::fast().with_subgraph_cache(0),
+            11,
+            2,
+        );
+        assert_eq!(
+            cached.evaluate(&genotype).to_bits(),
+            plain.evaluate(&genotype).to_bits()
+        );
+    }
+
+    #[test]
     fn fitness_is_one_minus_accuracy() {
         let (original, genotype) = setup();
         let fitness = MuxLinkFitness::new(original, MuxLinkConfig::fast(), 11, 1);

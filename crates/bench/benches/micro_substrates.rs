@@ -8,7 +8,7 @@ use autolock_evo::{
     CrossoverOperator, FitnessFunction, GaConfig, GeneticAlgorithm, MutationOperator,
 };
 use autolock_locking::{DMuxLocking, LockingScheme};
-use autolock_netlist::graph::UndirectedGraph;
+use autolock_netlist::graph::CsrGraph;
 use autolock_netlist::{parse_bench, sim, topo, write_bench};
 use autolock_satsolver::{CircuitEncoder, Lit, Solver};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
@@ -99,7 +99,7 @@ fn bench_feature_extraction(c: &mut Criterion) {
         .unwrap();
     let netlist = locked.netlist();
     let hidden: HashSet<_> = MuxLinkAttack::hidden_gates(netlist);
-    let graph = UndirectedGraph::from_netlist_filtered(netlist, |id| hidden.contains(&id));
+    let graph = CsrGraph::from_netlist_filtered(netlist, |id| hidden.contains(&id));
     let levels = visible_levels(netlist, &hidden);
     let extractor = LinkFeatureExtractor::new(LinkFeatureConfig::default());
     let candidates = MuxLinkAttack::find_candidates(netlist);
@@ -107,7 +107,8 @@ fn bench_feature_extraction(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0.0;
             for cand in &candidates {
-                let f = extractor.extract(netlist, &graph, &levels, cand.cand_key0, cand.sink);
+                let f =
+                    extractor.extract(netlist, &graph, &levels, cand.cand_key0, cand.sink, false);
                 acc += f.iter().sum::<f64>();
             }
             black_box(acc)

@@ -1,0 +1,16 @@
+//! E12: MuxLink key accuracy vs circuit size × locking density on the
+//! structured (ISCAS-shaped) suite tier.
+//!
+//! Run with `cargo run --release -p autolock_bench --bin exp_e12`.
+//! Set `AUTOLOCK_SCALE=full` for more densities and retrained repeats, and
+//! `AUTOLOCK_SUITE_SCALE=full` to include the `xl` suite member.
+
+use autolock_bench::experiments::e12_size_density_sweep;
+use autolock_bench::{experiment_scale, results_dir};
+
+fn main() {
+    let scale = experiment_scale();
+    eprintln!("running E12: size x density sweep at {scale:?} scale...");
+    let table = e12_size_density_sweep(scale);
+    table.emit(&results_dir());
+}

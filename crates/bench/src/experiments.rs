@@ -4,7 +4,7 @@
 //! `exp_e*` binaries wrap them with output handling, and the Criterion
 //! benches time representative slices of them.
 
-use crate::{experiment_threads, parallel_map, pct, ResultTable, Scale};
+use crate::{experiment_suite_scale, experiment_threads, parallel_map, pct, ResultTable, Scale};
 use autolock::operators::{CrossoverKind, MutationKind};
 use autolock::{AutoLock, AutoLockConfig, MultiObjectiveLockingFitness, ObjectiveKind};
 use autolock_attacks::{
@@ -552,6 +552,11 @@ pub fn e10_backend_comparison(scale: Scale) -> ResultTable {
     for name in circuits_for(scale) {
         targets.push((name.to_string(), circuit(name)));
     }
+    // At full suite scale the backend comparison also covers a structured
+    // (datapath-shaped) member — the regime the DGCNN was built for.
+    if experiment_suite_scale(scale) == autolock_circuits::SuiteScale::Full {
+        targets.push(("st2670".to_string(), circuit("st2670")));
+    }
     for (name, original) in &targets {
         let mut rng = ChaCha8Rng::seed_from_u64(0xE10);
         let locked = DMuxLocking::default()
@@ -620,7 +625,7 @@ pub fn e11_gnn_adversary_evolution(scale: Scale) -> ResultTable {
     );
     // The GNN fitness oracle is ~an order of magnitude costlier than the MLP
     // one, so E11 runs smaller populations than the E1-series.
-    let (targets, key_len, population_size, generations): (Vec<(String, Netlist)>, _, _, _) =
+    let (mut targets, key_len, population_size, generations): (Vec<(String, Netlist)>, _, _, _) =
         match scale {
             Scale::Quick => (
                 vec![(
@@ -641,6 +646,11 @@ pub fn e11_gnn_adversary_evolution(scale: Scale) -> ResultTable {
                 12,
             ),
         };
+    // At full suite scale, evolve against the GNN on a structured member
+    // too (the smallest one — the GA × GNN loop dominates the runtime).
+    if experiment_suite_scale(scale) == autolock_circuits::SuiteScale::Full {
+        targets.push(("st1355".to_string(), circuit("st1355")));
+    }
     // Per-circuit runs are independent, so they fan across the driver pool
     // (rows collected in fixed target order). Exactly one level of the
     // stack runs parallel (the precedence rule on `MuxLinkConfig::threads`):
@@ -674,6 +684,91 @@ pub fn e11_gnn_adversary_evolution(scale: Scale) -> ResultTable {
             result.history.len().saturating_sub(1).to_string(),
             result.fitness_evaluations.to_string(),
             result.runtime_ms.to_string(),
+        ]
+    });
+    for row in rows {
+        table.push_row(row);
+    }
+    table
+}
+
+/// E12 — the paper's headline regime at last: MuxLink key accuracy as a
+/// function of **circuit size × locking density** on the structured
+/// (ISCAS-shaped) suite tier.
+///
+/// For every structured member and density, a D-MUX locking with
+/// `key_len = density × gates` is attacked by the retrained MLP-backend
+/// MuxLink (the evaluation attack, never trained in any GA loop). One
+/// attack instance is shared across the retrained repeats of a cell, so the
+/// LRU subgraph cache ([`MuxLinkConfig::subgraph_cache`]) serves repeated
+/// candidate neighbourhoods — the table reports the hit rate alongside the
+/// accuracy. Cells fan across the driver pool (`AUTOLOCK_THREADS`), rows
+/// are emitted in fixed (member, density) order.
+///
+/// Row format (documented in `crates/bench/README.md`): `circuit`, `gates`,
+/// `density` (fraction of gates carrying a key bit), `key len`, `key
+/// accuracy` (mean over the repeats), `mean runtime ms` (per attack, wall
+/// clock inside the fan-out), `cache hit rate` (hits / lookups across the
+/// cell's repeats).
+pub fn e12_size_density_sweep(scale: Scale) -> ResultTable {
+    use std::time::Instant;
+
+    let mut table = ResultTable::new(
+        "E12",
+        "MuxLink accuracy vs circuit size × locking density (structured suite)",
+        &[
+            "circuit",
+            "gates",
+            "density",
+            "key len",
+            "key accuracy",
+            "mean runtime ms",
+            "cache hit rate",
+        ],
+    );
+    let members = autolock_circuits::structured_entries(experiment_suite_scale(scale));
+    // Two retrained repeats even at quick scale: the second repeat scores
+    // the identical candidate set, so the subgraph cache column reflects
+    // real reuse.
+    let (densities, repeats): (Vec<f64>, u64) = match scale {
+        Scale::Quick => (vec![0.02, 0.05], 2),
+        Scale::Full => (vec![0.01, 0.02, 0.05], 3),
+    };
+    let cells: Vec<(String, usize, f64)> = members
+        .iter()
+        .flat_map(|m| densities.iter().map(|&d| (m.name.clone(), m.gates, d)))
+        .collect();
+    let rows = parallel_map(&cells, |(name, gates, density)| {
+        let original = circuit(name);
+        let key_len = ((*gates as f64 * density).round() as usize).max(8);
+        let mut rng = ChaCha8Rng::seed_from_u64(0xE12);
+        let locked = DMuxLocking::default()
+            .lock(&original, key_len, &mut rng)
+            .expect("structured members have enough lockable wires");
+        // One shared instance per cell: repeats reuse the subgraph cache.
+        let attack = MuxLinkAttack::new(MuxLinkConfig::fast().with_threads(attack_threads()));
+        let mut accuracy = 0.0;
+        let mut runtime_ms = 0u128;
+        for seed in 0..repeats {
+            let mut rng = ChaCha8Rng::seed_from_u64(0xE12A + seed);
+            let start = Instant::now();
+            accuracy += attack.attack(&locked, &mut rng).key_accuracy;
+            runtime_ms += start.elapsed().as_millis();
+        }
+        let stats = attack.cache_stats();
+        let lookups = stats.hits + stats.misses;
+        vec![
+            name.clone(),
+            gates.to_string(),
+            format!("{density:.2}"),
+            key_len.to_string(),
+            pct(accuracy / repeats as f64),
+            format!("{}", runtime_ms / repeats as u128),
+            pct(if lookups == 0 {
+                0.0
+            } else {
+                stats.hits as f64 / lookups as f64
+            }),
         ]
     });
     for row in rows {

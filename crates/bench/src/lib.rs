@@ -114,6 +114,24 @@ pub fn experiment_scale() -> Scale {
     }
 }
 
+/// The benchmark-suite tier the experiment drivers draw circuits from
+/// (E10/E11/E12 and the attack-suite tests honour this): the
+/// `AUTOLOCK_SUITE_SCALE` environment variable when set (`quick`/`full`,
+/// via [`autolock_circuits::SuiteScale::from_env`]), otherwise the tier
+/// matching the experiment depth `scale`. CI exports nothing and gets the
+/// Quick tier; a nightly or manual dispatch exports
+/// `AUTOLOCK_SUITE_SCALE=full` to sweep the `xl` member and the structured
+/// E10/E11 targets without touching code.
+pub fn experiment_suite_scale(scale: Scale) -> autolock_circuits::SuiteScale {
+    if std::env::var_os("AUTOLOCK_SUITE_SCALE").is_some() {
+        return autolock_circuits::SuiteScale::from_env();
+    }
+    match scale {
+        Scale::Quick => autolock_circuits::SuiteScale::Quick,
+        Scale::Full => autolock_circuits::SuiteScale::Full,
+    }
+}
+
 /// Worker count for the experiment drivers' own fan-outs (independent
 /// attack repeats, per-circuit runs): the `AUTOLOCK_THREADS` environment
 /// variable, `0`/unset = all available cores, `1` = serial.
@@ -181,5 +199,18 @@ mod tests {
     fn scale_defaults_to_quick() {
         std::env::remove_var("AUTOLOCK_SCALE");
         assert_eq!(experiment_scale(), Scale::Quick);
+    }
+
+    #[test]
+    fn suite_scale_follows_experiment_scale_unless_overridden() {
+        use autolock_circuits::SuiteScale;
+        std::env::remove_var("AUTOLOCK_SUITE_SCALE");
+        assert_eq!(experiment_suite_scale(Scale::Quick), SuiteScale::Quick);
+        assert_eq!(experiment_suite_scale(Scale::Full), SuiteScale::Full);
+        std::env::set_var("AUTOLOCK_SUITE_SCALE", "quick");
+        assert_eq!(experiment_suite_scale(Scale::Full), SuiteScale::Quick);
+        std::env::set_var("AUTOLOCK_SUITE_SCALE", "full");
+        assert_eq!(experiment_suite_scale(Scale::Quick), SuiteScale::Full);
+        std::env::remove_var("AUTOLOCK_SUITE_SCALE");
     }
 }

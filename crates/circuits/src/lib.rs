@@ -4,26 +4,30 @@
 //! ITC-99 gate-level benchmarks. Those netlists come from proprietary
 //! synthesis flows, so this crate substitutes:
 //!
-//! * the real **c17** ISCAS-85 circuit (tiny, public, reproduced exactly), and
-//! * a deterministic **synthetic ISCAS-like generator** ([`generator`]) that
-//!   produces combinational netlists with configurable size, depth and fan-in
-//!   distribution; the [`suite`] module instantiates a fixed family of such
-//!   circuits whose gate counts mirror the ISCAS-85 family (`s432`, `s880`,
-//!   `s1355`, ... naming follows "synthetic-<approx gate count>").
+//! * the real **c17** ISCAS-85 circuit (tiny, public, reproduced exactly),
+//! * a documented **c432 reconstruction** from its published high-level
+//!   model, embedded as `.bench` text (see [`iscas`]),
+//! * a deterministic **random ISCAS-like generator** ([`generator`]) whose
+//!   [`suite`] members (`s160`, `s380`, ... "synthetic-<gate count>") match
+//!   classic interfaces and gate counts, and
+//! * **structured datapath generators** ([`structured`]): adder trees,
+//!   carry-select adders, array multipliers and mux/decode control blocks
+//!   composed into large members (`st1355` ... `st7552`, `xl11k`) with the
+//!   realistic depth, fanout and reconvergence of the big ISCAS-85 circuits.
 //!
-//! The substitution is documented in `DESIGN.md`: every algorithm in this
-//! repository (locking, attacks, evolutionary search) only looks at gate-level
-//! structure, so circuits with realistic structural statistics exercise the
-//! same code paths as the published benchmarks.
+//! Every algorithm in this repository (locking, attacks, evolutionary
+//! search) only looks at gate-level structure, so circuits with realistic
+//! structural statistics exercise the same code paths as the published
+//! benchmarks. See `README.md` in this crate for the suite map.
 //!
 //! ```
-//! use autolock_circuits::{c17, suite};
+//! use autolock_circuits::{c17, suite, SuiteScale};
 //!
 //! let c17 = c17();
 //! assert_eq!(c17.num_inputs(), 5);
 //! assert_eq!(c17.num_outputs(), 2);
 //!
-//! let bench = suite::standard_suite();
+//! let bench = suite::standard_suite(SuiteScale::Quick);
 //! assert!(bench.iter().any(|c| c.name() == "c17"));
 //! ```
 
@@ -31,10 +35,15 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod generator;
+pub mod structured;
 pub mod suite;
 
 mod iscas;
 
 pub use generator::{synth_circuit, CircuitGenerator, GeneratorConfig};
-pub use iscas::{c17, c17_bench_text};
-pub use suite::{small_suite, standard_suite, suite_circuit, suite_entries, SuiteEntry};
+pub use iscas::{c17, c17_bench_text, c432, c432_bench_text};
+pub use structured::{synth_structured, StructuredBlock, StructuredConfig};
+pub use suite::{
+    small_suite, standard_suite, structured_entries, suite_circuit, suite_entries, SuiteEntry,
+    SuiteScale,
+};

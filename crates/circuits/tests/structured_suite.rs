@@ -1,0 +1,211 @@
+//! Determinism and shape properties of the structured generators, plus the
+//! `.bench` round trip of the embedded c432.
+
+use autolock_circuits::{
+    c432, c432_bench_text, structured_entries, suite_circuit, synth_structured, StructuredBlock,
+    StructuredConfig, SuiteScale,
+};
+use autolock_netlist::{parse_bench, topo, write_bench};
+use proptest::prelude::*;
+
+fn cfg(
+    num_inputs: usize,
+    blocks: Vec<StructuredBlock>,
+    glue_gates: usize,
+    seed: u64,
+) -> StructuredConfig {
+    StructuredConfig {
+        name: "prop".into(),
+        num_inputs,
+        blocks,
+        glue_gates,
+        seed,
+    }
+}
+
+/// Same seed ⇒ bit-identical netlist; different seed ⇒ different wiring.
+fn assert_seed_determinism(config: &StructuredConfig) {
+    let a = synth_structured(config);
+    let b = synth_structured(config);
+    assert_eq!(a, b, "same config must produce bit-identical netlists");
+    assert_eq!(write_bench(&a), write_bench(&b));
+    let mut other = config.clone();
+    other.seed = config.seed.wrapping_add(1);
+    assert_ne!(synth_structured(&other), a, "seed must matter");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn adder_tree_properties(
+        width in 2usize..20,
+        lanes in 2usize..8,
+        seed in 0u64..1000,
+    ) {
+        let c = cfg(2 * width, vec![StructuredBlock::AdderTree { width, lanes }], 0, seed);
+        let nl = synth_structured(&c);
+        prop_assert!(nl.validate().is_ok());
+        // lanes-1 ripple adders, >= 2 gates per added bit.
+        prop_assert!(nl.num_logic_gates() >= (lanes - 1) * width * 2);
+        // Ripple chains make depth at least the operand width.
+        prop_assert!(topo::depth(&nl).unwrap() >= width);
+        assert_seed_determinism(&c);
+    }
+
+    #[test]
+    fn carry_select_properties(
+        width in 4usize..48,
+        block in 2usize..8,
+        seed in 0u64..1000,
+    ) {
+        let c = cfg(width, vec![StructuredBlock::CarrySelectAdder { width, block }], 0, seed);
+        let nl = synth_structured(&c);
+        prop_assert!(nl.validate().is_ok());
+        prop_assert!(nl.num_logic_gates() >= width * 2);
+        if width > block {
+            // At least one select stage: MUXes present, and the select net
+            // fans out across its whole block.
+            let muxes = nl
+                .iter()
+                .filter(|(_, g)| g.kind == autolock_netlist::GateKind::Mux)
+                .count();
+            prop_assert!(muxes >= block.min(width - block));
+            let max_fanout = nl.fanouts().iter().map(Vec::len).max().unwrap_or(0);
+            prop_assert!(max_fanout > block);
+        }
+        assert_seed_determinism(&c);
+    }
+
+    #[test]
+    fn array_multiplier_properties(
+        width in 2usize..14,
+        seed in 0u64..1000,
+    ) {
+        let c = cfg(2 * width, vec![StructuredBlock::ArrayMultiplier { width }], 0, seed);
+        let nl = synth_structured(&c);
+        prop_assert!(nl.validate().is_ok());
+        // The partial-product plane alone is width^2 AND gates.
+        let ands = nl
+            .iter()
+            .filter(|(_, g)| g.kind == autolock_netlist::GateKind::And)
+            .count();
+        prop_assert!(ands >= width * width);
+        prop_assert!(topo::depth(&nl).unwrap() >= width);
+        assert_seed_determinism(&c);
+    }
+
+    #[test]
+    fn mux_decode_properties(
+        select_bits in 2usize..6,
+        data_words in 2usize..16,
+        word_bits in 1usize..16,
+        seed in 0u64..1000,
+    ) {
+        let c = cfg(
+            select_bits + word_bits,
+            vec![StructuredBlock::MuxDecode { select_bits, data_words, word_bits }],
+            0,
+            seed,
+        );
+        let nl = synth_structured(&c);
+        prop_assert!(nl.validate().is_ok());
+        let words = data_words.min(1 << select_bits);
+        // Inverters for the select literals, one decode AND per word, one
+        // gating AND per word bit.
+        prop_assert!(
+            nl.num_logic_gates() >= select_bits + words + words * word_bits
+        );
+        // One merge-tree root per word bit plus the valid flag.
+        prop_assert_eq!(nl.num_outputs(), word_bits + 1);
+        assert_seed_determinism(&c);
+    }
+
+    #[test]
+    fn compositions_are_deterministic_and_valid(
+        seed in 0u64..500,
+        glue in 0usize..64,
+    ) {
+        let c = cfg(
+            64,
+            vec![
+                StructuredBlock::ArrayMultiplier { width: 6 },
+                StructuredBlock::MuxDecode { select_bits: 3, data_words: 8, word_bits: 4 },
+                StructuredBlock::CarrySelectAdder { width: 12, block: 4 },
+                StructuredBlock::AdderTree { width: 8, lanes: 3 },
+            ],
+            glue,
+            seed,
+        );
+        let nl = synth_structured(&c);
+        prop_assert!(nl.validate().is_ok());
+        assert_seed_determinism(&c);
+    }
+}
+
+#[test]
+fn validate_holds_at_ten_thousand_gates() {
+    // A composition past the largest suite member: ~12k gates.
+    let c = cfg(
+        256,
+        vec![
+            StructuredBlock::ArrayMultiplier { width: 26 },
+            StructuredBlock::ArrayMultiplier { width: 20 },
+            StructuredBlock::CarrySelectAdder {
+                width: 64,
+                block: 8,
+            },
+            StructuredBlock::MuxDecode {
+                select_bits: 6,
+                data_words: 48,
+                word_bits: 32,
+            },
+            StructuredBlock::AdderTree {
+                width: 32,
+                lanes: 8,
+            },
+        ],
+        500,
+        0xB16,
+    );
+    let nl = synth_structured(&c);
+    assert!(nl.num_logic_gates() >= 10_000, "{}", nl.num_logic_gates());
+    nl.validate().unwrap();
+    assert_eq!(synth_structured(&c), nl);
+}
+
+#[test]
+fn every_structured_suite_member_is_seed_deterministic() {
+    for entry in structured_entries(SuiteScale::Full) {
+        let a = suite_circuit(&entry.name).unwrap();
+        let b = suite_circuit(&entry.name).unwrap();
+        assert_eq!(a, b, "{}", entry.name);
+        assert_eq!(a.num_logic_gates(), entry.gates, "{}", entry.name);
+    }
+}
+
+#[test]
+fn c432_bench_round_trip() {
+    let nl = c432();
+    nl.validate().unwrap();
+    // write → parse → identical structure.
+    let text = write_bench(&nl);
+    let back = parse_bench("c432", &text).unwrap();
+    assert_eq!(back.num_inputs(), nl.num_inputs());
+    assert_eq!(back.num_outputs(), nl.num_outputs());
+    assert_eq!(back.num_logic_gates(), nl.num_logic_gates());
+    // Function preserved on a deterministic input sample.
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0x432);
+    for _ in 0..64 {
+        let inputs: Vec<bool> = (0..nl.num_inputs()).map(|_| rng.gen()).collect();
+        assert_eq!(
+            nl.evaluate(&inputs).unwrap(),
+            back.evaluate(&inputs).unwrap()
+        );
+    }
+    // The embedded text itself parses to the same netlist (idempotence of
+    // the source of truth).
+    let again = parse_bench("c432", c432_bench_text()).unwrap();
+    assert_eq!(again, nl);
+}

@@ -156,6 +156,234 @@ impl UndirectedGraph {
     }
 }
 
+/// Compressed-sparse-row undirected view of a netlist.
+///
+/// Stores the same graph as [`UndirectedGraph`] in two flat arrays instead of
+/// one `Vec` per node, which matters once circuits reach ISCAS scale: a
+/// 7500-gate netlist is ~30k adjacency entries in two contiguous allocations
+/// rather than 7500 heap vectors. Per-node adjacency is sorted, so
+/// neighbourhood intersection ([`CsrGraph::common_neighbors`]) is a linear
+/// merge instead of a quadratic scan.
+///
+/// The link-prediction attacks additionally need to extract the enclosing
+/// subgraph of a link *with that link hidden* (positive training examples).
+/// [`UndirectedGraph::without_edge`] does this by cloning the whole adjacency
+/// per sample; `CsrGraph` instead threads an optional skipped edge through
+/// BFS and subgraph extraction, so large-circuit attacks never copy the
+/// graph at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// `offsets[i]..offsets[i + 1]` indexes node `i`'s neighbours in `adj`.
+    offsets: Vec<u32>,
+    /// Concatenated, per-node-sorted neighbour lists.
+    adj: Vec<GateId>,
+}
+
+impl CsrGraph {
+    /// Builds the CSR graph of a netlist (one node per gate, one undirected
+    /// edge per driver→sink connection; duplicate edges are collapsed).
+    pub fn from_netlist(nl: &Netlist) -> Self {
+        Self::from_netlist_filtered(nl, |_| false)
+    }
+
+    /// Builds the CSR graph while skipping every edge incident to a node for
+    /// which `hidden(node)` returns `true` (the attacker's view of a locked
+    /// netlist, with key inputs and key gates removed).
+    pub fn from_netlist_filtered<F: Fn(GateId) -> bool>(nl: &Netlist, hidden: F) -> Self {
+        // Collect both directions of every edge, then sort + dedup: one pass
+        // of transient memory, and the per-node slices come out sorted.
+        let mut pairs: Vec<(GateId, GateId)> = Vec::new();
+        for (id, gate) in nl.iter() {
+            if hidden(id) {
+                continue;
+            }
+            for &f in &gate.fanin {
+                if hidden(f) || f == id {
+                    continue;
+                }
+                pairs.push((id, f));
+                pairs.push((f, id));
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut offsets = vec![0u32; nl.len() + 1];
+        for &(a, _) in &pairs {
+            offsets[a.index() + 1] += 1;
+        }
+        for i in 0..nl.len() {
+            offsets[i + 1] += offsets[i];
+        }
+        let adj: Vec<GateId> = pairs.into_iter().map(|(_, b)| b).collect();
+        CsrGraph { offsets, adj }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.len() / 2
+    }
+
+    /// Neighbours of a node, in ascending id order.
+    pub fn neighbors(&self, id: GateId) -> &[GateId] {
+        let lo = self.offsets[id.index()] as usize;
+        let hi = self.offsets[id.index() + 1] as usize;
+        &self.adj[lo..hi]
+    }
+
+    /// Node degree.
+    pub fn degree(&self, id: GateId) -> usize {
+        self.neighbors(id).len()
+    }
+
+    /// Returns `true` if the undirected edge `(a, b)` exists.
+    pub fn has_edge(&self, a: GateId, b: GateId) -> bool {
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Number of common neighbours of two nodes (linear merge over the two
+    /// sorted adjacency slices).
+    pub fn common_neighbors(&self, a: GateId, b: GateId) -> usize {
+        let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+        let (na, nb) = (self.neighbors(a), self.neighbors(b));
+        while i < na.len() && j < nb.len() {
+            match na[i].cmp(&nb[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Jaccard similarity of the neighbourhoods of two nodes.
+    pub fn jaccard(&self, a: GateId, b: GateId) -> f64 {
+        let common = self.common_neighbors(a, b);
+        let union = self.degree(a) + self.degree(b) - common;
+        if union == 0 {
+            0.0
+        } else {
+            common as f64 / union as f64
+        }
+    }
+
+    /// Breadth-first distances from `source` up to `max_hops` (inclusive),
+    /// optionally treating the undirected edge `skip` as absent. Nodes
+    /// further away are absent from the map, which stays sized by the
+    /// neighbourhood rather than the netlist.
+    pub fn bfs_distances_skip(
+        &self,
+        source: GateId,
+        max_hops: usize,
+        skip: Option<(GateId, GateId)>,
+    ) -> HashMap<GateId, usize> {
+        let mut dist = HashMap::new();
+        dist.insert(source, 0usize);
+        let mut queue = VecDeque::from([source]);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[&u];
+            if du == max_hops {
+                continue;
+            }
+            for &v in self.neighbors(u) {
+                if let Some((x, y)) = skip {
+                    if (u == x && v == y) || (u == y && v == x) {
+                        continue;
+                    }
+                }
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(v) {
+                    e.insert(du + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Breadth-first distances from `source` up to `max_hops` (inclusive).
+    pub fn bfs_distances(&self, source: GateId, max_hops: usize) -> HashMap<GateId, usize> {
+        self.bfs_distances_skip(source, max_hops, None)
+    }
+
+    /// Extracts the `hops`-hop enclosing subgraph of the candidate link
+    /// `(u, v)`. With `drop_link` the edge `(u, v)` is treated as absent —
+    /// in BFS *and* in the extracted edge list — without copying the graph;
+    /// link-prediction training uses this to hide a positive link before
+    /// extracting its neighbourhood.
+    pub fn enclosing_subgraph(
+        &self,
+        u: GateId,
+        v: GateId,
+        hops: usize,
+        drop_link: bool,
+    ) -> EnclosingSubgraph {
+        let skip = if drop_link { Some((u, v)) } else { None };
+        let du = self.bfs_distances_skip(u, hops, skip);
+        let dv = self.bfs_distances_skip(v, hops, skip);
+        let mut nodes: Vec<GateId> = du.keys().chain(dv.keys()).copied().collect();
+        nodes.push(u);
+        nodes.push(v);
+        nodes.sort_unstable();
+        nodes.dedup();
+        let index_of: HashMap<GateId, usize> =
+            nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let dist_u: Vec<usize> = nodes
+            .iter()
+            .map(|n| du.get(n).copied().unwrap_or(usize::MAX))
+            .collect();
+        let dist_v: Vec<usize> = nodes
+            .iter()
+            .map(|n| dv.get(n).copied().unwrap_or(usize::MAX))
+            .collect();
+        let drnl: Vec<usize> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                if n == u || n == v {
+                    1
+                } else {
+                    drnl_label(dist_u[i], dist_v[i])
+                }
+            })
+            .collect();
+        let mut edges = Vec::new();
+        for (i, &n) in nodes.iter().enumerate() {
+            for &m in self.neighbors(n) {
+                if drop_link && ((n == u && m == v) || (n == v && m == u)) {
+                    continue;
+                }
+                if let Some(&j) = index_of.get(&m) {
+                    if i < j {
+                        edges.push((i, j));
+                    }
+                }
+            }
+        }
+        EnclosingSubgraph {
+            u,
+            v,
+            nodes,
+            dist_u,
+            dist_v,
+            drnl,
+            edges,
+        }
+    }
+}
+
 /// The enclosing subgraph of a candidate link `(u, v)`: all nodes within
 /// `hops` of either endpoint, with per-node structural labels.
 #[derive(Debug, Clone)]
@@ -339,6 +567,77 @@ mod tests {
         assert_eq!(sg.drnl[zi], 1);
         // The excluded edge must not appear.
         assert!(!sg.edges.contains(&(xi.min(zi), xi.max(zi))));
+    }
+
+    #[test]
+    fn csr_graph_matches_vec_of_vec_adjacency() {
+        let (nl, a, x, y, z) = diamond();
+        let g = UndirectedGraph::from_netlist(&nl);
+        let c = CsrGraph::from_netlist(&nl);
+        assert_eq!(c.len(), g.len());
+        assert_eq!(c.num_edges(), 4);
+        for id in [a, x, y, z] {
+            assert_eq!(c.degree(id), g.degree(id), "{id}");
+            let mut expect = g.neighbors(id).to_vec();
+            expect.sort_unstable();
+            assert_eq!(c.neighbors(id), expect.as_slice(), "{id}");
+        }
+        assert_eq!(c.common_neighbors(x, y), g.common_neighbors(x, y));
+        assert!((c.jaccard(x, y) - g.jaccard(x, y)).abs() < 1e-12);
+        assert!(c.has_edge(a, x));
+        assert!(!c.has_edge(a, z));
+    }
+
+    #[test]
+    fn csr_filtered_hides_nodes() {
+        let (nl, a, x, y, z) = diamond();
+        let c = CsrGraph::from_netlist_filtered(&nl, |id| id == x);
+        assert!(c.neighbors(a).contains(&y));
+        assert!(!c.neighbors(a).contains(&x));
+        assert!(c.neighbors(x).is_empty());
+        assert!(!c.neighbors(z).contains(&x));
+    }
+
+    #[test]
+    fn csr_bfs_skip_edge_reroutes_distances() {
+        let (nl, a, x, _y, z) = diamond();
+        let c = CsrGraph::from_netlist(&nl);
+        let plain = c.bfs_distances(x, 4);
+        assert_eq!(plain[&z], 1);
+        // With the x–z edge hidden, z is only reachable via a → y.
+        let skipped = c.bfs_distances_skip(x, 4, Some((z, x)));
+        assert_eq!(skipped[&z], 3);
+        assert_eq!(skipped[&a], 1);
+    }
+
+    #[test]
+    fn csr_enclosing_subgraph_matches_cloning_extraction() {
+        let (nl, _a, x, _y, z) = diamond();
+        // Old path: clone the graph without the candidate link, extract.
+        let cloned = UndirectedGraph::from_netlist_without_edges(&nl, &[(x, z)]);
+        let old = enclosing_subgraph(&cloned, x, z, 2);
+        // New path: no clone, drop_link threads the exclusion through.
+        let c = CsrGraph::from_netlist(&nl);
+        let new = c.enclosing_subgraph(x, z, 2, true);
+        assert_eq!(new.nodes, old.nodes);
+        assert_eq!(new.dist_u, old.dist_u);
+        assert_eq!(new.dist_v, old.dist_v);
+        assert_eq!(new.drnl, old.drnl);
+        let mut old_edges = old.edges.clone();
+        old_edges.sort_unstable();
+        let mut new_edges = new.edges.clone();
+        new_edges.sort_unstable();
+        assert_eq!(new_edges, old_edges);
+    }
+
+    #[test]
+    fn csr_enclosing_subgraph_keeps_link_without_drop() {
+        let (nl, _a, x, _y, z) = diamond();
+        let c = CsrGraph::from_netlist(&nl);
+        let sg = c.enclosing_subgraph(x, z, 2, false);
+        let xi = sg.nodes.iter().position(|&n| n == x).unwrap();
+        let zi = sg.nodes.iter().position(|&n| n == z).unwrap();
+        assert!(sg.edges.contains(&(xi.min(zi), xi.max(zi))));
     }
 
     #[test]

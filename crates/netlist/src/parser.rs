@@ -14,6 +14,19 @@
 //! Key inputs may also be declared with the common convention of an ordinary
 //! `INPUT(keyinputN)` whose name starts with `keyinput`; the parser promotes
 //! those to [`GateKind::KeyInput`] automatically.
+//!
+//! Real-world `.bench` dialects (the circulating ISCAS-85/89 distributions
+//! and tool exports) are accepted beyond the strict grammar:
+//!
+//! * keywords are case-insensitive (`nand(...)`, `input(...)`),
+//! * signal names may start with digits (`1gat = not(115gat)`),
+//! * CRLF line endings, tabs and trailing comments are ignored,
+//! * repeated `OUTPUT` declarations of the same signal collapse to one,
+//! * degenerate single-input `AND`/`OR` (resp. `NAND`/`NOR`) gates — common
+//!   in mechanically generated benches — are promoted to `BUF` (resp. `NOT`),
+//! * sequential elements (`DFF`, `DFFSR`, `LATCH`) are rejected with a
+//!   dedicated message rather than a generic "unknown gate type", since this
+//!   workspace models combinational netlists only.
 
 use crate::{GateId, GateKind, Netlist, NetlistError, Result};
 use std::collections::HashMap;
@@ -87,15 +100,38 @@ pub fn parse_bench(name: &str, source: &str) -> Result<Netlist> {
                 });
             }
             let kw = rhs[..open].trim();
-            let kind = GateKind::from_bench_keyword(kw).ok_or_else(|| NetlistError::Parse {
-                line,
-                message: format!("unknown gate type `{kw}`"),
+            let kind = GateKind::from_bench_keyword(kw).ok_or_else(|| {
+                if matches!(
+                    kw.to_ascii_uppercase().as_str(),
+                    "DFF" | "DFFSR" | "LATCH" | "SDFF"
+                ) {
+                    NetlistError::Parse {
+                        line,
+                        message: format!(
+                            "sequential element `{kw}` is not supported: this parser models \
+                             combinational netlists (extract the combinational core first)"
+                        ),
+                    }
+                } else {
+                    NetlistError::Parse {
+                        line,
+                        message: format!("unknown gate type `{kw}`"),
+                    }
+                }
             })?;
             let args: Vec<String> = rhs[open + 1..close]
                 .split(',')
                 .map(|s| s.trim().to_string())
                 .filter(|s| !s.is_empty())
                 .collect();
+            // Dialect tolerance: mechanically generated benches contain
+            // degenerate single-input AND/OR/NAND/NOR gates; promote them to
+            // their one-input equivalent instead of failing arity validation.
+            let kind = match (kind, args.len()) {
+                (GateKind::And | GateKind::Or, 1) => GateKind::Buf,
+                (GateKind::Nand | GateKind::Nor, 1) => GateKind::Not,
+                (k, _) => k,
+            };
             decls.push(GateDecl {
                 line,
                 name: lhs.to_string(),
@@ -338,6 +374,54 @@ y = MUX(s, a, b)
         let src = "\n\n# header\nINPUT(a)  # trailing\nOUTPUT(y)\ny = BUF(a) # gate\n\n";
         let nl = parse_bench("c", src).unwrap();
         assert_eq!(nl.num_logic_gates(), 1);
+    }
+
+    #[test]
+    fn lowercase_dialect_with_crlf_and_numeric_names_parses() {
+        let src = "# iscas-style\r\ninput(1gat)\r\ninput(4gat)\r\noutput(10gat)\r\n\t10gat = nand(1gat, 4gat)\r\n";
+        let nl = parse_bench("dialect", src).unwrap();
+        assert_eq!(nl.num_inputs(), 2);
+        assert_eq!(nl.num_outputs(), 1);
+        assert_eq!(nl.evaluate(&[true, true]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn single_input_and_or_promote_to_buf_not() {
+        let src = "
+INPUT(a)
+OUTPUT(w)
+OUTPUT(x)
+OUTPUT(y)
+OUTPUT(z)
+w = AND(a)
+x = OR(a)
+y = NAND(a)
+z = NOR(a)
+";
+        let nl = parse_bench("degenerate", src).unwrap();
+        use crate::GateKind;
+        assert_eq!(nl.gate(nl.find("w").unwrap()).kind, GateKind::Buf);
+        assert_eq!(nl.gate(nl.find("x").unwrap()).kind, GateKind::Buf);
+        assert_eq!(nl.gate(nl.find("y").unwrap()).kind, GateKind::Not);
+        assert_eq!(nl.gate(nl.find("z").unwrap()).kind, GateKind::Not);
+        assert_eq!(
+            nl.evaluate(&[true]).unwrap(),
+            vec![true, true, false, false]
+        );
+    }
+
+    #[test]
+    fn repeated_output_declarations_collapse() {
+        let src = "INPUT(a)\nOUTPUT(y)\nOUTPUT(y)\ny = NOT(a)\n";
+        let nl = parse_bench("dup_out", src).unwrap();
+        assert_eq!(nl.num_outputs(), 1);
+    }
+
+    #[test]
+    fn sequential_elements_get_a_dedicated_error() {
+        let err = parse_bench("seq", "INPUT(d)\nOUTPUT(q)\nq = DFF(d)\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("sequential"), "got: {msg}");
     }
 
     #[test]

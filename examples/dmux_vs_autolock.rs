@@ -7,7 +7,7 @@
 
 use autolock_suite::attacks::{KeyRecoveryAttack, MuxLinkAttack, MuxLinkConfig};
 use autolock_suite::autolock::{AutoLock, AutoLockConfig};
-use autolock_suite::circuits::{suite_circuit, suite_entries};
+use autolock_suite::circuits::{suite_circuit, suite_entries, SuiteScale};
 use autolock_suite::locking::{DMuxLocking, LockedNetlist, LockingScheme};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let Some(original) = suite_circuit(circuit_name) else {
         eprintln!("unknown circuit `{circuit_name}`; available:");
-        for entry in suite_entries() {
+        for entry in suite_entries(SuiteScale::Full) {
             eprintln!("  {} ({} gates)", entry.name, entry.gates);
         }
         std::process::exit(1);
