@@ -25,8 +25,11 @@ use crate::cache::{netlist_fingerprint, CacheStats, SubgraphCache};
 use crate::features::{visible_levels, FeatureMode, LinkFeatureConfig, LinkFeatureExtractor};
 use crate::report::{AttackOutcome, KeyGuess};
 use crate::KeyRecoveryAttack;
-use autolock_gnn::{Dgcnn, DgcnnConfig, LinkPredictor, SortPoolK, SubgraphTensor};
+use autolock_gnn::{
+    Dgcnn, DgcnnConfig, GraphSource, LinkPredictor, SortPoolK, SourceTensor, SubgraphTensor,
+};
 use autolock_locking::LockedNetlist;
+use autolock_mlcore::scratch::ScratchPool;
 use autolock_mlcore::{Dataset, MlpConfig, MlpEnsemble, MlpEnsembleConfig};
 use autolock_netlist::graph::{CsrGraph, EnclosingSubgraph};
 use autolock_netlist::{GateId, GateKind, Netlist};
@@ -250,6 +253,59 @@ type BatchScorer<'a> = Box<dyn Fn(&[(GateId, GateId)]) -> Vec<f64> + 'a>;
 /// One candidate link's score: resolved by the cycle rule (`Ok`) or deferred
 /// to slot `i` of the batched model query (`Err(i)`).
 type ScoreSlot = Result<f64, usize>;
+
+/// The streamed DGCNN training set of one attack invocation.
+///
+/// Each example is a `(driver, sink, drop_link)` triple; its tensor is built
+/// on demand from the attack instance's subgraph cache (the extraction BFS
+/// runs at most once per pair — the constructor warms the cache) and its
+/// storage cycles through a scratch pool. Tensor construction is
+/// deterministic, so the source is pure and the streamed trainer's
+/// bit-for-bit contract applies: at no point does the whole training tensor
+/// set exist in memory, which is what lets `MuxLinkBackend::Gnn` train on
+/// the structured (ISCAS-scale) suite tier.
+struct StreamedLinkSource<'a> {
+    attack: &'a MuxLinkAttack,
+    netlist: &'a Netlist,
+    graph: &'a CsrGraph,
+    fingerprint: u64,
+    max_drnl: usize,
+    pairs: Vec<(GateId, GateId, bool)>,
+    labels: Vec<f64>,
+    node_counts: Vec<usize>,
+    scratch: ScratchPool,
+}
+
+impl GraphSource for StreamedLinkSource<'_> {
+    fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    fn label(&self, idx: usize) -> f64 {
+        self.labels[idx]
+    }
+
+    fn num_nodes(&self, idx: usize) -> usize {
+        self.node_counts[idx]
+    }
+
+    fn tensor(&self, idx: usize) -> SourceTensor<'_> {
+        let (u, v, drop_link) = self.pairs[idx];
+        let sg = self
+            .attack
+            .subgraph(self.fingerprint, self.graph, u, v, drop_link);
+        SourceTensor::Owned(SubgraphTensor::from_enclosing_pooled(
+            self.netlist,
+            &sg,
+            self.max_drnl,
+            &self.scratch,
+        ))
+    }
+
+    fn recycle(&self, tensor: SubgraphTensor) {
+        tensor.recycle(&self.scratch);
+    }
+}
 
 /// The MuxLink-style attack.
 ///
@@ -505,21 +561,44 @@ impl MuxLinkAttack {
         })
     }
 
-    /// Builds DGCNN training tensors for sampled links.
-    fn training_tensors(
-        &self,
-        netlist: &Netlist,
-        graph: &CsrGraph,
+    /// Builds the streamed DGCNN training set for sampled links: positives
+    /// (link hidden before extraction) followed by negatives, exactly the
+    /// order the old materialize-everything path used — so the training
+    /// trajectory is unchanged bit-for-bit, only the peak memory moved.
+    fn training_source<'a>(
+        &'a self,
+        netlist: &'a Netlist,
+        graph: &'a CsrGraph,
         fingerprint: u64,
         positives: &[(GateId, GateId)],
         negatives: &[(GateId, GateId)],
-    ) -> (Vec<SubgraphTensor>, Vec<f64>) {
-        // Positives hide the link itself before extracting its neighbourhood.
-        let mut graphs = self.gnn_tensors(netlist, graph, fingerprint, positives, true);
-        graphs.extend(self.gnn_tensors(netlist, graph, fingerprint, negatives, false));
+    ) -> StreamedLinkSource<'a> {
+        let mut pairs: Vec<(GateId, GateId, bool)> =
+            Vec::with_capacity(positives.len() + negatives.len());
+        pairs.extend(positives.iter().map(|&(u, v)| (u, v, true)));
+        pairs.extend(negatives.iter().map(|&(u, v)| (u, v, false)));
         let mut labels = vec![1.0; positives.len()];
-        labels.resize(graphs.len(), 0.0);
-        (graphs, labels)
+        labels.resize(pairs.len(), 0.0);
+        // One chunked warm-up pass records the node counts adaptive
+        // SortPooling needs and leaves every training neighbourhood hot in
+        // the instance's LRU cache, so the per-epoch tensor rebuilds of
+        // streamed training never repeat the extraction BFS.
+        let node_counts = self.chunked(&pairs, |&(u, v, drop_link)| {
+            self.subgraph(fingerprint, graph, u, v, drop_link)
+                .nodes
+                .len()
+        });
+        StreamedLinkSource {
+            attack: self,
+            netlist,
+            graph,
+            fingerprint,
+            max_drnl: self.config.features.max_drnl,
+            pairs,
+            labels,
+            node_counts,
+            scratch: ScratchPool::new(),
+        }
     }
 
     /// Directed adjacency of the visible (non-hidden) part of the netlist.
@@ -677,14 +756,21 @@ impl MuxLinkAttack {
                 if !trainable {
                     Box::new(|pairs| vec![0.5; pairs.len()])
                 } else {
-                    let (graphs, labels) =
-                        self.training_tensors(netlist, &graph, fingerprint, &positives, &negatives);
+                    // The streamed training set: tensors are built per
+                    // mini-batch chunk from the cached enclosing subgraphs
+                    // and recycled after each example's gradients reduce, so
+                    // peak memory is one chunk of tensors — never the whole
+                    // sampled set. The example order (positives then
+                    // negatives) and every RNG draw match the old
+                    // materialized path, so outcomes are unchanged.
+                    let source =
+                        self.training_source(netlist, &graph, fingerprint, &positives, &negatives);
                     let max_drnl = self.config.features.max_drnl;
                     // Resolve the SortPooling size against the sampled
                     // training subgraphs (the DGCNN percentile rule when
                     // `gnn_sortpool_k` is adaptive), then train with
                     // batch-level parallelism.
-                    let mut model = Dgcnn::for_dataset(
+                    let mut model = Dgcnn::for_source(
                         DgcnnConfig {
                             epochs: self.config.epochs,
                             learning_rate: self.config.learning_rate,
@@ -692,10 +778,10 @@ impl MuxLinkAttack {
                             num_threads: self.config.threads,
                             ..DgcnnConfig::for_features(SubgraphTensor::feature_dim_for(max_drnl))
                         },
-                        &graphs,
+                        &source,
                         &mut rng,
                     );
-                    model.train(&graphs, &labels, &mut rng);
+                    model.train_source(&source, &mut rng);
                     let graph_ref = &graph;
                     Box::new(move |pairs| {
                         // Chunked tensor construction + forward pass: at most

@@ -3,6 +3,7 @@
 use crate::operators::{CrossoverKind, MutationKind};
 use autolock_attacks::MuxLinkConfig;
 use autolock_evo::SelectionMethod;
+use autolock_locking::{DMuxLocking, PairSelectionStrategy};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of an [`crate::AutoLock`] run.
@@ -38,6 +39,14 @@ pub struct AutoLockConfig {
     pub stagnation_limit: Option<usize>,
     /// Configuration of the MuxLink attack used as the fitness oracle.
     pub attack: MuxLinkConfig,
+    /// The D-MUX selection policy used to seed the initial population (one
+    /// independent locking per individual). [`PairSelectionStrategy::Random`]
+    /// reproduces the paper's setup on the small random synthetics;
+    /// structured-tier runs should use
+    /// [`PairSelectionStrategy::Localized`] so the seeded MUX pairs land on
+    /// realistic reconvergent nets instead of give-away cross-block jumps
+    /// (see [`AutoLockConfig::structured`]).
+    pub locking: DMuxLocking,
     /// Evaluate the population in parallel.
     pub parallel: bool,
     /// Base RNG seed; every stochastic component derives from it, so a run is
@@ -63,6 +72,7 @@ impl Default for AutoLockConfig {
             target_fitness: None,
             stagnation_limit: None,
             attack: MuxLinkConfig::fast(),
+            locking: DMuxLocking::default(),
             parallel: true,
             seed: 0xA010C,
             attack_repeats: 1,
@@ -80,6 +90,17 @@ impl AutoLockConfig {
             attack: MuxLinkConfig::fast(),
             ..Default::default()
         }
+    }
+
+    /// Switches population seeding to locality-aware insertion
+    /// ([`PairSelectionStrategy::Localized`]): both wires of every seeded
+    /// MUX pair lie within `radius` undirected hops of each other. This is
+    /// the configuration the structured-tier (ISCAS-shaped) experiments
+    /// use — on datapath circuits, uniformly random pairs straddle
+    /// unrelated blocks and are trivially separable for the adversary.
+    pub fn structured(mut self, radius: usize) -> Self {
+        self.locking = DMuxLocking::new(PairSelectionStrategy::Localized { radius });
+        self
     }
 }
 

@@ -2,7 +2,7 @@
 
 use crate::config::AutoLockConfig;
 use crate::fitness::MuxLinkFitness;
-use crate::genotype::{random_genotype, LockingGenotype};
+use crate::genotype::LockingGenotype;
 use crate::operators::{LocusCrossover, LocusMutation};
 use crate::report::{AutoLockError, AutoLockResult, GenerationRecord};
 use crate::Result;
@@ -63,10 +63,12 @@ impl AutoLock {
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
 
         // Step 1 (Fig. 1): lock the original netlist N times with random keys
-        // to obtain the initial population of encodings.
+        // to obtain the initial population of encodings. `cfg.locking`
+        // selects the insertion policy — uniformly random pairs (the
+        // paper's setup) or locality-aware pairs for structured circuits.
         let mut population: Vec<LockingGenotype> = Vec::with_capacity(cfg.population_size);
         for _ in 0..cfg.population_size {
-            population.push(random_genotype(&original, cfg.key_len, &mut rng)?);
+            population.push(cfg.locking.select_loci(&original, cfg.key_len, &mut rng)?);
         }
 
         // Step 2: fitness = 1 - MuxLink accuracy. When the GA itself fans

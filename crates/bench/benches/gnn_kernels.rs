@@ -2,11 +2,23 @@
 //! SortPooling, full-model scoring, one training epoch, and the
 //! parallel-vs-serial comparison of batched training/scoring.
 //!
+//! Like `matmul_kernels`, this bench also writes a **machine-readable perf
+//! trajectory** — `<results>/BENCH_gnn_kernels.json`, one entry per
+//! (op, dims, threads) with ns/iter and the speedup over its baseline
+//! (serial pool, or the materialized training path for the streamed
+//! entry) — which CI diffs against the committed baseline with
+//! `.github/scripts/check_bench_regression.py`.
+//!
 //! Set `AUTOLOCK_BENCH_QUICK=1` for a CI smoke run (fewer samples, smaller
 //! batches) that still exercises every kernel and prints the
 //! parallel-vs-serial numbers.
 
-use autolock_gnn::{Dgcnn, DgcnnConfig, GraphConv, LinkPredictor, SortPooling, SubgraphTensor};
+use autolock_bench::results_dir;
+use autolock_bench::trajectory::{median_ns, BenchEntry, BenchTrajectory};
+use autolock_gnn::{
+    Dgcnn, DgcnnConfig, GraphConv, GraphSource, LinkPredictor, SortPooling, SourceTensor,
+    SubgraphTensor,
+};
 use autolock_mlcore::Matrix;
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::{Rng, SeedableRng};
@@ -142,9 +154,143 @@ fn bench_parallel(c: &mut Criterion) {
     group.finish();
 }
 
+// ---------------------------------------------------------------------------
+// Machine-readable trajectory (shared schema: autolock_bench::trajectory)
+// ---------------------------------------------------------------------------
+
+/// A streaming source over a materialized set that serves **owned** tensor
+/// rebuilds — the per-epoch tensor-construction cost the streamed attack
+/// path pays, isolated from cache/extraction effects.
+struct RebuildSource {
+    graphs: Vec<SubgraphTensor>,
+    labels: Vec<f64>,
+}
+
+impl GraphSource for RebuildSource {
+    fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    fn label(&self, idx: usize) -> f64 {
+        self.labels[idx]
+    }
+
+    fn num_nodes(&self, idx: usize) -> usize {
+        self.graphs[idx].num_nodes()
+    }
+
+    fn tensor(&self, idx: usize) -> SourceTensor<'_> {
+        SourceTensor::Owned(self.graphs[idx].clone())
+    }
+}
+
+/// Measures the parallel-vs-serial training/scoring fan-outs and the
+/// streamed-vs-materialized training path, then writes the JSON trajectory.
+/// Runs as a Criterion target so `cargo bench --bench gnn_kernels` always
+/// refreshes the file.
+fn emit_trajectory(_c: &mut Criterion) {
+    let samples = if quick() { 5 } else { 9 };
+    let count = if quick() { 16 } else { 64 };
+    let graphs: Vec<SubgraphTensor> = (0..count)
+        .map(|i| random_graph(40, 22, 100 + i as u64))
+        .collect();
+    let labels: Vec<f64> = (0..count).map(|i| f64::from(i % 2 == 0)).collect();
+    let dims = format!("{count}x40n");
+    let mut entries = Vec::new();
+
+    let model_for = |threads: usize| {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        Dgcnn::new(
+            DgcnnConfig {
+                epochs: 1,
+                batch_size: count, // one parallel fan-out per epoch
+                num_threads: threads,
+                ..DgcnnConfig::for_features(22)
+            },
+            &mut rng,
+        )
+    };
+    let train_ns = |threads: usize| {
+        let mut model = model_for(threads);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        median_ns(samples, || {
+            black_box(model.train(black_box(&graphs), black_box(&labels), &mut rng));
+        })
+    };
+    let score_ns = |threads: usize| {
+        let model = model_for(threads);
+        median_ns(samples, || {
+            black_box(model.score_batch(black_box(&graphs)));
+        })
+    };
+    let serial_train = train_ns(1);
+    let serial_score = score_ns(1);
+    for threads in [1usize, 2, 4] {
+        let t_train = if threads == 1 {
+            serial_train
+        } else {
+            train_ns(threads)
+        };
+        entries.push(BenchEntry {
+            op: "gnn_train_epoch".to_string(),
+            dims: dims.clone(),
+            threads,
+            ns_per_iter: t_train,
+            baseline: "threads=1".to_string(),
+            baseline_ns_per_iter: serial_train,
+            speedup_vs_baseline: serial_train / t_train,
+        });
+        let t_score = if threads == 1 {
+            serial_score
+        } else {
+            score_ns(threads)
+        };
+        entries.push(BenchEntry {
+            op: "gnn_score_batch".to_string(),
+            dims: dims.clone(),
+            threads,
+            ns_per_iter: t_score,
+            baseline: "threads=1".to_string(),
+            baseline_ns_per_iter: serial_score,
+            speedup_vs_baseline: serial_score / t_score,
+        });
+    }
+
+    // Streamed (owned per-example rebuilds) vs materialized (borrowed
+    // slices), serial: records that the memory-lean path stays at speed
+    // parity with the path it replaced.
+    let streamed_ns = {
+        let source = RebuildSource {
+            graphs: graphs.clone(),
+            labels: labels.clone(),
+        };
+        let mut model = model_for(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        median_ns(samples, || {
+            black_box(model.train_source(black_box(&source), &mut rng));
+        })
+    };
+    entries.push(BenchEntry {
+        op: "gnn_train_epoch_streamed".to_string(),
+        dims: dims.clone(),
+        threads: 1,
+        ns_per_iter: streamed_ns,
+        baseline: "materialized".to_string(),
+        baseline_ns_per_iter: serial_train,
+        speedup_vs_baseline: serial_train / streamed_ns,
+    });
+
+    BenchTrajectory {
+        bench: "gnn_kernels".to_string(),
+        quick: quick(),
+        entries,
+    }
+    .emit(&results_dir(), "BENCH_gnn_kernels.json");
+}
+
 criterion_group! {
     name = gnn;
     config = bench_config();
-    targets = bench_conv, bench_sortpool, bench_model, bench_parallel
+    targets = bench_conv, bench_sortpool, bench_model, bench_parallel, emit_trajectory
 }
 criterion_main!(gnn);

@@ -17,13 +17,12 @@
 //! shapes) that still exercises every kernel and writes the JSON.
 
 use autolock_bench::results_dir;
+use autolock_bench::trajectory::{median_ns, BenchEntry, BenchTrajectory};
 use autolock_mlcore::{Dataset, Matrix, MlpConfig, MlpEnsemble, MlpEnsembleConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use serde::Serialize;
 use std::hint::black_box;
-use std::time::Instant;
 
 /// CI smoke mode: fewer samples, smaller shapes, same coverage.
 fn quick() -> bool {
@@ -138,56 +137,11 @@ fn bench_ensemble_parallel(c: &mut Criterion) {
 }
 
 // ---------------------------------------------------------------------------
-// Machine-readable trajectory
+// Machine-readable trajectory (shared schema: autolock_bench::trajectory)
 // ---------------------------------------------------------------------------
-
-/// One measured point of the perf trajectory.
-#[derive(Serialize)]
-struct BenchEntry {
-    /// Operation name (`matmul`, `matmul_tn`, `matmul_nt`,
-    /// `ensemble_train`, `ensemble_predict_batch`).
-    op: String,
-    /// Shape, `MxKxN` for matmuls or `members x examples` for the ensemble.
-    dims: String,
-    /// Thread count of this entry (matmul kernels are single-threaded).
-    threads: usize,
-    /// Median wall clock per iteration, nanoseconds.
-    ns_per_iter: f64,
-    /// What `speedup_vs_baseline` compares against: `naive` (same op/dims)
-    /// or `threads=1` (same op, serial pool).
-    baseline: String,
-    /// Median ns/iter of the baseline.
-    baseline_ns_per_iter: f64,
-    /// `baseline_ns_per_iter / ns_per_iter` — > 1 means this entry is
-    /// faster than its baseline (blocked beats naive / parallel beats
-    /// serial).
-    speedup_vs_baseline: f64,
-}
-
-/// The file written to `<results>/BENCH_kernels.json`.
-#[derive(Serialize)]
-struct BenchTrajectory {
-    bench: String,
-    quick: bool,
-    entries: Vec<BenchEntry>,
-}
 
 /// A boxed timing routine (blocked or naive variant of one op).
 type TimedOp<'a> = Box<dyn Fn() + 'a>;
-
-/// Median ns/iter of `f` over `samples` timed runs (one discarded warm-up).
-fn median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
-    f();
-    let mut times: Vec<f64> = (0..samples)
-        .map(|_| {
-            let start = Instant::now();
-            f();
-            start.elapsed().as_nanos() as f64
-        })
-        .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
-    times[times.len() / 2]
-}
 
 /// Measures every kernel and fan-out pair and writes the JSON trajectory.
 /// Runs as a Criterion target so `cargo bench --bench matmul_kernels`
@@ -300,33 +254,12 @@ fn emit_trajectory(_c: &mut Criterion) {
         });
     }
 
-    for e in &entries {
-        println!(
-            "trajectory {}/{} threads={}: {:.0} ns/iter, {:.2}x vs {}",
-            e.op, e.dims, e.threads, e.ns_per_iter, e.speedup_vs_baseline, e.baseline
-        );
-    }
-    let trajectory = BenchTrajectory {
+    BenchTrajectory {
         bench: "matmul_kernels".to_string(),
         quick: quick(),
         entries,
-    };
-    let dir = results_dir();
-    if let Err(e) = std::fs::create_dir_all(&dir) {
-        eprintln!("warning: cannot create {}: {e}", dir.display());
-        return;
     }
-    let path = dir.join("BENCH_kernels.json");
-    match serde_json::to_string_pretty(&trajectory) {
-        Ok(json) => {
-            if let Err(e) = std::fs::write(&path, json) {
-                eprintln!("warning: cannot write {}: {e}", path.display());
-            } else {
-                println!("(wrote {})", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: cannot serialize trajectory: {e}"),
-    }
+    .emit(&results_dir(), "BENCH_kernels.json");
 }
 
 criterion_group! {

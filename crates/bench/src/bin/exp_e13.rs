@@ -1,0 +1,17 @@
+//! E13: DGCNN-backend MuxLink key accuracy vs circuit size on the
+//! structured (ISCAS-shaped) suite tier, with streamed training and a
+//! recorded peak-RSS column.
+//!
+//! Run with `cargo run --release -p autolock_bench --bin exp_e13`.
+//! Set `AUTOLOCK_SCALE=full` for more repeats and every structured member,
+//! and `AUTOLOCK_SUITE_SCALE=full` to include the `xl11k` member.
+
+use autolock_bench::experiments::e13_gnn_structured_sweep;
+use autolock_bench::{experiment_scale, results_dir};
+
+fn main() {
+    let scale = experiment_scale();
+    eprintln!("running E13: GNN-backend structured-tier sweep at {scale:?} scale...");
+    let table = e13_gnn_structured_sweep(scale);
+    table.emit(&results_dir());
+}

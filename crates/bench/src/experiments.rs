@@ -4,7 +4,9 @@
 //! `exp_e*` binaries wrap them with output handling, and the Criterion
 //! benches time representative slices of them.
 
-use crate::{experiment_suite_scale, experiment_threads, parallel_map, pct, ResultTable, Scale};
+use crate::{
+    experiment_suite_scale, experiment_threads, parallel_map, pct, peak_rss_mb, ResultTable, Scale,
+};
 use autolock::operators::{CrossoverKind, MutationKind};
 use autolock::{AutoLock, AutoLockConfig, MultiObjectiveLockingFitness, ObjectiveKind};
 use autolock_attacks::{
@@ -36,6 +38,13 @@ pub fn circuits_for(scale: Scale) -> Vec<&'static str> {
 fn circuit(name: &str) -> Netlist {
     suite_circuit(name).unwrap_or_else(|| panic!("unknown suite circuit {name}"))
 }
+
+/// Locality radius used when AutoLock seeds its population on structured
+/// (datapath) circuits: both wires of a seeded MUX pair lie within this many
+/// undirected hops, so locked pairs land on realistic reconvergent nets
+/// (see `AutoLockConfig::structured` and
+/// `PairSelectionStrategy::Localized`).
+pub const STRUCTURED_LOCK_RADIUS: usize = 4;
 
 /// Thread count for an attack that runs directly under the driver-level
 /// repeat fan-out: serial while the driver pool is fanning (the precedence
@@ -127,7 +136,19 @@ pub fn e1_autolock_vs_dmux(scale: Scale) -> ResultTable {
         Scale::Quick => vec![32],
         Scale::Full => vec![32, 64],
     };
-    for name in circuits_for(scale) {
+    // At full suite scale the headline comparison also covers a structured
+    // (datapath) member: D-MUX stays the published random-insertion
+    // baseline, while AutoLock seeds its population with locality-aware
+    // pairs (`AutoLockConfig::structured`) so evolved MUX pairs sit on
+    // realistic reconvergent nets.
+    let mut targets: Vec<(String, bool)> = circuits_for(scale)
+        .into_iter()
+        .map(|n| (n.to_string(), false))
+        .collect();
+    if experiment_suite_scale(scale) == autolock_circuits::SuiteScale::Full {
+        targets.push(("st1355".to_string(), true));
+    }
+    for (name, structured) in &targets {
         let original = circuit(name);
         for &k in &key_lens {
             // Average the baseline over three independent D-MUX lockings to
@@ -140,9 +161,11 @@ pub fn e1_autolock_vs_dmux(scale: Scale) -> ResultTable {
             }
             let dmux_acc = dmux_acc / 3.0;
 
-            let result = AutoLock::new(autolock_config(scale, k, 0xE1))
-                .run(&original)
-                .unwrap();
+            let mut config = autolock_config(scale, k, 0xE1);
+            if *structured {
+                config = config.structured(STRUCTURED_LOCK_RADIUS);
+            }
+            let result = AutoLock::new(config).run(&original).unwrap();
             let in_loop_acc = result.final_attack_accuracy;
             let retrained_acc = evaluated_accuracy(&result.locked, 0xEAA);
 
@@ -662,7 +685,7 @@ pub fn e11_gnn_adversary_evolution(scale: Scale) -> ResultTable {
     // determinism contract); it only avoids nested-pool oversubscription.
     let fan_circuits = experiment_threads() != 1 && targets.len() > 1;
     let rows = parallel_map(&targets, |(name, original)| {
-        let config = AutoLockConfig {
+        let mut config = AutoLockConfig {
             key_len,
             population_size,
             generations,
@@ -674,6 +697,11 @@ pub fn e11_gnn_adversary_evolution(scale: Scale) -> ResultTable {
             parallel: !fan_circuits,
             ..Default::default()
         };
+        // Structured members evolve from locality-aware seed lockings;
+        // random synthetics keep the paper's uniform insertion.
+        if name.starts_with("st") || name.starts_with("xl") {
+            config = config.structured(STRUCTURED_LOCK_RADIUS);
+        }
         let result = AutoLock::new(config).run(original).expect("E11 run failed");
         vec![
             name.clone(),
@@ -771,6 +799,109 @@ pub fn e12_size_density_sweep(scale: Scale) -> ResultTable {
             }),
         ]
     });
+    for row in rows {
+        table.push_row(row);
+    }
+    table
+}
+
+/// E13 — the *DGCNN* backend on the structured tier: key accuracy vs
+/// circuit size, the sweep the streamed training pipeline exists for.
+///
+/// E12 already sweeps size × density with the MLP backend; E13 runs the
+/// paper-faithful DGCNN (`MuxLinkConfig::gnn_fast`, streamed training
+/// through the subgraph cache) over the structured members — up to `st7552`
+/// at quick scale, plus `xl11k` when the suite tier is Full. Each cell
+/// D-MUX-locks the member at ~1% density and reports the GNN's key
+/// accuracy, per-attack wall clock, subgraph-cache hit rate, and the
+/// process's **peak RSS** so the streamed pipeline's memory behaviour is a
+/// committed number rather than a claim (`peak RSS MB` is process-wide and
+/// monotone across rows; the last row records the run's peak).
+///
+/// Row format (documented in `crates/bench/README.md`): `circuit`, `gates`,
+/// `key len`, `key accuracy` (mean over the scale's repeats), `mean runtime
+/// ms`, `cache hit rate`, `peak RSS MB`.
+pub fn e13_gnn_structured_sweep(scale: Scale) -> ResultTable {
+    use std::time::Instant;
+
+    let mut table = ResultTable::new(
+        "E13",
+        "DGCNN-backend MuxLink accuracy vs circuit size (structured suite, streamed training)",
+        &[
+            "circuit",
+            "gates",
+            "key len",
+            "key accuracy",
+            "mean runtime ms",
+            "cache hit rate",
+            "peak RSS MB",
+        ],
+    );
+    let members = autolock_circuits::structured_entries(experiment_suite_scale(scale));
+    // Quick scale spans the tier's size range with three members (the GNN
+    // attack is ~an order of magnitude costlier than the MLP's, and the
+    // largest quick member is the acceptance gate) — plus `xl11k` whenever
+    // the *suite* tier is Full (a dispatch-triggered Full sweep adds the xl
+    // member without also paying Full experiment depth). Full experiment
+    // scale runs everything the suite tier offers, twice.
+    let (names, repeats): (Vec<String>, u64) = match scale {
+        Scale::Quick => (
+            ["st1355", "st3540", "st7552", "xl11k"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            1,
+        ),
+        Scale::Full => (members.iter().map(|m| m.name.clone()).collect(), 2),
+    };
+    let cells: Vec<(String, usize)> = members
+        .iter()
+        .filter(|m| names.contains(&m.name))
+        .map(|m| (m.name.clone(), m.gates))
+        .collect();
+    // Cells run **serially**, unlike E12: the peak-RSS column only means
+    // "the largest footprint any cell needed so far" if no other cell is
+    // training concurrently when a row samples VmHWM. The machine is still
+    // used — each attack parallelizes internally (`AUTOLOCK_THREADS`
+    // reaches `MuxLinkConfig::threads` directly here; `0` = all cores).
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|(name, gates)| {
+            let original = circuit(name);
+            let key_len = ((*gates as f64 * 0.01).round() as usize).max(8);
+            let mut rng = ChaCha8Rng::seed_from_u64(0xE13);
+            let locked = DMuxLocking::default()
+                .lock(&original, key_len, &mut rng)
+                .expect("structured members have enough lockable wires");
+            // One shared instance per cell: repeats (and streamed training
+            // epochs) reuse the subgraph cache.
+            let attack =
+                MuxLinkAttack::new(MuxLinkConfig::gnn_fast().with_threads(experiment_threads()));
+            let mut accuracy = 0.0;
+            let mut runtime_ms = 0u128;
+            for seed in 0..repeats {
+                let mut rng = ChaCha8Rng::seed_from_u64(0xE13A + seed);
+                let start = Instant::now();
+                accuracy += attack.attack(&locked, &mut rng).key_accuracy;
+                runtime_ms += start.elapsed().as_millis();
+            }
+            let stats = attack.cache_stats();
+            let lookups = stats.hits + stats.misses;
+            vec![
+                name.clone(),
+                gates.to_string(),
+                key_len.to_string(),
+                pct(accuracy / repeats as f64),
+                format!("{}", runtime_ms / repeats as u128),
+                pct(if lookups == 0 {
+                    0.0
+                } else {
+                    stats.hits as f64 / lookups as f64
+                }),
+                peak_rss_mb().map_or_else(|| "n/a".to_string(), |mb| format!("{mb:.0}")),
+            ]
+        })
+        .collect();
     for row in rows {
         table.push_row(row);
     }

@@ -14,6 +14,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 pub mod experiments;
+pub mod trajectory;
 
 /// A simple result table: named columns plus rows of cells, rendered as
 /// GitHub-flavoured markdown and serialized to JSON.
@@ -161,6 +162,26 @@ pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -
     autolock_mlcore::parallel::pooled_map(experiment_threads(), items, f)
 }
 
+/// Peak resident-set size of this process in mebibytes, self-measured from
+/// `/proc/self/status` (`VmHWM`). Returns `None` where procfs is
+/// unavailable (non-Linux dev machines) — callers should print `n/a`.
+///
+/// The value is process-wide and monotone non-decreasing, so in a table
+/// whose rows run in one process, each row's number is "the largest
+/// footprint any cell needed *so far*" and the final row records the run's
+/// peak. That is exactly what the memory-regression record needs: the E13
+/// table turns the streamed-DGCNN memory claim into a committed number.
+pub fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: f64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb / 1024.0);
+        }
+    }
+    None
+}
+
 /// Experiment scale selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
@@ -193,6 +214,13 @@ mod tests {
     #[test]
     fn pct_formats() {
         assert_eq!(pct(0.256), "25.6%");
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        if let Some(mb) = peak_rss_mb() {
+            assert!(mb > 0.0, "VmHWM should be positive, got {mb}");
+        }
     }
 
     #[test]

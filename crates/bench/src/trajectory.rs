@@ -1,0 +1,123 @@
+//! The machine-readable perf-trajectory format shared by the kernel
+//! benches.
+//!
+//! `matmul_kernels` and `gnn_kernels` both emit a `BENCH_*.json` file that
+//! `.github/scripts/check_bench_regression.py` diffs against its committed
+//! baseline. The schema (and the median timer feeding it) lives here once,
+//! so a format change cannot silently fork between the benches and the CI
+//! gate.
+
+use serde::Serialize;
+use std::path::Path;
+use std::time::Instant;
+
+/// One measured point of a perf trajectory.
+#[derive(Serialize)]
+pub struct BenchEntry {
+    /// Operation name (e.g. `matmul`, `ensemble_train`, `gnn_train_epoch`).
+    pub op: String,
+    /// Workload shape (e.g. `128x128x128`, `16x40n`).
+    pub dims: String,
+    /// Thread count of this entry.
+    pub threads: usize,
+    /// Median wall clock per iteration, nanoseconds.
+    pub ns_per_iter: f64,
+    /// What `speedup_vs_baseline` compares against (e.g. `naive`,
+    /// `threads=1`, `materialized`).
+    pub baseline: String,
+    /// Median ns/iter of the baseline.
+    pub baseline_ns_per_iter: f64,
+    /// `baseline_ns_per_iter / ns_per_iter` — > 1 means this entry beats
+    /// its baseline.
+    pub speedup_vs_baseline: f64,
+}
+
+/// A `BENCH_*.json` file: which bench produced it, whether in quick (CI
+/// smoke) mode, and its entries.
+#[derive(Serialize)]
+pub struct BenchTrajectory {
+    /// Bench name (`matmul_kernels`, `gnn_kernels`).
+    pub bench: String,
+    /// `true` when measured under `AUTOLOCK_BENCH_QUICK`.
+    pub quick: bool,
+    /// The measured points.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchTrajectory {
+    /// Prints every entry and writes the trajectory to
+    /// `<dir>/<file_name>`. I/O problems are reported to stderr but not
+    /// fatal (a bench run should never die on a read-only results dir).
+    pub fn emit(&self, dir: &Path, file_name: &str) {
+        for e in &self.entries {
+            println!(
+                "trajectory {}/{} threads={}: {:.0} ns/iter, {:.2}x vs {}",
+                e.op, e.dims, e.threads, e.ns_per_iter, e.speedup_vs_baseline, e.baseline
+            );
+        }
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(file_name);
+        match serde_json::to_string_pretty(self) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("warning: cannot write {}: {e}", path.display());
+                } else {
+                    println!("(wrote {})", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: cannot serialize trajectory: {e}"),
+        }
+    }
+}
+
+/// Median ns/iter of `f` over `samples` timed runs (one discarded warm-up).
+pub fn median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    times[times.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_ns_is_positive_and_ordered() {
+        let ns = median_ns(5, || {
+            std::hint::black_box((0..100).sum::<u64>());
+        });
+        assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn trajectory_serializes_with_gate_keys() {
+        let t = BenchTrajectory {
+            bench: "test".into(),
+            quick: true,
+            entries: vec![BenchEntry {
+                op: "op".into(),
+                dims: "1x1".into(),
+                threads: 1,
+                ns_per_iter: 2.0,
+                baseline: "naive".into(),
+                baseline_ns_per_iter: 4.0,
+                speedup_vs_baseline: 2.0,
+            }],
+        };
+        let json = serde_json::to_string(&t).unwrap();
+        // The exact keys check_bench_regression.py loads.
+        for key in ["entries", "op", "dims", "threads", "speedup_vs_baseline"] {
+            assert!(json.contains(key), "missing gate key {key}");
+        }
+    }
+}

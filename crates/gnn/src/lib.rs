@@ -28,7 +28,12 @@
 //! 5. **[`Dgcnn`]** — the full model with mini-batch Adam training
 //!    ([`autolock_mlcore::optim`]) and backpropagation through the dense
 //!    head, SortPooling and the whole conv stack. Training is deterministic
-//!    for a fixed `ChaCha8Rng` seed.
+//!    for a fixed `ChaCha8Rng` seed, and **streamed**: examples are pulled
+//!    from a [`GraphSource`] one mini-batch chunk at a time
+//!    ([`Dgcnn::train_source`]), so peak tensor memory is bounded by the
+//!    chunk, not the training-set size — what lets the DGCNN backend train
+//!    on ISCAS-scale netlists. The slice API ([`Dgcnn::train`]) wraps the
+//!    same pipeline via [`SliceSource`].
 //!
 //! The [`LinkPredictor`] trait is the integration point consumed by
 //! `autolock_attacks`' `MuxLinkBackend::Gnn`: it exposes exactly the
@@ -69,12 +74,14 @@ mod conv;
 mod dense;
 mod model;
 mod sortpool;
+mod stream;
 mod tensor;
 
 pub use conv::{ConvCache, ConvGrads, GraphConv};
 pub use dense::{DenseCache, DenseGrads, DenseStack};
 pub use model::{Dgcnn, DgcnnConfig};
 pub use sortpool::{SortPoolCache, SortPoolK, SortPooling};
+pub use stream::{GraphSource, SliceSource, SourceTensor};
 pub use tensor::SubgraphTensor;
 
 use rand::RngCore;

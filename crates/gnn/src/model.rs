@@ -3,6 +3,7 @@
 use crate::conv::{ConvCache, ConvGrads, GraphConv};
 use crate::dense::{DenseGrads, DenseStack};
 use crate::sortpool::{SortPoolK, SortPooling};
+use crate::stream::{GraphSource, SliceSource, SourceTensor};
 use crate::{LinkPredictor, SubgraphTensor};
 use autolock_mlcore::optim::AdamParams;
 use autolock_mlcore::parallel::pooled_map;
@@ -125,12 +126,38 @@ impl Dgcnn {
     ///
     /// Panics if `config.conv_channels` is empty.
     pub fn for_dataset<R: Rng + ?Sized>(
-        mut config: DgcnnConfig,
+        config: DgcnnConfig,
         graphs: &[SubgraphTensor],
         rng: &mut R,
     ) -> Self {
         let counts: Vec<usize> = graphs.iter().map(SubgraphTensor::num_nodes).collect();
-        config.sortpool_k = SortPoolK::Fixed(config.sortpool_k.resolve(&counts));
+        Self::for_node_counts(config, &counts, rng)
+    }
+
+    /// [`Dgcnn::for_dataset`] for a streamed training set: the SortPooling
+    /// `k` is resolved against [`GraphSource::num_nodes`], so no tensor is
+    /// materialized to size the architecture. Consumes the same number of
+    /// RNG draws as `for_dataset`, so the two construction paths stay
+    /// bit-for-bit interchangeable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.conv_channels` is empty.
+    pub fn for_source<R: Rng + ?Sized>(
+        config: DgcnnConfig,
+        source: &dyn GraphSource,
+        rng: &mut R,
+    ) -> Self {
+        let counts: Vec<usize> = (0..source.len()).map(|i| source.num_nodes(i)).collect();
+        Self::for_node_counts(config, &counts, rng)
+    }
+
+    fn for_node_counts<R: Rng + ?Sized>(
+        mut config: DgcnnConfig,
+        counts: &[usize],
+        rng: &mut R,
+    ) -> Self {
+        config.sortpool_k = SortPoolK::Fixed(config.sortpool_k.resolve(counts));
         Self::with_resolved_k(config, rng)
     }
 
@@ -260,11 +287,10 @@ impl Dgcnn {
     /// Trains for `config.epochs` epochs of mini-batch Adam; returns the mean
     /// loss of the final epoch.
     ///
-    /// Per-example forward/backward passes within a mini-batch are fanned out
-    /// across `config.num_threads` rayon threads; the per-example gradients
-    /// are then reduced **in fixed example order** before the Adam step, so
-    /// the floating-point accumulation order — and therefore the full
-    /// training trajectory — is bit-for-bit identical for every thread count.
+    /// This is the materialized-set convenience wrapper around
+    /// [`Dgcnn::train_source`]: the slices are adapted into a
+    /// [`SliceSource`], so both entry points run the identical streamed
+    /// pipeline (and therefore the identical training trajectory).
     ///
     /// # Panics
     ///
@@ -275,25 +301,54 @@ impl Dgcnn {
         labels: &[f64],
         rng: &mut R,
     ) -> f64 {
-        assert_eq!(graphs.len(), labels.len(), "one label per graph required");
-        assert!(!graphs.is_empty(), "cannot train on zero graphs");
+        self.train_source(&SliceSource::new(graphs, labels), rng)
+    }
+
+    /// The streamed training pipeline: examples are pulled from `source` one
+    /// mini-batch chunk at a time, so at most one chunk of subgraph tensors
+    /// (plus its parameter-shaped gradients) is alive at any moment — peak
+    /// memory no longer scales with the training-set size. Owned tensors are
+    /// recycled back into the source the moment their example's pass
+    /// finishes; per-example forward/backward intermediates drop inside the
+    /// worker closure, before gradient reduction.
+    ///
+    /// Determinism: per-example passes within a chunk fan across
+    /// `config.num_threads` rayon threads through the order-preserving
+    /// pooled map, and the per-example gradients are reduced **in fixed
+    /// example order** before the Adam step — so the training trajectory is
+    /// bit-for-bit identical for every thread count, and (for a pure source)
+    /// bit-for-bit identical to training on the materialized tensor set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is empty.
+    pub fn train_source<R: Rng + ?Sized>(&mut self, source: &dyn GraphSource, rng: &mut R) -> f64 {
+        assert!(!source.is_empty(), "cannot train on zero graphs");
         let hp = AdamParams {
             learning_rate: self.config.learning_rate,
             l2: self.config.l2,
             ..Default::default()
         };
-        let mut indices: Vec<usize> = (0..graphs.len()).collect();
+        let mut indices: Vec<usize> = (0..source.len()).collect();
         let mut last_epoch_loss = f64::INFINITY;
         for _ in 0..self.config.epochs {
             indices.shuffle(rng);
             let mut epoch_loss = 0.0;
             for batch in indices.chunks(self.config.batch_size.max(1)) {
                 // Fan the independent per-example passes across the shared
-                // pooled map (order-preserving), then reduce serially in
+                // pooled map (order-preserving): each worker materializes
+                // its example's tensor, runs the pass, and recycles the
+                // tensor before returning — only the (loss, gradients) pair
+                // survives into the reduction, which stays serial and in
                 // example order.
                 let passes: Vec<(f64, Gradients)> =
                     pooled_map(self.config.num_threads, batch, |&i| {
-                        self.forward_backward(&graphs[i], labels[i])
+                        let tensor = source.tensor(i);
+                        let pass = self.forward_backward(&tensor, source.label(i));
+                        if let SourceTensor::Owned(t) = tensor {
+                            source.recycle(t);
+                        }
+                        pass
                     });
                 let mut total = Gradients::zeros_like(self);
                 for (loss, grads) in &passes {
@@ -306,7 +361,7 @@ impl Dgcnn {
                 }
                 self.head.apply(&total.head, &hp);
             }
-            last_epoch_loss = epoch_loss / graphs.len() as f64;
+            last_epoch_loss = epoch_loss / source.len() as f64;
         }
         last_epoch_loss
     }

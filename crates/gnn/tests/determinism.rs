@@ -7,11 +7,23 @@
 //! (matmul shapes and exactness against the identity, transpose involution,
 //! CSR propagation vs a dense reference) over random subgraph batches.
 
-use autolock_gnn::{Dgcnn, DgcnnConfig, LinkPredictor, SortPoolK, SubgraphTensor};
+use autolock_gnn::{
+    Dgcnn, DgcnnConfig, GraphSource, LinkPredictor, SliceSource, SortPoolK, SourceTensor,
+    SubgraphTensor,
+};
+use autolock_mlcore::scratch::ScratchPool;
 use autolock_mlcore::Matrix;
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+
+/// Extra thread count folded into every compared set, from the CI
+/// thread-matrix leg's `AUTOLOCK_THREADS`. The dev boxes are single-core;
+/// the multi-core CI runner is the only machine where `n > 1` workers
+/// actually exist, so the matrix leg is what truly exercises the contract.
+fn env_threads() -> Option<usize> {
+    std::env::var("AUTOLOCK_THREADS").ok()?.parse().ok()
+}
 
 /// A small random connected graph tensor with `n` nodes and `f` features.
 fn random_graph(n: usize, f: usize, seed: u64) -> SubgraphTensor {
@@ -86,7 +98,7 @@ fn training_is_bit_identical_across_thread_counts() {
     let (graphs, labels) = dataset(24);
     let (serial_loss, serial_scores) = train_with_threads(1, &graphs, &labels);
     assert!(serial_loss.is_finite());
-    for threads in [2, 3, 4, 0] {
+    for threads in [2, 3, 4, 0].into_iter().chain(env_threads()) {
         let (loss, scores) = train_with_threads(threads, &graphs, &labels);
         assert_eq!(
             loss.to_bits(),
@@ -143,6 +155,123 @@ fn adaptive_k_training_is_deterministic_across_thread_counts() {
     let serial = run(1);
     assert_eq!(run(4), serial);
     assert_eq!(run(0), serial);
+    if let Some(threads) = env_threads() {
+        assert_eq!(run(threads), serial);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streamed vs materialized training
+// ---------------------------------------------------------------------------
+
+/// A [`GraphSource`] that rebuilds every tensor on demand through a scratch
+/// pool — the shape of the attack crate's cache-backed streaming source,
+/// without the netlist machinery.
+struct RebuildingSource {
+    graphs: Vec<SubgraphTensor>,
+    labels: Vec<f64>,
+    scratch: ScratchPool,
+}
+
+impl GraphSource for RebuildingSource {
+    fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    fn label(&self, idx: usize) -> f64 {
+        self.labels[idx]
+    }
+
+    fn num_nodes(&self, idx: usize) -> usize {
+        self.graphs[idx].num_nodes()
+    }
+
+    fn tensor(&self, idx: usize) -> SourceTensor<'_> {
+        // Rebuild the tensor from recycled storage: features and adjacency
+        // copied into buffers drawn from the scratch pool.
+        let reference = &self.graphs[idx];
+        let n = reference.num_nodes();
+        let f = reference.feature_dim();
+        let mut x = self.scratch.take_f64(n * f);
+        x.copy_from_slice(reference.features().data());
+        let adj: Vec<Vec<(usize, f64)>> = (0..n)
+            .map(|i| {
+                let (cols, vals) = reference.adj_row(i);
+                cols.iter().copied().zip(vals.iter().copied()).collect()
+            })
+            .collect();
+        SourceTensor::Owned(SubgraphTensor::from_parts(Matrix::from_vec(n, f, x), adj))
+    }
+
+    fn recycle(&self, tensor: SubgraphTensor) {
+        tensor.recycle(&self.scratch);
+    }
+}
+
+/// The tentpole guarantee of the streamed pipeline: training from a source
+/// that materializes (and recycles) one tensor per example per epoch is
+/// **bit-for-bit identical** — final loss, every prediction — to training
+/// on the fully materialized tensor set, at every thread count.
+#[test]
+fn streamed_training_is_bit_identical_to_materialized() {
+    let (graphs, labels) = dataset(20);
+    let run = |streamed: bool, threads: usize| -> (f64, Vec<f64>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(314);
+        let config = DgcnnConfig {
+            epochs: 5,
+            batch_size: 8,
+            num_threads: threads,
+            ..DgcnnConfig::for_features(6)
+        };
+        let mut model = Dgcnn::new(config, &mut rng);
+        let loss = if streamed {
+            let source = RebuildingSource {
+                graphs: graphs.clone(),
+                labels: labels.clone(),
+                scratch: ScratchPool::new(),
+            };
+            model.train_source(&source, &mut rng)
+        } else {
+            model.train(&graphs, &labels, &mut rng)
+        };
+        (loss, model.score_batch(&graphs))
+    };
+    let (reference_loss, reference_scores) = run(false, 1);
+    for threads in [1, 2, 0].into_iter().chain(env_threads()) {
+        let (loss, scores) = run(true, threads);
+        assert_eq!(
+            loss.to_bits(),
+            reference_loss.to_bits(),
+            "streamed loss diverged at num_threads = {threads}"
+        );
+        assert_eq!(
+            scores, reference_scores,
+            "streamed predictions diverged at num_threads = {threads}"
+        );
+    }
+}
+
+/// Adaptive-k resolution from a source (`Dgcnn::for_source`) must agree
+/// with slice-based resolution (`Dgcnn::for_dataset`) exactly — same
+/// resolved `k`, same init draws, same trained model.
+#[test]
+fn for_source_matches_for_dataset_exactly() {
+    let (graphs, labels) = dataset(10);
+    let config = DgcnnConfig {
+        epochs: 3,
+        sortpool_k: SortPoolK::Percentile(0.6),
+        num_threads: 1,
+        ..DgcnnConfig::for_features(6)
+    };
+    let mut rng_a = ChaCha8Rng::seed_from_u64(99);
+    let mut a = Dgcnn::for_dataset(config.clone(), &graphs, &mut rng_a);
+    let mut rng_b = ChaCha8Rng::seed_from_u64(99);
+    let mut b = Dgcnn::for_source(config, &SliceSource::new(&graphs, &labels), &mut rng_b);
+    assert_eq!(a.config(), b.config(), "resolved architectures must match");
+    let loss_a = a.train(&graphs, &labels, &mut rng_a);
+    let loss_b = b.train_source(&SliceSource::new(&graphs, &labels), &mut rng_b);
+    assert_eq!(loss_a.to_bits(), loss_b.to_bits());
+    assert_eq!(a.score_batch(&graphs), b.score_batch(&graphs));
 }
 
 // ---------------------------------------------------------------------------

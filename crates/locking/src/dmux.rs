@@ -16,6 +16,7 @@
 
 use crate::mux::{apply_loci, lockable_wires, MuxPairLocus};
 use crate::{LockError, LockedNetlist, LockingScheme, Result};
+use autolock_netlist::graph::UndirectedGraph;
 use autolock_netlist::{GateId, Netlist};
 use rand::seq::SliceRandom;
 use rand::{Rng, RngCore};
@@ -31,6 +32,17 @@ pub enum PairSelectionStrategy {
     /// decoy connection harder to rule out from local gate-type statistics
     /// (an enhanced, more deceptive policy).
     TypeMatched,
+    /// Prefer partner wires whose driver lies within `radius` undirected
+    /// hops of the first wire's driver. On structured (datapath) circuits a
+    /// uniformly random partner almost always sits in a different functional
+    /// block, which makes the decoy edge a give-away long-range jump; a
+    /// localized partner lands on the reconvergent nets real designs lock,
+    /// which is the regime the link-prediction adversary is actually
+    /// trained on. Falls back to random probes when no wire is in range.
+    Localized {
+        /// Maximum undirected hop distance between the two drivers.
+        radius: usize,
+    },
 }
 
 /// The D-MUX locking scheme.
@@ -83,6 +95,14 @@ impl DMuxLocking {
                 available: wires.len() / 2,
             });
         }
+        // The localized strategy measures driver-to-driver distances on the
+        // undirected netlist graph; build it once per selection run.
+        let locality_graph = match self.strategy {
+            PairSelectionStrategy::Localized { .. } => {
+                Some(UndirectedGraph::from_netlist(original))
+            }
+            _ => None,
+        };
         // Incremental reachability view: the original driver→sink edges plus
         // the decoy edges added by already-selected loci. Checking candidates
         // against this view guarantees that `apply_loci` will not hit a cycle.
@@ -121,7 +141,14 @@ impl DMuxLocking {
                 if used.contains(&(f_i, g_i)) {
                     continue;
                 }
-                let candidate_j = self.pick_partner(original, &wires, (f_i, g_i), &used, rng);
+                let candidate_j = self.pick_partner(
+                    original,
+                    locality_graph.as_ref(),
+                    &wires,
+                    (f_i, g_i),
+                    &used,
+                    rng,
+                );
                 let Some((f_j, g_j)) = candidate_j else {
                     continue;
                 };
@@ -159,6 +186,7 @@ impl DMuxLocking {
     fn pick_partner(
         &self,
         original: &Netlist,
+        locality_graph: Option<&UndirectedGraph>,
         wires: &[(GateId, GateId)],
         first: (GateId, GateId),
         used: &HashSet<(GateId, GateId)>,
@@ -168,17 +196,18 @@ impl DMuxLocking {
         let acceptable = |&(f_j, g_j): &(GateId, GateId)| {
             f_j != f_i && g_j != g_i && !used.contains(&(f_j, g_j))
         };
-        match self.strategy {
-            PairSelectionStrategy::Random => {
-                // A bounded number of random probes keeps this O(1) per call.
-                for _ in 0..32 {
-                    let cand = *wires.choose(rng)?;
-                    if acceptable(&cand) {
-                        return Some(cand);
-                    }
+        // Bounded random probes: the shared O(1)-per-call fallback.
+        let random_probe = |rng: &mut dyn RngCore| -> Option<(GateId, GateId)> {
+            for _ in 0..32 {
+                let cand = *wires.choose(rng)?;
+                if acceptable(&cand) {
+                    return Some(cand);
                 }
-                None
             }
+            None
+        };
+        match self.strategy {
+            PairSelectionStrategy::Random => random_probe(rng),
             PairSelectionStrategy::TypeMatched => {
                 let want_kind = original.gate(f_i).kind;
                 let matching: Vec<(GateId, GateId)> = wires
@@ -190,13 +219,22 @@ impl DMuxLocking {
                     return Some(cand);
                 }
                 // Fall back to any acceptable wire if no type match exists.
-                for _ in 0..32 {
-                    let cand = *wires.choose(rng)?;
-                    if acceptable(&cand) {
-                        return Some(cand);
-                    }
+                random_probe(rng)
+            }
+            PairSelectionStrategy::Localized { radius } => {
+                let graph = locality_graph.expect("localized strategy builds the graph");
+                let ball = graph.bfs_distances(f_i, radius.max(1));
+                let matching: Vec<(GateId, GateId)> = wires
+                    .iter()
+                    .copied()
+                    .filter(|w| acceptable(w) && ball.contains_key(&w.0))
+                    .collect();
+                if let Some(&cand) = matching.choose(rng) {
+                    return Some(cand);
                 }
-                None
+                // No in-range partner (isolated corner of the netlist):
+                // fall back to any acceptable wire.
+                random_probe(rng)
             }
         }
     }
@@ -278,6 +316,32 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let scheme = DMuxLocking::new(PairSelectionStrategy::TypeMatched);
         let locked = scheme.lock(&original, 16, &mut rng).unwrap();
+        assert!(locked.verify_functional(&original, 8, &mut rng).unwrap());
+    }
+
+    #[test]
+    fn localized_strategy_keeps_pairs_within_radius() {
+        let original = synth_circuit("loc", 16, 8, 400, 13);
+        let radius = 4;
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let scheme = DMuxLocking::new(PairSelectionStrategy::Localized { radius });
+        let loci = scheme.select_loci(&original, 16, &mut rng).unwrap();
+        assert_eq!(loci.len(), 16);
+        // The overwhelming majority of pairs must honour the radius (the
+        // random fallback only fires when no wire is in range).
+        let graph = UndirectedGraph::from_netlist(&original);
+        let within = loci
+            .iter()
+            .filter(|l| graph.bfs_distances(l.f_i, radius).contains_key(&l.f_j))
+            .count();
+        assert!(
+            within >= loci.len() - 2,
+            "only {within}/{} pairs within {radius} hops",
+            loci.len()
+        );
+        // And the locking still works end to end.
+        let locked = apply_loci(&original, &loci).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
         assert!(locked.verify_functional(&original, 8, &mut rng).unwrap());
     }
 

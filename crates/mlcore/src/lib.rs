@@ -46,6 +46,7 @@ pub mod metrics;
 mod mlp;
 pub mod optim;
 pub mod parallel;
+pub mod scratch;
 
 pub use dataset::Dataset;
 pub use ensemble::{MlpEnsemble, MlpEnsembleConfig};

@@ -34,6 +34,13 @@ impl Matrix {
         Matrix { rows, cols, data }
     }
 
+    /// Consumes the matrix and returns its row-major storage (so streamed
+    /// pipelines can return the buffer to a
+    /// [`crate::scratch::ScratchPool`]).
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
     /// Creates a matrix with entries drawn uniformly from `[-scale, scale]`.
     pub fn random<R: Rng + ?Sized>(rows: usize, cols: usize, scale: f64, rng: &mut R) -> Self {
         Matrix {

@@ -1,0 +1,129 @@
+//! A bounded recycler of flat buffers for streamed per-example pipelines.
+//!
+//! The streamed DGCNN training path (`autolock_gnn`) builds one subgraph
+//! tensor per training example per epoch instead of materializing the whole
+//! training set. Without reuse, that is one fresh `Vec<f64>` feature matrix
+//! plus two CSR arrays per example per epoch — tens of thousands of
+//! short-lived heap allocations on an ISCAS-sized attack. [`ScratchPool`]
+//! keeps those buffers alive between examples: a worker takes a buffer,
+//! overwrites every element, wraps it into a tensor, and returns the storage
+//! to the pool when the example's gradients have been reduced.
+//!
+//! Determinism: a recycled buffer is returned **fully overwritten** by the
+//! taker (`take_f64` additionally clears to zero, because tensor assembly
+//! scatters into it), so no value ever depends on which buffer a thread
+//! happened to grab. The pool therefore cannot break the workspace's
+//! bit-for-bit thread-count contract — it only recycles capacity, never
+//! contents.
+//!
+//! The pool is bounded ([`ScratchPool::MAX_RETAINED`] buffers per kind);
+//! overflow buffers are simply dropped, so a burst of large examples cannot
+//! pin their memory forever.
+
+use parking_lot::Mutex;
+
+/// A thread-safe, bounded pool of reusable `Vec<f64>` / `Vec<usize>`
+/// buffers. See the [module documentation](self).
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    f64s: Mutex<Vec<Vec<f64>>>,
+    usizes: Mutex<Vec<Vec<usize>>>,
+}
+
+impl ScratchPool {
+    /// Maximum buffers retained per element kind; returns beyond this are
+    /// dropped instead of pooled.
+    pub const MAX_RETAINED: usize = 64;
+
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        ScratchPool::default()
+    }
+
+    /// A zeroed `f64` buffer of exactly `len` elements, recycled from the
+    /// pool when one is available.
+    pub fn take_f64(&self, len: usize) -> Vec<f64> {
+        let mut v = self.f64s.lock().pop().unwrap_or_default();
+        v.clear();
+        v.resize(len, 0.0);
+        v
+    }
+
+    /// A `usize` buffer of exactly `len` elements (zero-filled), recycled
+    /// from the pool when one is available.
+    pub fn take_usize(&self, len: usize) -> Vec<usize> {
+        let mut v = self.usizes.lock().pop().unwrap_or_default();
+        v.clear();
+        v.resize(len, 0);
+        v
+    }
+
+    /// Returns an `f64` buffer's storage to the pool.
+    pub fn put_f64(&self, v: Vec<f64>) {
+        let mut pool = self.f64s.lock();
+        if pool.len() < Self::MAX_RETAINED {
+            pool.push(v);
+        }
+    }
+
+    /// Returns a `usize` buffer's storage to the pool.
+    pub fn put_usize(&self, v: Vec<usize>) {
+        let mut pool = self.usizes.lock();
+        if pool.len() < Self::MAX_RETAINED {
+            pool.push(v);
+        }
+    }
+
+    /// Number of buffers currently retained (both kinds; for tests and
+    /// memory accounting).
+    pub fn retained(&self) -> usize {
+        self.f64s.lock().len() + self.usizes.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_recycled_and_zeroed() {
+        let pool = ScratchPool::new();
+        let mut a = pool.take_f64(4);
+        a[0] = 7.0;
+        let ptr = a.as_ptr();
+        pool.put_f64(a);
+        assert_eq!(pool.retained(), 1);
+        let b = pool.take_f64(3);
+        // Same storage, fully zeroed at the requested length.
+        assert_eq!(b.as_ptr(), ptr);
+        assert_eq!(b, vec![0.0; 3]);
+        assert_eq!(pool.retained(), 0);
+    }
+
+    #[test]
+    fn usize_buffers_round_trip() {
+        let pool = ScratchPool::new();
+        let mut a = pool.take_usize(2);
+        a[1] = 9;
+        pool.put_usize(a);
+        let b = pool.take_usize(5);
+        assert_eq!(b, vec![0; 5]);
+    }
+
+    #[test]
+    fn retention_is_bounded() {
+        let pool = ScratchPool::new();
+        for _ in 0..(ScratchPool::MAX_RETAINED + 10) {
+            pool.put_f64(vec![0.0; 8]);
+        }
+        assert_eq!(pool.retained(), ScratchPool::MAX_RETAINED);
+    }
+
+    #[test]
+    fn growing_take_reallocates_cleanly() {
+        let pool = ScratchPool::new();
+        pool.put_f64(vec![1.0; 2]);
+        let v = pool.take_f64(16);
+        assert_eq!(v, vec![0.0; 16]);
+    }
+}

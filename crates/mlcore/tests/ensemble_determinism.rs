@@ -9,6 +9,13 @@ use autolock_mlcore::{Dataset, MlpConfig, MlpEnsemble, MlpEnsembleConfig};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
+/// Extra thread count folded into the compared set, from the CI
+/// thread-matrix leg's `AUTOLOCK_THREADS` (the multi-core runners are the
+/// only machines where `n > 1` workers actually exist).
+fn env_threads() -> Option<usize> {
+    std::env::var("AUTOLOCK_THREADS").ok()?.parse().ok()
+}
+
 /// Two noisy Gaussian-ish blobs, linearly separable on average.
 fn blob_dataset(n: usize, seed: u64) -> Dataset {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -59,7 +66,7 @@ fn training_is_bit_identical_across_thread_counts() {
         .collect();
     let serial = train_with_threads(1, &data);
     let serial_scores: Vec<u64> = probes.iter().map(|p| serial.predict(p).to_bits()).collect();
-    for threads in [2, 3, 4, 0] {
+    for threads in [2, 3, 4, 0].into_iter().chain(env_threads()) {
         let parallel = train_with_threads(threads, &data);
         assert_eq!(
             parallel.members(),
