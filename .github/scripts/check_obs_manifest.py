@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Sanity-check the observability manifests the experiment drivers emit.
+
+Usage: check_obs_manifest.py <obs-dir> [<obs-dir> ...]
+
+Each directory is scanned for `*-manifest.json` (written by
+`autolock_bench::ObsRun`, schema `autolock_obs::manifest::RunManifest`).
+For every manifest the script checks:
+
+* every REQUIRED_KEY is present (a dropped field is a silent break of the
+  downstream tooling this gate exists to protect),
+* `schema_version` is a version this script knows,
+* the row lists (`top_spans`, `counters`, `gauges`) are lists of objects
+  with their own required keys,
+* basic value sanity: non-negative wall clock, non-empty experiment id
+  and fingerprint, and at least one top-level span (the driver's root).
+
+A directory containing no manifests FAILS: the drivers are expected to
+emit one per run, so an empty directory means the wiring rotted.
+
+When `$GITHUB_STEP_SUMMARY` is set, a top-level span timing table (one row
+per manifest) is appended to it.
+
+Exit code 1 on any FAIL.
+"""
+
+import glob
+import json
+import os
+import sys
+
+KNOWN_SCHEMA_VERSIONS = {1}
+
+REQUIRED_KEYS = [
+    "schema_version",
+    "experiment",
+    "config_fingerprint",
+    "suite_tier",
+    "scale",
+    "seed",
+    "threads",
+    "git_describe",
+    "wall_clock_ms",
+    "top_spans",
+    "counters",
+    "gauges",
+    "events_recorded",
+    "events_dropped",
+]
+ROW_KEYS = {
+    "top_spans": ["path", "count", "total_ms"],
+    "counters": ["name", "value"],
+    "gauges": ["name", "value"],
+}
+
+
+def check_manifest(path):
+    """Returns (errors, manifest_or_None)."""
+    errors = []
+    try:
+        with open(path) as f:
+            manifest = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"unreadable: {e}"], None
+
+    for key in REQUIRED_KEYS:
+        if key not in manifest:
+            errors.append(f"missing required key {key!r}")
+    if errors:
+        return errors, manifest
+
+    if manifest["schema_version"] not in KNOWN_SCHEMA_VERSIONS:
+        errors.append(
+            f"unknown schema_version {manifest['schema_version']!r} "
+            f"(known: {sorted(KNOWN_SCHEMA_VERSIONS)})"
+        )
+    for list_key, row_keys in ROW_KEYS.items():
+        rows = manifest[list_key]
+        if not isinstance(rows, list):
+            errors.append(f"{list_key} is not a list")
+            continue
+        for i, row in enumerate(rows):
+            for key in row_keys:
+                if not isinstance(row, dict) or key not in row:
+                    errors.append(f"{list_key}[{i}] missing {key!r}")
+                    break
+    if not manifest["experiment"]:
+        errors.append("empty experiment id")
+    if not manifest["config_fingerprint"]:
+        errors.append("empty config_fingerprint")
+    if manifest["wall_clock_ms"] < 0:
+        errors.append(f"negative wall_clock_ms: {manifest['wall_clock_ms']}")
+    if not manifest["top_spans"]:
+        errors.append("no top-level span (the driver's root span is missing)")
+    return errors, manifest
+
+
+def write_step_summary(rows):
+    """Appends the per-run top-level span timing table to the summary."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path or not rows:
+        return
+    lines = [
+        "### Experiment observability (top-level spans)",
+        "",
+        "| experiment | span | total ms | wall ms | events | peak RSS MB |",
+        "|---|---|---|---|---|---|",
+    ]
+    for manifest in rows:
+        peak = manifest.get("peak_rss_mb")
+        peak = f"{peak:.0f}" if isinstance(peak, (int, float)) else "n/a"
+        for span in manifest["top_spans"]:
+            lines.append(
+                f"| `{manifest['experiment']}` | `{span['path']}` "
+                f"| {span['total_ms']:.0f} | {manifest['wall_clock_ms']:.0f} "
+                f"| {manifest['events_recorded']} | {peak} |"
+            )
+    with open(path, "a") as f:
+        f.write("\n".join(lines) + "\n")
+
+
+def main():
+    dirs = sys.argv[1:]
+    if not dirs:
+        print(__doc__)
+        return 2
+    failed = False
+    manifests = []
+    for d in dirs:
+        paths = sorted(glob.glob(os.path.join(d, "*-manifest.json")))
+        if not paths:
+            print(f"{d}: no *-manifest.json found  <-- FAIL")
+            failed = True
+            continue
+        for path in paths:
+            errors, manifest = check_manifest(path)
+            if errors:
+                failed = True
+                for e in errors:
+                    print(f"{path}: {e}  <-- FAIL")
+            else:
+                print(
+                    f"{path}: ok ({manifest['experiment']}, "
+                    f"{len(manifest['top_spans'])} top span(s), "
+                    f"{manifest['events_recorded']} events)"
+                )
+                manifests.append(manifest)
+    write_step_summary(manifests)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -650,6 +650,12 @@ impl MuxLinkAttack {
         rng: &mut dyn RngCore,
     ) -> (AttackOutcome, Vec<(MuxCandidate, f64, f64)>) {
         let start = Instant::now();
+        // Observability is write-only (spans/counters record, never steer):
+        // the attack takes identical branches and RNG draws whether the obs
+        // registry is enabled, disabled, or compiled out.
+        let _attack_span = autolock_obs::span!("attack.muxlink");
+        autolock_obs::counter("attack.muxlink_runs").incr();
+        let cache_before = self.cache_stats();
         let netlist = locked.netlist();
         let key_len = locked.key_len();
         // Derive an owned, seedable RNG so the attack is deterministic given
@@ -687,10 +693,14 @@ impl MuxLinkAttack {
         // backend is configured and wrap it behind a uniform *batch* scoring
         // closure (`scores[i]` answers `pairs[i]`), so the GNN backend can
         // fan tensor construction and forward passes across its thread pool.
-        let (positives, negatives) = self.sample_links(netlist, &hidden, &mut rng);
+        let (positives, negatives) = {
+            let _span = autolock_obs::span!("attack.sample_links");
+            self.sample_links(netlist, &hidden, &mut rng)
+        };
         let trainable = positives.len() + negatives.len() >= 8
             && !positives.is_empty()
             && !negatives.is_empty();
+        let train_span = autolock_obs::span!("attack.train");
         let score_model: BatchScorer = match self.config.backend {
             MuxLinkBackend::Mlp => {
                 let (rows, labels) = self.training_rows(
@@ -782,6 +792,10 @@ impl MuxLinkAttack {
                         &mut rng,
                     );
                     model.train_source(&source, &mut rng);
+                    // ScratchPool occupancy after training = how many
+                    // streamed-tensor buffers the run ended up recycling.
+                    autolock_obs::gauge("gnn.scratch_retained")
+                        .set(source.scratch.retained() as f64);
                     let graph_ref = &graph;
                     Box::new(move |pairs| {
                         // Chunked tensor construction + forward pass: at most
@@ -797,6 +811,7 @@ impl MuxLinkAttack {
                 }
             }
         };
+        drop(train_span);
 
         // Score every candidate link. The model score is overridden by the
         // cycle rule (also used by the published MuxLink post-processing): a
@@ -820,7 +835,10 @@ impl MuxLinkAttack {
             let s1 = slot(cand.cand_key1);
             plan.push((*cand, s0, s1));
         }
-        let model_scores = score_model(&pending);
+        let model_scores = {
+            let _span = autolock_obs::span!("attack.score_candidates");
+            score_model(&pending)
+        };
         let resolve = |s: ScoreSlot| s.unwrap_or_else(|i| model_scores[i]);
         let scored: Vec<(MuxCandidate, f64, f64)> = plan
             .into_iter()
@@ -858,6 +876,17 @@ impl MuxLinkAttack {
                 },
             })
             .collect();
+
+        // Surface this run's share of the instance cache's hit/miss/evict
+        // counters through the obs registry (the instance accumulates across
+        // repeats; the registry gets per-run deltas).
+        let cache_after = self.cache_stats();
+        autolock_obs::counter("attack.subgraph_cache.hits")
+            .add(cache_after.hits - cache_before.hits);
+        autolock_obs::counter("attack.subgraph_cache.misses")
+            .add(cache_after.misses - cache_before.misses);
+        autolock_obs::counter("attack.subgraph_cache.evictions")
+            .add(cache_after.evictions - cache_before.evictions);
 
         let outcome = AttackOutcome::from_guesses(
             self.name(),

@@ -86,6 +86,9 @@ impl SatAttack {
     /// interfaces (different numbers of primary inputs or outputs).
     pub fn attack(&self, locked: &LockedNetlist, oracle: &Netlist) -> SatAttackOutcome {
         let start = Instant::now();
+        // Write-only observability: the span/counters record the run but
+        // never steer the DIP loop.
+        let _span = autolock_obs::span!("attack.sat");
         let netlist = locked.netlist();
         assert_eq!(
             oracle.num_inputs(),
@@ -194,6 +197,19 @@ impl SatAttack {
             }
         };
 
+        // Publish the summed SolverStats of both solvers to the registry —
+        // the `satsolver` layer's wiring into the shared obs surface.
+        let miter_stats = miter.stats();
+        let key_stats = key_solver.stats();
+        autolock_obs::counter("sat.dips").add(iterations as u64);
+        autolock_obs::counter("sat.decisions").add(miter_stats.decisions + key_stats.decisions);
+        autolock_obs::counter("sat.propagations")
+            .add(miter_stats.propagations + key_stats.propagations);
+        autolock_obs::counter("sat.conflicts").add(miter_stats.conflicts + key_stats.conflicts);
+        autolock_obs::counter("sat.restarts").add(miter_stats.restarts + key_stats.restarts);
+        autolock_obs::counter("sat.learned_clauses")
+            .add(miter_stats.learned_clauses + key_stats.learned_clauses);
+
         let exact_key_match = success && &recovered_key == locked.key();
         SatAttackOutcome {
             scheme: locked.scheme().to_string(),
@@ -204,7 +220,7 @@ impl SatAttack {
             exact_key_match,
             iterations,
             runtime_ms: start.elapsed().as_millis(),
-            solver_conflicts: miter.stats().conflicts + key_solver.stats().conflicts,
+            solver_conflicts: miter_stats.conflicts + key_stats.conflicts,
         }
     }
 

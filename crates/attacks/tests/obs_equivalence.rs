@@ -1,0 +1,81 @@
+//! Observability must be write-only: enabling the registry may record
+//! timings and counters but can never steer an attack. This test pins the
+//! bit-for-bit contract for both MuxLink backends — the full
+//! [`AttackOutcome`] (wall clock excluded) is compared with `==`, so a
+//! single flipped confidence bit or reordered guess fails it.
+//!
+//! Everything runs in one `#[test]`: the obs registry is process-global, so
+//! the enabled and disabled runs must not interleave with other tests.
+//!
+//! [`AttackOutcome`]: autolock_attacks::AttackOutcome
+
+use autolock_attacks::{AttackOutcome, KeyRecoveryAttack, MuxLinkAttack, MuxLinkConfig};
+use autolock_circuits::synth_circuit;
+use autolock_locking::{DMuxLocking, LockingScheme};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Zeroes the one legitimately nondeterministic field so `==` compares
+/// everything else.
+fn scrub_wall_clock(mut outcome: AttackOutcome) -> AttackOutcome {
+    outcome.runtime_ms = 0;
+    outcome
+}
+
+#[test]
+fn attack_outcomes_are_bit_identical_with_obs_on_and_off() {
+    let original = synth_circuit("obs_eq", 12, 5, 160, 77);
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let locked = DMuxLocking::default()
+        .lock(&original, 10, &mut rng)
+        .unwrap();
+
+    let run_both_backends = || {
+        let mut out = Vec::new();
+        for config in [MuxLinkConfig::fast(), MuxLinkConfig::gnn_fast()] {
+            let mut r = ChaCha8Rng::seed_from_u64(21);
+            out.push(scrub_wall_clock(
+                MuxLinkAttack::new(config).attack(&locked, &mut r),
+            ));
+        }
+        out
+    };
+
+    // Baseline: registry disabled (the process default).
+    assert!(!autolock_obs::enabled(), "registry must start disabled");
+    let silent = run_both_backends();
+
+    // Identical runs with the registry recording.
+    autolock_obs::reset();
+    autolock_obs::enable();
+    let observed = run_both_backends();
+    let snapshot = autolock_obs::drain();
+    autolock_obs::disable();
+
+    assert_eq!(
+        silent, observed,
+        "enabling observability changed an attack outcome"
+    );
+
+    if autolock_obs::is_noop() {
+        return; // compiled-out build: nothing should have been recorded
+    }
+    // The observed runs must actually have been traced — otherwise this
+    // test would pass vacuously with dead instrumentation.
+    assert!(
+        snapshot
+            .events
+            .iter()
+            .any(|e| e.path.starts_with("attack.muxlink")),
+        "no MuxLink spans recorded: {:?}",
+        snapshot.spans
+    );
+    assert!(
+        snapshot
+            .counters
+            .iter()
+            .any(|(name, value)| name == "attack.muxlink_runs" && *value == 2),
+        "run counter missing: {:?}",
+        snapshot.counters
+    );
+}

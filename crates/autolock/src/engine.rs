@@ -42,6 +42,10 @@ impl AutoLock {
     ///   length.
     pub fn run(&self, original: &Netlist) -> Result<AutoLockResult> {
         let start = Instant::now();
+        // Top-level pipeline span; the GA's per-generation spans and the
+        // in-loop attacks' stage spans nest under it in the trace.
+        let _span = autolock_obs::span!("autolock.run");
+        autolock_obs::counter("autolock.runs").incr();
         let cfg = &self.config;
         if cfg.population_size < 2 {
             return Err(AutoLockError::InvalidConfig {

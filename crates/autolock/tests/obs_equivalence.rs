@@ -1,0 +1,55 @@
+//! Pipeline-level half of the observability determinism contract: a whole
+//! AutoLock run — GA generations, in-loop MuxLink attacks, final decode —
+//! produces the identical result whether the obs registry is recording or
+//! not. The attack-level half lives in
+//! `crates/attacks/tests/obs_equivalence.rs`.
+
+use autolock::{AutoLock, AutoLockConfig};
+use autolock_circuits::synth_circuit;
+
+#[test]
+fn autolock_runs_are_bit_identical_with_obs_on_and_off() {
+    let netlist = synth_circuit("obs_eq_pipeline", 10, 4, 120, 31);
+    let mut cfg = AutoLockConfig::tiny();
+    cfg.generations = 2;
+    cfg.population_size = 4;
+    cfg.key_len = 4;
+    cfg.parallel = false;
+
+    let run = || AutoLock::new(cfg.clone()).run(&netlist).unwrap();
+
+    assert!(!autolock_obs::enabled(), "registry must start disabled");
+    let silent = run();
+
+    autolock_obs::reset();
+    autolock_obs::enable();
+    let observed = run();
+    let snapshot = autolock_obs::drain();
+    autolock_obs::disable();
+
+    assert_eq!(silent.best_genotype, observed.best_genotype);
+    assert_eq!(silent.final_attack_accuracy, observed.final_attack_accuracy);
+    assert_eq!(
+        silent.baseline_attack_accuracy,
+        observed.baseline_attack_accuracy
+    );
+    assert_eq!(silent.history, observed.history);
+    assert_eq!(silent.fitness_evaluations, observed.fitness_evaluations);
+    assert_eq!(silent.locked, observed.locked);
+
+    if autolock_obs::is_noop() {
+        return;
+    }
+    // The GA and engine spans must have fired during the observed run.
+    for path in ["autolock.run", "autolock.run/evo.run"] {
+        assert!(
+            snapshot.spans.iter().any(|s| s.path == path),
+            "missing span {path}: {:?}",
+            snapshot.spans
+        );
+    }
+    assert!(snapshot
+        .counters
+        .iter()
+        .any(|(name, value)| name == "evo.fitness_evals" && *value > 0));
+}

@@ -280,6 +280,37 @@ fn emit_trajectory(_c: &mut Criterion) {
         speedup_vs_baseline: serial_train / streamed_ns,
     });
 
+    // Observability overhead: the identical streamed epoch with the obs
+    // registry recording. `train_source` carries the densest
+    // instrumentation in the workspace (gnn.train / gnn.train_epoch spans,
+    // per-batch counters), so this ratio is the worst-case *enabled* cost;
+    // while disabled (the baseline above) every site is one relaxed load.
+    let obs_on_ns = {
+        let source = RebuildSource {
+            graphs: graphs.clone(),
+            labels: labels.clone(),
+        };
+        let mut model = model_for(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        autolock_obs::reset();
+        autolock_obs::enable();
+        let ns = median_ns(samples, || {
+            black_box(model.train_source(black_box(&source), &mut rng));
+        });
+        autolock_obs::disable();
+        autolock_obs::reset();
+        ns
+    };
+    entries.push(BenchEntry {
+        op: "gnn_train_epoch_obs_enabled".to_string(),
+        dims: dims.clone(),
+        threads: 1,
+        ns_per_iter: obs_on_ns,
+        baseline: "obs_disabled".to_string(),
+        baseline_ns_per_iter: streamed_ns,
+        speedup_vs_baseline: streamed_ns / obs_on_ns,
+    });
+
     BenchTrajectory {
         bench: "gnn_kernels".to_string(),
         quick: quick(),

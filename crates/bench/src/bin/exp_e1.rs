@@ -4,10 +4,12 @@
 //! Set `AUTOLOCK_SCALE=full` for the paper-sized (slower) version.
 
 use autolock_bench::experiments::e1_autolock_vs_dmux;
-use autolock_bench::{experiment_scale, results_dir};
+use autolock_bench::{experiment_scale, results_dir, ObsRun};
 
 fn main() {
     let scale = experiment_scale();
+    // Record the run: manifest + span trace under <results>/obs/.
+    let _obs = ObsRun::start("e1", 1);
     eprintln!(
         "running E1: MuxLink accuracy, D-MUX vs AutoLock (headline claim) at {scale:?} scale..."
     );

@@ -4,10 +4,12 @@
 //! Set `AUTOLOCK_SCALE=full` for the paper-sized (slower) version.
 
 use autolock_bench::experiments::e11_gnn_adversary_evolution;
-use autolock_bench::{experiment_scale, results_dir};
+use autolock_bench::{experiment_scale, results_dir, ObsRun};
 
 fn main() {
     let scale = experiment_scale();
+    // Record the run: manifest + span trace under <results>/obs/.
+    let _obs = ObsRun::start("e11", 11);
     eprintln!("running E11: GNN-targeted evolution at {scale:?} scale...");
     let table = e11_gnn_adversary_evolution(scale);
     table.emit(&results_dir());

@@ -6,10 +6,12 @@
 //! `AUTOLOCK_SUITE_SCALE=full` to include the `xl` suite member.
 
 use autolock_bench::experiments::e12_size_density_sweep;
-use autolock_bench::{experiment_scale, results_dir};
+use autolock_bench::{experiment_scale, results_dir, ObsRun};
 
 fn main() {
     let scale = experiment_scale();
+    // Record the run: manifest + span trace under <results>/obs/.
+    let _obs = ObsRun::start("e12", 12);
     eprintln!("running E12: size x density sweep at {scale:?} scale...");
     let table = e12_size_density_sweep(scale);
     table.emit(&results_dir());

@@ -7,10 +7,12 @@
 //! and `AUTOLOCK_SUITE_SCALE=full` to include the `xl11k` member.
 
 use autolock_bench::experiments::e13_gnn_structured_sweep;
-use autolock_bench::{experiment_scale, results_dir};
+use autolock_bench::{experiment_scale, results_dir, ObsRun};
 
 fn main() {
     let scale = experiment_scale();
+    // Record the run: manifest + span trace under <results>/obs/.
+    let _obs = ObsRun::start("e13", 13);
     eprintln!("running E13: GNN-backend structured-tier sweep at {scale:?} scale...");
     let table = e13_gnn_structured_sweep(scale);
     table.emit(&results_dir());

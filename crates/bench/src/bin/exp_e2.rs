@@ -4,10 +4,12 @@
 //! Set `AUTOLOCK_SCALE=full` for the paper-sized (slower) version.
 
 use autolock_bench::experiments::e2_convergence;
-use autolock_bench::{experiment_scale, results_dir};
+use autolock_bench::{experiment_scale, results_dir, ObsRun};
 
 fn main() {
     let scale = experiment_scale();
+    // Record the run: manifest + span trace under <results>/obs/.
+    let _obs = ObsRun::start("e2", 2);
     eprintln!("running E2: GA convergence curve at {scale:?} scale...");
     let table = e2_convergence(scale);
     table.emit(&results_dir());

@@ -4,10 +4,12 @@
 //! Set `AUTOLOCK_SCALE=full` for the paper-sized (slower) version.
 
 use autolock_bench::experiments::e4_attack_matrix;
-use autolock_bench::{experiment_scale, results_dir};
+use autolock_bench::{experiment_scale, results_dir, ObsRun};
 
 fn main() {
     let scale = experiment_scale();
+    // Record the run: manifest + span trace under <results>/obs/.
+    let _obs = ObsRun::start("e4", 4);
     eprintln!("running E4: attack-vs-scheme accuracy matrix at {scale:?} scale...");
     let table = e4_attack_matrix(scale);
     table.emit(&results_dir());

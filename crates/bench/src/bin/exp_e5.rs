@@ -4,10 +4,12 @@
 //! Set `AUTOLOCK_SCALE=full` for the paper-sized (slower) version.
 
 use autolock_bench::experiments::e5_sat_attack;
-use autolock_bench::{experiment_scale, results_dir};
+use autolock_bench::{experiment_scale, results_dir, ObsRun};
 
 fn main() {
     let scale = experiment_scale();
+    // Record the run: manifest + span trace under <results>/obs/.
+    let _obs = ObsRun::start("e5", 5);
     eprintln!("running E5: oracle-guided SAT attack comparison at {scale:?} scale...");
     let table = e5_sat_attack(scale);
     table.emit(&results_dir());

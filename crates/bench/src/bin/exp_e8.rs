@@ -4,10 +4,12 @@
 //! Set `AUTOLOCK_SCALE=full` for the paper-sized (slower) version.
 
 use autolock_bench::experiments::e8_multi_objective;
-use autolock_bench::{experiment_scale, results_dir};
+use autolock_bench::{experiment_scale, results_dir, ObsRun};
 
 fn main() {
     let scale = experiment_scale();
+    // Record the run: manifest + span trace under <results>/obs/.
+    let _obs = ObsRun::start("e8", 8);
     eprintln!("running E8: NSGA-II multi-objective Pareto front at {scale:?} scale...");
     let table = e8_multi_objective(scale);
     table.emit(&results_dir());

@@ -4,10 +4,12 @@
 //! Set `AUTOLOCK_SCALE=full` for the paper-sized (slower) version.
 
 use autolock_bench::experiments::e9_sensitivity;
-use autolock_bench::{experiment_scale, results_dir};
+use autolock_bench::{experiment_scale, results_dir, ObsRun};
 
 fn main() {
     let scale = experiment_scale();
+    // Record the run: manifest + span trace under <results>/obs/.
+    let _obs = ObsRun::start("e9", 9);
     eprintln!("running E9: GA hyper-parameter sensitivity at {scale:?} scale...");
     let table = e9_sensitivity(scale);
     table.emit(&results_dir());

@@ -14,7 +14,10 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 pub mod experiments;
+mod obsrun;
 pub mod trajectory;
+
+pub use obsrun::ObsRun;
 
 /// A simple result table: named columns plus rows of cells, rendered as
 /// GitHub-flavoured markdown and serialized to JSON.
@@ -162,9 +165,10 @@ pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -
     autolock_mlcore::parallel::pooled_map(experiment_threads(), items, f)
 }
 
-/// Peak resident-set size of this process in mebibytes, self-measured from
-/// `/proc/self/status` (`VmHWM`). Returns `None` where procfs is
-/// unavailable (non-Linux dev machines) — callers should print `n/a`.
+/// Peak resident-set size of this process in mebibytes — a re-export of
+/// [`autolock_obs::mem::peak_rss_mb`], which replaced this crate's old
+/// ad-hoc `VmHWM` parser. Returns `None` where procfs is unavailable
+/// (non-Linux dev machines) — callers should print `n/a`.
 ///
 /// The value is process-wide and monotone non-decreasing, so in a table
 /// whose rows run in one process, each row's number is "the largest
@@ -172,14 +176,7 @@ pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -
 /// peak. That is exactly what the memory-regression record needs: the E13
 /// table turns the streamed-DGCNN memory claim into a committed number.
 pub fn peak_rss_mb() -> Option<f64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    for line in status.lines() {
-        if let Some(rest) = line.strip_prefix("VmHWM:") {
-            let kb: f64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
-            return Some(kb / 1024.0);
-        }
-    }
-    None
+    autolock_obs::mem::peak_rss_mb()
 }
 
 /// Experiment scale selector.

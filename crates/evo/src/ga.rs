@@ -125,8 +125,21 @@ impl GeneticAlgorithm {
         let pop_size = initial_population.len();
         let target = self.config.target_fitness.or(fitness.target());
 
+        // Observability (autolock_obs) is write-only: per-generation spans
+        // and population gauges record the run without touching the RNG
+        // stream or any decision below.
+        let _run_span = autolock_obs::span!("evo.run");
+        let eval_counter = autolock_obs::counter("evo.fitness_evals");
+        let gen_counter = autolock_obs::counter("evo.generations");
+        let best_gauge = autolock_obs::gauge("evo.best_fitness");
+        let mean_gauge = autolock_obs::gauge("evo.mean_fitness");
+
         let mut population = initial_population;
-        let mut scores = self.evaluate_all(&population, fitness);
+        let mut scores = {
+            let _span = autolock_obs::span!("evo.evaluate");
+            self.evaluate_all(&population, fitness)
+        };
+        eval_counter.add(population.len() as u64);
         let mut evaluations = population.len();
 
         let mut history = vec![GenerationStats::from_fitness(0, &scores)];
@@ -145,6 +158,8 @@ impl GeneticAlgorithm {
                     break;
                 }
             }
+            let _gen_span = autolock_obs::span!("evo.generation");
+            gen_counter.incr();
 
             // Elites survive unchanged.
             let mut order: Vec<usize> = (0..population.len()).collect();
@@ -182,9 +197,16 @@ impl GeneticAlgorithm {
             }
 
             population = next;
-            scores = self.evaluate_all(&population, fitness);
+            scores = {
+                let _span = autolock_obs::span!("evo.evaluate");
+                self.evaluate_all(&population, fitness)
+            };
+            eval_counter.add(population.len() as u64);
             evaluations += population.len();
             history.push(GenerationStats::from_fitness(generation, &scores));
+            let stats = history.last().expect("just pushed");
+            best_gauge.set(stats.best);
+            mean_gauge.set(stats.mean);
 
             let (gen_best_idx, gen_best_fitness) = argmax(&scores);
             if gen_best_fitness > best_fitness {

@@ -324,6 +324,13 @@ impl Dgcnn {
     /// Panics if `source` is empty.
     pub fn train_source<R: Rng + ?Sized>(&mut self, source: &dyn GraphSource, rng: &mut R) -> f64 {
         assert!(!source.is_empty(), "cannot train on zero graphs");
+        // Observability (autolock_obs) is write-only: spans and counters
+        // record the trajectory but never influence it, and cost one relaxed
+        // load per site while the registry is disabled.
+        let _train_span = autolock_obs::span!("gnn.train");
+        let rebuilds = autolock_obs::counter("gnn.tensor_rebuilds");
+        let chunks = autolock_obs::counter("gnn.train_chunks");
+        let examples = autolock_obs::counter("gnn.train_examples");
         let hp = AdamParams {
             learning_rate: self.config.learning_rate,
             l2: self.config.l2,
@@ -332,9 +339,12 @@ impl Dgcnn {
         let mut indices: Vec<usize> = (0..source.len()).collect();
         let mut last_epoch_loss = f64::INFINITY;
         for _ in 0..self.config.epochs {
+            let _epoch_span = autolock_obs::span!("gnn.train_epoch");
             indices.shuffle(rng);
             let mut epoch_loss = 0.0;
             for batch in indices.chunks(self.config.batch_size.max(1)) {
+                chunks.incr();
+                examples.add(batch.len() as u64);
                 // Fan the independent per-example passes across the shared
                 // pooled map (order-preserving): each worker materializes
                 // its example's tensor, runs the pass, and recycles the
@@ -346,6 +356,7 @@ impl Dgcnn {
                         let tensor = source.tensor(i);
                         let pass = self.forward_backward(&tensor, source.label(i));
                         if let SourceTensor::Owned(t) = tensor {
+                            rebuilds.incr();
                             source.recycle(t);
                         }
                         pass
@@ -421,6 +432,8 @@ impl LinkPredictor for Dgcnn {
     /// passes across `config.num_threads` rayon threads. Output order (and
     /// every value, bit-for-bit) matches the serial [`Self::score`] loop.
     fn score_batch(&self, graphs: &[SubgraphTensor]) -> Vec<f64> {
+        let _span = autolock_obs::span!("gnn.score_chunk");
+        autolock_obs::counter("gnn.scored_links").add(graphs.len() as u64);
         pooled_map(self.config.num_threads, graphs, |g| sigmoid(self.logit(g)))
     }
 }

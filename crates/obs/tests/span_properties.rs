@@ -1,0 +1,125 @@
+//! Property test: span trees nest and merge correctly for every thread
+//! count.
+//!
+//! Each generated case spawns 1–6 threads. Every thread opens a unique root
+//! span and then walks a random push/pop script of nested spans while
+//! simulating, in plain code, the exact `(path, depth)` exit sequence the
+//! registry should record for it. After the threads join, one [`drain`]
+//! merges all per-thread buffers; the test then checks
+//!
+//! * per thread: the merged stream, filtered to that thread's root,
+//!   reproduces the simulated exit sequence exactly (order included —
+//!   sequence numbers are monotone per thread),
+//! * globally: sequence numbers are dense and sorted, every path's parent
+//!   prefix is the path minus its last segment, and the per-path aggregates
+//!   agree with the event counts.
+//!
+//! [`drain`]: autolock_obs::drain
+
+use proptest::prelude::*;
+
+/// Per-thread root span names (also the thread attribution key: a span
+/// path's first segment identifies the thread that recorded it).
+const ROOTS: [&str; 6] = ["t0", "t1", "t2", "t3", "t4", "t5"];
+/// Nested span names by depth below the root.
+const NAMES: [&str; 5] = ["n0", "n1", "n2", "n3", "n4"];
+
+/// Simulates the exit sequence of one thread's script: `true` pushes a new
+/// nested span (while depth allows), `false` pops one (while one is open).
+/// Returns `(path, depth)` in exit order, including the final unwinding and
+/// the root.
+fn expected_exits(root: &str, script: &[bool]) -> Vec<(String, usize)> {
+    let mut stack: Vec<&str> = vec![root];
+    let mut exits = Vec::new();
+    let pop = |stack: &mut Vec<&str>, exits: &mut Vec<(String, usize)>| {
+        let depth = stack.len() - 1;
+        exits.push((stack.join("/"), depth));
+        stack.pop();
+    };
+    for &push in script {
+        if push {
+            if stack.len() <= NAMES.len() {
+                stack.push(NAMES[stack.len() - 1]);
+            }
+        } else if stack.len() > 1 {
+            pop(&mut stack, &mut exits);
+        }
+    }
+    while !stack.is_empty() {
+        pop(&mut stack, &mut exits);
+    }
+    exits
+}
+
+/// Runs the same script against the real registry on the current thread.
+fn run_script(root: &'static str, script: &[bool]) {
+    let mut guards = vec![autolock_obs::span(root)];
+    for &push in script {
+        if push {
+            if guards.len() <= NAMES.len() {
+                guards.push(autolock_obs::span(NAMES[guards.len() - 1]));
+            }
+        } else if guards.len() > 1 {
+            guards.pop();
+        }
+    }
+    // Unwind the leftovers innermost-first: a plain `Vec` drop would run
+    // front-to-back, violating the guards' LIFO contract.
+    while guards.pop().is_some() {}
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    fn span_trees_nest_and_merge_across_thread_counts(
+        scripts in proptest::collection::vec(
+            proptest::collection::vec(any::<bool>(), 0..28),
+            1..=6usize,
+        ),
+    ) {
+        autolock_obs::reset();
+        autolock_obs::enable();
+        let handles: Vec<_> = scripts
+            .iter()
+            .enumerate()
+            .map(|(t, script)| {
+                let script = script.clone();
+                std::thread::spawn(move || run_script(ROOTS[t], &script))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = autolock_obs::drain();
+        autolock_obs::disable();
+
+        // Global merge: dense, sorted sequence numbers.
+        let seqs: Vec<u64> = snap.events.iter().map(|e| e.seq).collect();
+        prop_assert_eq!(&seqs, &(0..snap.events.len() as u64).collect::<Vec<_>>());
+
+        // Structural nesting: depth matches the path, and the parent path
+        // is the path minus its last segment.
+        for e in &snap.events {
+            let segments: Vec<&str> = e.path.split('/').collect();
+            prop_assert_eq!(segments.len(), e.depth + 1);
+            prop_assert!(ROOTS.contains(&segments[0]));
+        }
+
+        // Per thread: the filtered merged stream equals the simulation,
+        // in order.
+        for (t, script) in scripts.iter().enumerate() {
+            let got: Vec<(String, usize)> = snap
+                .events
+                .iter()
+                .filter(|e| e.path.split('/').next() == Some(ROOTS[t]))
+                .map(|e| (e.path.clone(), e.depth))
+                .collect();
+            prop_assert_eq!(got, expected_exits(ROOTS[t], script));
+        }
+
+        // Aggregates agree with the uncapped event stream.
+        let total_events: u64 = snap.spans.iter().map(|s| s.count).sum();
+        prop_assert_eq!(total_events, snap.events.len() as u64);
+        prop_assert_eq!(snap.events_dropped, 0);
+    }
+}
