@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# CI smoke for the attack-as-a-service engine (crates/service + serve_dir).
+#
+# Exercises the full resume contract on the demo trio (two quick synthetic
+# circuits plus the structurally hard st6288):
+#
+#   1. Reference run: serve the directory to completion. The propagation cap
+#      induces a *deterministic* timeout row on st6288 (exit status 2).
+#   2. Interrupted run: same jobs into a fresh output directory, SIGKILLed
+#      as soon as the first row hits disk.
+#   3. Resume: re-run against the interrupted directory; completed rows are
+#      skipped and the remaining jobs run.
+#
+# Gate: the resumed stream must be byte-identical to the reference stream,
+# and the reference must contain at least one Timeout row.
+#
+# Usage: service_smoke.sh [out-dir]   (default: service-smoke)
+set -euo pipefail
+
+BIN=target/release/serve_dir
+OUT="${1:-service-smoke}"
+ARGS=(--dir "$OUT/circuits" --scheme dmux --key-len 16 --seed 7
+      --propagations 20000 --iterations 30)
+
+[ -x "$BIN" ] || { echo "service_smoke: $BIN not built" >&2; exit 1; }
+rm -rf "$OUT"
+mkdir -p "$OUT"
+
+# 1. Reference run (--demo also writes the circuit trio into $OUT/circuits).
+rc=0
+"$BIN" "${ARGS[@]}" --demo --out "$OUT/reference" | tee "$OUT/reference.txt" || rc=$?
+if [ "$rc" -ne 2 ]; then
+  echo "service_smoke: expected exit 2 (timeout row present), got $rc" >&2
+  exit 1
+fi
+timeouts=$(grep -c '"status":"Timeout"' "$OUT/reference/rows.jsonl")
+if [ "$timeouts" -lt 1 ]; then
+  echo "service_smoke: no Timeout row in the reference stream" >&2
+  exit 1
+fi
+
+# 2. Interrupted run: kill -9 once the first row is on disk. (If the run
+# wins the race and finishes first, the resume below degrades to a no-op
+# re-run, which must still reproduce the stream byte-for-byte.)
+"$BIN" "${ARGS[@]}" --out "$OUT/resumed" >/dev/null 2>&1 &
+pid=$!
+for _ in $(seq 1 600); do
+  [ -s "$OUT/resumed/rows.jsonl" ] && break
+  sleep 0.1
+done
+kill -9 "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+
+# 3. Resume and gate on byte identity with the uninterrupted reference.
+rc=0
+"$BIN" "${ARGS[@]}" --out "$OUT/resumed" | tee "$OUT/resumed.txt" || rc=$?
+if [ "$rc" -ne 2 ]; then
+  echo "service_smoke: expected exit 2 on the resumed run, got $rc" >&2
+  exit 1
+fi
+if ! cmp "$OUT/reference/rows.jsonl" "$OUT/resumed/rows.jsonl"; then
+  echo "service_smoke: resumed stream differs from the reference" >&2
+  exit 1
+fi
+
+echo "service_smoke: OK — $timeouts induced timeout(s), resumed stream byte-identical"

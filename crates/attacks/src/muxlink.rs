@@ -244,6 +244,41 @@ impl MuxLinkConfig {
     }
 }
 
+/// A trained MuxLink link scorer, detached from the attack invocation that
+/// produced it.
+///
+/// [`MuxLinkAttack::train_model`] builds one; [`MuxLinkAttack::attack_with_model`]
+/// scores a locked netlist with it, skipping the training phase entirely.
+/// The whole enum is serde-serializable, which is what the service's
+/// disk-backed model registry persists: a model trained once for a
+/// (circuit, config, seed) triple is reloaded and reused across jobs
+/// instead of being retrained.
+///
+/// A trained model is only meaningful for the locked netlist it was trained
+/// on (MuxLink is self-supervised on the attacked netlist) and for the same
+/// [`MuxLinkConfig`] feature settings — the registry keys on both.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TrainedLinkModel {
+    /// Too few training links were available (or the netlist had no
+    /// candidates); scoring falls back to the uninformed 0.5 everywhere,
+    /// exactly as the monolithic attack does.
+    Uninformative,
+    /// The bagged-MLP backend with its feature standardization statistics.
+    Mlp {
+        /// The trained ensemble.
+        model: MlpEnsemble,
+        /// Per-feature training means (for standardizing scored rows).
+        mean: Vec<f64>,
+        /// Per-feature training standard deviations.
+        std: Vec<f64>,
+    },
+    /// The DGCNN backend.
+    Gnn {
+        /// The trained network (including optimizer state).
+        model: Dgcnn,
+    },
+}
+
 /// A sampled set of (driver, sink) link examples.
 type LinkPairs = Vec<(GateId, GateId)>;
 
@@ -642,6 +677,141 @@ impl MuxLinkAttack {
         false
     }
 
+    /// Trains the link model for `locked` without scoring anything.
+    ///
+    /// This is the training half of [`MuxLinkAttack::attack_with_scores`]:
+    /// it samples the self-supervised links and trains the configured
+    /// backend, consuming exactly the RNG draws the monolithic attack's
+    /// training phase consumes. The returned [`TrainedLinkModel`] is
+    /// serde-serializable so callers (the service's model registry) can
+    /// persist it and later skip retraining via
+    /// [`MuxLinkAttack::attack_with_model`].
+    pub fn train_model(&self, locked: &LockedNetlist, rng: &mut dyn RngCore) -> TrainedLinkModel {
+        // Derive an owned, seedable RNG so training is deterministic given
+        // the caller's RNG state (dyn RngCore cannot be cloned).
+        let mut rng = ChaCha8Rng::seed_from_u64(rng.next_u64());
+        self.train_model_with(locked, &mut rng)
+    }
+
+    /// [`MuxLinkAttack::train_model`] on an already-derived RNG (shared with
+    /// the monolithic path so the draw sequence is identical either way).
+    fn train_model_with(&self, locked: &LockedNetlist, rng: &mut ChaCha8Rng) -> TrainedLinkModel {
+        let netlist = locked.netlist();
+        if locked.key_len() == 0 || Self::find_candidates(netlist).is_empty() {
+            // Not a MUX-locked netlist (or keyless): nothing to train on.
+            // No RNG draws here, so the monolithic path's fallback guesses
+            // see the derived stream exactly where the old code left it.
+            return TrainedLinkModel::Uninformative;
+        }
+        let hidden = Self::hidden_gates(netlist);
+        let graph = CsrGraph::from_netlist_filtered(netlist, |id| hidden.contains(&id));
+        let fingerprint = netlist_fingerprint(netlist);
+        let levels = visible_levels(netlist, &hidden);
+        let extractor = LinkFeatureExtractor::new(self.config.features);
+
+        // Self-supervised training: sample links once, then train whichever
+        // backend is configured.
+        let (positives, negatives) = {
+            let _span = autolock_obs::span!("attack.sample_links");
+            self.sample_links(netlist, &hidden, rng)
+        };
+        let trainable = positives.len() + negatives.len() >= 8
+            && !positives.is_empty()
+            && !negatives.is_empty();
+        if !trainable {
+            return TrainedLinkModel::Uninformative;
+        }
+        let _train_span = autolock_obs::span!("attack.train");
+        match self.config.backend {
+            MuxLinkBackend::Mlp => {
+                let (rows, labels) = self.training_rows(
+                    netlist,
+                    &graph,
+                    fingerprint,
+                    &levels,
+                    &extractor,
+                    &positives,
+                    &negatives,
+                );
+                let data = Dataset::from_rows(rows, labels).expect("consistent feature rows");
+                let (mean, std) = data.feature_stats();
+                let data = data.standardized(&mean, &std);
+                // Bagged ensemble: member training (full data for member 0,
+                // bootstrap resamples after) fans out across the attack's
+                // rayon pool with per-member seeded RNGs, so the trained
+                // ensemble is bit-identical for every `threads` value.
+                // Feature extraction is shared, so extra members only cost
+                // MLP training time.
+                let model = MlpEnsemble::train(
+                    MlpEnsembleConfig {
+                        mlp: MlpConfig {
+                            input_dim: extractor.dim(),
+                            hidden: self.config.hidden.clone(),
+                            epochs: self.config.epochs,
+                            learning_rate: self.config.learning_rate,
+                            ..Default::default()
+                        },
+                        members: self.config.ensemble.max(1),
+                        threads: self.config.threads,
+                    },
+                    &data,
+                    rng,
+                );
+                TrainedLinkModel::Mlp { model, mean, std }
+            }
+            MuxLinkBackend::Gnn => {
+                // The streamed training set: tensors are built per
+                // mini-batch chunk from the cached enclosing subgraphs and
+                // recycled after each example's gradients reduce, so peak
+                // memory is one chunk of tensors — never the whole sampled
+                // set.
+                let source =
+                    self.training_source(netlist, &graph, fingerprint, &positives, &negatives);
+                let max_drnl = self.config.features.max_drnl;
+                // Resolve the SortPooling size against the sampled training
+                // subgraphs (the DGCNN percentile rule when `gnn_sortpool_k`
+                // is adaptive), then train with batch-level parallelism.
+                let mut model = Dgcnn::for_source(
+                    DgcnnConfig {
+                        epochs: self.config.epochs,
+                        learning_rate: self.config.learning_rate,
+                        sortpool_k: self.config.gnn_sortpool_k,
+                        num_threads: self.config.threads,
+                        ..DgcnnConfig::for_features(SubgraphTensor::feature_dim_for(max_drnl))
+                    },
+                    &source,
+                    rng,
+                );
+                model.train_source(&source, rng);
+                // ScratchPool occupancy after training = how many
+                // streamed-tensor buffers the run ended up recycling.
+                autolock_obs::gauge("gnn.scratch_retained").set(source.scratch.retained() as f64);
+                TrainedLinkModel::Gnn { model }
+            }
+        }
+    }
+
+    /// Runs the attack with an already-trained model, skipping the training
+    /// phase. This is how the service reuses registry-cached models: for a
+    /// fully MUX-covered key (every bit has candidates — the normal case)
+    /// the outcome is bit-identical to the monolithic
+    /// [`MuxLinkAttack::attack_with_scores`] run that would have trained the
+    /// same model in-line. Key bits *without* candidates fall back to coin
+    /// flips drawn from this call's RNG.
+    pub fn attack_with_model(
+        &self,
+        locked: &LockedNetlist,
+        trained: &TrainedLinkModel,
+        rng: &mut dyn RngCore,
+    ) -> (AttackOutcome, Vec<(MuxCandidate, f64, f64)>) {
+        let start = Instant::now();
+        let _attack_span = autolock_obs::span!("attack.muxlink");
+        autolock_obs::counter("attack.muxlink_runs").incr();
+        let cache_before = self.cache_stats();
+        let mut rng = ChaCha8Rng::seed_from_u64(rng.next_u64());
+        self.score_with_model(locked, trained, &mut rng, start, cache_before)
+    }
+
     /// Runs the attack. Prefer [`KeyRecoveryAttack::attack`]; this inherent
     /// method additionally exposes the trained link scores per candidate.
     pub fn attack_with_scores(
@@ -656,12 +826,29 @@ impl MuxLinkAttack {
         let _attack_span = autolock_obs::span!("attack.muxlink");
         autolock_obs::counter("attack.muxlink_runs").incr();
         let cache_before = self.cache_stats();
+        // Derive an owned, seedable RNG so the attack is deterministic given
+        // the caller's RNG state (dyn RngCore cannot be cloned). Training
+        // and scoring share the one derived stream, exactly as the
+        // pre-split monolithic implementation did.
+        let mut rng = ChaCha8Rng::seed_from_u64(rng.next_u64());
+        let trained = self.train_model_with(locked, &mut rng);
+        self.score_with_model(locked, &trained, &mut rng, start, cache_before)
+    }
+
+    /// The scoring half shared by [`MuxLinkAttack::attack_with_scores`] and
+    /// [`MuxLinkAttack::attack_with_model`]: wraps the trained model behind
+    /// a uniform *batch* scoring closure (`scores[i]` answers `pairs[i]`),
+    /// applies the cycle rule, and votes per key bit.
+    fn score_with_model(
+        &self,
+        locked: &LockedNetlist,
+        trained: &TrainedLinkModel,
+        rng: &mut ChaCha8Rng,
+        start: Instant,
+        cache_before: CacheStats,
+    ) -> (AttackOutcome, Vec<(MuxCandidate, f64, f64)>) {
         let netlist = locked.netlist();
         let key_len = locked.key_len();
-        // Derive an owned, seedable RNG so the attack is deterministic given
-        // the caller's RNG state (dyn RngCore cannot be cloned).
-        let mut rng = ChaCha8Rng::seed_from_u64(rng.next_u64());
-
         let candidates = Self::find_candidates(netlist);
         if candidates.is_empty() || key_len == 0 {
             // Not a MUX-locked netlist (or keyless): no information.
@@ -689,129 +876,44 @@ impl MuxLinkAttack {
         let visible_adj = Self::visible_fanouts(netlist, &hidden);
         let extractor = LinkFeatureExtractor::new(self.config.features);
 
-        // Self-supervised training: sample links once, then train whichever
-        // backend is configured and wrap it behind a uniform *batch* scoring
-        // closure (`scores[i]` answers `pairs[i]`), so the GNN backend can
-        // fan tensor construction and forward passes across its thread pool.
-        let (positives, negatives) = {
-            let _span = autolock_obs::span!("attack.sample_links");
-            self.sample_links(netlist, &hidden, &mut rng)
-        };
-        let trainable = positives.len() + negatives.len() >= 8
-            && !positives.is_empty()
-            && !negatives.is_empty();
-        let train_span = autolock_obs::span!("attack.train");
-        let score_model: BatchScorer = match self.config.backend {
-            MuxLinkBackend::Mlp => {
-                let (rows, labels) = self.training_rows(
-                    netlist,
-                    &graph,
-                    fingerprint,
-                    &levels,
-                    &extractor,
-                    &positives,
-                    &negatives,
-                );
-                if !trainable {
-                    Box::new(|pairs| vec![0.5; pairs.len()])
-                } else {
-                    let data = Dataset::from_rows(rows, labels).expect("consistent feature rows");
-                    let (mean, std) = data.feature_stats();
-                    let data = data.standardized(&mean, &std);
-                    // Bagged ensemble: member training (full data for member
-                    // 0, bootstrap resamples after) fans out across the
-                    // attack's rayon pool with per-member seeded RNGs, so
-                    // the trained ensemble is bit-identical for every
-                    // `threads` value. Feature extraction is shared, so
-                    // extra members only cost MLP training time.
-                    let model = MlpEnsemble::train(
-                        MlpEnsembleConfig {
-                            mlp: MlpConfig {
-                                input_dim: extractor.dim(),
-                                hidden: self.config.hidden.clone(),
-                                epochs: self.config.epochs,
-                                learning_rate: self.config.learning_rate,
-                                ..Default::default()
-                            },
-                            members: self.config.ensemble.max(1),
-                            threads: self.config.threads,
-                        },
-                        &data,
-                        &mut rng,
-                    );
-                    let extractor = extractor.clone();
-                    let graph_ref = &graph;
-                    let levels_ref = &levels;
-                    Box::new(move |pairs| {
-                        // Candidate scoring walks pairs (cached subgraph +
-                        // feature extraction + ensemble forward) in chunks
-                        // across the same pool, order-preserving.
-                        self.chunked(pairs, |&(driver, sink)| {
-                            let f = if extractor.config().mode == FeatureMode::LocalityOnly {
-                                // No neighbourhood needed: skip extraction.
-                                extractor
-                                    .extract(netlist, graph_ref, levels_ref, driver, sink, false)
-                            } else {
-                                let sg = self.subgraph(fingerprint, graph_ref, driver, sink, false);
-                                extractor.extract_with_subgraph(
-                                    netlist, graph_ref, levels_ref, driver, sink, false, &sg,
-                                )
-                            };
-                            model.predict(&Dataset::standardize_row(&f, &mean, &std))
-                        })
+        let score_model: BatchScorer = match trained {
+            TrainedLinkModel::Uninformative => Box::new(|pairs| vec![0.5; pairs.len()]),
+            TrainedLinkModel::Mlp { model, mean, std } => {
+                let graph_ref = &graph;
+                let levels_ref = &levels;
+                Box::new(move |pairs| {
+                    // Candidate scoring walks pairs (cached subgraph +
+                    // feature extraction + ensemble forward) in chunks
+                    // across the same pool, order-preserving.
+                    self.chunked(pairs, |&(driver, sink)| {
+                        let f = if extractor.config().mode == FeatureMode::LocalityOnly {
+                            // No neighbourhood needed: skip extraction.
+                            extractor.extract(netlist, graph_ref, levels_ref, driver, sink, false)
+                        } else {
+                            let sg = self.subgraph(fingerprint, graph_ref, driver, sink, false);
+                            extractor.extract_with_subgraph(
+                                netlist, graph_ref, levels_ref, driver, sink, false, &sg,
+                            )
+                        };
+                        model.predict(&Dataset::standardize_row(&f, mean, std))
                     })
-                }
+                })
             }
-            MuxLinkBackend::Gnn => {
-                if !trainable {
-                    Box::new(|pairs| vec![0.5; pairs.len()])
-                } else {
-                    // The streamed training set: tensors are built per
-                    // mini-batch chunk from the cached enclosing subgraphs
-                    // and recycled after each example's gradients reduce, so
-                    // peak memory is one chunk of tensors — never the whole
-                    // sampled set. The example order (positives then
-                    // negatives) and every RNG draw match the old
-                    // materialized path, so outcomes are unchanged.
-                    let source =
-                        self.training_source(netlist, &graph, fingerprint, &positives, &negatives);
-                    let max_drnl = self.config.features.max_drnl;
-                    // Resolve the SortPooling size against the sampled
-                    // training subgraphs (the DGCNN percentile rule when
-                    // `gnn_sortpool_k` is adaptive), then train with
-                    // batch-level parallelism.
-                    let mut model = Dgcnn::for_source(
-                        DgcnnConfig {
-                            epochs: self.config.epochs,
-                            learning_rate: self.config.learning_rate,
-                            sortpool_k: self.config.gnn_sortpool_k,
-                            num_threads: self.config.threads,
-                            ..DgcnnConfig::for_features(SubgraphTensor::feature_dim_for(max_drnl))
-                        },
-                        &source,
-                        &mut rng,
-                    );
-                    model.train_source(&source, &mut rng);
-                    // ScratchPool occupancy after training = how many
-                    // streamed-tensor buffers the run ended up recycling.
-                    autolock_obs::gauge("gnn.scratch_retained")
-                        .set(source.scratch.retained() as f64);
-                    let graph_ref = &graph;
-                    Box::new(move |pairs| {
-                        // Chunked tensor construction + forward pass: at most
-                        // `score_chunk` tensors are alive at a time.
-                        let mut scores = Vec::with_capacity(pairs.len());
-                        for part in pairs.chunks(self.chunk_size(pairs.len())) {
-                            let tensors =
-                                self.gnn_tensors(netlist, graph_ref, fingerprint, part, false);
-                            scores.extend(model.score_batch(&tensors));
-                        }
-                        scores
-                    })
-                }
+            TrainedLinkModel::Gnn { model } => {
+                let graph_ref = &graph;
+                Box::new(move |pairs| {
+                    // Chunked tensor construction + forward pass: at most
+                    // `score_chunk` tensors are alive at a time.
+                    let mut scores = Vec::with_capacity(pairs.len());
+                    for part in pairs.chunks(self.chunk_size(pairs.len())) {
+                        let tensors =
+                            self.gnn_tensors(netlist, graph_ref, fingerprint, part, false);
+                        scores.extend(model.score_batch(&tensors));
+                    }
+                    scores
+                })
             }
         };
-        drop(train_span);
 
         // Score every candidate link. The model score is overridden by the
         // cycle rule (also used by the published MuxLink post-processing): a
@@ -977,6 +1079,68 @@ mod tests {
         let outcome = attack.attack(&locked, &mut rng);
         assert_eq!(outcome.guesses.len(), 8);
         assert!(outcome.guesses.iter().all(|g| g.confidence == 0.5));
+    }
+
+    /// The train/score split is exact: training a model up front and
+    /// attacking with it produces the same guesses and candidate scores as
+    /// the monolithic attack — the contract that lets the service registry
+    /// swap a cached model in for retraining. (DMux covers every key bit
+    /// with candidates, so no coin-flip fallback draws occur and the
+    /// comparison is bit-for-bit.)
+    #[test]
+    fn cached_model_attack_matches_monolithic_attack() {
+        let original = synth_circuit("t", 10, 4, 150, 9);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let locked = DMuxLocking::default().lock(&original, 8, &mut rng).unwrap();
+        let attack = MuxLinkAttack::new(MuxLinkConfig::fast());
+
+        let mut fresh_rng = ChaCha8Rng::seed_from_u64(42);
+        let (fresh, fresh_scores) = attack.attack_with_scores(&locked, &mut fresh_rng);
+
+        let mut split_rng = ChaCha8Rng::seed_from_u64(42);
+        let model = attack.train_model(&locked, &mut split_rng);
+        assert!(!matches!(model, TrainedLinkModel::Uninformative));
+        let (cached, cached_scores) = attack.attack_with_model(&locked, &model, &mut split_rng);
+
+        assert_eq!(fresh.guesses, cached.guesses);
+        assert_eq!(fresh.key_accuracy, cached.key_accuracy);
+        assert_eq!(fresh_scores, cached_scores);
+    }
+
+    /// A trained model survives serde: the registry's persisted JSON
+    /// deserializes to an equal model that attacks identically.
+    #[test]
+    fn trained_model_round_trips_through_serde() {
+        let original = synth_circuit("t", 10, 4, 150, 9);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let locked = DMuxLocking::default().lock(&original, 8, &mut rng).unwrap();
+        for config in [MuxLinkConfig::fast(), MuxLinkConfig::gnn_fast()] {
+            let attack = MuxLinkAttack::new(config);
+            let mut train_rng = ChaCha8Rng::seed_from_u64(7);
+            let model = attack.train_model(&locked, &mut train_rng);
+            let json = serde_json::to_string(&model).expect("serialize");
+            let restored: TrainedLinkModel = serde_json::from_str(&json).expect("deserialize");
+            assert_eq!(restored, model);
+
+            let mut rng_a = ChaCha8Rng::seed_from_u64(11);
+            let mut rng_b = ChaCha8Rng::seed_from_u64(11);
+            let (a, a_scores) = attack.attack_with_model(&locked, &model, &mut rng_a);
+            let (b, b_scores) = attack.attack_with_model(&locked, &restored, &mut rng_b);
+            assert_eq!(a.guesses, b.guesses);
+            assert_eq!(a_scores, b_scores);
+        }
+    }
+
+    /// A netlist with no key MUXes trains to `Uninformative` without
+    /// consuming RNG draws beyond the derivation draw.
+    #[test]
+    fn unlockable_netlist_trains_uninformative() {
+        let original = synth_circuit("t", 10, 4, 100, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let locked = XorLocking::default().lock(&original, 8, &mut rng).unwrap();
+        let attack = MuxLinkAttack::default();
+        let model = attack.train_model(&locked, &mut rng);
+        assert!(matches!(model, TrainedLinkModel::Uninformative));
     }
 
     #[test]

@@ -13,17 +13,24 @@
 
 use autolock_locking::{Key, LockedNetlist};
 use autolock_netlist::{GateId, Netlist};
-use autolock_satsolver::{CircuitEncoder, Lit, SolveResult, Solver};
+use autolock_satsolver::{CircuitEncoder, Lit, SolveBudget, SolveResult, Solver};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Configuration of the SAT attack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SatAttackConfig {
     /// Maximum number of DIP iterations before giving up.
     pub max_iterations: usize,
-    /// Maximum wall-clock milliseconds before giving up.
+    /// Maximum wall-clock milliseconds before giving up. Enforced *inside*
+    /// every solver call via [`SolveBudget`], so a single hard miter solve
+    /// cannot overrun the deadline unboundedly.
     pub timeout_ms: u128,
+    /// Optional deterministic work cap: maximum solver propagations per
+    /// individual `solve` call. Unlike `timeout_ms` this cuts off at the same
+    /// search point on every machine, which is what tests and the service
+    /// smoke use to induce reproducible timeouts. `None` = unbounded.
+    pub max_propagations_per_solve: Option<u64>,
 }
 
 impl Default for SatAttackConfig {
@@ -31,6 +38,7 @@ impl Default for SatAttackConfig {
         SatAttackConfig {
             max_iterations: 2000,
             timeout_ms: 60_000,
+            max_propagations_per_solve: None,
         }
     }
 }
@@ -58,6 +66,10 @@ pub struct SatAttackOutcome {
     pub runtime_ms: u128,
     /// Total SAT conflicts across all solver calls.
     pub solver_conflicts: u64,
+    /// `true` if the attack stopped on a budget (iteration cap, `timeout_ms`
+    /// deadline, or propagation cap) rather than reaching a verdict. The
+    /// other counters still describe the partial run.
+    pub gave_up: bool,
 }
 
 /// The oracle-guided SAT attack.
@@ -135,6 +147,23 @@ impl SatAttack {
         let mut iterations = 0usize;
         let mut gave_up = false;
 
+        // The deadline must bound wall clock even when a *single* solve call
+        // is slow, so it is pushed down into the CDCL loop as a SolveBudget
+        // rather than only being checked between DIP iterations. The
+        // propagation cap (when set) makes induced timeouts deterministic.
+        let deadline = Instant::now()
+            .checked_add(Duration::from_millis(
+                u64::try_from(self.config.timeout_ms).unwrap_or(u64::MAX),
+            ))
+            .unwrap_or_else(|| Instant::now() + Duration::from_secs(86_400));
+        let budget = SolveBudget {
+            deadline: Some(deadline),
+            max_conflicts: None,
+            max_propagations: self.config.max_propagations_per_solve,
+        };
+        miter.set_budget(budget);
+        key_solver.set_budget(budget);
+
         loop {
             if iterations >= self.config.max_iterations
                 || start.elapsed().as_millis() > self.config.timeout_ms
@@ -144,6 +173,12 @@ impl SatAttack {
             }
             match miter.solve() {
                 SolveResult::Unsat => break, // no more distinguishing inputs
+                SolveResult::Unknown => {
+                    // Budget exhausted mid-solve: report a partial run
+                    // instead of overrunning the deadline.
+                    gave_up = true;
+                    break;
+                }
                 SolveResult::Sat => {
                     // Extract the DIP from copy A's primary inputs.
                     let dip: Vec<bool> = pis
@@ -189,6 +224,11 @@ impl SatAttack {
                         .collect();
                     (true, Key::new(bits))
                 }
+                SolveResult::Unknown => {
+                    // Key extraction itself ran out of budget.
+                    gave_up = true;
+                    (false, Key::zeros(keys.len()))
+                }
                 SolveResult::Unsat => {
                     // Can only happen with zero iterations and an unsatisfiable
                     // circuit encoding, which validated netlists never produce.
@@ -221,6 +261,7 @@ impl SatAttack {
             iterations,
             runtime_ms: start.elapsed().as_millis(),
             solver_conflicts: miter_stats.conflicts + key_stats.conflicts,
+            gave_up,
         }
     }
 
@@ -282,7 +323,7 @@ impl SatAttack {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use autolock_circuits::{c17, synth_circuit};
+    use autolock_circuits::{c17, suite_circuit, synth_circuit};
     use autolock_locking::{DMuxLocking, LockingScheme, XorLocking};
     use autolock_netlist::equiv;
     use rand::SeedableRng;
@@ -355,10 +396,86 @@ mod tests {
         let attack = SatAttack::new(SatAttackConfig {
             max_iterations: 0,
             timeout_ms: 60_000,
+            max_propagations_per_solve: None,
         });
         let outcome = attack.attack(&locked, &original);
         assert!(!outcome.success);
         assert_eq!(outcome.iterations, 0);
+    }
+
+    #[test]
+    fn timeout_bounds_wall_clock_even_mid_solve() {
+        // st6288 embeds an array multiplier; its miter is hard enough that a
+        // single unbounded miter.solve() runs for minutes (measured: the
+        // attack makes <1 DIP iteration per second in release). A tiny
+        // timeout must still bound the whole attack, which only works if the
+        // deadline is enforced *inside* the CDCL loop.
+        let original = suite_circuit("st6288").expect("structured suite member");
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let locked = XorLocking::default().lock(&original, 32, &mut rng).unwrap();
+        let attack = SatAttack::new(SatAttackConfig {
+            max_iterations: 5000,
+            timeout_ms: 50,
+            max_propagations_per_solve: None,
+        });
+        let start = Instant::now();
+        let outcome = attack.attack(&locked, &original);
+        let elapsed = start.elapsed();
+        assert!(outcome.gave_up, "attack must give up: {outcome:?}");
+        assert!(!outcome.success);
+        // Generous debug-build bound — still orders of magnitude below the
+        // unbounded runtime. The release-mode service smoke in CI checks the
+        // tighter small-multiple-of-deadline property.
+        assert!(
+            elapsed < Duration::from_secs(30),
+            "deadline overrun: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn propagation_cap_induces_deterministic_give_up() {
+        // The machine-independent budget: two identical runs cut off at the
+        // same search point and report identical partial stats.
+        let original = suite_circuit("st6288").expect("structured suite member");
+        let run = || {
+            let mut rng = ChaCha8Rng::seed_from_u64(43);
+            let locked = DMuxLocking::default()
+                .lock(&original, 16, &mut rng)
+                .unwrap();
+            // The iteration cap is a backstop: measured release runs spend
+            // millions of propagations per miter solve here, so the 20k cap
+            // triggers within the first iterations either way.
+            SatAttack::new(SatAttackConfig {
+                max_iterations: 30,
+                timeout_ms: u128::MAX,
+                max_propagations_per_solve: Some(20_000),
+            })
+            .attack(&locked, &original)
+        };
+        let a = run();
+        let b = run();
+        assert!(a.gave_up, "cap must trigger: {a:?}");
+        assert!(!a.success);
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.solver_conflicts, b.solver_conflicts);
+        assert_eq!(a.recovered_key, b.recovered_key);
+    }
+
+    #[test]
+    fn generous_budget_leaves_attack_unaffected() {
+        // A budget far above what c17 needs must not change the result.
+        let original = c17();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let locked = XorLocking::default().lock(&original, 4, &mut rng).unwrap();
+        let outcome = SatAttack::new(SatAttackConfig {
+            max_iterations: 2000,
+            timeout_ms: 60_000,
+            max_propagations_per_solve: Some(10_000_000),
+        })
+        .attack(&locked, &original);
+        assert!(outcome.success);
+        assert!(!outcome.gave_up);
+        assert_recovered_key_is_functional(&original, &locked, &outcome);
     }
 
     #[test]

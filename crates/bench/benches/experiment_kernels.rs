@@ -178,6 +178,7 @@ fn e8_kernel(c: &mut Criterion) {
                 SatAttackConfig {
                     max_iterations: 20,
                     timeout_ms: 5_000,
+                    max_propagations_per_solve: None,
                 },
                 vec![ObjectiveKind::MuxLinkAccuracy, ObjectiveKind::AreaOverhead],
                 8,

@@ -1,0 +1,203 @@
+//! `serve_dir`: run the attack-as-a-service engine over a directory of
+//! `.bench` circuits and emit one JSONL status row per instance.
+//!
+//! ```text
+//! cargo run --release -p autolock_bench --bin serve_dir -- \
+//!     --dir circuits/ --out runs/smoke [--scheme xor|dmux] [--key-len N] \
+//!     [--seed N] [--timeout-ms N] [--propagations N] [--iterations N] [--demo]
+//! ```
+//!
+//! Each `.bench` file becomes one SAT-attack job (lock, then attack with the
+//! original as oracle) with a stable per-circuit seed. Rows stream to
+//! `<out>/rows.jsonl` as jobs finish; re-running against the same `--out`
+//! directory resumes, skipping completed jobs, and the final stream is
+//! bit-identical to an uninterrupted run. `--propagations` sets the
+//! deterministic per-solve work cap, which is how CI induces a reproducible
+//! `timeout` row; `--demo` first populates `--dir` with two quick synthetic
+//! circuits plus the structurally hard `st6288`.
+//!
+//! Exit status is 0 when every row is `ok`, 2 when any row is `timeout` or
+//! `error`, and 1 on usage or I/O failures.
+
+use autolock_bench::experiment_threads;
+use autolock_circuits::{suite_circuit, synth_circuit};
+use autolock_netlist::write_bench;
+use autolock_service::{jobs_from_dir, DirJobConfig, EngineConfig, JobEngine, JobStatus, LockSpec};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    dir: PathBuf,
+    out: PathBuf,
+    scheme: String,
+    key_len: usize,
+    seed: u64,
+    timeout_ms: u64,
+    propagations: Option<u64>,
+    iterations: usize,
+    demo: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve_dir --dir <circuits> --out <run-dir> [--scheme xor|dmux] \
+         [--key-len N] [--seed N] [--timeout-ms N] [--propagations N] \
+         [--iterations N] [--demo]"
+    );
+    std::process::exit(1);
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options {
+        dir: PathBuf::new(),
+        out: PathBuf::new(),
+        scheme: "xor".to_string(),
+        key_len: 16,
+        seed: DirJobConfig::default().seed,
+        timeout_ms: 60_000,
+        propagations: None,
+        iterations: 2000,
+        demo: false,
+    };
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("missing value for {flag}");
+            usage()
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dir" => opts.dir = PathBuf::from(value(&mut args, "--dir")),
+            "--out" => opts.out = PathBuf::from(value(&mut args, "--out")),
+            "--scheme" => opts.scheme = value(&mut args, "--scheme"),
+            "--key-len" => opts.key_len = parse_num(&value(&mut args, "--key-len")),
+            "--seed" => opts.seed = parse_num(&value(&mut args, "--seed")),
+            "--timeout-ms" => opts.timeout_ms = parse_num(&value(&mut args, "--timeout-ms")),
+            "--propagations" => {
+                opts.propagations = Some(parse_num(&value(&mut args, "--propagations")));
+            }
+            "--iterations" => opts.iterations = parse_num(&value(&mut args, "--iterations")),
+            "--demo" => opts.demo = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+    }
+    if opts.dir.as_os_str().is_empty() || opts.out.as_os_str().is_empty() {
+        usage();
+    }
+    opts
+}
+
+fn parse_num<T: std::str::FromStr>(text: &str) -> T {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("not a number: {text}");
+        usage()
+    })
+}
+
+/// Populate `dir` with the demo trio: two quick synthetic circuits and the
+/// structurally hard `st6288` (which times out under a propagation cap).
+fn write_demo_circuits(dir: &std::path::Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let quick_a = synth_circuit("demo_a", 10, 4, 120, 101);
+    let quick_b = synth_circuit("demo_b", 12, 4, 160, 102);
+    let hard = suite_circuit("st6288").expect("st6288 is a suite member");
+    std::fs::write(dir.join("demo_a.bench"), write_bench(&quick_a))?;
+    std::fs::write(dir.join("demo_b.bench"), write_bench(&quick_b))?;
+    std::fs::write(dir.join("st6288.bench"), write_bench(&hard))
+}
+
+fn main() -> ExitCode {
+    let opts = parse_options();
+    let lock = match opts.scheme.as_str() {
+        "xor" => LockSpec::Xor {
+            key_len: opts.key_len,
+        },
+        "dmux" => LockSpec::DMux {
+            key_len: opts.key_len,
+        },
+        other => {
+            eprintln!("unknown scheme: {other} (expected xor or dmux)");
+            return ExitCode::from(1);
+        }
+    };
+    if opts.demo {
+        if let Err(e) = write_demo_circuits(&opts.dir) {
+            eprintln!("serve_dir: writing demo circuits: {e}");
+            return ExitCode::from(1);
+        }
+    }
+
+    let config = DirJobConfig {
+        lock,
+        seed: opts.seed,
+        timeout_ms: opts.timeout_ms,
+        max_propagations_per_solve: opts.propagations,
+        max_iterations: opts.iterations,
+    };
+    let jobs = match jobs_from_dir(&opts.dir, &config) {
+        Ok(jobs) => jobs,
+        Err(e) => {
+            eprintln!("serve_dir: scanning {}: {e}", opts.dir.display());
+            return ExitCode::from(1);
+        }
+    };
+    if jobs.is_empty() {
+        eprintln!("serve_dir: no .bench files in {}", opts.dir.display());
+        return ExitCode::from(1);
+    }
+    eprintln!(
+        "serve_dir: {} job(s) from {} -> {}",
+        jobs.len(),
+        opts.dir.display(),
+        opts.out.display()
+    );
+
+    let engine = match JobEngine::new(EngineConfig::rooted(&opts.out, experiment_threads())) {
+        Ok(engine) => engine,
+        Err(e) => {
+            eprintln!("serve_dir: opening {}: {e}", opts.out.display());
+            return ExitCode::from(1);
+        }
+    };
+    let rows = match engine.run(&jobs) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("serve_dir: running jobs: {e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    let mut all_ok = true;
+    for row in &rows {
+        let status = match row.status {
+            JobStatus::Ok => "ok",
+            JobStatus::Timeout => "timeout",
+            JobStatus::Error => "error",
+        };
+        if row.status != JobStatus::Ok {
+            all_ok = false;
+        }
+        println!(
+            "{:<24} {:<8} {:<8} key_len={} iterations={}{}",
+            row.circuit,
+            row.attack,
+            status,
+            row.key_len,
+            row.iterations,
+            row.error
+                .as_deref()
+                .map(|e| format!(" error={e}"))
+                .unwrap_or_default()
+        );
+    }
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

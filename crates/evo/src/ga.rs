@@ -87,11 +87,12 @@ impl GeneticAlgorithm {
         &self.config
     }
 
-    fn evaluate_all<G, F>(&self, population: &[G], fitness: &F) -> Vec<f64>
+    pub(crate) fn evaluate_scores<G, F>(&self, population: &[G], fitness: &F) -> Vec<f64>
     where
         G: Genotype,
         F: FitnessFunction<G>,
     {
+        let _span = autolock_obs::span!("evo.evaluate");
         if self.config.parallel {
             population.par_iter().map(|g| fitness.evaluate(g)).collect()
         } else {
@@ -135,10 +136,7 @@ impl GeneticAlgorithm {
         let mean_gauge = autolock_obs::gauge("evo.mean_fitness");
 
         let mut population = initial_population;
-        let mut scores = {
-            let _span = autolock_obs::span!("evo.evaluate");
-            self.evaluate_all(&population, fitness)
-        };
+        let mut scores = self.evaluate_scores(&population, fitness);
         eval_counter.add(population.len() as u64);
         let mut evaluations = population.len();
 
@@ -161,13 +159,11 @@ impl GeneticAlgorithm {
             let _gen_span = autolock_obs::span!("evo.generation");
             gen_counter.incr();
 
-            // Elites survive unchanged.
+            // Elites survive unchanged. NaN-safe ordering: a NaN fitness
+            // (failed evaluation) sorts last and can never enter the elite
+            // prefix, instead of panicking the engine.
             let mut order: Vec<usize> = (0..population.len()).collect();
-            order.sort_by(|&a, &b| {
-                scores[b]
-                    .partial_cmp(&scores[a])
-                    .expect("finite fitness values")
-            });
+            order.sort_by(|&a, &b| crate::order::desc_nan_last(scores[a], scores[b]));
             let mut next: Vec<G> = order
                 .iter()
                 .take(self.config.elitism.min(pop_size))
@@ -197,10 +193,7 @@ impl GeneticAlgorithm {
             }
 
             population = next;
-            scores = {
-                let _span = autolock_obs::span!("evo.evaluate");
-                self.evaluate_all(&population, fitness)
-            };
+            scores = self.evaluate_scores(&population, fitness);
             eval_counter.add(population.len() as u64);
             evaluations += population.len();
             history.push(GenerationStats::from_fitness(generation, &scores));
@@ -236,7 +229,7 @@ impl GeneticAlgorithm {
     }
 }
 
-fn argmax(values: &[f64]) -> (usize, f64) {
+pub(crate) fn argmax(values: &[f64]) -> (usize, f64) {
     let mut idx = 0;
     let mut best = f64::NEG_INFINITY;
     for (i, &v) in values.iter().enumerate() {
@@ -448,6 +441,89 @@ mod tests {
         );
         assert_eq!(serial.best_fitness, parallel.best_fitness);
         assert_eq!(serial.history, parallel.history);
+    }
+
+    /// OneMax, except the all-false genotype evaluates to NaN (a "failed"
+    /// evaluation, e.g. a crashed attack inside a fitness function).
+    struct NanOnAllFalse;
+    impl FitnessFunction<Vec<bool>> for NanOnAllFalse {
+        fn evaluate(&self, g: &Vec<bool>) -> f64 {
+            let ones = g.iter().filter(|&&b| b).count();
+            if ones == 0 {
+                f64::NAN
+            } else {
+                ones as f64
+            }
+        }
+    }
+
+    #[test]
+    fn nan_fitness_completes_and_never_becomes_elite() {
+        for selection in [
+            SelectionMethod::Tournament { size: 3 },
+            SelectionMethod::Roulette,
+            SelectionMethod::Rank,
+        ] {
+            let mut rng = ChaCha8Rng::seed_from_u64(21);
+            // Plant NaN candidates (all-false genotypes) in the population.
+            let mut pop = initial(12, 16, 22);
+            pop[0] = vec![false; 16];
+            pop[5] = vec![false; 16];
+            let config = GaConfig {
+                generations: 15,
+                elitism: 2,
+                selection,
+                parallel: false,
+                ..Default::default()
+            };
+            let result = GeneticAlgorithm::new(config).run(
+                pop,
+                &NanOnAllFalse,
+                &UniformCrossover,
+                &BitFlip,
+                &mut rng,
+            );
+            // The run completed (no panic) and the reported best is a real
+            // candidate, not the NaN one.
+            assert!(
+                result.best_fitness.is_finite(),
+                "{}: best fitness {}",
+                selection.name(),
+                result.best_fitness
+            );
+            assert!(result.best.iter().any(|&b| b), "{}", selection.name());
+        }
+    }
+
+    #[test]
+    fn all_nan_population_still_terminates() {
+        struct AlwaysNan;
+        impl FitnessFunction<Vec<bool>> for AlwaysNan {
+            fn evaluate(&self, _: &Vec<bool>) -> f64 {
+                f64::NAN
+            }
+        }
+        for selection in [
+            SelectionMethod::Tournament { size: 2 },
+            SelectionMethod::Roulette,
+            SelectionMethod::Rank,
+        ] {
+            let mut rng = ChaCha8Rng::seed_from_u64(33);
+            let config = GaConfig {
+                generations: 5,
+                selection,
+                parallel: false,
+                ..Default::default()
+            };
+            let result = GeneticAlgorithm::new(config).run(
+                initial(8, 10, 34),
+                &AlwaysNan,
+                &UniformCrossover,
+                &BitFlip,
+                &mut rng,
+            );
+            assert_eq!(result.history.len(), 6, "{}", selection.name());
+        }
     }
 
     #[test]

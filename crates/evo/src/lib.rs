@@ -61,12 +61,15 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+mod checkpoint;
 mod ga;
 pub mod nsga2;
+pub mod order;
 mod selection;
 mod stats;
 mod traits;
 
+pub use checkpoint::{finish, GaState};
 pub use ga::{GaConfig, GaResult, GeneticAlgorithm};
 pub use nsga2::{MultiObjectiveFitness, Nsga2, Nsga2Config, Nsga2Result, ParetoPoint};
 pub use selection::SelectionMethod;

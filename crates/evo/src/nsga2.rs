@@ -155,12 +155,10 @@ impl Nsga2 {
                 if selected.len() + front.len() <= pop_size {
                     selected.extend_from_slice(front);
                 } else {
+                    // NaN-safe: a NaN crowding distance (NaN objectives in
+                    // the front) sorts last and is cut first.
                     let mut rest: Vec<usize> = front.clone();
-                    rest.sort_by(|&a, &b| {
-                        crowding[b]
-                            .partial_cmp(&crowding[a])
-                            .expect("crowding distances are comparable")
-                    });
+                    rest.sort_by(|&a, &b| crate::order::desc_nan_last(crowding[a], crowding[b]));
                     selected.extend(rest.into_iter().take(pop_size - selected.len()));
                     break;
                 }
@@ -203,9 +201,17 @@ impl Nsga2 {
 }
 
 /// Returns `true` if `a` Pareto-dominates `b` (all objectives ≤, at least one <).
+///
+/// NaN objectives are treated as `+inf` (the worst possible minimized value):
+/// a point with a NaN objective never dominates on that objective and is
+/// dominated by any point that is finite there. Without this, NaN points
+/// would be incomparable to everything (`NaN < x` and `NaN > x` are both
+/// false) and would permanently squat on the first front.
 pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    let lift = |v: f64| if v.is_nan() { f64::INFINITY } else { v };
     let mut strictly_better = false;
-    for (x, y) in a.iter().zip(b) {
+    for (&x, &y) in a.iter().zip(b) {
+        let (x, y) = (lift(x), lift(y));
         if x > y {
             return false;
         }
@@ -280,11 +286,11 @@ pub fn crowding_distances(objectives: &[Vec<f64>], fronts: &[Vec<usize>]) -> Vec
         }
         #[allow(clippy::needless_range_loop)]
         for obj in 0..m {
+            // NaN-safe: a NaN objective sorts last, i.e. is treated as the
+            // worst (largest) minimized value.
             let mut sorted: Vec<usize> = front.clone();
             sorted.sort_by(|&a, &b| {
-                objectives[a][obj]
-                    .partial_cmp(&objectives[b][obj])
-                    .expect("finite objectives")
+                crate::order::asc_nan_last(objectives[a][obj], objectives[b][obj])
             });
             let min = objectives[sorted[0]][obj];
             let max = objectives[*sorted.last().expect("non-empty front")][obj];
@@ -412,6 +418,56 @@ mod tests {
             - f1.iter().copied().fold(f64::INFINITY, f64::min);
         assert!(spread > 0.5, "front collapsed: spread {spread}");
         assert_eq!(result.front_size_history.len(), 60);
+    }
+
+    // Schaffer, except a band of x values yields NaN objectives (a failed
+    // evaluation in a long-running service).
+    struct NanBandSchaffer;
+    impl MultiObjectiveFitness<f64> for NanBandSchaffer {
+        fn num_objectives(&self) -> usize {
+            2
+        }
+        fn evaluate(&self, x: &f64) -> Vec<f64> {
+            if (4.0..5.0).contains(x) {
+                vec![f64::NAN, f64::NAN]
+            } else {
+                vec![x * x, (x - 2.0) * (x - 2.0)]
+            }
+        }
+    }
+
+    #[test]
+    fn nan_objectives_complete_and_stay_off_the_front() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let initial: Vec<f64> = (0..30).map(|_| rng.gen_range(-10.0..10.0)).collect();
+        let result = Nsga2::new(Nsga2Config {
+            generations: 25,
+            parallel: false,
+            ..Default::default()
+        })
+        .run(initial, &NanBandSchaffer, &Blend, &Jitter, &mut rng);
+        assert!(!result.front.is_empty());
+        for point in &result.front {
+            assert!(
+                point.objectives.iter().all(|o| o.is_finite()),
+                "NaN point on the Pareto front: {point:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn crowding_distance_sort_tolerates_nan() {
+        // A front whose objectives contain NaN must not panic the crowding
+        // computation.
+        let objectives = vec![
+            vec![0.0, 4.0],
+            vec![f64::NAN, 1.0],
+            vec![2.0, 1.5],
+            vec![4.0, 0.0],
+        ];
+        let fronts = vec![vec![0usize, 1, 2, 3]];
+        let d = crowding_distances(&objectives, &fronts);
+        assert_eq!(d.len(), 4);
     }
 
     #[test]

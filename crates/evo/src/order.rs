@@ -1,0 +1,117 @@
+//! NaN-safe total orderings over `f64` fitness/objective values.
+//!
+//! A long-lived evolution service cannot afford
+//! `partial_cmp(..).expect(..)` orderings: one NaN fitness (a crashed
+//! attack, a 0/0 accuracy on a degenerate circuit) would panic the whole
+//! engine. These comparators are total — built on [`f64::total_cmp`] — and
+//! place **every** NaN (regardless of sign bit) deterministically at the
+//! *worst* end of the ordering, so a NaN candidate can never be selected as
+//! an elite, win a tournament, or displace a finite Pareto point.
+
+use std::cmp::Ordering;
+
+/// Descending by value (best first); every NaN sorts after every non-NaN.
+///
+/// Use for "best candidates first" orderings of a fitness that is maximized
+/// (GA elitism) or of crowding distances (larger = better): NaN lands at the
+/// end and is never taken into an elite prefix.
+pub fn desc_nan_last(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => b.total_cmp(&a),
+    }
+}
+
+/// Ascending by value (worst first); every NaN sorts before every non-NaN.
+///
+/// Use for "worst candidates first" orderings of a maximized fitness (rank
+/// selection, where position 0 gets the smallest weight): NaN lands at the
+/// front and receives the lowest selection probability.
+pub fn asc_nan_first(a: f64, b: f64) -> Ordering {
+    desc_nan_last(b, a)
+}
+
+/// Ascending by value; every NaN sorts after every non-NaN.
+///
+/// Use for minimized objective values (NSGA-II): NaN is treated as larger
+/// than every number, i.e. the worst possible objective.
+pub fn asc_nan_last(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.total_cmp(&b),
+    }
+}
+
+/// `true` if `a` is a strictly better (larger) fitness than `b`, treating
+/// NaN as worse than every number. Replaces bare `a > b` in tournament-style
+/// comparisons, where `finite > NaN` evaluates to `false` and would let an
+/// incumbent NaN win every tie.
+pub fn fitness_gt(a: f64, b: f64) -> bool {
+    desc_nan_last(a, b) == Ordering::Less
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NAN: f64 = f64::NAN;
+
+    #[test]
+    fn desc_sorts_best_first_with_nan_last() {
+        let mut v = [1.0, NAN, 3.0, -NAN, 2.0, f64::INFINITY];
+        v.sort_by(|a, b| desc_nan_last(*a, *b));
+        assert_eq!(&v[..4], &[f64::INFINITY, 3.0, 2.0, 1.0]);
+        assert!(v[4].is_nan() && v[5].is_nan());
+    }
+
+    #[test]
+    fn asc_nan_first_sorts_worst_first() {
+        let mut v = [1.0, NAN, 3.0, 2.0];
+        v.sort_by(|a, b| asc_nan_first(*a, *b));
+        assert!(v[0].is_nan());
+        assert_eq!(&v[1..], &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn asc_nan_last_treats_nan_as_worst_objective() {
+        let mut v = [NAN, 0.5, f64::INFINITY, -1.0];
+        v.sort_by(|a, b| asc_nan_last(*a, *b));
+        assert_eq!(&v[..3], &[-1.0, 0.5, f64::INFINITY]);
+        assert!(v[3].is_nan());
+    }
+
+    #[test]
+    fn negative_nan_is_not_special() {
+        // total_cmp alone would sort -NaN below -inf; the wrappers must not.
+        let mut v = [-NAN, f64::NEG_INFINITY];
+        v.sort_by(|a, b| asc_nan_last(*a, *b));
+        assert_eq!(v[0], f64::NEG_INFINITY);
+        assert!(v[1].is_nan());
+    }
+
+    #[test]
+    fn fitness_gt_never_favours_nan() {
+        assert!(fitness_gt(1.0, 0.0));
+        assert!(!fitness_gt(0.0, 1.0));
+        assert!(fitness_gt(-5.0, NAN));
+        assert!(!fitness_gt(NAN, -5.0));
+        assert!(!fitness_gt(NAN, NAN));
+        assert!(!fitness_gt(2.0, 2.0));
+    }
+
+    #[test]
+    fn orderings_are_total_and_antisymmetric() {
+        let vals = [NAN, -NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -0.0, 1.5];
+        for &a in &vals {
+            for &b in &vals {
+                for cmp in [desc_nan_last, asc_nan_first, asc_nan_last] {
+                    assert_eq!(cmp(a, b), cmp(b, a).reverse());
+                }
+            }
+        }
+    }
+}

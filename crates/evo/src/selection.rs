@@ -43,7 +43,9 @@ impl SelectionMethod {
                 let mut best = rng.gen_range(0..n);
                 for _ in 1..k {
                     let challenger = rng.gen_range(0..n);
-                    if fitness[challenger] > fitness[best] {
+                    // NaN-safe: `finite > NaN` is false, so a bare `>` would
+                    // let an incumbent NaN survive every challenge.
+                    if crate::order::fitness_gt(fitness[challenger], fitness[best]) {
                         best = challenger;
                     }
                 }
@@ -51,12 +53,32 @@ impl SelectionMethod {
             }
             SelectionMethod::Roulette => {
                 // Windowed fitness-proportionate selection: shift so the worst
-                // individual keeps a small but non-vanishing probability.
-                let min = fitness.iter().copied().fold(f64::INFINITY, f64::min);
-                let max = fitness.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                // individual keeps a small but non-vanishing probability. The
+                // window is computed over *finite* fitness only and NaN
+                // individuals get weight 0, so one NaN cannot poison the
+                // `gen_range(0.0..total)` draw below.
+                let min = fitness
+                    .iter()
+                    .copied()
+                    .filter(|f| !f.is_nan())
+                    .fold(f64::INFINITY, f64::min);
+                let max = fitness
+                    .iter()
+                    .copied()
+                    .filter(|f| !f.is_nan())
+                    .fold(f64::NEG_INFINITY, f64::max);
                 let window = 0.1 * (max - min) + 1e-9;
-                let weights: Vec<f64> = fitness.iter().map(|f| f - min + window).collect();
+                let weights: Vec<f64> = fitness
+                    .iter()
+                    .map(|f| if f.is_nan() { 0.0 } else { f - min + window })
+                    .collect();
                 let total: f64 = weights.iter().sum();
+                if !total.is_finite() || total <= 0.0 {
+                    // Degenerate population (all NaN, or infinite fitness):
+                    // fall back to a uniform draw rather than panicking in
+                    // gen_range over an invalid range.
+                    return rng.gen_range(0..n);
+                }
                 let mut target = rng.gen_range(0.0..total);
                 for (i, w) in weights.iter().enumerate() {
                     if target < *w {
@@ -67,13 +89,10 @@ impl SelectionMethod {
                 n - 1
             }
             SelectionMethod::Rank => {
-                // rank 1 (worst) .. n (best); probability ∝ rank.
+                // rank 1 (worst) .. n (best); probability ∝ rank. NaN-safe:
+                // NaN sorts first and gets the smallest selection weight.
                 let mut order: Vec<usize> = (0..n).collect();
-                order.sort_by(|&a, &b| {
-                    fitness[a]
-                        .partial_cmp(&fitness[b])
-                        .expect("finite fitness values")
-                });
+                order.sort_by(|&a, &b| crate::order::asc_nan_first(fitness[a], fitness[b]));
                 let total = (n * (n + 1) / 2) as f64;
                 let mut target = rng.gen_range(0.0..total);
                 for (rank_minus_one, &idx) in order.iter().enumerate() {
@@ -156,6 +175,76 @@ mod tests {
         assert_eq!(SelectionMethod::default().name(), "tournament");
         assert_eq!(SelectionMethod::Roulette.name(), "roulette");
         assert_eq!(SelectionMethod::Rank.name(), "rank");
+    }
+
+    #[test]
+    fn nan_fitness_is_never_favoured() {
+        // Index 1 is NaN: every method must still terminate, and the NaN
+        // individual must be selected no more often than the worst finite one.
+        let fitness = [5.0, f64::NAN, 1.0, 3.0];
+        for method in [
+            SelectionMethod::Tournament { size: 3 },
+            SelectionMethod::Roulette,
+            SelectionMethod::Rank,
+        ] {
+            let counts = selection_counts(method, &fitness, 4000);
+            assert!(
+                counts[1] <= counts[2],
+                "{}: NaN selected {} times vs worst finite {}",
+                method.name(),
+                counts[1],
+                counts[2]
+            );
+            assert!(counts[0] > counts[2], "{}", method.name());
+        }
+    }
+
+    #[test]
+    fn all_nan_population_falls_back_to_uniform() {
+        let fitness = [f64::NAN; 4];
+        for method in [
+            SelectionMethod::Tournament { size: 2 },
+            SelectionMethod::Roulette,
+            SelectionMethod::Rank,
+        ] {
+            let counts = selection_counts(method, &fitness, 2000);
+            // No panic, and every index is reachable.
+            assert!(
+                counts.iter().all(|&c| c > 0),
+                "{}: counts {counts:?}",
+                method.name()
+            );
+        }
+    }
+
+    #[test]
+    fn roulette_rng_stream_is_unchanged_for_finite_fitness() {
+        // The NaN hardening must not perturb selections on clean populations:
+        // same seed, same draws as the windowed scheme always made.
+        let fitness = [2.0, -1.0, 0.5, 4.0];
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..200 {
+            let expected = {
+                // Reference implementation of the original windowed scheme.
+                let min = fitness.iter().copied().fold(f64::INFINITY, f64::min);
+                let max = fitness.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let window = 0.1 * (max - min) + 1e-9;
+                let weights: Vec<f64> = fitness.iter().map(|f| f - min + window).collect();
+                let total: f64 = weights.iter().sum();
+                let mut target = b.gen_range(0.0..total);
+                let mut pick = fitness.len() - 1;
+                for (i, w) in weights.iter().enumerate() {
+                    if target < *w {
+                        pick = i;
+                        break;
+                    }
+                    target -= w;
+                }
+                pick
+            };
+            assert_eq!(SelectionMethod::Roulette.select(&fitness, &mut a), expected);
+        }
     }
 
     #[test]

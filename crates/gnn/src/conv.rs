@@ -4,10 +4,14 @@ use crate::SubgraphTensor;
 use autolock_mlcore::optim::{AdamParams, AdamState, AdamVecState};
 use autolock_mlcore::Matrix;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// One graph convolution: `X' = tanh(Â X W + b)` with degree-normalized
 /// message passing (`Â` lives in the [`SubgraphTensor`]).
-#[derive(Debug, Clone)]
+///
+/// Serializable (weights, biases and optimizer state) so trained models can
+/// be persisted in the service's model registry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GraphConv {
     weights: Matrix,
     bias: Vec<f64>,

@@ -3,9 +3,10 @@
 use autolock_mlcore::optim::{AdamParams, AdamState, AdamVecState};
 use autolock_mlcore::Matrix;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// One fully-connected layer of the head.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct DenseLayer {
     weights: Matrix, // in × out
     bias: Vec<f64>,
@@ -27,8 +28,8 @@ impl DenseLayer {
 
 /// A ReLU multi-layer head ending in a single linear logit, with
 /// backpropagation to its input (needed to keep training the conv stack
-/// below it).
-#[derive(Debug, Clone)]
+/// below it). Serializable for the service's model registry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DenseStack {
     layers: Vec<DenseLayer>,
 }

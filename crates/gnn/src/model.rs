@@ -63,7 +63,11 @@ impl DgcnnConfig {
 }
 
 /// The DGCNN link scorer.
-#[derive(Debug, Clone)]
+///
+/// Serializable end-to-end (conv stack, pooling, head, optimizer state): a
+/// model trained once can be stored in the service's disk-backed registry
+/// and reloaded to score without retraining.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Dgcnn {
     config: DgcnnConfig,
     convs: Vec<GraphConv>,

@@ -52,7 +52,7 @@ impl SortPoolK {
 /// first `k` rows are kept; graphs with fewer than `k` nodes are zero-padded.
 /// The result is a `k × f` matrix regardless of graph size, which the dense
 /// head consumes flattened.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SortPooling {
     k: usize,
 }

@@ -37,5 +37,5 @@ mod types;
 
 pub use cnf::CnfFormula;
 pub use encode::CircuitEncoder;
-pub use solver::{SolveResult, Solver, SolverStats};
+pub use solver::{SolveBudget, SolveResult, Solver, SolverStats};
 pub use types::{Lit, Var};

@@ -2,6 +2,7 @@
 
 use crate::{Lit, Var};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Outcome of a [`Solver::solve`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -10,6 +11,74 @@ pub enum SolveResult {
     Sat,
     /// The formula (under the given assumptions, if any) is unsatisfiable.
     Unsat,
+    /// The search was cut off by the active [`SolveBudget`] before reaching a
+    /// verdict. The solver state stays consistent: clauses learned so far are
+    /// kept and further `solve` calls (with a fresh or no budget) may still
+    /// answer Sat/Unsat.
+    Unknown,
+}
+
+/// A per-call resource budget for [`Solver::solve`].
+///
+/// Deadline-based services must bound a *single* solver call, not just the
+/// gaps between calls: a miter solve on an ISCAS-scale circuit can run for
+/// minutes, so checking wall clock only between calls lets one call blow past
+/// any deadline unboundedly. The budget is consulted *inside* the CDCL loop
+/// (at every conflict and periodically between decisions), so `solve` returns
+/// [`SolveResult::Unknown`] within a small, bounded overshoot of the limit.
+///
+/// The wall-clock deadline depends on the machine; the conflict and
+/// propagation budgets are deterministic (two runs on any machines cut off at
+/// the same search point), which is what a reproducible-results service wants
+/// for induced timeouts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveBudget {
+    /// Absolute wall-clock deadline; `None` = unbounded.
+    pub deadline: Option<Instant>,
+    /// Maximum conflicts *per solve call*; `None` = unbounded.
+    pub max_conflicts: Option<u64>,
+    /// Maximum propagations *per solve call*; `None` = unbounded.
+    pub max_propagations: Option<u64>,
+}
+
+impl SolveBudget {
+    /// No limits (the default).
+    pub fn unbounded() -> Self {
+        SolveBudget::default()
+    }
+
+    /// A wall-clock deadline `ms` milliseconds from now.
+    pub fn with_timeout_ms(ms: u64) -> Self {
+        SolveBudget {
+            deadline: Instant::now().checked_add(std::time::Duration::from_millis(ms)),
+            ..SolveBudget::default()
+        }
+    }
+
+    /// An absolute wall-clock deadline.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        SolveBudget {
+            deadline: Some(deadline),
+            ..SolveBudget::default()
+        }
+    }
+
+    /// Caps propagations per call (deterministic, machine-independent).
+    pub fn with_max_propagations(mut self, max: u64) -> Self {
+        self.max_propagations = Some(max);
+        self
+    }
+
+    /// Caps conflicts per call (deterministic, machine-independent).
+    pub fn with_max_conflicts(mut self, max: u64) -> Self {
+        self.max_conflicts = Some(max);
+        self
+    }
+
+    /// `true` if no limit is set (the hot loop skips all checks then).
+    pub fn is_unbounded(&self) -> bool {
+        self.deadline.is_none() && self.max_conflicts.is_none() && self.max_propagations.is_none()
+    }
 }
 
 /// Counters describing the work a solver has performed.
@@ -61,6 +130,7 @@ pub struct Solver {
     model: Vec<i8>,
     ok: bool,
     stats: SolverStats,
+    budget: SolveBudget,
 }
 
 impl Default for Solver {
@@ -87,6 +157,7 @@ impl Solver {
             model: Vec::new(),
             ok: true,
             stats: SolverStats::default(),
+            budget: SolveBudget::default(),
         }
     }
 
@@ -103,6 +174,19 @@ impl Solver {
     /// Work counters.
     pub fn stats(&self) -> SolverStats {
         self.stats
+    }
+
+    /// Sets the budget applied to every subsequent `solve` call. Conflict and
+    /// propagation limits are counted per call (against a snapshot of the
+    /// stats taken when the call starts); the deadline is absolute. Pass
+    /// [`SolveBudget::unbounded`] to clear.
+    pub fn set_budget(&mut self, budget: SolveBudget) {
+        self.budget = budget;
+    }
+
+    /// The budget currently applied to `solve` calls.
+    pub fn budget(&self) -> SolveBudget {
+        self.budget
     }
 
     /// Creates a fresh variable.
@@ -410,7 +494,34 @@ impl Solver {
         let mut conflicts_since_restart: u64 = 0;
         let mut restart_limit: u64 = 100;
 
+        // Per-call budget bookkeeping: conflict/propagation limits count work
+        // done in *this* call against a snapshot of the stats. Each check is
+        // a couple of compares (plus one vDSO clock read for the deadline),
+        // negligible next to the propagate() call that follows it, so all
+        // three run on every iteration and the overshoot past a limit is at
+        // most one propagation pass.
+        let bounded = !self.budget.is_unbounded();
+        let base_conflicts = self.stats.conflicts;
+        let base_propagations = self.stats.propagations;
+
         let result = 'outer: loop {
+            if bounded {
+                if let Some(max) = self.budget.max_conflicts {
+                    if self.stats.conflicts - base_conflicts >= max {
+                        break 'outer SolveResult::Unknown;
+                    }
+                }
+                if let Some(max) = self.budget.max_propagations {
+                    if self.stats.propagations - base_propagations >= max {
+                        break 'outer SolveResult::Unknown;
+                    }
+                }
+                if let Some(deadline) = self.budget.deadline {
+                    if Instant::now() >= deadline {
+                        break 'outer SolveResult::Unknown;
+                    }
+                }
+            }
             if let Some(conflict) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_since_restart += 1;
@@ -664,6 +775,108 @@ mod tests {
         }
         assert_eq!(s.solve(), SolveResult::Sat);
         assert!(s.stats().propagations > 0);
+    }
+
+    /// Encodes the (unsatisfiable) `pigeons`-into-`holes` pigeonhole problem,
+    /// exponentially hard for CDCL once `pigeons` is around 9-10.
+    fn pigeonhole(s: &mut Solver, pigeons: usize, holes: usize) {
+        let p: Vec<Vec<Var>> = (0..pigeons)
+            .map(|_| (0..holes).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &p {
+            let lits: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+            s.add_clause(&lits);
+        }
+        for i in 0..pigeons {
+            for k in (i + 1)..pigeons {
+                for (&a, &b) in p[i].iter().zip(&p[k]) {
+                    s.add_clause(&[Lit::neg(a), Lit::neg(b)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn propagation_budget_cuts_off_hard_instance() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 10, 9);
+        s.set_budget(SolveBudget::unbounded().with_max_propagations(20_000));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        // The cutoff overshoots by at most one propagation pass.
+        assert!(s.stats().propagations >= 20_000);
+        // Unknown must not poison the solver.
+        assert!(s.is_ok());
+    }
+
+    #[test]
+    fn conflict_budget_cuts_off_hard_instance() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 10, 9);
+        s.set_budget(SolveBudget::unbounded().with_max_conflicts(50));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.stats().conflicts, 50);
+        assert!(s.is_ok());
+    }
+
+    #[test]
+    fn deadline_budget_bounds_single_solve_call() {
+        use std::time::{Duration, Instant};
+        let mut s = Solver::new();
+        // Hard enough that an unbounded solve takes far longer than the
+        // deadline on any machine this runs on.
+        pigeonhole(&mut s, 11, 10);
+        s.set_budget(SolveBudget::with_timeout_ms(30));
+        let start = Instant::now();
+        let result = s.solve();
+        let elapsed = start.elapsed();
+        assert_eq!(result, SolveResult::Unknown);
+        // Generous multiple: the assertion is "bounded", not "tight" — debug
+        // builds on loaded CI runners are slow, but nowhere near the minutes
+        // an unbounded solve would take.
+        assert!(
+            elapsed < Duration::from_millis(30 * 100),
+            "deadline overshoot: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn solver_stays_usable_after_unknown() {
+        // Small enough to finish unbounded in milliseconds, hard enough to
+        // exceed the 10-conflict budget first.
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 6, 5);
+        s.set_budget(SolveBudget::unbounded().with_max_conflicts(10));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        // Clauses may still be added after an Unknown (level 0 restored)...
+        let v = s.new_var();
+        assert!(s.add_clause(&[Lit::pos(v)]));
+        // ...and clearing the budget lets the solver finish the instance.
+        s.set_budget(SolveBudget::unbounded());
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.value(v), None);
+    }
+
+    #[test]
+    fn budget_counts_per_call_not_cumulative() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 3, 2);
+        // Generous per-call budget: a small instance solves within it even
+        // after earlier calls consumed stats.
+        s.set_budget(SolveBudget::unbounded().with_max_propagations(1_000_000));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn unbounded_budget_changes_nothing() {
+        let mut bounded = Solver::new();
+        let mut plain = Solver::new();
+        pigeonhole(&mut bounded, 6, 5);
+        pigeonhole(&mut plain, 6, 5);
+        bounded.set_budget(SolveBudget::unbounded());
+        assert_eq!(bounded.solve(), SolveResult::Unsat);
+        assert_eq!(plain.solve(), SolveResult::Unsat);
+        assert_eq!(bounded.stats(), plain.stats());
     }
 
     /// Brute-force model check used by the random CNF test below.

@@ -1,0 +1,409 @@
+//! The job engine: sharded execution, JSONL streaming, resume.
+
+use crate::job::{JobKind, JobRow, JobSpec, JobStatus, LockSpec};
+use crate::registry::ModelRegistry;
+use autolock::operators::{CrossoverKind, LocusCrossover, LocusMutation, MutationKind};
+use autolock::{LockingGenotype, MuxLinkFitness};
+use autolock_attacks::{
+    netlist_fingerprint, MuxLinkAttack, MuxLinkConfig, SatAttack, SatAttackConfig,
+};
+use autolock_evo::{finish, GaConfig, GaState, GeneticAlgorithm, SelectionMethod};
+use autolock_locking::DMuxLocking;
+use autolock_netlist::{parse_bench, Netlist};
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+use std::fs;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Configuration of a [`JobEngine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// The JSONL result stream. Created if absent; existing rows in it are
+    /// treated as already-finished jobs (the resume protocol).
+    pub out_path: PathBuf,
+    /// Directory for per-job evolution checkpoints (created if absent).
+    pub checkpoint_dir: PathBuf,
+    /// Optional model-registry directory; when set, MuxLink jobs reuse
+    /// cached trained models (bit-identical to retraining).
+    pub registry_dir: Option<PathBuf>,
+    /// Worker threads for the job fan-out (`0` = all cores, `1` = serial).
+    /// Like every thread knob in this workspace it never changes results —
+    /// callers typically pass the `AUTOLOCK_THREADS` value.
+    pub threads: usize,
+    /// Jobs dispatched per chunk. The engine holds at most one chunk of job
+    /// results in memory and flushes rows to disk between chunks, so this
+    /// bounds both peak memory and the worst-case work lost to a kill.
+    pub chunk: usize,
+}
+
+impl EngineConfig {
+    /// A configuration rooted at `dir`: rows in `dir/rows.jsonl`,
+    /// checkpoints in `dir/checkpoints`, registry in `dir/registry`.
+    pub fn rooted(dir: &Path, threads: usize) -> Self {
+        EngineConfig {
+            out_path: dir.join("rows.jsonl"),
+            checkpoint_dir: dir.join("checkpoints"),
+            registry_dir: Some(dir.join("registry")),
+            threads,
+            chunk: 8,
+        }
+    }
+}
+
+/// The persistent job engine. See the crate docs for the contract; the
+/// short version: `run` is restartable at any kill point and the final
+/// stream is bit-for-bit independent of where (or whether) it was killed.
+#[derive(Debug)]
+pub struct JobEngine {
+    config: EngineConfig,
+    registry: Option<ModelRegistry>,
+}
+
+impl JobEngine {
+    /// Creates the engine, creating the output/checkpoint/registry
+    /// directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn new(config: EngineConfig) -> io::Result<Self> {
+        if let Some(parent) = config.out_path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::create_dir_all(&config.checkpoint_dir)?;
+        let registry = match &config.registry_dir {
+            Some(dir) => Some(ModelRegistry::open(dir)?),
+            None => None,
+        };
+        Ok(JobEngine { config, registry })
+    }
+
+    /// The engine's model registry, when configured.
+    pub fn registry(&self) -> Option<&ModelRegistry> {
+        self.registry.as_ref()
+    }
+
+    /// Runs every job in `jobs` that does not already have a row in the
+    /// output stream, appending one flushed JSONL row per finished job, and
+    /// finally rewrites the stream atomically in `jobs` order.
+    ///
+    /// Job ids must be unique within the batch. Returns the rows in `jobs`
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures on the result stream. Per-job failures never
+    /// fail the batch — they become [`JobStatus::Error`] rows.
+    pub fn run(&self, jobs: &[JobSpec]) -> io::Result<Vec<JobRow>> {
+        let _span = autolock_obs::span!("service.run");
+        let mut done = read_rows(&self.config.out_path);
+        autolock_obs::counter("service.jobs_resumed").add(done.len() as u64);
+
+        // Compact the stream before appending: drops any torn final line a
+        // kill may have left, and normalizes the already-done prefix to
+        // batch order.
+        let prefix: Vec<JobRow> = jobs
+            .iter()
+            .filter_map(|j| done.get(&j.id).cloned())
+            .collect();
+        write_rows_atomic(&self.config.out_path, &prefix)?;
+
+        let pending: Vec<JobSpec> = jobs
+            .iter()
+            .filter(|j| !done.contains_key(&j.id))
+            .cloned()
+            .collect();
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.config.out_path)?;
+        let mut out = BufWriter::new(file);
+        for chunk in pending.chunks(self.config.chunk.max(1)) {
+            let rows = autolock_mlcore::parallel::pooled_map(self.config.threads, chunk, |spec| {
+                self.run_job(spec)
+            });
+            for row in rows {
+                let line = serde_json::to_string(&row).expect("JobRow serializes to JSON");
+                out.write_all(line.as_bytes())?;
+                out.write_all(b"\n")?;
+                out.flush()?;
+                autolock_obs::counter("service.jobs_completed").incr();
+                done.insert(row.job_id.clone(), row);
+            }
+        }
+        drop(out);
+
+        let ordered: Vec<JobRow> = jobs
+            .iter()
+            .map(|j| {
+                done.get(&j.id)
+                    .cloned()
+                    .expect("every job has a row after the run loop")
+            })
+            .collect();
+        write_rows_atomic(&self.config.out_path, &ordered)?;
+        Ok(ordered)
+    }
+
+    /// Runs one job; failures become `error` rows, never panics/aborts of
+    /// the batch.
+    fn run_job(&self, spec: &JobSpec) -> JobRow {
+        let _span = autolock_obs::span!("service.job");
+        self.try_run(spec).unwrap_or_else(|message| JobRow {
+            job_id: spec.id.clone(),
+            circuit: spec.circuit.clone(),
+            attack: spec.kind.label().to_string(),
+            status: JobStatus::Error,
+            key_len: spec.kind.key_len(),
+            success: false,
+            key_accuracy: None,
+            iterations: 0,
+            error: Some(message),
+        })
+    }
+
+    fn try_run(&self, spec: &JobSpec) -> Result<JobRow, String> {
+        let netlist =
+            parse_bench(&spec.circuit, &spec.source).map_err(|e| format!("parse: {e}"))?;
+        match &spec.kind {
+            JobKind::SatAttack {
+                lock,
+                timeout_ms,
+                max_propagations_per_solve,
+                max_iterations,
+            } => self.run_sat(
+                spec,
+                &netlist,
+                *lock,
+                *timeout_ms,
+                *max_propagations_per_solve,
+                *max_iterations,
+            ),
+            JobKind::MuxLinkAttack { lock, attack } => {
+                self.run_muxlink(spec, &netlist, *lock, attack)
+            }
+            JobKind::Evolve {
+                key_len,
+                population_size,
+                generations,
+            } => self.run_evolve(spec, netlist, *key_len, *population_size, *generations),
+        }
+    }
+
+    fn run_sat(
+        &self,
+        spec: &JobSpec,
+        netlist: &Netlist,
+        lock: LockSpec,
+        timeout_ms: u64,
+        max_propagations_per_solve: Option<u64>,
+        max_iterations: usize,
+    ) -> Result<JobRow, String> {
+        let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
+        let locked = lock
+            .apply(netlist, &mut rng)
+            .map_err(|e| format!("lock: {e}"))?;
+        let attack = SatAttack::new(SatAttackConfig {
+            max_iterations,
+            timeout_ms: u128::from(timeout_ms),
+            max_propagations_per_solve,
+        });
+        let outcome = attack.attack(&locked, netlist);
+        Ok(JobRow {
+            job_id: spec.id.clone(),
+            circuit: spec.circuit.clone(),
+            attack: "sat".to_string(),
+            status: if outcome.gave_up {
+                JobStatus::Timeout
+            } else {
+                JobStatus::Ok
+            },
+            key_len: outcome.key_len,
+            success: outcome.success,
+            key_accuracy: None,
+            iterations: outcome.iterations as u64,
+            error: None,
+        })
+    }
+
+    fn run_muxlink(
+        &self,
+        spec: &JobSpec,
+        netlist: &Netlist,
+        lock: LockSpec,
+        attack_config: &MuxLinkConfig,
+    ) -> Result<JobRow, String> {
+        let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
+        let locked = lock
+            .apply(netlist, &mut rng)
+            .map_err(|e| format!("lock: {e}"))?;
+        // Job-level parallelism lives above the attack (the engine's worker
+        // pool), so each attack runs serially — the thread-knob precedence
+        // rule from `MuxLinkConfig::threads`.
+        let attack = MuxLinkAttack::new(attack_config.clone().with_threads(1));
+        let model = match &self.registry {
+            Some(registry) => {
+                let key = ModelRegistry::model_key(
+                    netlist_fingerprint(locked.netlist()),
+                    attack.config(),
+                    spec.seed,
+                );
+                // On a hit, burn the one RNG draw `train_model` would have
+                // consumed to derive its training stream, so the scoring
+                // draws line up and the row is bit-identical either way.
+                if let Some(model) = registry.load(&key) {
+                    autolock_obs::counter("service.registry.hits").incr();
+                    let _ = rng.next_u64();
+                    model
+                } else {
+                    autolock_obs::counter("service.registry.misses").incr();
+                    let model = attack.train_model(&locked, &mut rng);
+                    if registry.store(&key, &model).is_err() {
+                        autolock_obs::counter("service.registry.store_failures").incr();
+                    }
+                    model
+                }
+            }
+            None => attack.train_model(&locked, &mut rng),
+        };
+        let (outcome, _scores) = attack.attack_with_model(&locked, &model, &mut rng);
+        Ok(JobRow {
+            job_id: spec.id.clone(),
+            circuit: spec.circuit.clone(),
+            attack: outcome.attack.clone(),
+            status: JobStatus::Ok,
+            key_len: outcome.key_len,
+            success: true,
+            key_accuracy: Some(outcome.key_accuracy),
+            iterations: 0,
+            error: None,
+        })
+    }
+
+    /// The path of a job's GA checkpoint.
+    pub fn checkpoint_path(&self, job_id: &str) -> PathBuf {
+        self.config.checkpoint_dir.join(format!("{job_id}.ga.json"))
+    }
+
+    fn run_evolve(
+        &self,
+        spec: &JobSpec,
+        netlist: Netlist,
+        key_len: usize,
+        population_size: usize,
+        generations: usize,
+    ) -> Result<JobRow, String> {
+        if population_size < 2 {
+            return Err("population size must be at least 2".to_string());
+        }
+        if key_len == 0 {
+            return Err("key length must be at least 1".to_string());
+        }
+        let original = Arc::new(netlist);
+        let ga = GeneticAlgorithm::new(GaConfig {
+            generations,
+            crossover_rate: 0.9,
+            mutation_rate: 0.4,
+            elitism: 2.min(population_size - 1),
+            selection: SelectionMethod::Tournament { size: 3 },
+            parallel: false,
+            target_fitness: None,
+            stagnation_limit: None,
+        });
+        let fitness = MuxLinkFitness::new(
+            original.clone(),
+            MuxLinkConfig::fast().with_threads(1),
+            spec.seed,
+            1,
+        );
+        let crossover = LocusCrossover::new(original.clone(), key_len, CrossoverKind::OnePoint);
+        let mutation = LocusMutation::new(original.clone(), key_len, MutationKind::Composite);
+
+        // Resume from the last generation checkpoint when one exists (its
+        // `GaState` embeds the GA's RNG, so continuing is bit-identical to
+        // never having stopped); otherwise seed the initial population.
+        let ckpt = self.checkpoint_path(&spec.id);
+        let mut state: GaState<LockingGenotype> = match load_checkpoint(&ckpt) {
+            Some(state) => {
+                autolock_obs::counter("service.evolve_resumes").incr();
+                state
+            }
+            None => {
+                let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
+                let locking = DMuxLocking::default();
+                let mut population = Vec::with_capacity(population_size);
+                for _ in 0..population_size {
+                    population.push(
+                        locking
+                            .select_loci(&original, key_len, &mut rng)
+                            .map_err(|e| format!("lock: {e}"))?,
+                    );
+                }
+                ga.init_state(population, &fitness, rng)
+            }
+        };
+        write_checkpoint(&ckpt, &state)?;
+        while ga.step(&mut state, &fitness, &crossover, &mutation) {
+            write_checkpoint(&ckpt, &state)?;
+        }
+        let result = finish(state);
+        Ok(JobRow {
+            job_id: spec.id.clone(),
+            circuit: spec.circuit.clone(),
+            attack: "evolve".to_string(),
+            status: JobStatus::Ok,
+            key_len,
+            success: true,
+            key_accuracy: Some(1.0 - result.best_fitness),
+            iterations: result.history.len().saturating_sub(1) as u64,
+            error: None,
+        })
+    }
+}
+
+/// Reads the resumable rows of an existing stream: one JSONL row per line,
+/// keyed by job id. Unparseable lines (at most the torn tail a kill left)
+/// are skipped; duplicate ids keep the first occurrence.
+fn read_rows(path: &Path) -> HashMap<String, JobRow> {
+    let mut rows = HashMap::new();
+    let Ok(text) = fs::read_to_string(path) else {
+        return rows;
+    };
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Ok(row) = serde_json::from_str::<JobRow>(line) {
+            rows.entry(row.job_id.clone()).or_insert(row);
+        }
+    }
+    rows
+}
+
+/// Atomically replaces `path` with the given rows, one JSON object per
+/// line.
+fn write_rows_atomic(path: &Path, rows: &[JobRow]) -> io::Result<()> {
+    let mut text = String::new();
+    for row in rows {
+        text.push_str(&serde_json::to_string(row).expect("JobRow serializes to JSON"));
+        text.push('\n');
+    }
+    let tmp = path.with_extension("jsonl.tmp");
+    fs::write(&tmp, text)?;
+    fs::rename(&tmp, path)
+}
+
+fn load_checkpoint(path: &Path) -> Option<GaState<LockingGenotype>> {
+    let text = fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+fn write_checkpoint(path: &Path, state: &GaState<LockingGenotype>) -> Result<(), String> {
+    let json = serde_json::to_string(state).expect("GaState serializes to JSON");
+    let tmp = path.with_extension("ga.json.tmp");
+    fs::write(&tmp, json).map_err(|e| format!("checkpoint write: {e}"))?;
+    fs::rename(&tmp, path).map_err(|e| format!("checkpoint rename: {e}"))
+}

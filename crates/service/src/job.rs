@@ -1,0 +1,300 @@
+//! Job descriptions ([`JobSpec`]) and result rows ([`JobRow`]).
+
+use autolock_locking::{DMuxLocking, LockedNetlist, LockingScheme, XorLocking};
+use autolock_netlist::Netlist;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// Which locking scheme a job applies before attacking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LockSpec {
+    /// XOR/XNOR random logic locking.
+    Xor {
+        /// Number of key bits.
+        key_len: usize,
+    },
+    /// D-MUX locking (the MUX-based scheme MuxLink targets).
+    DMux {
+        /// Number of key bits.
+        key_len: usize,
+    },
+}
+
+impl LockSpec {
+    /// The requested key length.
+    pub fn key_len(&self) -> usize {
+        match *self {
+            LockSpec::Xor { key_len } | LockSpec::DMux { key_len } => key_len,
+        }
+    }
+
+    /// Locks `original`, drawing key and placement from `rng`.
+    pub fn apply(
+        &self,
+        original: &Netlist,
+        rng: &mut dyn RngCore,
+    ) -> Result<LockedNetlist, autolock_locking::LockError> {
+        match *self {
+            LockSpec::Xor { key_len } => XorLocking::default().lock(original, key_len, rng),
+            LockSpec::DMux { key_len } => DMuxLocking::default().lock(original, key_len, rng),
+        }
+    }
+}
+
+/// What a job does with its circuit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JobKind {
+    /// Lock the circuit, then run the SAT attack against it with the
+    /// original netlist as the I/O oracle.
+    SatAttack {
+        /// The locking applied before the attack.
+        lock: LockSpec,
+        /// Wall-clock deadline in milliseconds, enforced inside every solver
+        /// call. Machine-dependent near the threshold; pair with a generous
+        /// value and use `max_propagations_per_solve` for reproducible
+        /// cutoffs.
+        timeout_ms: u64,
+        /// Deterministic per-solve work cap (`None` = unbounded): cuts off
+        /// at the same search point on every machine, which is what makes
+        /// induced-timeout rows reproducible.
+        max_propagations_per_solve: Option<u64>,
+        /// DIP-iteration cap.
+        max_iterations: usize,
+    },
+    /// Lock the circuit, then run the MuxLink attack. The trained link
+    /// model is cached in the engine's [`crate::ModelRegistry`] when one is
+    /// configured; a registry hit skips training and produces a
+    /// bit-identical row.
+    MuxLinkAttack {
+        /// The locking applied before the attack (D-MUX for an informative
+        /// attack; XOR degrades to uninformed guessing).
+        lock: LockSpec,
+        /// The attack configuration. The engine forces `threads = 1` at run
+        /// time (job-level parallelism happens above the attack).
+        attack: autolock_attacks::MuxLinkConfig,
+    },
+    /// Run the AutoLock GA (D-MUX population, MuxLink-fitness evolution) on
+    /// the circuit, writing a generation checkpoint after every step so a
+    /// killed run resumes where it left off.
+    Evolve {
+        /// Number of key bits.
+        key_len: usize,
+        /// GA population size (≥ 2).
+        population_size: usize,
+        /// GA generation budget.
+        generations: usize,
+    },
+}
+
+impl JobKind {
+    /// Short, stable label used in the `attack` column of [`JobRow`]s that
+    /// fail before the attack object exists (parse/lock errors).
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobKind::SatAttack { .. } => "sat",
+            JobKind::MuxLinkAttack { .. } => "muxlink",
+            JobKind::Evolve { .. } => "evolve",
+        }
+    }
+
+    /// The key length the job requests.
+    pub fn key_len(&self) -> usize {
+        match self {
+            JobKind::SatAttack { lock, .. } | JobKind::MuxLinkAttack { lock, .. } => lock.key_len(),
+            JobKind::Evolve { key_len, .. } => *key_len,
+        }
+    }
+}
+
+/// One job: a circuit (as `.bench` source, so the spec is self-contained
+/// and serializable), a seed, and what to do with it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Unique job identifier; the resume protocol and checkpoint files key
+    /// on it, so ids must be unique within a batch.
+    pub id: String,
+    /// Circuit name (used when parsing `source` and echoed in the row).
+    pub circuit: String,
+    /// The circuit in `.bench` format. Parsed at run time; a malformed
+    /// source yields an `error` row rather than failing the batch.
+    pub source: String,
+    /// Per-job base seed: every stochastic component of the job derives
+    /// from it, so the row is reproducible regardless of worker threading
+    /// or kill/resume boundaries.
+    pub seed: u64,
+    /// What to do.
+    pub kind: JobKind,
+}
+
+/// Terminal status of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobStatus {
+    /// The job ran to a verdict.
+    Ok,
+    /// The job's attack gave up on a budget (deadline, propagation cap or
+    /// iteration cap).
+    Timeout,
+    /// The job could not run (parse failure, locking failure, invalid
+    /// parameters); `error` holds the message.
+    Error,
+}
+
+/// One JSONL result row. Deliberately carries **no wall-clock fields** so a
+/// resumed run's rows are bit-for-bit identical to an uninterrupted run's.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRow {
+    /// The job's [`JobSpec::id`].
+    pub job_id: String,
+    /// Circuit name.
+    pub circuit: String,
+    /// Attack identity (`sat`, `muxlink`, `muxlink-gnn`, `evolve`, …).
+    pub attack: String,
+    /// Terminal status.
+    pub status: JobStatus,
+    /// Key length attacked/evolved.
+    pub key_len: usize,
+    /// `true` when the attack reached a positive verdict (SAT: provably
+    /// correct key; MuxLink/Evolve: ran to completion).
+    pub success: bool,
+    /// Key-recovery accuracy where the attack reports one (MuxLink), or the
+    /// final MuxLink accuracy of the evolved locking (Evolve). `None` for
+    /// SAT jobs (their verdict is functional, not per-bit).
+    pub key_accuracy: Option<f64>,
+    /// Work counter: SAT DIP iterations, or GA generations actually run.
+    pub iterations: u64,
+    /// Error message for [`JobStatus::Error`] rows.
+    pub error: Option<String>,
+}
+
+/// Configuration for [`jobs_from_dir`]: one SAT-attack job per `.bench`
+/// file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirJobConfig {
+    /// Locking applied to every circuit.
+    pub lock: LockSpec,
+    /// Base seed; each circuit's job seed mixes the file stem into it, so
+    /// adding or removing files never reshuffles the other jobs' draws.
+    pub seed: u64,
+    /// Wall-clock deadline per job.
+    pub timeout_ms: u64,
+    /// Deterministic per-solve propagation cap (`None` = unbounded).
+    pub max_propagations_per_solve: Option<u64>,
+    /// DIP-iteration cap per job.
+    pub max_iterations: usize,
+}
+
+impl Default for DirJobConfig {
+    fn default() -> Self {
+        DirJobConfig {
+            lock: LockSpec::Xor { key_len: 16 },
+            seed: 0x05E4_11CE,
+            timeout_ms: 60_000,
+            max_propagations_per_solve: None,
+            max_iterations: 2000,
+        }
+    }
+}
+
+/// Stable per-circuit seed: FNV-1a of the circuit name folded into the base
+/// seed, so job draws depend only on (base seed, name).
+fn mix_seed(base: u64, name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    base ^ h
+}
+
+/// Scans `dir` for `*.bench` files (sorted by file name, so the job order —
+/// and therefore the output row order — is stable) and builds one
+/// [`JobKind::SatAttack`] job per file.
+///
+/// Unreadable files fail the scan; *malformed* files do not — they parse at
+/// run time into `error` rows, which is what lets `serve_dir` report one
+/// status row per instance.
+///
+/// # Errors
+///
+/// Propagates directory-walk and file-read I/O errors.
+pub fn jobs_from_dir(dir: &Path, config: &DirJobConfig) -> io::Result<Vec<JobSpec>> {
+    let mut names: Vec<String> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) == Some("bench") && path.is_file() {
+            if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                names.push(stem.to_string());
+            }
+        }
+    }
+    names.sort();
+    let mut jobs = Vec::with_capacity(names.len());
+    for name in names {
+        let source = std::fs::read_to_string(dir.join(format!("{name}.bench")))?;
+        jobs.push(JobSpec {
+            id: name.clone(),
+            circuit: name.clone(),
+            source,
+            seed: mix_seed(config.seed, &name),
+            kind: JobKind::SatAttack {
+                lock: config.lock,
+                timeout_ms: config.timeout_ms,
+                max_propagations_per_solve: config.max_propagations_per_solve,
+                max_iterations: config.max_iterations,
+            },
+        });
+    }
+    Ok(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_seed_is_stable_and_name_sensitive() {
+        assert_eq!(mix_seed(1, "c17"), mix_seed(1, "c17"));
+        assert_ne!(mix_seed(1, "c17"), mix_seed(1, "c18"));
+        assert_ne!(mix_seed(1, "c17"), mix_seed(2, "c17"));
+    }
+
+    #[test]
+    fn kind_labels_and_key_lens() {
+        let sat = JobKind::SatAttack {
+            lock: LockSpec::Xor { key_len: 8 },
+            timeout_ms: 1,
+            max_propagations_per_solve: None,
+            max_iterations: 1,
+        };
+        assert_eq!(sat.label(), "sat");
+        assert_eq!(sat.key_len(), 8);
+        let evolve = JobKind::Evolve {
+            key_len: 4,
+            population_size: 6,
+            generations: 2,
+        };
+        assert_eq!(evolve.label(), "evolve");
+        assert_eq!(evolve.key_len(), 4);
+    }
+
+    #[test]
+    fn job_row_serde_round_trips() {
+        let row = JobRow {
+            job_id: "a".into(),
+            circuit: "c17".into(),
+            attack: "sat".into(),
+            status: JobStatus::Timeout,
+            key_len: 8,
+            success: false,
+            key_accuracy: None,
+            iterations: 3,
+            error: None,
+        };
+        let json = serde_json::to_string(&row).unwrap();
+        let back: JobRow = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, row);
+    }
+}

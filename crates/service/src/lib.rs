@@ -1,0 +1,40 @@
+//! Attack-as-a-service job engine.
+//!
+//! The experiment drivers in `autolock_bench` run one experiment to
+//! completion in one process. This crate turns the same building blocks into
+//! a *persistent* service primitive: a batch of lock/attack/evolution jobs
+//! that
+//!
+//! * shards across `AUTOLOCK_THREADS` workers through the workspace's
+//!   order-preserving [`autolock_mlcore::parallel::pooled_map`], in bounded
+//!   chunks so only one chunk of job state is in flight at a time,
+//! * streams one JSONL [`JobRow`] per finished job to disk (flushed per
+//!   row, so a `SIGKILL` loses at most the in-flight chunk),
+//! * persists per-generation [`autolock_evo::GaState`] checkpoints for
+//!   evolution jobs and serde-serialized [`autolock_attacks::TrainedLinkModel`]s
+//!   in a disk-backed [`ModelRegistry`] keyed by circuit + config + seed
+//!   fingerprints,
+//! * resumes: re-running the same job batch against the same output
+//!   directory skips every job that already has a row, continues evolution
+//!   jobs from their last generation checkpoint, and reuses registry
+//!   models — and the final output is **bit-for-bit identical** to an
+//!   uninterrupted run (pinned by this crate's tests and the CI
+//!   `service-smoke` step).
+//!
+//! Rows carry no wall-clock fields; per-job determinism comes from each
+//! job's own seed, so neither thread count nor kill/resume boundaries can
+//! change the output. The only nondeterministic knob is a wall-clock
+//! `timeout_ms` on SAT jobs near its threshold — reproducible induced
+//! timeouts use the deterministic propagation cap instead (see
+//! [`autolock_attacks::SatAttackConfig::max_propagations_per_solve`]).
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod engine;
+mod job;
+mod registry;
+
+pub use engine::{EngineConfig, JobEngine};
+pub use job::{jobs_from_dir, DirJobConfig, JobKind, JobRow, JobSpec, JobStatus, LockSpec};
+pub use registry::ModelRegistry;

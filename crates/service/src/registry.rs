@@ -1,0 +1,166 @@
+//! The disk-backed trained-model registry.
+
+use autolock_attacks::{MuxLinkConfig, TrainedLinkModel};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A directory of serde-serialized [`TrainedLinkModel`]s, keyed by a
+/// fingerprint of (locked-netlist structure, attack configuration, seed).
+///
+/// MuxLink is self-supervised on the attacked netlist, so a model is only
+/// valid for the exact locked circuit it was trained on — the key's first
+/// facet is the structural netlist fingerprint
+/// ([`autolock_attacks::netlist_fingerprint`]). The configuration facet
+/// normalizes the wall-clock-only knobs (`threads`) so the same logical
+/// model is shared across machine-specific settings, and the seed facet
+/// pins the training RNG stream, which is what makes a registry hit
+/// bit-identical to retraining.
+///
+/// Writes are atomic (`tempfile` + rename), so a killed run never leaves a
+/// torn model; a corrupt or unreadable entry is treated as a miss and
+/// overwritten on the next store.
+#[derive(Debug, Clone)]
+pub struct ModelRegistry {
+    dir: PathBuf,
+}
+
+impl ModelRegistry {
+    /// Opens (creating if needed) the registry directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(dir: &Path) -> io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        Ok(ModelRegistry {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The registry directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The registry key for a model trained on the locked netlist with the
+    /// given structural fingerprint, attack configuration and base seed.
+    ///
+    /// Built on the shared facet fingerprint from `autolock_obs` (the same
+    /// helper `RunManifest` uses for run identities). `threads` is zeroed
+    /// before fingerprinting because it never changes the trained model.
+    pub fn model_key(locked_fingerprint: u64, config: &MuxLinkConfig, seed: u64) -> String {
+        let mut normalized = config.clone();
+        normalized.threads = 0;
+        let config_json =
+            serde_json::to_string(&normalized).expect("MuxLinkConfig serializes to JSON");
+        autolock_obs::manifest::fingerprint(&[
+            "muxlink-model",
+            &format!("{locked_fingerprint:016x}"),
+            &config_json,
+            &seed.to_string(),
+        ])
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+
+    /// Loads the model stored under `key`, or `None` when absent or
+    /// unreadable (a corrupt entry behaves like a miss).
+    pub fn load(&self, key: &str) -> Option<TrainedLinkModel> {
+        let text = fs::read_to_string(self.path_for(key)).ok()?;
+        serde_json::from_str(&text).ok()
+    }
+
+    /// Atomically stores `model` under `key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-write and rename failures.
+    pub fn store(&self, key: &str, model: &TrainedLinkModel) -> io::Result<()> {
+        let json = serde_json::to_string(model).expect("TrainedLinkModel serializes to JSON");
+        let tmp = self.dir.join(format!(".{key}.tmp"));
+        fs::write(&tmp, json)?;
+        fs::rename(&tmp, self.path_for(key))
+    }
+
+    /// Loads the model under `key`, or trains one with `train`, stores it,
+    /// and returns it. The second element is `true` on a registry hit.
+    /// Registry counters (`service.registry.hits` / `.misses`) record the
+    /// outcome; a failed store is counted but not fatal (the model is still
+    /// returned).
+    pub fn get_or_train(
+        &self,
+        key: &str,
+        train: impl FnOnce() -> TrainedLinkModel,
+    ) -> (TrainedLinkModel, bool) {
+        if let Some(model) = self.load(key) {
+            autolock_obs::counter("service.registry.hits").incr();
+            return (model, true);
+        }
+        autolock_obs::counter("service.registry.misses").incr();
+        let model = train();
+        if self.store(key, &model).is_err() {
+            autolock_obs::counter("service.registry.store_failures").incr();
+        }
+        (model, false)
+    }
+
+    /// Number of models currently stored.
+    pub fn len(&self) -> usize {
+        fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some("json"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// `true` when no models are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_ignores_thread_count_but_not_substance() {
+        let base = MuxLinkConfig::fast();
+        let key = ModelRegistry::model_key(7, &base, 1);
+        assert_eq!(
+            key,
+            ModelRegistry::model_key(7, &base.clone().with_threads(4), 1)
+        );
+        assert_ne!(key, ModelRegistry::model_key(8, &base, 1));
+        assert_ne!(key, ModelRegistry::model_key(7, &base, 2));
+        let mut other = base.clone();
+        other.epochs += 1;
+        assert_ne!(key, ModelRegistry::model_key(7, &other, 1));
+    }
+
+    #[test]
+    fn store_load_round_trip_and_miss_on_corruption() {
+        let dir = std::env::temp_dir().join(format!("svc_registry_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let reg = ModelRegistry::open(&dir).unwrap();
+        assert!(reg.is_empty());
+        let model = TrainedLinkModel::Uninformative;
+        reg.store("k1", &model).unwrap();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.load("k1"), Some(TrainedLinkModel::Uninformative));
+        assert_eq!(reg.load("absent"), None);
+        fs::write(reg.path_for("k1"), "{ torn").unwrap();
+        assert_eq!(reg.load("k1"), None);
+        let (got, hit) = reg.get_or_train("k1", || TrainedLinkModel::Uninformative);
+        assert!(!hit);
+        assert_eq!(got, TrainedLinkModel::Uninformative);
+        let (_, hit) = reg.get_or_train("k1", || unreachable!("must be a hit"));
+        assert!(hit);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

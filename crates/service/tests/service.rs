@@ -1,0 +1,278 @@
+//! End-to-end contracts of the job engine: resume bit-identity, GA
+//! checkpoint reuse, registry hits, and directory serving.
+
+use autolock_attacks::MuxLinkConfig;
+use autolock_circuits::{suite_circuit, synth_circuit};
+use autolock_netlist::write_bench;
+use autolock_service::{
+    jobs_from_dir, DirJobConfig, EngineConfig, JobEngine, JobKind, JobSpec, JobStatus, LockSpec,
+};
+use std::fs;
+use std::path::PathBuf;
+
+/// A fresh scratch directory unique to this test (and process).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("autolock_svc_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn tiny_source(seed: u64) -> String {
+    write_bench(&synth_circuit("svc", 10, 4, 120, seed))
+}
+
+/// A mixed batch: two SAT jobs (one easy, one with a deterministic induced
+/// timeout on a genuinely hard structured miter), a MuxLink job, a small
+/// evolution job, and a malformed circuit.
+fn mixed_jobs() -> Vec<JobSpec> {
+    let hard = write_bench(&suite_circuit("st6288").expect("suite circuit"));
+    vec![
+        JobSpec {
+            id: "sat-easy".into(),
+            circuit: "svc-easy".into(),
+            source: tiny_source(3),
+            seed: 11,
+            kind: JobKind::SatAttack {
+                lock: LockSpec::Xor { key_len: 8 },
+                timeout_ms: 600_000,
+                max_propagations_per_solve: None,
+                max_iterations: 2000,
+            },
+        },
+        JobSpec {
+            id: "sat-capped".into(),
+            circuit: "st6288".into(),
+            source: hard,
+            seed: 12,
+            kind: JobKind::SatAttack {
+                lock: LockSpec::DMux { key_len: 16 },
+                timeout_ms: 600_000,
+                max_propagations_per_solve: Some(20_000),
+                max_iterations: 30,
+            },
+        },
+        JobSpec {
+            id: "muxlink".into(),
+            circuit: "svc-ml".into(),
+            source: tiny_source(4),
+            seed: 13,
+            kind: JobKind::MuxLinkAttack {
+                lock: LockSpec::DMux { key_len: 8 },
+                attack: MuxLinkConfig::fast(),
+            },
+        },
+        JobSpec {
+            id: "evolve".into(),
+            circuit: "svc-evo".into(),
+            source: write_bench(&synth_circuit("svc-evo", 8, 3, 80, 5)),
+            seed: 14,
+            kind: JobKind::Evolve {
+                key_len: 4,
+                population_size: 3,
+                generations: 1,
+            },
+        },
+        JobSpec {
+            id: "broken".into(),
+            circuit: "broken".into(),
+            source: "INPUT(a)\nnot bench at all".into(),
+            seed: 15,
+            kind: JobKind::SatAttack {
+                lock: LockSpec::Xor { key_len: 4 },
+                timeout_ms: 1000,
+                max_propagations_per_solve: None,
+                max_iterations: 10,
+            },
+        },
+    ]
+}
+
+/// The headline tentpole guarantee: a run that was interrupted (rows
+/// already on disk, a torn trailing line from the kill) and then resumed
+/// produces a byte-identical result stream to a run that was never
+/// interrupted.
+#[test]
+fn resumed_run_is_bit_identical_to_uninterrupted_run() {
+    let jobs = mixed_jobs();
+
+    let dir_a = scratch("uninterrupted");
+    let engine_a = JobEngine::new(EngineConfig::rooted(&dir_a, 0)).unwrap();
+    let rows_a = engine_a.run(&jobs).unwrap();
+    let bytes_a = fs::read(dir_a.join("rows.jsonl")).unwrap();
+
+    // Interrupted variant: finish only the first two jobs, simulate the
+    // kill's torn trailing line, then resume with the full batch.
+    let dir_b = scratch("resumed");
+    let engine_b = JobEngine::new(EngineConfig::rooted(&dir_b, 0)).unwrap();
+    engine_b.run(&jobs[..2]).unwrap();
+    {
+        use std::io::Write;
+        let mut f = fs::OpenOptions::new()
+            .append(true)
+            .open(dir_b.join("rows.jsonl"))
+            .unwrap();
+        write!(f, "{{\"job_id\":\"torn").unwrap();
+    }
+    let rows_b = engine_b.run(&jobs).unwrap();
+    let bytes_b = fs::read(dir_b.join("rows.jsonl")).unwrap();
+
+    assert_eq!(rows_a, rows_b);
+    assert_eq!(bytes_a, bytes_b, "result streams must be byte-identical");
+
+    // Sanity on the row content itself.
+    assert_eq!(rows_a.len(), jobs.len());
+    assert_eq!(rows_a[0].status, JobStatus::Ok);
+    assert!(rows_a[0].success);
+    assert_eq!(rows_a[1].status, JobStatus::Timeout);
+    assert!(!rows_a[1].success);
+    assert_eq!(rows_a[2].status, JobStatus::Ok);
+    assert!(rows_a[2].key_accuracy.is_some());
+    assert_eq!(rows_a[3].status, JobStatus::Ok);
+    assert_eq!(rows_a[3].iterations, 1);
+    assert_eq!(rows_a[4].status, JobStatus::Error);
+    assert!(rows_a[4].error.is_some());
+
+    let _ = fs::remove_dir_all(&dir_a);
+    let _ = fs::remove_dir_all(&dir_b);
+}
+
+fn evolve_job(generations: usize, seed: u64) -> JobSpec {
+    JobSpec {
+        id: "evo".into(),
+        circuit: "svc-evo".into(),
+        source: write_bench(&synth_circuit("svc-evo", 8, 3, 80, 5)),
+        seed,
+        kind: JobKind::Evolve {
+            key_len: 4,
+            population_size: 3,
+            generations,
+        },
+    }
+}
+
+/// A mid-run GA checkpoint (here: the generation-1 state of a shorter run,
+/// which is bit-identical to the generation-1 state of the longer run) is
+/// picked up and continued, and the finished row equals the
+/// never-interrupted row exactly.
+#[test]
+fn evolution_resumes_from_generation_checkpoint_bit_identically() {
+    // Produce a genuine mid-run checkpoint: run the same job with a
+    // 1-generation budget; its final checkpoint is exactly the state a
+    // 2-generation run has after generation 1.
+    let dir_short = scratch("evo_short");
+    let engine_short = JobEngine::new(EngineConfig::rooted(&dir_short, 1)).unwrap();
+    engine_short.run(&[evolve_job(1, 21)]).unwrap();
+    let ckpt = fs::read(engine_short.checkpoint_path("evo")).unwrap();
+
+    // Resumed run: seed the checkpoint, then ask for 2 generations.
+    let dir_resume = scratch("evo_resume");
+    let engine_resume = JobEngine::new(EngineConfig::rooted(&dir_resume, 1)).unwrap();
+    fs::write(engine_resume.checkpoint_path("evo"), &ckpt).unwrap();
+    let rows_resume = engine_resume.run(&[evolve_job(2, 21)]).unwrap();
+
+    // Reference: the same 2-generation job, never interrupted.
+    let dir_fresh = scratch("evo_fresh");
+    let engine_fresh = JobEngine::new(EngineConfig::rooted(&dir_fresh, 1)).unwrap();
+    let rows_fresh = engine_fresh.run(&[evolve_job(2, 21)]).unwrap();
+
+    assert_eq!(rows_resume, rows_fresh);
+    assert_eq!(rows_resume[0].iterations, 2);
+
+    // Prove the checkpoint was actually used (not silently recomputed):
+    // hand a *finished* checkpoint to a job whose own seed would evolve
+    // differently — the row must reflect the checkpointed run.
+    let done_ckpt = fs::read(engine_fresh.checkpoint_path("evo")).unwrap();
+    let dir_alien = scratch("evo_alien");
+    let engine_alien = JobEngine::new(EngineConfig::rooted(&dir_alien, 1)).unwrap();
+    fs::write(engine_alien.checkpoint_path("evo"), &done_ckpt).unwrap();
+    let rows_alien = engine_alien.run(&[evolve_job(2, 9999)]).unwrap();
+    assert_eq!(rows_alien[0].key_accuracy, rows_fresh[0].key_accuracy);
+
+    for d in [dir_short, dir_resume, dir_fresh, dir_alien] {
+        let _ = fs::remove_dir_all(&d);
+    }
+}
+
+/// A registry hit skips training yet yields a bit-identical row, and the
+/// registry holds exactly one model for the repeated (circuit, config,
+/// seed) triple.
+#[test]
+fn registry_hit_reproduces_the_trained_row_exactly() {
+    autolock_obs::enable();
+    let registry_dir = scratch("registry_shared");
+    let job = JobSpec {
+        id: "ml".into(),
+        circuit: "svc-ml".into(),
+        source: tiny_source(4),
+        seed: 31,
+        kind: JobKind::MuxLinkAttack {
+            lock: LockSpec::DMux { key_len: 8 },
+            attack: MuxLinkConfig::fast(),
+        },
+    };
+
+    let run_in = |tag: &str| {
+        let dir = scratch(tag);
+        let config = EngineConfig {
+            out_path: dir.join("rows.jsonl"),
+            checkpoint_dir: dir.join("checkpoints"),
+            registry_dir: Some(registry_dir.clone()),
+            threads: 1,
+            chunk: 8,
+        };
+        let engine = JobEngine::new(config).unwrap();
+        let rows = engine.run(std::slice::from_ref(&job)).unwrap();
+        let stored = engine.registry().unwrap().len();
+        let _ = fs::remove_dir_all(&dir);
+        (rows, stored)
+    };
+
+    let hits_before = autolock_obs::counter("service.registry.hits").value();
+    let (rows_first, stored_first) = run_in("registry_first");
+    let (rows_second, stored_second) = run_in("registry_second");
+    let hits_after = autolock_obs::counter("service.registry.hits").value();
+
+    assert_eq!(rows_first, rows_second);
+    assert_eq!(stored_first, 1);
+    assert_eq!(stored_second, 1, "repeat run must reuse the stored model");
+    assert!(
+        hits_after > hits_before,
+        "second run must hit the registry ({hits_before} -> {hits_after})"
+    );
+    let _ = fs::remove_dir_all(&registry_dir);
+}
+
+/// `jobs_from_dir` scans `.bench` files in sorted order, derives stable
+/// per-circuit seeds, and the engine emits one status row per instance —
+/// malformed files included.
+#[test]
+fn serves_a_directory_with_one_row_per_instance() {
+    let bench_dir = scratch("bench_dir");
+    fs::write(bench_dir.join("b.bench"), tiny_source(7)).unwrap();
+    fs::write(bench_dir.join("a.bench"), tiny_source(8)).unwrap();
+    fs::write(bench_dir.join("zz-broken.bench"), "garbage(").unwrap();
+    fs::write(bench_dir.join("notes.txt"), "ignored").unwrap();
+
+    let config = DirJobConfig {
+        lock: LockSpec::Xor { key_len: 8 },
+        seed: 1,
+        ..DirJobConfig::default()
+    };
+    let jobs = jobs_from_dir(&bench_dir, &config).unwrap();
+    let ids: Vec<&str> = jobs.iter().map(|j| j.id.as_str()).collect();
+    assert_eq!(ids, ["a", "b", "zz-broken"]);
+    assert_ne!(jobs[0].seed, jobs[1].seed);
+
+    let out_dir = scratch("bench_out");
+    let engine = JobEngine::new(EngineConfig::rooted(&out_dir, 0)).unwrap();
+    let rows = engine.run(&jobs).unwrap();
+    assert_eq!(rows.len(), 3);
+    assert_eq!(rows[0].status, JobStatus::Ok);
+    assert_eq!(rows[1].status, JobStatus::Ok);
+    assert_eq!(rows[2].status, JobStatus::Error);
+    assert!(rows[2].error.as_deref().unwrap_or("").contains("parse"));
+
+    let _ = fs::remove_dir_all(&bench_dir);
+    let _ = fs::remove_dir_all(&out_dir);
+}

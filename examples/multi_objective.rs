@@ -37,6 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SatAttackConfig {
             max_iterations: 100,
             timeout_ms: 10_000,
+            max_propagations_per_solve: None,
         },
         vec![ObjectiveKind::MuxLinkAccuracy, ObjectiveKind::AreaOverhead],
         23,

@@ -16,6 +16,7 @@ fn report(label: &str, original: &Netlist, locked: &LockedNetlist) {
     let attack = SatAttack::new(SatAttackConfig {
         max_iterations: 1000,
         timeout_ms: 60_000,
+        max_propagations_per_solve: None,
     });
     let outcome = attack.attack(locked, original);
     let functional = if outcome.success {
