@@ -10,9 +10,12 @@
 #      as soon as the first row hits disk.
 #   3. Resume: re-run against the interrupted directory; completed rows are
 #      skipped and the remaining jobs run.
+#   4. All-kinds run: the quick circuit pair (no st6288) served with
+#      --attacks sat,muxlink,evolve — one status row per (circuit, kind).
 #
 # Gate: the resumed stream must be byte-identical to the reference stream,
-# and the reference must contain at least one Timeout row.
+# the reference must contain at least one Timeout row, and the all-kinds
+# stream must carry a row per job kind.
 #
 # Usage: service_smoke.sh [out-dir]   (default: service-smoke)
 set -euo pipefail
@@ -63,4 +66,23 @@ if ! cmp "$OUT/reference/rows.jsonl" "$OUT/resumed/rows.jsonl"; then
   exit 1
 fi
 
-echo "service_smoke: OK — $timeouts induced timeout(s), resumed stream byte-identical"
+# 4. All-kinds run: serve the quick pair with every job kind enabled. Runs
+# without the propagation cap (all jobs finish), so exit 0 is the contract.
+mkdir -p "$OUT/kinds-circuits"
+cp "$OUT/circuits/demo_a.bench" "$OUT/circuits/demo_b.bench" "$OUT/kinds-circuits/"
+"$BIN" --dir "$OUT/kinds-circuits" --out "$OUT/kinds" --scheme xor --key-len 4 \
+       --seed 7 --attacks sat,muxlink,evolve --evolve-population 3 \
+       --evolve-generations 1 | tee "$OUT/kinds.txt"
+rows=$(wc -l < "$OUT/kinds/rows.jsonl")
+if [ "$rows" -ne 6 ]; then
+  echo "service_smoke: expected 6 all-kinds rows (2 circuits x 3 kinds), got $rows" >&2
+  exit 1
+fi
+for id in demo_a demo_a.muxlink demo_a.evolve demo_b demo_b.muxlink demo_b.evolve; do
+  if ! grep -q "\"job_id\":\"$id\"" "$OUT/kinds/rows.jsonl"; then
+    echo "service_smoke: missing row for job $id" >&2
+    exit 1
+  fi
+done
+
+echo "service_smoke: OK — $timeouts induced timeout(s), resumed stream byte-identical, $rows all-kinds rows"

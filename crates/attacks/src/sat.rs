@@ -13,7 +13,9 @@
 
 use autolock_locking::{Key, LockedNetlist};
 use autolock_netlist::{GateId, Netlist};
-use autolock_satsolver::{CircuitEncoder, Lit, SolveBudget, SolveResult, Solver};
+use autolock_satsolver::{
+    CircuitEncoder, Lit, SolveBudget, SolveResult, Solver, SolverSnapshot, Var,
+};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
@@ -31,6 +33,13 @@ pub struct SatAttackConfig {
     /// search point on every machine, which is what tests and the service
     /// smoke use to induce reproducible timeouts. `None` = unbounded.
     pub max_propagations_per_solve: Option<u64>,
+    /// Optional mid-solve checkpoint granule: when set, the active solver
+    /// call pauses every this-many conflicts and [`SatAttack::step`] returns,
+    /// giving the caller a boundary at which the whole attack state can be
+    /// serialized via [`SatAttack::checkpoint`]. Pausing never changes the
+    /// search path, so results are identical with or without a granule.
+    /// `None` (the default) lets each solve run to its verdict in one step.
+    pub checkpoint_conflicts: Option<u64>,
 }
 
 impl Default for SatAttackConfig {
@@ -39,6 +48,7 @@ impl Default for SatAttackConfig {
             max_iterations: 2000,
             timeout_ms: 60_000,
             max_propagations_per_solve: None,
+            checkpoint_conflicts: None,
         }
     }
 }
@@ -72,6 +82,84 @@ pub struct SatAttackOutcome {
     pub gave_up: bool,
 }
 
+/// Which stage a stepwise SAT-attack run is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum SatPhase {
+    /// Searching the miter for the next distinguishing input pattern.
+    Miter,
+    /// No more DIPs exist; extracting a consistent key from the key solver.
+    KeyExtract,
+    /// Terminal: the verdict fields are final.
+    Done,
+}
+
+/// Live state of a stepwise SAT-attack run.
+///
+/// Mirrors the `evo::checkpoint` shape: [`SatAttack::init_state`] builds it,
+/// [`SatAttack::step`] advances it one bounded unit of work at a time,
+/// [`SatAttack::finish`] turns it into a [`SatAttackOutcome`]. Between steps
+/// the state can be serialized with [`SatAttack::checkpoint`] and — in
+/// another process, after a kill — revived with [`SatAttack::restore`],
+/// continuing the run bit-identically, *including* a solve that was paused
+/// mid-search via [`SatAttackConfig::checkpoint_conflicts`].
+#[derive(Debug, Clone)]
+pub struct SatAttackState {
+    phase: SatPhase,
+    iterations: usize,
+    gave_up: bool,
+    success: bool,
+    key_bits: Vec<bool>,
+    miter: Solver,
+    key_solver: Solver,
+    enc_a: CircuitEncoder,
+    enc_b: CircuitEncoder,
+    key_vars: Vec<Var>,
+    // Interface caches, recomputed on restore (not checkpointed).
+    pis: Vec<GateId>,
+    keys: Vec<GateId>,
+    outs: Vec<GateId>,
+    /// Wall-clock anchor. Restarts from zero on [`SatAttack::restore`], so
+    /// the `timeout_ms` deadline is per-process-lifetime; deterministic
+    /// cutoffs across kills use `max_propagations_per_solve` instead.
+    started: Instant,
+}
+
+impl SatAttackState {
+    /// DIP iterations completed so far.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// `true` once the run reached its terminal phase (no `step` will do
+    /// further work).
+    pub fn is_finished(&self) -> bool {
+        self.phase == SatPhase::Done
+    }
+}
+
+/// A serializable checkpoint of a [`SatAttackState`], including both solver
+/// snapshots and the gate→variable maps of the two miter circuit copies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SatAttackCheckpoint {
+    phase: SatPhase,
+    iterations: usize,
+    gave_up: bool,
+    success: bool,
+    key_bits: Vec<bool>,
+    miter: SolverSnapshot,
+    key_solver: SolverSnapshot,
+    enc_a_vars: Vec<Var>,
+    enc_b_vars: Vec<Var>,
+    key_vars: Vec<Var>,
+}
+
+impl SatAttackCheckpoint {
+    /// DIP iterations completed when the checkpoint was taken.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+}
+
 /// The oracle-guided SAT attack.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SatAttack {
@@ -89,18 +177,40 @@ impl SatAttack {
         &self.config
     }
 
-    /// Runs the attack against `locked`, using `oracle` (the original,
-    /// unlocked design) to answer input/output queries.
+    /// The solver budget every attack solve runs under: the wall-clock
+    /// deadline pushed down into the CDCL loop plus the deterministic
+    /// propagation cap.
+    fn solve_budget(&self) -> SolveBudget {
+        // The deadline must bound wall clock even when a *single* solve call
+        // is slow, so it is pushed down into the CDCL loop as a SolveBudget
+        // rather than only being checked between DIP iterations. The
+        // propagation cap (when set) makes induced timeouts deterministic.
+        let deadline = Instant::now()
+            .checked_add(Duration::from_millis(
+                u64::try_from(self.config.timeout_ms).unwrap_or(u64::MAX),
+            ))
+            .unwrap_or_else(|| Instant::now() + Duration::from_secs(86_400));
+        SolveBudget {
+            deadline: Some(deadline),
+            max_conflicts: None,
+            max_propagations: self.config.max_propagations_per_solve,
+        }
+    }
+
+    fn arm(&self, solver: &mut Solver, budget: SolveBudget) {
+        solver.set_budget(budget);
+        solver.set_pause_granule(self.config.checkpoint_conflicts);
+    }
+
+    /// Builds the initial state of a stepwise run: the miter (two circuit
+    /// copies sharing primary inputs, free keys, at least one output
+    /// different) and the empty key solver.
     ///
     /// # Panics
     ///
     /// Panics if the oracle and the locked netlist have incompatible
     /// interfaces (different numbers of primary inputs or outputs).
-    pub fn attack(&self, locked: &LockedNetlist, oracle: &Netlist) -> SatAttackOutcome {
-        let start = Instant::now();
-        // Write-only observability: the span/counters record the run but
-        // never steer the DIP loop.
-        let _span = autolock_obs::span!("attack.sat");
+    pub fn init_state(&self, locked: &LockedNetlist, oracle: &Netlist) -> SatAttackState {
         let netlist = locked.netlist();
         assert_eq!(
             oracle.num_inputs(),
@@ -142,106 +252,239 @@ impl SatAttack {
         // Key solver: accumulates "key must reproduce oracle behaviour on
         // every queried DIP"; its model at the end is the recovered key.
         let mut key_solver = Solver::new();
-        let key_vars: Vec<_> = keys.iter().map(|_| key_solver.new_var()).collect();
+        let key_vars: Vec<Var> = keys.iter().map(|_| key_solver.new_var()).collect();
 
-        let mut iterations = 0usize;
-        let mut gave_up = false;
+        let budget = self.solve_budget();
+        self.arm(&mut miter, budget);
+        self.arm(&mut key_solver, budget);
 
-        // The deadline must bound wall clock even when a *single* solve call
-        // is slow, so it is pushed down into the CDCL loop as a SolveBudget
-        // rather than only being checked between DIP iterations. The
-        // propagation cap (when set) makes induced timeouts deterministic.
-        let deadline = Instant::now()
-            .checked_add(Duration::from_millis(
-                u64::try_from(self.config.timeout_ms).unwrap_or(u64::MAX),
-            ))
-            .unwrap_or_else(|| Instant::now() + Duration::from_secs(86_400));
-        let budget = SolveBudget {
-            deadline: Some(deadline),
-            max_conflicts: None,
-            max_propagations: self.config.max_propagations_per_solve,
-        };
-        miter.set_budget(budget);
-        key_solver.set_budget(budget);
-
-        loop {
-            if iterations >= self.config.max_iterations
-                || start.elapsed().as_millis() > self.config.timeout_ms
-            {
-                gave_up = true;
-                break;
-            }
-            match miter.solve() {
-                SolveResult::Unsat => break, // no more distinguishing inputs
-                SolveResult::Unknown => {
-                    // Budget exhausted mid-solve: report a partial run
-                    // instead of overrunning the deadline.
-                    gave_up = true;
-                    break;
-                }
-                SolveResult::Sat => {
-                    // Extract the DIP from copy A's primary inputs.
-                    let dip: Vec<bool> = pis
-                        .iter()
-                        .map(|&pi| miter.value(enc_a.var(pi)).unwrap_or(false))
-                        .collect();
-                    // Query the oracle.
-                    let response = oracle
-                        .evaluate(&dip)
-                        .expect("oracle evaluation with matching input count");
-
-                    // Constrain both miter key copies and the key solver with
-                    // the observed input/output behaviour.
-                    for enc in [&enc_a, &enc_b] {
-                        Self::add_io_constraint(
-                            &mut miter, netlist, enc, &pis, &keys, &outs, &dip, &response,
-                        );
-                    }
-                    Self::add_io_constraint_new_copy(
-                        &mut key_solver,
-                        netlist,
-                        &pis,
-                        &keys,
-                        &outs,
-                        &key_vars,
-                        &dip,
-                        &response,
-                    );
-                    iterations += 1;
-                }
-            }
+        SatAttackState {
+            phase: SatPhase::Miter,
+            iterations: 0,
+            gave_up: false,
+            success: false,
+            key_bits: Vec::new(),
+            miter,
+            key_solver,
+            enc_a,
+            enc_b,
+            key_vars,
+            pis,
+            keys,
+            outs,
+            started: Instant::now(),
         }
+    }
 
-        // Extract a key consistent with every observed DIP.
-        let (success, recovered_key) = if gave_up {
-            (false, Key::zeros(keys.len()))
-        } else {
-            match key_solver.solve() {
+    /// Serializes the complete state of a stepwise run. Call between
+    /// [`SatAttack::step`]s — the returned checkpoint plus the (job-derived)
+    /// locked netlist is everything [`SatAttack::restore`] needs.
+    pub fn checkpoint(&self, state: &SatAttackState) -> SatAttackCheckpoint {
+        SatAttackCheckpoint {
+            phase: state.phase,
+            iterations: state.iterations,
+            gave_up: state.gave_up,
+            success: state.success,
+            key_bits: state.key_bits.clone(),
+            miter: state.miter.snapshot(),
+            key_solver: state.key_solver.snapshot(),
+            enc_a_vars: state.enc_a.vars().to_vec(),
+            enc_b_vars: state.enc_b.vars().to_vec(),
+            key_vars: state.key_vars.clone(),
+        }
+    }
+
+    /// Revives a checkpointed run against the same locked netlist,
+    /// continuing bit-identically — a solve that was paused mid-search picks
+    /// up at the exact conflict it stopped at. The wall-clock deadline is
+    /// re-armed from "now" (rows that must be kill-invariant use the
+    /// deterministic propagation cap, not the deadline).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the inconsistency when the checkpoint does
+    /// not structurally match `locked` (wrong circuit, torn or corrupt
+    /// payload that still deserialized). The caller treats that as a corrupt
+    /// checkpoint: quarantine and restart from scratch, never panic.
+    pub fn restore(
+        &self,
+        locked: &LockedNetlist,
+        checkpoint: SatAttackCheckpoint,
+    ) -> Result<SatAttackState, String> {
+        let netlist = locked.netlist();
+        let keys: Vec<GateId> = netlist.key_inputs();
+        if checkpoint.key_vars.len() != keys.len() {
+            return Err(format!(
+                "checkpoint has {} key variables for {} key inputs",
+                checkpoint.key_vars.len(),
+                keys.len()
+            ));
+        }
+        let enc_a = CircuitEncoder::from_vars(netlist, checkpoint.enc_a_vars)?;
+        let enc_b = CircuitEncoder::from_vars(netlist, checkpoint.enc_b_vars)?;
+        let mut miter = Solver::from_snapshot(checkpoint.miter)?;
+        let mut key_solver = Solver::from_snapshot(checkpoint.key_solver)?;
+        if miter.num_vars() < 2 * netlist.len() {
+            return Err(format!(
+                "miter snapshot has {} variables for two copies of {} gates",
+                miter.num_vars(),
+                netlist.len()
+            ));
+        }
+        let budget = self.solve_budget();
+        self.arm(&mut miter, budget);
+        self.arm(&mut key_solver, budget);
+        Ok(SatAttackState {
+            phase: checkpoint.phase,
+            iterations: checkpoint.iterations,
+            gave_up: checkpoint.gave_up,
+            success: checkpoint.success,
+            key_bits: checkpoint.key_bits,
+            miter,
+            key_solver,
+            enc_a,
+            enc_b,
+            key_vars: checkpoint.key_vars,
+            pis: netlist.inputs(),
+            keys,
+            outs: netlist.outputs().to_vec(),
+            started: Instant::now(),
+        })
+    }
+
+    /// Advances the run by one bounded unit of work: one miter solve slice
+    /// (a full solve, or up to [`SatAttackConfig::checkpoint_conflicts`]
+    /// conflicts of one), one DIP/oracle exchange, or one key-extraction
+    /// slice. Returns `true` while more work remains — checkpoint between
+    /// calls, then keep stepping.
+    pub fn step(
+        &self,
+        state: &mut SatAttackState,
+        locked: &LockedNetlist,
+        oracle: &Netlist,
+    ) -> bool {
+        let netlist = locked.netlist();
+        match state.phase {
+            SatPhase::Done => false,
+            SatPhase::Miter => {
+                if state.iterations >= self.config.max_iterations
+                    || state.started.elapsed().as_millis() > self.config.timeout_ms
+                {
+                    state.gave_up = true;
+                    state.phase = SatPhase::Done;
+                    return false;
+                }
+                match state.miter.solve() {
+                    // Pause boundary: no progress on the verdict, but the
+                    // caller may checkpoint here.
+                    SolveResult::Paused => true,
+                    SolveResult::Unsat => {
+                        // No more distinguishing inputs: the accumulated
+                        // constraints pin a functionally correct key.
+                        state.phase = SatPhase::KeyExtract;
+                        true
+                    }
+                    SolveResult::Unknown => {
+                        // Budget exhausted mid-solve: report a partial run
+                        // instead of overrunning the deadline.
+                        state.gave_up = true;
+                        state.phase = SatPhase::Done;
+                        false
+                    }
+                    SolveResult::Sat => {
+                        // Extract the DIP from copy A's primary inputs.
+                        let dip: Vec<bool> = state
+                            .pis
+                            .iter()
+                            .map(|&pi| state.miter.value(state.enc_a.var(pi)).unwrap_or(false))
+                            .collect();
+                        // Query the oracle.
+                        let response = oracle
+                            .evaluate(&dip)
+                            .expect("oracle evaluation with matching input count");
+
+                        // Constrain both miter key copies and the key solver
+                        // with the observed input/output behaviour.
+                        for enc in [&state.enc_a, &state.enc_b] {
+                            Self::add_io_constraint(
+                                &mut state.miter,
+                                netlist,
+                                enc,
+                                &state.pis,
+                                &state.keys,
+                                &state.outs,
+                                &dip,
+                                &response,
+                            );
+                        }
+                        Self::add_io_constraint_new_copy(
+                            &mut state.key_solver,
+                            netlist,
+                            &state.pis,
+                            &state.keys,
+                            &state.outs,
+                            &state.key_vars,
+                            &dip,
+                            &response,
+                        );
+                        state.iterations += 1;
+                        true
+                    }
+                }
+            }
+            SatPhase::KeyExtract => match state.key_solver.solve() {
+                SolveResult::Paused => true,
                 SolveResult::Sat => {
-                    let bits: Vec<bool> = key_vars
+                    state.key_bits = state
+                        .key_vars
                         .iter()
-                        .map(|&v| key_solver.value(v).unwrap_or(false))
+                        .map(|&v| state.key_solver.value(v).unwrap_or(false))
                         .collect();
-                    (true, Key::new(bits))
+                    state.success = true;
+                    state.phase = SatPhase::Done;
+                    false
                 }
                 SolveResult::Unknown => {
                     // Key extraction itself ran out of budget.
-                    gave_up = true;
-                    (false, Key::zeros(keys.len()))
+                    state.gave_up = true;
+                    state.phase = SatPhase::Done;
+                    false
                 }
                 SolveResult::Unsat => {
-                    // Can only happen with zero iterations and an unsatisfiable
-                    // circuit encoding, which validated netlists never produce.
-                    (keys.is_empty(), Key::zeros(keys.len()))
+                    // Can only happen with zero iterations and an
+                    // unsatisfiable circuit encoding, which validated
+                    // netlists never produce.
+                    state.success = state.key_vars.is_empty();
+                    state.phase = SatPhase::Done;
+                    false
                 }
-            }
+            },
+        }
+    }
+
+    /// Consumes a finished state into the attack outcome, publishing the
+    /// summed solver stats to the obs registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state has not reached its terminal phase (drive
+    /// [`SatAttack::step`] until it returns `false` first).
+    pub fn finish(&self, state: SatAttackState, locked: &LockedNetlist) -> SatAttackOutcome {
+        assert!(
+            state.is_finished(),
+            "finish requires a finished state (step until it returns false)"
+        );
+        let (success, recovered_key) = if state.success {
+            (true, Key::new(state.key_bits.clone()))
+        } else {
+            (false, Key::zeros(state.key_vars.len()))
         };
 
         // Publish the summed SolverStats of both solvers to the registry —
         // the `satsolver` layer's wiring into the shared obs surface.
-        let miter_stats = miter.stats();
-        let key_stats = key_solver.stats();
-        autolock_obs::counter("sat.dips").add(iterations as u64);
+        let miter_stats = state.miter.stats();
+        let key_stats = state.key_solver.stats();
+        autolock_obs::counter("sat.dips").add(state.iterations as u64);
         autolock_obs::counter("sat.decisions").add(miter_stats.decisions + key_stats.decisions);
         autolock_obs::counter("sat.propagations")
             .add(miter_stats.propagations + key_stats.propagations);
@@ -254,15 +497,32 @@ impl SatAttack {
         SatAttackOutcome {
             scheme: locked.scheme().to_string(),
             design: locked.original_name().to_string(),
-            key_len: keys.len(),
+            key_len: state.key_vars.len(),
             success,
             recovered_key,
             exact_key_match,
-            iterations,
-            runtime_ms: start.elapsed().as_millis(),
+            iterations: state.iterations,
+            runtime_ms: state.started.elapsed().as_millis(),
             solver_conflicts: miter_stats.conflicts + key_stats.conflicts,
-            gave_up,
+            gave_up: state.gave_up,
         }
+    }
+
+    /// Runs the attack against `locked`, using `oracle` (the original,
+    /// unlocked design) to answer input/output queries. Equivalent to
+    /// driving [`SatAttack::step`] to completion in one call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the oracle and the locked netlist have incompatible
+    /// interfaces (different numbers of primary inputs or outputs).
+    pub fn attack(&self, locked: &LockedNetlist, oracle: &Netlist) -> SatAttackOutcome {
+        // Write-only observability: the span/counters record the run but
+        // never steer the DIP loop.
+        let _span = autolock_obs::span!("attack.sat");
+        let mut state = self.init_state(locked, oracle);
+        while self.step(&mut state, locked, oracle) {}
+        self.finish(state, locked)
     }
 
     /// Adds, to `solver`, a fresh copy of `netlist` whose primary inputs are
@@ -396,7 +656,7 @@ mod tests {
         let attack = SatAttack::new(SatAttackConfig {
             max_iterations: 0,
             timeout_ms: 60_000,
-            max_propagations_per_solve: None,
+            ..SatAttackConfig::default()
         });
         let outcome = attack.attack(&locked, &original);
         assert!(!outcome.success);
@@ -416,7 +676,7 @@ mod tests {
         let attack = SatAttack::new(SatAttackConfig {
             max_iterations: 5000,
             timeout_ms: 50,
-            max_propagations_per_solve: None,
+            ..SatAttackConfig::default()
         });
         let start = Instant::now();
         let outcome = attack.attack(&locked, &original);
@@ -449,6 +709,7 @@ mod tests {
                 max_iterations: 30,
                 timeout_ms: u128::MAX,
                 max_propagations_per_solve: Some(20_000),
+                ..SatAttackConfig::default()
             })
             .attack(&locked, &original)
         };
@@ -471,6 +732,7 @@ mod tests {
             max_iterations: 2000,
             timeout_ms: 60_000,
             max_propagations_per_solve: Some(10_000_000),
+            ..SatAttackConfig::default()
         })
         .attack(&locked, &original);
         assert!(outcome.success);
@@ -492,5 +754,100 @@ mod tests {
         let outcome = SatAttack::default().attack(&locked, &original);
         assert!(outcome.success);
         assert_eq!(outcome.key_len, 0);
+    }
+
+    #[test]
+    fn stepped_run_matches_monolithic_attack() {
+        let original = synth_circuit("t", 8, 4, 60, 13);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let locked = DMuxLocking::default().lock(&original, 6, &mut rng).unwrap();
+        let attack = SatAttack::default();
+        let reference = attack.attack(&locked, &original);
+
+        let mut state = attack.init_state(&locked, &original);
+        while attack.step(&mut state, &locked, &original) {}
+        let stepped = attack.finish(state, &locked);
+
+        assert_eq!(stepped.success, reference.success);
+        assert_eq!(stepped.iterations, reference.iterations);
+        assert_eq!(stepped.solver_conflicts, reference.solver_conflicts);
+        assert_eq!(stepped.recovered_key, reference.recovered_key);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_resumes_bit_identically() {
+        // Pause every single conflict, checkpoint through JSON at *every*
+        // step boundary, and restore into a fresh state each time. The final
+        // outcome must match an uninterrupted run exactly — the strongest
+        // form of "a SIGKILL between any two steps loses nothing".
+        let original = synth_circuit("t", 8, 4, 60, 13);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let locked = DMuxLocking::default().lock(&original, 6, &mut rng).unwrap();
+        let attack = SatAttack::new(SatAttackConfig {
+            checkpoint_conflicts: Some(1),
+            ..SatAttackConfig::default()
+        });
+        let reference = attack.attack(&locked, &original);
+
+        let mut state = attack.init_state(&locked, &original);
+        let mut steps = 0usize;
+        while attack.step(&mut state, &locked, &original) {
+            let json = serde_json::to_string(&attack.checkpoint(&state)).unwrap();
+            let revived: SatAttackCheckpoint = serde_json::from_str(&json).unwrap();
+            state = attack.restore(&locked, revived).unwrap();
+            steps += 1;
+            assert!(steps < 100_000, "stepped attack must terminate");
+        }
+        let resumed = attack.finish(state, &locked);
+
+        assert_eq!(resumed.success, reference.success);
+        assert_eq!(resumed.iterations, reference.iterations);
+        assert_eq!(resumed.solver_conflicts, reference.solver_conflicts);
+        assert_eq!(resumed.recovered_key, reference.recovered_key);
+        assert!(
+            steps > resumed.iterations,
+            "granule 1 must pause inside solves: {steps} steps, {} DIPs",
+            resumed.iterations
+        );
+    }
+
+    #[test]
+    fn pause_granule_does_not_change_the_search() {
+        // With and without a pause granule the solver must walk the same
+        // path: pausing is a pure suspension, not a restart.
+        let original = synth_circuit("t", 10, 4, 120, 17);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let locked = DMuxLocking::default().lock(&original, 8, &mut rng).unwrap();
+        let plain = SatAttack::default().attack(&locked, &original);
+        let paused = SatAttack::new(SatAttackConfig {
+            checkpoint_conflicts: Some(3),
+            ..SatAttackConfig::default()
+        })
+        .attack(&locked, &original);
+        assert_eq!(paused.success, plain.success);
+        assert_eq!(paused.iterations, plain.iterations);
+        assert_eq!(paused.solver_conflicts, plain.solver_conflicts);
+        assert_eq!(paused.recovered_key, plain.recovered_key);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_checkpoint() {
+        let original = c17();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let locked = XorLocking::default().lock(&original, 4, &mut rng).unwrap();
+        let attack = SatAttack::default();
+        let state = attack.init_state(&locked, &original);
+        let good = attack.checkpoint(&state);
+
+        // Wrong key arity: checkpoint from a different lock width.
+        let mut wrong_keys = good.clone();
+        wrong_keys.key_vars.pop();
+        assert!(attack.restore(&locked, wrong_keys).is_err());
+
+        // Wrong circuit: the other netlist has a different gate count.
+        let other = synth_circuit("other", 8, 4, 60, 99);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let other_locked = XorLocking::default().lock(&other, 4, &mut rng).unwrap();
+        assert!(attack.restore(&other_locked, good).is_err());
     }
 }

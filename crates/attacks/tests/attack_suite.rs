@@ -110,7 +110,7 @@ fn sat_attack_key_is_always_functionally_correct_when_successful() {
         let outcome = SatAttack::new(SatAttackConfig {
             max_iterations: 400,
             timeout_ms: 30_000,
-            max_propagations_per_solve: None,
+            ..SatAttackConfig::default()
         })
         .attack(&locked, &original);
         assert!(outcome.success, "seed {seed}");

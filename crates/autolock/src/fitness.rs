@@ -331,7 +331,7 @@ mod tests {
             SatAttackConfig {
                 max_iterations: 20,
                 timeout_ms: 10_000,
-                max_propagations_per_solve: None,
+                ..SatAttackConfig::default()
             },
             vec![ObjectiveKind::MuxLinkAccuracy, ObjectiveKind::AreaOverhead],
             7,

@@ -179,6 +179,7 @@ fn e8_kernel(c: &mut Criterion) {
                     max_iterations: 20,
                     timeout_ms: 5_000,
                     max_propagations_per_solve: None,
+                    ..SatAttackConfig::default()
                 },
                 vec![ObjectiveKind::MuxLinkAccuracy, ObjectiveKind::AreaOverhead],
                 8,

@@ -4,11 +4,15 @@
 //! ```text
 //! cargo run --release -p autolock_bench --bin serve_dir -- \
 //!     --dir circuits/ --out runs/smoke [--scheme xor|dmux] [--key-len N] \
-//!     [--seed N] [--timeout-ms N] [--propagations N] [--iterations N] [--demo]
+//!     [--seed N] [--timeout-ms N] [--propagations N] [--iterations N] \
+//!     [--attacks sat,muxlink,evolve] [--evolve-population N] \
+//!     [--evolve-generations N] [--demo]
 //! ```
 //!
-//! Each `.bench` file becomes one SAT-attack job (lock, then attack with the
-//! original as oracle) with a stable per-circuit seed. Rows stream to
+//! Each `.bench` file becomes one job per attack in `--attacks` (default
+//! `sat`): a SAT-attack job under the file stem, a MuxLink job under
+//! `{stem}.muxlink`, an evolution job under `{stem}.evolve` — each with a
+//! stable per-job seed and its own status row. Rows stream to
 //! `<out>/rows.jsonl` as jobs finish; re-running against the same `--out`
 //! directory resumes, skipping completed jobs, and the final stream is
 //! bit-identical to an uninterrupted run. `--propagations` sets the
@@ -19,10 +23,11 @@
 //! Exit status is 0 when every row is `ok`, 2 when any row is `timeout` or
 //! `error`, and 1 on usage or I/O failures.
 
+use autolock_bench::demo::write_demo_circuits;
 use autolock_bench::experiment_threads;
-use autolock_circuits::{suite_circuit, synth_circuit};
-use autolock_netlist::write_bench;
-use autolock_service::{jobs_from_dir, DirJobConfig, EngineConfig, JobEngine, JobStatus, LockSpec};
+use autolock_service::{
+    jobs_from_dir, DirJobConfig, DirJobKinds, EngineConfig, JobEngine, JobStatus, LockSpec,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -35,6 +40,9 @@ struct Options {
     timeout_ms: u64,
     propagations: Option<u64>,
     iterations: usize,
+    kinds: DirJobKinds,
+    evolve_population: usize,
+    evolve_generations: usize,
     demo: bool,
 }
 
@@ -42,7 +50,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: serve_dir --dir <circuits> --out <run-dir> [--scheme xor|dmux] \
          [--key-len N] [--seed N] [--timeout-ms N] [--propagations N] \
-         [--iterations N] [--demo]"
+         [--iterations N] [--attacks sat,muxlink,evolve] [--evolve-population N] \
+         [--evolve-generations N] [--demo]"
     );
     std::process::exit(1);
 }
@@ -57,6 +66,9 @@ fn parse_options() -> Options {
         timeout_ms: 60_000,
         propagations: None,
         iterations: 2000,
+        kinds: DirJobKinds::default(),
+        evolve_population: 4,
+        evolve_generations: 2,
         demo: false,
     };
     let mut args = std::env::args().skip(1);
@@ -78,6 +90,13 @@ fn parse_options() -> Options {
                 opts.propagations = Some(parse_num(&value(&mut args, "--propagations")));
             }
             "--iterations" => opts.iterations = parse_num(&value(&mut args, "--iterations")),
+            "--attacks" => opts.kinds = parse_kinds(&value(&mut args, "--attacks")),
+            "--evolve-population" => {
+                opts.evolve_population = parse_num(&value(&mut args, "--evolve-population"));
+            }
+            "--evolve-generations" => {
+                opts.evolve_generations = parse_num(&value(&mut args, "--evolve-generations"));
+            }
             "--demo" => opts.demo = true,
             "--help" | "-h" => usage(),
             other => {
@@ -99,16 +118,29 @@ fn parse_num<T: std::str::FromStr>(text: &str) -> T {
     })
 }
 
-/// Populate `dir` with the demo trio: two quick synthetic circuits and the
-/// structurally hard `st6288` (which times out under a propagation cap).
-fn write_demo_circuits(dir: &std::path::Path) -> std::io::Result<()> {
-    std::fs::create_dir_all(dir)?;
-    let quick_a = synth_circuit("demo_a", 10, 4, 120, 101);
-    let quick_b = synth_circuit("demo_b", 12, 4, 160, 102);
-    let hard = suite_circuit("st6288").expect("st6288 is a suite member");
-    std::fs::write(dir.join("demo_a.bench"), write_bench(&quick_a))?;
-    std::fs::write(dir.join("demo_b.bench"), write_bench(&quick_b))?;
-    std::fs::write(dir.join("st6288.bench"), write_bench(&hard))
+/// Parses the comma-separated `--attacks` list into job kinds.
+fn parse_kinds(text: &str) -> DirJobKinds {
+    let mut kinds = DirJobKinds {
+        sat: false,
+        muxlink: false,
+        evolve: false,
+    };
+    for part in text.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        match part {
+            "sat" => kinds.sat = true,
+            "muxlink" => kinds.muxlink = true,
+            "evolve" => kinds.evolve = true,
+            other => {
+                eprintln!("unknown attack: {other} (expected sat, muxlink or evolve)");
+                usage()
+            }
+        }
+    }
+    if !(kinds.sat || kinds.muxlink || kinds.evolve) {
+        eprintln!("--attacks needs at least one of sat, muxlink, evolve");
+        usage()
+    }
+    kinds
 }
 
 fn main() -> ExitCode {
@@ -138,6 +170,9 @@ fn main() -> ExitCode {
         timeout_ms: opts.timeout_ms,
         max_propagations_per_solve: opts.propagations,
         max_iterations: opts.iterations,
+        kinds: opts.kinds,
+        evolve_population: opts.evolve_population,
+        evolve_generations: opts.evolve_generations,
     };
     let jobs = match jobs_from_dir(&opts.dir, &config) {
         Ok(jobs) => jobs,

@@ -1,0 +1,38 @@
+//! The shared demo circuit set used by the service binaries (`serve_dir
+//! --demo`, `chaos_smoke`) and the CI smoke scripts.
+
+use autolock_circuits::{suite_circuit, synth_circuit};
+use autolock_netlist::write_bench;
+use std::io;
+use std::path::Path;
+
+/// Populates `dir` with the demo trio: two quick synthetic circuits and the
+/// structurally hard `st6288` (which times out under a propagation cap).
+///
+/// # Errors
+///
+/// Propagates directory-creation and file-write failures.
+pub fn write_demo_circuits(dir: &Path) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let quick_a = synth_circuit("demo_a", 10, 4, 120, 101);
+    let quick_b = synth_circuit("demo_b", 12, 4, 160, 102);
+    let hard = suite_circuit("st6288").expect("st6288 is a suite member");
+    std::fs::write(dir.join("demo_a.bench"), write_bench(&quick_a))?;
+    std::fs::write(dir.join("demo_b.bench"), write_bench(&quick_b))?;
+    std::fs::write(dir.join("st6288.bench"), write_bench(&hard))
+}
+
+/// Like [`write_demo_circuits`] but without `st6288` — the quick pair only,
+/// for harnesses that run every kind of job (evolution on `st6288` would
+/// dominate the runtime without testing anything extra).
+///
+/// # Errors
+///
+/// Propagates directory-creation and file-write failures.
+pub fn write_quick_demo_circuits(dir: &Path) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let quick_a = synth_circuit("demo_a", 10, 4, 120, 101);
+    let quick_b = synth_circuit("demo_b", 12, 4, 160, 102);
+    std::fs::write(dir.join("demo_a.bench"), write_bench(&quick_a))?;
+    std::fs::write(dir.join("demo_b.bench"), write_bench(&quick_b))
+}

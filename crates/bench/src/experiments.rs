@@ -319,7 +319,7 @@ pub fn e5_sat_attack(scale: Scale) -> ResultTable {
                 let outcome = SatAttack::new(SatAttackConfig {
                     max_iterations: 500,
                     timeout_ms: 30_000,
-                    max_propagations_per_solve: None,
+                    ..SatAttackConfig::default()
                 })
                 .attack(&locked, &original);
                 table.push_row(vec![
@@ -338,7 +338,7 @@ pub fn e5_sat_attack(scale: Scale) -> ResultTable {
             let outcome = SatAttack::new(SatAttackConfig {
                 max_iterations: 500,
                 timeout_ms: 30_000,
-                max_propagations_per_solve: None,
+                ..SatAttackConfig::default()
             })
             .attack(&result.locked, &original);
             table.push_row(vec![
@@ -486,7 +486,7 @@ pub fn e8_multi_objective(scale: Scale) -> ResultTable {
         SatAttackConfig {
             max_iterations: 100,
             timeout_ms: 10_000,
-            max_propagations_per_solve: None,
+            ..SatAttackConfig::default()
         },
         vec![ObjectiveKind::MuxLinkAccuracy, ObjectiveKind::DepthOverhead],
         0xE8,

@@ -13,6 +13,7 @@ use serde::Serialize;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
+pub mod demo;
 pub mod experiments;
 mod obsrun;
 pub mod trajectory;

@@ -46,6 +46,32 @@ impl CircuitEncoder {
         enc
     }
 
+    /// Rebuilds an encoder from the per-gate variables a previous
+    /// [`CircuitEncoder::encode`] of the *same* netlist produced (e.g.
+    /// recovered from a [`crate::SolverSnapshot`]-based checkpoint). Adds no
+    /// clauses — the restored solver already carries them. Auxiliary
+    /// variables the original encoding allocated (XOR-chain internals) live
+    /// only in the solver and need no mapping here.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `vars` does not have one entry per gate of
+    /// `netlist` — the checkpoint and the netlist do not belong together.
+    pub fn from_vars(netlist: &Netlist, vars: Vec<Var>) -> Result<Self, String> {
+        if vars.len() != netlist.len() {
+            return Err(format!(
+                "encoder/netlist mismatch: {} variables for {} gates",
+                vars.len(),
+                netlist.len()
+            ));
+        }
+        let mut by_name = HashMap::with_capacity(vars.len());
+        for ((_, gate), &v) in netlist.iter().zip(&vars) {
+            by_name.insert(gate.name.clone(), v);
+        }
+        Ok(CircuitEncoder { vars, by_name })
+    }
+
     /// The solver variable of a gate.
     pub fn var(&self, gate: GateId) -> Var {
         self.vars[gate.index()]
@@ -282,6 +308,26 @@ mod tests {
         solver.add_clause(&[o1, o2]);
         solver.add_clause(&[!o1, !o2]);
         assert_eq!(solver.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn from_vars_rebuilds_the_same_mapping() {
+        let mut nl = Netlist::new("n");
+        let a = nl.add_input("a");
+        let k = nl.add_key_input("keyinput0").unwrap();
+        let y = nl.add_gate("y", GateKind::Xor, vec![a, k]).unwrap();
+        nl.mark_output(y);
+        let mut solver = Solver::new();
+        let enc = CircuitEncoder::encode(&mut solver, &nl);
+        let rebuilt = CircuitEncoder::from_vars(&nl, enc.vars().to_vec()).unwrap();
+        assert_eq!(rebuilt.var(a), enc.var(a));
+        assert_eq!(rebuilt.var(y), enc.var(y));
+        assert_eq!(
+            rebuilt.var_by_name("keyinput0"),
+            enc.var_by_name("keyinput0")
+        );
+        // Wrong cardinality is rejected, not silently misaligned.
+        assert!(CircuitEncoder::from_vars(&nl, enc.vars()[1..].to_vec()).is_err());
     }
 
     #[test]

@@ -10,7 +10,11 @@
 //! * [`CnfFormula`] — a clause container with DIMACS import/export;
 //! * [`encode`] — Tseitin encoding of an [`autolock_netlist::Netlist`] into
 //!   CNF, with a stable gate→variable mapping so the attack can constrain and
-//!   read back key bits.
+//!   read back key bits;
+//! * [`SolverSnapshot`] — a serializable capture of the complete search
+//!   state, paired with [`Solver::set_pause_granule`] so a long solve can be
+//!   suspended at conflict boundaries, checkpointed to disk, and resumed
+//!   bit-identically after a kill.
 //!
 //! ```
 //! use autolock_satsolver::{Lit, Solver, SolveResult};
@@ -32,10 +36,12 @@
 
 mod cnf;
 pub mod encode;
+mod snapshot;
 mod solver;
 mod types;
 
 pub use cnf::CnfFormula;
 pub use encode::CircuitEncoder;
+pub use snapshot::SolverSnapshot;
 pub use solver::{SolveBudget, SolveResult, Solver, SolverStats};
 pub use types::{Lit, Var};

@@ -16,6 +16,13 @@ pub enum SolveResult {
     /// kept and further `solve` calls (with a fresh or no budget) may still
     /// answer Sat/Unsat.
     Unknown,
+    /// The search was suspended at a conflict granule set with
+    /// [`Solver::set_pause_granule`]. Unlike [`SolveResult::Unknown`], the
+    /// solver keeps its complete search position (trail, decision levels,
+    /// watch state, per-call budget baselines); the next assumption-free
+    /// `solve` call continues the identical search as if it had never
+    /// stopped. No clauses may be added while paused.
+    Paused,
 }
 
 /// A per-call resource budget for [`Solver::solve`].
@@ -97,11 +104,11 @@ pub struct SolverStats {
 }
 
 #[derive(Debug, Clone)]
-struct Clause {
-    lits: Vec<Lit>,
-    /// Retained for future clause-database reduction policies.
-    #[allow(dead_code)]
-    learnt: bool,
+pub(crate) struct Clause {
+    pub(crate) lits: Vec<Lit>,
+    /// Distinguishes learnt clauses in snapshots (and future clause-database
+    /// reduction policies).
+    pub(crate) learnt: bool,
 }
 
 const UNDEF: i8 = 0;
@@ -114,23 +121,35 @@ const UNDEF: i8 = 0;
 /// permanently constraining the formula.
 #[derive(Debug, Clone)]
 pub struct Solver {
-    clauses: Vec<Clause>,
+    pub(crate) clauses: Vec<Clause>,
     /// watches[l.code()] = indices of clauses currently watching literal `l`.
-    watches: Vec<Vec<usize>>,
+    pub(crate) watches: Vec<Vec<usize>>,
     /// assigns[v] = 0 (unassigned), 1 (true), -1 (false).
-    assigns: Vec<i8>,
-    level: Vec<u32>,
-    reason: Vec<Option<usize>>,
-    trail: Vec<Lit>,
-    trail_lim: Vec<usize>,
-    qhead: usize,
-    activity: Vec<f64>,
-    var_inc: f64,
-    polarity: Vec<bool>,
-    model: Vec<i8>,
-    ok: bool,
-    stats: SolverStats,
-    budget: SolveBudget,
+    pub(crate) assigns: Vec<i8>,
+    pub(crate) level: Vec<u32>,
+    pub(crate) reason: Vec<Option<usize>>,
+    pub(crate) trail: Vec<Lit>,
+    pub(crate) trail_lim: Vec<usize>,
+    pub(crate) qhead: usize,
+    pub(crate) activity: Vec<f64>,
+    pub(crate) var_inc: f64,
+    pub(crate) polarity: Vec<bool>,
+    pub(crate) model: Vec<i8>,
+    pub(crate) ok: bool,
+    pub(crate) stats: SolverStats,
+    pub(crate) budget: SolveBudget,
+    /// `true` while a solve is suspended mid-search (see
+    /// [`Solver::set_pause_granule`]). The fields below live in the struct
+    /// rather than the call frame so a paused call keeps its exact per-call
+    /// bookkeeping on resume — which is what makes a resumed search replay
+    /// the identical path.
+    pub(crate) paused: bool,
+    pub(crate) base_conflicts: u64,
+    pub(crate) base_propagations: u64,
+    pub(crate) conflicts_since_restart: u64,
+    pub(crate) restart_limit: u64,
+    pub(crate) pause_mark: u64,
+    pub(crate) pause_granule: Option<u64>,
 }
 
 impl Default for Solver {
@@ -158,6 +177,13 @@ impl Solver {
             ok: true,
             stats: SolverStats::default(),
             budget: SolveBudget::default(),
+            paused: false,
+            base_conflicts: 0,
+            base_propagations: 0,
+            conflicts_since_restart: 0,
+            restart_limit: 100,
+            pause_mark: 0,
+            pause_granule: None,
         }
     }
 
@@ -187,6 +213,30 @@ impl Solver {
     /// The budget currently applied to `solve` calls.
     pub fn budget(&self) -> SolveBudget {
         self.budget
+    }
+
+    /// Requests that `solve` return [`SolveResult::Paused`] every `granule`
+    /// conflicts (values below 1 are clamped to 1) instead of running to a
+    /// verdict in one call, keeping the full search position so the next
+    /// assumption-free `solve` continues exactly where it stopped. This is
+    /// the mid-solve checkpoint boundary: between a pause and the resume the
+    /// solver can be snapshotted with [`Solver::snapshot`]. Pausing never
+    /// changes the search path — a paused-and-resumed run performs the
+    /// identical decisions, propagations and restarts as an uninterrupted
+    /// one. Pass `None` (the default) to disable pausing.
+    pub fn set_pause_granule(&mut self, granule: Option<u64>) {
+        self.pause_granule = granule.map(|g| g.max(1));
+    }
+
+    /// The pause granule currently in effect.
+    pub fn pause_granule(&self) -> Option<u64> {
+        self.pause_granule
+    }
+
+    /// `true` while a solve is suspended mid-search (the last `solve` call
+    /// returned [`SolveResult::Paused`] and has not been resumed yet).
+    pub fn is_paused(&self) -> bool {
+        self.paused
     }
 
     /// Creates a fresh variable.
@@ -236,6 +286,10 @@ impl Solver {
     /// is between `solve` calls) or if a literal references an unknown
     /// variable.
     pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        assert!(
+            !self.paused,
+            "clauses cannot be added while a solve is paused"
+        );
         assert_eq!(self.decision_level(), 0, "clauses must be added at level 0");
         if !self.ok {
             return false;
@@ -487,32 +541,57 @@ impl Solver {
     /// Returns [`SolveResult::Unsat`] if no model exists that also satisfies
     /// every assumption. The solver state (clauses, learned clauses) persists
     /// across calls; the assumptions do not.
+    ///
+    /// With a pause granule set (see [`Solver::set_pause_granule`]) the call
+    /// may also return [`SolveResult::Paused`]; the next call then resumes
+    /// the suspended search.
+    ///
+    /// # Panics
+    ///
+    /// Panics when resuming a paused search with a non-empty assumption list
+    /// (a paused search can only continue the assumption-free solve that was
+    /// suspended).
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
         if !self.ok {
+            self.paused = false;
             return SolveResult::Unsat;
         }
-        let mut conflicts_since_restart: u64 = 0;
-        let mut restart_limit: u64 = 100;
+        if self.paused {
+            // Resuming: keep the trail, decision levels and per-call
+            // counters untouched so the continued search replays the exact
+            // path the uninterrupted call would have taken.
+            assert!(
+                assumptions.is_empty(),
+                "a paused solve can only be resumed without assumptions"
+            );
+            self.paused = false;
+        } else {
+            self.conflicts_since_restart = 0;
+            self.restart_limit = 100;
+            // Per-call budget bookkeeping: conflict/propagation limits count
+            // work done in *this* call against a snapshot of the stats. The
+            // baselines live in the struct so a paused call keeps counting
+            // against the same snapshot when it resumes.
+            self.base_conflicts = self.stats.conflicts;
+            self.base_propagations = self.stats.propagations;
+            self.pause_mark = self.stats.conflicts;
+        }
 
-        // Per-call budget bookkeeping: conflict/propagation limits count work
-        // done in *this* call against a snapshot of the stats. Each check is
-        // a couple of compares (plus one vDSO clock read for the deadline),
-        // negligible next to the propagate() call that follows it, so all
-        // three run on every iteration and the overshoot past a limit is at
-        // most one propagation pass.
+        // Each budget check is a couple of compares (plus one vDSO clock
+        // read for the deadline), negligible next to the propagate() call
+        // that follows it, so all three run on every iteration and the
+        // overshoot past a limit is at most one propagation pass.
         let bounded = !self.budget.is_unbounded();
-        let base_conflicts = self.stats.conflicts;
-        let base_propagations = self.stats.propagations;
 
         let result = 'outer: loop {
             if bounded {
                 if let Some(max) = self.budget.max_conflicts {
-                    if self.stats.conflicts - base_conflicts >= max {
+                    if self.stats.conflicts - self.base_conflicts >= max {
                         break 'outer SolveResult::Unknown;
                     }
                 }
                 if let Some(max) = self.budget.max_propagations {
-                    if self.stats.propagations - base_propagations >= max {
+                    if self.stats.propagations - self.base_propagations >= max {
                         break 'outer SolveResult::Unknown;
                     }
                 }
@@ -522,9 +601,19 @@ impl Solver {
                     }
                 }
             }
+            if let Some(granule) = self.pause_granule {
+                if self.stats.conflicts - self.pause_mark >= granule {
+                    self.pause_mark = self.stats.conflicts;
+                    self.paused = true;
+                    // Deliberately NOT cancel_until(0): the suspended trail
+                    // and decision levels are the search position the next
+                    // call continues from.
+                    return SolveResult::Paused;
+                }
+            }
             if let Some(conflict) = self.propagate() {
                 self.stats.conflicts += 1;
-                conflicts_since_restart += 1;
+                self.conflicts_since_restart += 1;
                 if self.decision_level() == 0 {
                     self.ok = false;
                     break 'outer SolveResult::Unsat;
@@ -544,9 +633,9 @@ impl Solver {
                 self.decay_activities();
             } else {
                 // No conflict.
-                if conflicts_since_restart >= restart_limit {
-                    conflicts_since_restart = 0;
-                    restart_limit = (restart_limit as f64 * 1.5) as u64;
+                if self.conflicts_since_restart >= self.restart_limit {
+                    self.conflicts_since_restart = 0;
+                    self.restart_limit = (self.restart_limit as f64 * 1.5) as u64;
                     self.stats.restarts += 1;
                     self.cancel_until(0);
                 }

@@ -1,11 +1,14 @@
-//! The job engine: sharded execution, JSONL streaming, resume.
+//! The job engine: sharded execution, JSONL streaming, resume, retries.
 
+use crate::fault::{FaultKind, FaultPlan};
 use crate::job::{JobKind, JobRow, JobSpec, JobStatus, LockSpec};
-use crate::registry::ModelRegistry;
+use crate::registry::{ModelRegistry, RegistryLookup};
+use crate::store::{CheckpointStore, StoreRead};
 use autolock::operators::{CrossoverKind, LocusCrossover, LocusMutation, MutationKind};
 use autolock::{LockingGenotype, MuxLinkFitness};
 use autolock_attacks::{
-    netlist_fingerprint, MuxLinkAttack, MuxLinkConfig, SatAttack, SatAttackConfig,
+    netlist_fingerprint, MuxLinkAttack, MuxLinkConfig, SatAttack, SatAttackCheckpoint,
+    SatAttackConfig, SatAttackState,
 };
 use autolock_evo::{finish, GaConfig, GaState, GeneticAlgorithm, SelectionMethod};
 use autolock_locking::DMuxLocking;
@@ -15,6 +18,7 @@ use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
 use std::fs;
 use std::io::{self, BufWriter, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -24,8 +28,12 @@ pub struct EngineConfig {
     /// The JSONL result stream. Created if absent; existing rows in it are
     /// treated as already-finished jobs (the resume protocol).
     pub out_path: PathBuf,
-    /// Directory for per-job evolution checkpoints (created if absent).
+    /// Directory for per-job checkpoints (created if absent): GA generation
+    /// checkpoints and mid-solve SAT checkpoints, all framed records.
     pub checkpoint_dir: PathBuf,
+    /// Where corrupt records and retry-exhausted job specs are moved for
+    /// post-mortem (created if absent). Nothing in it is ever read back.
+    pub quarantine_dir: PathBuf,
     /// Optional model-registry directory; when set, MuxLink jobs reuse
     /// cached trained models (bit-identical to retraining).
     pub registry_dir: Option<PathBuf>,
@@ -37,18 +45,63 @@ pub struct EngineConfig {
     /// results in memory and flushes rows to disk between chunks, so this
     /// bounds both peak memory and the worst-case work lost to a kill.
     pub chunk: usize,
+    /// Execution attempts per job before it is declared poisoned: panicking
+    /// or I/O-failing jobs are retried up to this many times total, then
+    /// quarantined with a structured `error` row. Deterministic failures
+    /// (parse/lock/parameter errors) are never retried. Clamped to ≥ 1.
+    pub max_attempts: u32,
+    /// Mid-solve SAT checkpoint granule: when set, SAT jobs pause their
+    /// active solver call every this-many conflicts and persist the full
+    /// attack state, so a kill mid-solve resumes the search (bit-identical)
+    /// instead of restarting the job. `None` disables SAT checkpointing.
+    pub sat_step_conflicts: Option<u64>,
+    /// Deterministic fault-injection plan. [`FaultPlan::none`] in
+    /// production; chaos tests arm torn writes, corrupt bytes, read errors
+    /// and worker panics at named seams.
+    pub faults: Arc<FaultPlan>,
 }
 
 impl EngineConfig {
     /// A configuration rooted at `dir`: rows in `dir/rows.jsonl`,
-    /// checkpoints in `dir/checkpoints`, registry in `dir/registry`.
+    /// checkpoints in `dir/checkpoints`, quarantine in `dir/quarantine`,
+    /// registry in `dir/registry`; 3 attempts per job and a 20k-conflict
+    /// SAT checkpoint granule.
     pub fn rooted(dir: &Path, threads: usize) -> Self {
         EngineConfig {
             out_path: dir.join("rows.jsonl"),
             checkpoint_dir: dir.join("checkpoints"),
+            quarantine_dir: dir.join("quarantine"),
             registry_dir: Some(dir.join("registry")),
             threads,
             chunk: 8,
+            max_attempts: 3,
+            sat_step_conflicts: Some(20_000),
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+/// A job failure, classified for the retry loop.
+struct JobError {
+    message: String,
+    /// `true` for failures worth retrying (I/O errors, and panics are
+    /// treated the same way by the caller); `false` for deterministic
+    /// failures (parse/lock/parameter) that would fail identically again.
+    poison: bool,
+}
+
+impl JobError {
+    fn fatal(message: String) -> Self {
+        JobError {
+            message,
+            poison: false,
+        }
+    }
+
+    fn io(e: io::Error) -> Self {
+        JobError {
+            message: format!("io: {e}"),
+            poison: true,
         }
     }
 }
@@ -59,12 +112,13 @@ impl EngineConfig {
 #[derive(Debug)]
 pub struct JobEngine {
     config: EngineConfig,
+    store: CheckpointStore,
     registry: Option<ModelRegistry>,
 }
 
 impl JobEngine {
-    /// Creates the engine, creating the output/checkpoint/registry
-    /// directories as needed.
+    /// Creates the engine, creating the output/checkpoint/quarantine/
+    /// registry directories as needed.
     ///
     /// # Errors
     ///
@@ -73,17 +127,30 @@ impl JobEngine {
         if let Some(parent) = config.out_path.parent() {
             fs::create_dir_all(parent)?;
         }
-        fs::create_dir_all(&config.checkpoint_dir)?;
+        let store = CheckpointStore::open(
+            &config.checkpoint_dir,
+            &config.quarantine_dir,
+            config.faults.clone(),
+        )?;
         let registry = match &config.registry_dir {
-            Some(dir) => Some(ModelRegistry::open(dir)?),
+            Some(dir) => Some(ModelRegistry::open_with_faults(dir, config.faults.clone())?),
             None => None,
         };
-        Ok(JobEngine { config, registry })
+        Ok(JobEngine {
+            config,
+            store,
+            registry,
+        })
     }
 
     /// The engine's model registry, when configured.
     pub fn registry(&self) -> Option<&ModelRegistry> {
         self.registry.as_ref()
+    }
+
+    /// The engine's checkpoint store.
+    pub fn store(&self) -> &CheckpointStore {
+        &self.store
     }
 
     /// Runs every job in `jobs` that does not already have a row in the
@@ -96,10 +163,11 @@ impl JobEngine {
     /// # Errors
     ///
     /// Propagates I/O failures on the result stream. Per-job failures never
-    /// fail the batch — they become [`JobStatus::Error`] rows.
+    /// fail the batch — they become [`JobStatus::Error`] rows (after the
+    /// configured retries, for panics and I/O errors).
     pub fn run(&self, jobs: &[JobSpec]) -> io::Result<Vec<JobRow>> {
         let _span = autolock_obs::span!("service.run");
-        let mut done = read_rows(&self.config.out_path);
+        let mut done = read_rows(&self.config.out_path, &self.config.faults);
         autolock_obs::counter("service.jobs_resumed").add(done.len() as u64);
 
         // Compact the stream before appending: drops any torn final line a
@@ -109,7 +177,12 @@ impl JobEngine {
             .iter()
             .filter_map(|j| done.get(&j.id).cloned())
             .collect();
-        write_rows_atomic(&self.config.out_path, &prefix)?;
+        write_rows_atomic(
+            &self.config.out_path,
+            &prefix,
+            &self.config.faults,
+            "rows.compact",
+        )?;
 
         let pending: Vec<JobSpec> = jobs
             .iter()
@@ -126,7 +199,20 @@ impl JobEngine {
                 self.run_job(spec)
             });
             for row in rows {
-                let line = serde_json::to_string(&row).expect("JobRow serializes to JSON");
+                let mut line = serde_json::to_string(&row).expect("JobRow serializes to JSON");
+                // Injected stream faults damage the line the way a kill
+                // mid-append (torn) or a bad disk (corrupt) would. Byte 0 is
+                // flipped for corruption so the line can never parse as a
+                // different valid row.
+                match self
+                    .config
+                    .faults
+                    .check(&format!("rows.append:{}", row.job_id))
+                {
+                    Some(FaultKind::TornWrite) => line.truncate(line.len() / 2),
+                    Some(FaultKind::CorruptBytes) => line.replace_range(0..1, "z"),
+                    _ => {}
+                }
                 out.write_all(line.as_bytes())?;
                 out.write_all(b"\n")?;
                 out.flush()?;
@@ -144,15 +230,57 @@ impl JobEngine {
                     .expect("every job has a row after the run loop")
             })
             .collect();
-        write_rows_atomic(&self.config.out_path, &ordered)?;
+        write_rows_atomic(
+            &self.config.out_path,
+            &ordered,
+            &self.config.faults,
+            "rows.finalize",
+        )?;
         Ok(ordered)
     }
 
-    /// Runs one job; failures become `error` rows, never panics/aborts of
-    /// the batch.
+    /// Runs one job through the retry loop; failures become `error` rows,
+    /// never panics/aborts of the batch. Panics and I/O errors are retried
+    /// up to [`EngineConfig::max_attempts`] times; a job that exhausts its
+    /// attempts is *poisoned*: its spec is quarantined and its row carries
+    /// the attempt count. Deterministic failures are not retried and their
+    /// rows carry no attempt count, so transient faults never change bytes.
     fn run_job(&self, spec: &JobSpec) -> JobRow {
         let _span = autolock_obs::span!("service.job");
-        self.try_run(spec).unwrap_or_else(|message| JobRow {
+        let max_attempts = u64::from(self.config.max_attempts.max(1));
+        let mut attempt = 0u64;
+        loop {
+            attempt += 1;
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                self.config
+                    .faults
+                    .check_panic(&format!("exec:{}#{attempt}", spec.id));
+                self.try_run(spec)
+            }));
+            let message = match result {
+                Ok(Ok(row)) => return row,
+                Ok(Err(err)) if !err.poison => return self.error_row(spec, None, err.message),
+                Ok(Err(err)) => err.message,
+                Err(panic) => format!("panic: {}", panic_message(panic.as_ref())),
+            };
+            if attempt < max_attempts {
+                autolock_obs::counter("service.exec_retries").incr();
+                continue;
+            }
+            // Poisoned: park the spec for post-mortem and report a
+            // structured row. The quarantined copy is evidence, not state —
+            // nothing ever reads it back.
+            autolock_obs::counter("service.jobs_quarantined").incr();
+            let spec_json = serde_json::to_string(spec).expect("JobSpec serializes to JSON");
+            let _ = self
+                .store
+                .quarantine_bytes(&format!("{}.poison.json", spec.id), spec_json.as_bytes());
+            return self.error_row(spec, Some(attempt), message);
+        }
+    }
+
+    fn error_row(&self, spec: &JobSpec, attempts: Option<u64>, message: String) -> JobRow {
+        JobRow {
             job_id: spec.id.clone(),
             circuit: spec.circuit.clone(),
             attack: spec.kind.label().to_string(),
@@ -161,13 +289,14 @@ impl JobEngine {
             success: false,
             key_accuracy: None,
             iterations: 0,
+            attempts,
             error: Some(message),
-        })
+        }
     }
 
-    fn try_run(&self, spec: &JobSpec) -> Result<JobRow, String> {
-        let netlist =
-            parse_bench(&spec.circuit, &spec.source).map_err(|e| format!("parse: {e}"))?;
+    fn try_run(&self, spec: &JobSpec) -> Result<JobRow, JobError> {
+        let netlist = parse_bench(&spec.circuit, &spec.source)
+            .map_err(|e| JobError::fatal(format!("parse: {e}")))?;
         match &spec.kind {
             JobKind::SatAttack {
                 lock,
@@ -193,6 +322,11 @@ impl JobEngine {
         }
     }
 
+    /// The store name of a job's mid-solve SAT checkpoint.
+    fn sat_checkpoint_name(job_id: &str) -> String {
+        format!("{job_id}.sat.json")
+    }
+
     fn run_sat(
         &self,
         spec: &JobSpec,
@@ -201,17 +335,38 @@ impl JobEngine {
         timeout_ms: u64,
         max_propagations_per_solve: Option<u64>,
         max_iterations: usize,
-    ) -> Result<JobRow, String> {
+    ) -> Result<JobRow, JobError> {
         let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
         let locked = lock
             .apply(netlist, &mut rng)
-            .map_err(|e| format!("lock: {e}"))?;
+            .map_err(|e| JobError::fatal(format!("lock: {e}")))?;
         let attack = SatAttack::new(SatAttackConfig {
             max_iterations,
             timeout_ms: u128::from(timeout_ms),
             max_propagations_per_solve,
+            checkpoint_conflicts: self.config.sat_step_conflicts,
         });
-        let outcome = attack.attack(&locked, netlist);
+        let outcome = if self.config.sat_step_conflicts.is_some() {
+            let name = Self::sat_checkpoint_name(&spec.id);
+            let mut state = self
+                .load_sat_checkpoint(&name, &attack, &locked)?
+                .unwrap_or_else(|| attack.init_state(&locked, netlist));
+            // Persist the full attack state at every step boundary: after
+            // each DIP/oracle exchange and — thanks to the conflict granule
+            // — *inside* long miter/key solves, so a SIGKILL at any point
+            // loses at most one granule of search.
+            while attack.step(&mut state, &locked, netlist) {
+                let ckpt = attack.checkpoint(&state);
+                let payload = serde_json::to_string(&ckpt).expect("checkpoint serializes to JSON");
+                self.store
+                    .write(&name, payload.as_bytes())
+                    .map_err(JobError::io)?;
+                autolock_obs::counter("service.sat_checkpoints").incr();
+            }
+            attack.finish(state, &locked)
+        } else {
+            attack.attack(&locked, netlist)
+        };
         Ok(JobRow {
             job_id: spec.id.clone(),
             circuit: spec.circuit.clone(),
@@ -225,8 +380,46 @@ impl JobEngine {
             success: outcome.success,
             key_accuracy: None,
             iterations: outcome.iterations as u64,
+            attempts: None,
             error: None,
         })
+    }
+
+    /// Reads a SAT checkpoint from the store. `Ok(None)` when the job must
+    /// start fresh: no checkpoint, or a corrupt/mismatched one (which is
+    /// quarantined and counted — corruption costs recomputation, never a
+    /// panic and never a wrong row).
+    fn load_sat_checkpoint(
+        &self,
+        name: &str,
+        attack: &SatAttack,
+        locked: &autolock_locking::LockedNetlist,
+    ) -> Result<Option<SatAttackState>, JobError> {
+        let payload = match self.store.read(name).map_err(JobError::io)? {
+            StoreRead::Ok(payload) => payload,
+            StoreRead::Absent | StoreRead::Corrupt => return Ok(None),
+        };
+        let revived = std::str::from_utf8(&payload)
+            .ok()
+            .and_then(|text| serde_json::from_str::<SatAttackCheckpoint>(text).ok())
+            .and_then(|ckpt| attack.restore(locked, ckpt).ok());
+        match revived {
+            Some(state) => {
+                autolock_obs::counter("service.sat_resumes").incr();
+                Ok(Some(state))
+            }
+            None => {
+                // The frame was intact but the payload is not a checkpoint
+                // for this job (e.g. corruption inside the JSON, or a stale
+                // file from a different circuit). Quarantine the evidence.
+                autolock_obs::counter("service.store.corrupt").incr();
+                let _ = self
+                    .store
+                    .quarantine_bytes(&format!("{name}.payload"), &payload);
+                let _ = self.store.remove(name);
+                Ok(None)
+            }
+        }
     }
 
     fn run_muxlink(
@@ -235,11 +428,11 @@ impl JobEngine {
         netlist: &Netlist,
         lock: LockSpec,
         attack_config: &MuxLinkConfig,
-    ) -> Result<JobRow, String> {
+    ) -> Result<JobRow, JobError> {
         let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
         let locked = lock
             .apply(netlist, &mut rng)
-            .map_err(|e| format!("lock: {e}"))?;
+            .map_err(|e| JobError::fatal(format!("lock: {e}")))?;
         // Job-level parallelism lives above the attack (the engine's worker
         // pool), so each attack runs serially — the thread-knob precedence
         // rule from `MuxLinkConfig::threads`.
@@ -253,18 +446,21 @@ impl JobEngine {
                 );
                 // On a hit, burn the one RNG draw `train_model` would have
                 // consumed to derive its training stream, so the scoring
-                // draws line up and the row is bit-identical either way.
-                if let Some(model) = registry.load(&key) {
-                    autolock_obs::counter("service.registry.hits").incr();
-                    let _ = rng.next_u64();
-                    model
-                } else {
-                    autolock_obs::counter("service.registry.misses").incr();
-                    let model = attack.train_model(&locked, &mut rng);
-                    if registry.store(&key, &model).is_err() {
-                        autolock_obs::counter("service.registry.store_failures").incr();
+                // draws line up and the row is bit-identical either way. A
+                // corrupt entry is quarantined by `load_checked` and then
+                // trains exactly like a miss — same draws, same row.
+                match registry.load_checked(&key) {
+                    RegistryLookup::Hit(model) => {
+                        let _ = rng.next_u64();
+                        *model
                     }
-                    model
+                    RegistryLookup::Miss | RegistryLookup::Corrupt => {
+                        let model = attack.train_model(&locked, &mut rng);
+                        if registry.store(&key, &model).is_err() {
+                            autolock_obs::counter("service.registry.store_failures").incr();
+                        }
+                        model
+                    }
                 }
             }
             None => attack.train_model(&locked, &mut rng),
@@ -279,13 +475,19 @@ impl JobEngine {
             success: true,
             key_accuracy: Some(outcome.key_accuracy),
             iterations: 0,
+            attempts: None,
             error: None,
         })
     }
 
+    /// The store name of a job's GA checkpoint.
+    fn ga_checkpoint_name(job_id: &str) -> String {
+        format!("{job_id}.ga.json")
+    }
+
     /// The path of a job's GA checkpoint.
     pub fn checkpoint_path(&self, job_id: &str) -> PathBuf {
-        self.config.checkpoint_dir.join(format!("{job_id}.ga.json"))
+        self.store.path(&Self::ga_checkpoint_name(job_id))
     }
 
     fn run_evolve(
@@ -295,12 +497,14 @@ impl JobEngine {
         key_len: usize,
         population_size: usize,
         generations: usize,
-    ) -> Result<JobRow, String> {
+    ) -> Result<JobRow, JobError> {
         if population_size < 2 {
-            return Err("population size must be at least 2".to_string());
+            return Err(JobError::fatal(
+                "population size must be at least 2".to_string(),
+            ));
         }
         if key_len == 0 {
-            return Err("key length must be at least 1".to_string());
+            return Err(JobError::fatal("key length must be at least 1".to_string()));
         }
         let original = Arc::new(netlist);
         let ga = GeneticAlgorithm::new(GaConfig {
@@ -322,11 +526,13 @@ impl JobEngine {
         let crossover = LocusCrossover::new(original.clone(), key_len, CrossoverKind::OnePoint);
         let mutation = LocusMutation::new(original.clone(), key_len, MutationKind::Composite);
 
-        // Resume from the last generation checkpoint when one exists (its
-        // `GaState` embeds the GA's RNG, so continuing is bit-identical to
-        // never having stopped); otherwise seed the initial population.
-        let ckpt = self.checkpoint_path(&spec.id);
-        let mut state: GaState<LockingGenotype> = match load_checkpoint(&ckpt) {
+        // Resume from the last generation checkpoint when a valid one
+        // exists (its `GaState` embeds the GA's RNG, so continuing is
+        // bit-identical to never having stopped). A torn or corrupt
+        // checkpoint is quarantined and the GA restarts from its seed —
+        // recomputation, not a panic, and the same final row.
+        let name = Self::ga_checkpoint_name(&spec.id);
+        let mut state: GaState<LockingGenotype> = match self.load_ga_checkpoint(&name)? {
             Some(state) => {
                 autolock_obs::counter("service.evolve_resumes").incr();
                 state
@@ -339,15 +545,15 @@ impl JobEngine {
                     population.push(
                         locking
                             .select_loci(&original, key_len, &mut rng)
-                            .map_err(|e| format!("lock: {e}"))?,
+                            .map_err(|e| JobError::fatal(format!("lock: {e}")))?,
                     );
                 }
                 ga.init_state(population, &fitness, rng)
             }
         };
-        write_checkpoint(&ckpt, &state)?;
+        self.write_ga_checkpoint(&name, &state)?;
         while ga.step(&mut state, &fitness, &crossover, &mutation) {
-            write_checkpoint(&ckpt, &state)?;
+            self.write_ga_checkpoint(&name, &state)?;
         }
         let result = finish(state);
         Ok(JobRow {
@@ -359,16 +565,65 @@ impl JobEngine {
             success: true,
             key_accuracy: Some(1.0 - result.best_fitness),
             iterations: result.history.len().saturating_sub(1) as u64,
+            attempts: None,
             error: None,
         })
+    }
+
+    fn load_ga_checkpoint(&self, name: &str) -> Result<Option<GaState<LockingGenotype>>, JobError> {
+        let payload = match self.store.read(name).map_err(JobError::io)? {
+            StoreRead::Ok(payload) => payload,
+            StoreRead::Absent | StoreRead::Corrupt => return Ok(None),
+        };
+        match std::str::from_utf8(&payload)
+            .ok()
+            .and_then(|text| serde_json::from_str(text).ok())
+        {
+            Some(state) => Ok(Some(state)),
+            None => {
+                autolock_obs::counter("service.store.corrupt").incr();
+                let _ = self
+                    .store
+                    .quarantine_bytes(&format!("{name}.payload"), &payload);
+                let _ = self.store.remove(name);
+                Ok(None)
+            }
+        }
+    }
+
+    fn write_ga_checkpoint(
+        &self,
+        name: &str,
+        state: &GaState<LockingGenotype>,
+    ) -> Result<(), JobError> {
+        let json = serde_json::to_string(state).expect("GaState serializes to JSON");
+        self.store
+            .write(name, json.as_bytes())
+            .map_err(JobError::io)
+    }
+}
+
+/// Best-effort human-readable payload of a caught panic.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 
 /// Reads the resumable rows of an existing stream: one JSONL row per line,
-/// keyed by job id. Unparseable lines (at most the torn tail a kill left)
-/// are skipped; duplicate ids keep the first occurrence.
-fn read_rows(path: &Path) -> HashMap<String, JobRow> {
+/// keyed by job id. Unparseable lines (torn tails and corrupt lines a kill
+/// or bad disk left) are skipped — their jobs simply rerun; duplicate ids
+/// keep the first occurrence. An unreadable stream (injected `rows.read`
+/// fault) degrades to an empty one: every job reruns and the stream heals.
+fn read_rows(path: &Path, faults: &FaultPlan) -> HashMap<String, JobRow> {
     let mut rows = HashMap::new();
+    if faults.check("rows.read") == Some(FaultKind::ReadError) {
+        return rows;
+    }
     let Ok(text) = fs::read_to_string(path) else {
         return rows;
     };
@@ -384,8 +639,19 @@ fn read_rows(path: &Path) -> HashMap<String, JobRow> {
 }
 
 /// Atomically replaces `path` with the given rows, one JSON object per
-/// line.
-fn write_rows_atomic(path: &Path, rows: &[JobRow]) -> io::Result<()> {
+/// line. An injected [`FaultKind::TornWrite`] at `site` simulates a kill
+/// *before* the atomic rename: the rewrite silently does not happen and
+/// the previous stream survives — exactly the guarantee the temp+rename
+/// protocol provides under a real kill.
+fn write_rows_atomic(
+    path: &Path,
+    rows: &[JobRow],
+    faults: &FaultPlan,
+    site: &str,
+) -> io::Result<()> {
+    if faults.check(site) == Some(FaultKind::TornWrite) {
+        return Ok(());
+    }
     let mut text = String::new();
     for row in rows {
         text.push_str(&serde_json::to_string(row).expect("JobRow serializes to JSON"));
@@ -394,16 +660,4 @@ fn write_rows_atomic(path: &Path, rows: &[JobRow]) -> io::Result<()> {
     let tmp = path.with_extension("jsonl.tmp");
     fs::write(&tmp, text)?;
     fs::rename(&tmp, path)
-}
-
-fn load_checkpoint(path: &Path) -> Option<GaState<LockingGenotype>> {
-    let text = fs::read_to_string(path).ok()?;
-    serde_json::from_str(&text).ok()
-}
-
-fn write_checkpoint(path: &Path, state: &GaState<LockingGenotype>) -> Result<(), String> {
-    let json = serde_json::to_string(state).expect("GaState serializes to JSON");
-    let tmp = path.with_extension("ga.json.tmp");
-    fs::write(&tmp, json).map_err(|e| format!("checkpoint write: {e}"))?;
-    fs::rename(&tmp, path).map_err(|e| format!("checkpoint rename: {e}"))
 }

@@ -1,0 +1,174 @@
+//! Deterministic fault injection for the job engine.
+//!
+//! A [`FaultPlan`] is a seeded list of *(site, occurrence, kind)* triples
+//! threaded through every I/O and execution seam of the engine. Sites are
+//! fully qualified strings (`exec:{job_id}#{attempt}`,
+//! `store.write:{name}`, `rows.append:{job_id}`, …) and occurrences are
+//! 1-based per-site counters, so a plan fires the same faults at the same
+//! points regardless of worker threading — every site name embeds the job
+//! or file it belongs to, and each is touched by exactly one worker.
+//!
+//! The engine consults the plan at each seam and, when a fault is armed for
+//! the current occurrence, *simulates* the failure: truncating the bytes it
+//! was about to write, corrupting them, returning an I/O error, or
+//! panicking the worker. Production engines carry [`FaultPlan::none`],
+//! which is a no-op at every seam.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::sync::Mutex;
+
+/// What kind of failure to simulate at a seam.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A kill mid-write: only a prefix of the bytes reaches the file.
+    TornWrite,
+    /// Silent media corruption: the bytes are damaged before they land.
+    CorruptBytes,
+    /// The read fails with an I/O error.
+    ReadError,
+    /// The worker thread panics at this point.
+    Panic,
+}
+
+/// One armed fault: fire `kind` at the `occurrence`-th (1-based) visit of
+/// `site`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Fully qualified seam name, e.g. `store.write:job1.sat.json`.
+    pub site: String,
+    /// 1-based visit index at which the fault fires.
+    pub occurrence: u64,
+    /// The failure to simulate.
+    pub kind: FaultKind,
+}
+
+impl FaultSpec {
+    /// Convenience constructor.
+    pub fn new(site: impl Into<String>, occurrence: u64, kind: FaultKind) -> Self {
+        FaultSpec {
+            site: site.into(),
+            occurrence,
+            kind,
+        }
+    }
+}
+
+/// A deterministic schedule of injected faults. Cheap to share
+/// (`Arc<FaultPlan>`); interior mutability tracks per-site visit counts.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    armed: HashMap<String, Vec<(u64, FaultKind)>>,
+    seen: Mutex<HashMap<String, u64>>,
+    fired: AtomicU64,
+}
+
+impl FaultPlan {
+    /// The empty plan: every check is a no-op.
+    pub fn none() -> Arc<FaultPlan> {
+        Arc::new(FaultPlan::default())
+    }
+
+    /// Builds a plan from explicit fault specs.
+    pub fn new(specs: Vec<FaultSpec>) -> Arc<FaultPlan> {
+        let mut armed: HashMap<String, Vec<(u64, FaultKind)>> = HashMap::new();
+        for spec in specs {
+            armed
+                .entry(spec.site)
+                .or_default()
+                .push((spec.occurrence, spec.kind));
+        }
+        Arc::new(FaultPlan {
+            armed,
+            seen: Mutex::new(HashMap::new()),
+            fired: AtomicU64::new(0),
+        })
+    }
+
+    /// `true` when no faults are armed (the production fast path).
+    pub fn is_empty(&self) -> bool {
+        self.armed.is_empty()
+    }
+
+    /// Number of faults that have fired so far.
+    pub fn fired(&self) -> u64 {
+        self.fired.load(Ordering::SeqCst)
+    }
+
+    /// Records a visit to `site` and returns the armed fault for this
+    /// occurrence, if any. Publishes `service.faults_injected` on fire.
+    pub fn check(&self, site: &str) -> Option<FaultKind> {
+        if self.armed.is_empty() {
+            return None;
+        }
+        let armed = self.armed.get(site)?;
+        let occurrence = {
+            let mut seen = self.seen.lock().expect("fault-plan counter lock");
+            let n = seen.entry(site.to_string()).or_insert(0);
+            *n += 1;
+            *n
+        };
+        let kind = armed
+            .iter()
+            .find(|(at, _)| *at == occurrence)
+            .map(|(_, kind)| *kind)?;
+        self.fired.fetch_add(1, Ordering::SeqCst);
+        autolock_obs::counter("service.faults_injected").incr();
+        Some(kind)
+    }
+
+    /// Like [`FaultPlan::check`] for [`FaultKind::Panic`]-only sites:
+    /// panics when a panic fault is armed here, otherwise does nothing.
+    pub fn check_panic(&self, site: &str) {
+        if self.check(site) == Some(FaultKind::Panic) {
+            panic!("injected fault: worker panic at {site}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_a_no_op() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        assert_eq!(plan.check("store.write:x"), None);
+        plan.check_panic("exec:a#1");
+        assert_eq!(plan.fired(), 0);
+    }
+
+    #[test]
+    fn fires_at_the_armed_occurrence_only() {
+        let plan = FaultPlan::new(vec![
+            FaultSpec::new("store.write:a", 2, FaultKind::TornWrite),
+            FaultSpec::new("store.read:a", 1, FaultKind::ReadError),
+        ]);
+        assert_eq!(plan.check("store.write:a"), None); // occurrence 1
+        assert_eq!(plan.check("store.write:a"), Some(FaultKind::TornWrite));
+        assert_eq!(plan.check("store.write:a"), None); // occurrence 3
+        assert_eq!(plan.check("store.read:a"), Some(FaultKind::ReadError));
+        assert_eq!(plan.check("store.read:b"), None); // different site
+        assert_eq!(plan.fired(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault")]
+    fn panic_faults_panic() {
+        let plan = FaultPlan::new(vec![FaultSpec::new("exec:j#1", 1, FaultKind::Panic)]);
+        plan.check_panic("exec:j#1");
+    }
+
+    #[test]
+    fn sites_count_independently() {
+        let plan = FaultPlan::new(vec![
+            FaultSpec::new("a", 1, FaultKind::CorruptBytes),
+            FaultSpec::new("b", 1, FaultKind::Panic),
+        ]);
+        assert_eq!(plan.check("b"), Some(FaultKind::Panic));
+        assert_eq!(plan.check("a"), Some(FaultKind::CorruptBytes));
+        assert_eq!(plan.fired(), 2);
+    }
+}

@@ -164,25 +164,61 @@ pub struct JobRow {
     pub key_accuracy: Option<f64>,
     /// Work counter: SAT DIP iterations, or GA generations actually run.
     pub iterations: u64,
+    /// Execution attempts consumed, reported **only** on poison-job rows —
+    /// jobs that kept panicking or I/O-failing until the engine's retry
+    /// budget ran out. `None` everywhere else (including jobs that succeeded
+    /// on a retry), so transient faults never change row bytes.
+    #[serde(default)]
+    pub attempts: Option<u64>,
     /// Error message for [`JobStatus::Error`] rows.
     pub error: Option<String>,
 }
 
-/// Configuration for [`jobs_from_dir`]: one SAT-attack job per `.bench`
-/// file.
+/// Which job kinds [`jobs_from_dir`] emits per circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirJobKinds {
+    /// Emit a SAT-attack job (id = file stem).
+    pub sat: bool,
+    /// Emit a MuxLink-attack job (id = `{stem}.muxlink`, D-MUX lock).
+    pub muxlink: bool,
+    /// Emit an AutoLock-GA job (id = `{stem}.evolve`).
+    pub evolve: bool,
+}
+
+impl Default for DirJobKinds {
+    /// SAT only — the historical `serve_dir` behaviour.
+    fn default() -> Self {
+        DirJobKinds {
+            sat: true,
+            muxlink: false,
+            evolve: false,
+        }
+    }
+}
+
+/// Configuration for [`jobs_from_dir`]: which jobs to build per `.bench`
+/// file, and their budgets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DirJobConfig {
-    /// Locking applied to every circuit.
+    /// Locking applied by the SAT job. MuxLink jobs always use a D-MUX lock
+    /// of the same key length (XOR degrades MuxLink to uninformed guessing).
     pub lock: LockSpec,
-    /// Base seed; each circuit's job seed mixes the file stem into it, so
-    /// adding or removing files never reshuffles the other jobs' draws.
+    /// Base seed; each job's seed mixes its id into it, so adding or
+    /// removing files (or enabling more kinds) never reshuffles the other
+    /// jobs' draws.
     pub seed: u64,
-    /// Wall-clock deadline per job.
+    /// Wall-clock deadline per SAT job.
     pub timeout_ms: u64,
     /// Deterministic per-solve propagation cap (`None` = unbounded).
     pub max_propagations_per_solve: Option<u64>,
-    /// DIP-iteration cap per job.
+    /// DIP-iteration cap per SAT job.
     pub max_iterations: usize,
+    /// Which job kinds to emit per circuit.
+    pub kinds: DirJobKinds,
+    /// GA population size for `evolve` jobs (≥ 2).
+    pub evolve_population: usize,
+    /// GA generation budget for `evolve` jobs.
+    pub evolve_generations: usize,
 }
 
 impl Default for DirJobConfig {
@@ -193,6 +229,9 @@ impl Default for DirJobConfig {
             timeout_ms: 60_000,
             max_propagations_per_solve: None,
             max_iterations: 2000,
+            kinds: DirJobKinds::default(),
+            evolve_population: 4,
+            evolve_generations: 2,
         }
     }
 }
@@ -209,12 +248,13 @@ fn mix_seed(base: u64, name: &str) -> u64 {
 }
 
 /// Scans `dir` for `*.bench` files (sorted by file name, so the job order —
-/// and therefore the output row order — is stable) and builds one
-/// [`JobKind::SatAttack`] job per file.
+/// and therefore the output row order — is stable) and builds the
+/// configured job kinds per file: SAT under the file stem, MuxLink under
+/// `{stem}.muxlink`, Evolve under `{stem}.evolve`.
 ///
 /// Unreadable files fail the scan; *malformed* files do not — they parse at
 /// run time into `error` rows, which is what lets `serve_dir` report one
-/// status row per instance.
+/// status row per instance and kind.
 ///
 /// # Errors
 ///
@@ -231,21 +271,50 @@ pub fn jobs_from_dir(dir: &Path, config: &DirJobConfig) -> io::Result<Vec<JobSpe
         }
     }
     names.sort();
-    let mut jobs = Vec::with_capacity(names.len());
+    let mut jobs = Vec::new();
     for name in names {
         let source = std::fs::read_to_string(dir.join(format!("{name}.bench")))?;
-        jobs.push(JobSpec {
-            id: name.clone(),
-            circuit: name.clone(),
-            source,
-            seed: mix_seed(config.seed, &name),
-            kind: JobKind::SatAttack {
-                lock: config.lock,
-                timeout_ms: config.timeout_ms,
-                max_propagations_per_solve: config.max_propagations_per_solve,
-                max_iterations: config.max_iterations,
-            },
-        });
+        let mut push = |id: String, kind: JobKind| {
+            jobs.push(JobSpec {
+                id: id.clone(),
+                circuit: name.clone(),
+                source: source.clone(),
+                seed: mix_seed(config.seed, &id),
+                kind,
+            });
+        };
+        if config.kinds.sat {
+            push(
+                name.clone(),
+                JobKind::SatAttack {
+                    lock: config.lock,
+                    timeout_ms: config.timeout_ms,
+                    max_propagations_per_solve: config.max_propagations_per_solve,
+                    max_iterations: config.max_iterations,
+                },
+            );
+        }
+        if config.kinds.muxlink {
+            push(
+                format!("{name}.muxlink"),
+                JobKind::MuxLinkAttack {
+                    lock: LockSpec::DMux {
+                        key_len: config.lock.key_len(),
+                    },
+                    attack: autolock_attacks::MuxLinkConfig::fast(),
+                },
+            );
+        }
+        if config.kinds.evolve {
+            push(
+                format!("{name}.evolve"),
+                JobKind::Evolve {
+                    key_len: config.lock.key_len(),
+                    population_size: config.evolve_population,
+                    generations: config.evolve_generations,
+                },
+            );
+        }
     }
     Ok(jobs)
 }
@@ -291,10 +360,17 @@ mod tests {
             success: false,
             key_accuracy: None,
             iterations: 3,
+            attempts: None,
             error: None,
         };
         let json = serde_json::to_string(&row).unwrap();
         let back: JobRow = serde_json::from_str(&json).unwrap();
         assert_eq!(back, row);
+    }
+
+    #[test]
+    fn dir_kinds_default_to_sat_only() {
+        let kinds = DirJobKinds::default();
+        assert!(kinds.sat && !kinds.muxlink && !kinds.evolve);
     }
 }

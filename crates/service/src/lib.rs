@@ -27,14 +27,45 @@
 //! `timeout_ms` on SAT jobs near its threshold — reproducible induced
 //! timeouts use the deterministic propagation cap instead (see
 //! [`autolock_attacks::SatAttackConfig::max_propagations_per_solve`]).
+//!
+//! # Fault tolerance
+//!
+//! The engine is built to survive — and be *tested against* — the failure
+//! modes a long-running attack service actually meets (the full matrix
+//! lives in this crate's `README.md`):
+//!
+//! * **Mid-solve SAT checkpointing** — SAT jobs persist their complete
+//!   solver state (clause database, trail, activities, budgets) every
+//!   [`EngineConfig::sat_step_conflicts`] conflicts, so a `SIGKILL` inside
+//!   a long miter solve resumes the *search*, bit-identically, instead of
+//!   restarting the job.
+//! * **Crash-consistent stores** — every checkpoint and registry entry is
+//!   a length+checksum-framed record written via temp-file + atomic rename
+//!   ([`CheckpointStore`]). Torn or corrupt records are detected on read,
+//!   counted, moved to a quarantine directory, and recomputed — never
+//!   silently used, never a panic.
+//! * **Poison-job isolation** — a job that panics or hits I/O errors is
+//!   retried up to [`EngineConfig::max_attempts`] times, then quarantined
+//!   with a structured [`JobStatus::Error`] row carrying its attempt
+//!   count; the rest of the batch is unaffected.
+//! * **Deterministic fault injection** — a seeded [`FaultPlan`] threads
+//!   through every I/O and execution seam, so chaos tests can inject torn
+//!   writes, corrupt bytes, read errors and worker panics at exact points
+//!   and assert the final stream is byte-identical to a fault-free run.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
 mod engine;
+mod fault;
 mod job;
 mod registry;
+mod store;
 
 pub use engine::{EngineConfig, JobEngine};
-pub use job::{jobs_from_dir, DirJobConfig, JobKind, JobRow, JobSpec, JobStatus, LockSpec};
-pub use registry::ModelRegistry;
+pub use fault::{FaultKind, FaultPlan, FaultSpec};
+pub use job::{
+    jobs_from_dir, DirJobConfig, DirJobKinds, JobKind, JobRow, JobSpec, JobStatus, LockSpec,
+};
+pub use registry::{ModelRegistry, RegistryLookup};
+pub use store::{CheckpointStore, StoreRead};

@@ -1,12 +1,29 @@
 //! The disk-backed trained-model registry.
 
+use crate::fault::FaultPlan;
+use crate::store::{CheckpointStore, StoreRead};
 use autolock_attacks::{MuxLinkConfig, TrainedLinkModel};
-use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-/// A directory of serde-serialized [`TrainedLinkModel`]s, keyed by a
-/// fingerprint of (locked-netlist structure, attack configuration, seed).
+/// Outcome of a checked registry lookup. Distinguishing `Corrupt` from
+/// `Miss` is what turns silent cache rot into an observable, quarantined
+/// event — both still fall back to retraining, so the job row is identical
+/// either way.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegistryLookup {
+    /// A valid cached model.
+    Hit(Box<TrainedLinkModel>),
+    /// No entry under that key.
+    Miss,
+    /// An entry existed but failed framing or deserialization; it has been
+    /// moved into the registry's quarantine directory.
+    Corrupt,
+}
+
+/// A directory of framed, serde-serialized [`TrainedLinkModel`]s, keyed by
+/// a fingerprint of (locked-netlist structure, attack configuration, seed).
 ///
 /// MuxLink is self-supervised on the attacked netlist, so a model is only
 /// valid for the exact locked circuit it was trained on — the key's first
@@ -17,30 +34,41 @@ use std::path::{Path, PathBuf};
 /// pins the training RNG stream, which is what makes a registry hit
 /// bit-identical to retraining.
 ///
-/// Writes are atomic (`tempfile` + rename), so a killed run never leaves a
-/// torn model; a corrupt or unreadable entry is treated as a miss and
-/// overwritten on the next store.
-#[derive(Debug, Clone)]
+/// Entries live in a [`CheckpointStore`]: length+checksum-framed records
+/// written via temp-file + atomic rename, so a killed run never leaves a
+/// torn model under a key. A corrupt or torn entry is *detected* on load,
+/// counted (`service.registry.corrupt`), quarantined, and treated as a
+/// miss — never silently used and never a panic.
+#[derive(Debug)]
 pub struct ModelRegistry {
-    dir: PathBuf,
+    store: CheckpointStore,
 }
 
 impl ModelRegistry {
-    /// Opens (creating if needed) the registry directory.
+    /// Opens (creating if needed) the registry directory, with its
+    /// quarantine at `dir/quarantine`.
     ///
     /// # Errors
     ///
     /// Propagates directory-creation failures.
     pub fn open(dir: &Path) -> io::Result<Self> {
-        fs::create_dir_all(dir)?;
-        Ok(ModelRegistry {
-            dir: dir.to_path_buf(),
-        })
+        Self::open_with_faults(dir, FaultPlan::none())
+    }
+
+    /// [`ModelRegistry::open`] with an injected fault plan (shares the
+    /// engine's plan so chaos tests cover registry I/O too).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open_with_faults(dir: &Path, faults: Arc<FaultPlan>) -> io::Result<Self> {
+        let store = CheckpointStore::open(dir, &dir.join("quarantine"), faults)?;
+        Ok(ModelRegistry { store })
     }
 
     /// The registry directory.
     pub fn dir(&self) -> &Path {
-        &self.dir
+        self.store.quarantine_dir().parent().expect("rooted store")
     }
 
     /// The registry key for a model trained on the locked netlist with the
@@ -62,44 +90,92 @@ impl ModelRegistry {
         ])
     }
 
-    fn path_for(&self, key: &str) -> PathBuf {
-        self.dir.join(format!("{key}.json"))
+    fn entry_name(key: &str) -> String {
+        format!("{key}.mdl")
     }
 
-    /// Loads the model stored under `key`, or `None` when absent or
-    /// unreadable (a corrupt entry behaves like a miss).
+    /// The on-disk path of an entry (exposed for tests and tooling).
+    pub fn path_for(&self, key: &str) -> PathBuf {
+        self.store.path(&Self::entry_name(key))
+    }
+
+    /// Checked lookup: distinguishes a valid hit, a clean miss, and a
+    /// corrupt entry (quarantined, then treated as a miss). Publishes
+    /// `service.registry.hits` / `.misses` / `.corrupt`. An I/O error on
+    /// the read (including injected read faults) is counted as a miss — the
+    /// caller retrains either way.
+    pub fn load_checked(&self, key: &str) -> RegistryLookup {
+        match self.store.read(&Self::entry_name(key)) {
+            Ok(StoreRead::Ok(payload)) => match std::str::from_utf8(&payload)
+                .ok()
+                .and_then(|text| serde_json::from_str(text).ok())
+            {
+                Some(model) => {
+                    autolock_obs::counter("service.registry.hits").incr();
+                    RegistryLookup::Hit(Box::new(model))
+                }
+                None => {
+                    // Framing was intact but the payload is not a model:
+                    // quarantine the decoded bytes so the evidence survives.
+                    autolock_obs::counter("service.registry.corrupt").incr();
+                    let _ = self
+                        .store
+                        .quarantine_bytes(&format!("{key}.mdl.payload"), &payload);
+                    let _ = self.store.remove(&Self::entry_name(key));
+                    RegistryLookup::Corrupt
+                }
+            },
+            Ok(StoreRead::Absent) => {
+                autolock_obs::counter("service.registry.misses").incr();
+                RegistryLookup::Miss
+            }
+            Ok(StoreRead::Corrupt) => {
+                // The store already quarantined the file and counted
+                // `service.store.corrupt`; add the registry-facet counter.
+                autolock_obs::counter("service.registry.corrupt").incr();
+                RegistryLookup::Corrupt
+            }
+            Err(_) => {
+                autolock_obs::counter("service.registry.misses").incr();
+                RegistryLookup::Miss
+            }
+        }
+    }
+
+    /// Loads the model stored under `key`, or `None` when absent or corrupt
+    /// (both behave like a miss; corrupt entries are quarantined and
+    /// counted via [`ModelRegistry::load_checked`]).
     pub fn load(&self, key: &str) -> Option<TrainedLinkModel> {
-        let text = fs::read_to_string(self.path_for(key)).ok()?;
-        serde_json::from_str(&text).ok()
+        match self.load_checked(key) {
+            RegistryLookup::Hit(model) => Some(*model),
+            RegistryLookup::Miss | RegistryLookup::Corrupt => None,
+        }
     }
 
-    /// Atomically stores `model` under `key`.
+    /// Atomically stores `model` under `key` as a framed record.
     ///
     /// # Errors
     ///
-    /// Propagates file-write and rename failures.
+    /// Propagates file-write and rename failures (including injected write
+    /// errors).
     pub fn store(&self, key: &str, model: &TrainedLinkModel) -> io::Result<()> {
         let json = serde_json::to_string(model).expect("TrainedLinkModel serializes to JSON");
-        let tmp = self.dir.join(format!(".{key}.tmp"));
-        fs::write(&tmp, json)?;
-        fs::rename(&tmp, self.path_for(key))
+        self.store.write(&Self::entry_name(key), json.as_bytes())
     }
 
     /// Loads the model under `key`, or trains one with `train`, stores it,
     /// and returns it. The second element is `true` on a registry hit.
-    /// Registry counters (`service.registry.hits` / `.misses`) record the
-    /// outcome; a failed store is counted but not fatal (the model is still
-    /// returned).
+    /// Registry counters (`service.registry.hits` / `.misses` / `.corrupt`)
+    /// record the outcome; a failed store is counted but not fatal (the
+    /// model is still returned).
     pub fn get_or_train(
         &self,
         key: &str,
         train: impl FnOnce() -> TrainedLinkModel,
     ) -> (TrainedLinkModel, bool) {
-        if let Some(model) = self.load(key) {
-            autolock_obs::counter("service.registry.hits").incr();
-            return (model, true);
+        if let RegistryLookup::Hit(model) = self.load_checked(key) {
+            return (*model, true);
         }
-        autolock_obs::counter("service.registry.misses").incr();
         let model = train();
         if self.store(key, &model).is_err() {
             autolock_obs::counter("service.registry.store_failures").incr();
@@ -109,10 +185,10 @@ impl ModelRegistry {
 
     /// Number of models currently stored.
     pub fn len(&self) -> usize {
-        fs::read_dir(&self.dir)
+        std::fs::read_dir(self.dir())
             .map(|rd| {
                 rd.filter_map(|e| e.ok())
-                    .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some("json"))
+                    .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some("mdl"))
                     .count()
             })
             .unwrap_or(0)
@@ -127,6 +203,7 @@ impl ModelRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     #[test]
     fn key_ignores_thread_count_but_not_substance() {
@@ -144,7 +221,8 @@ mod tests {
     }
 
     #[test]
-    fn store_load_round_trip_and_miss_on_corruption() {
+    fn store_load_round_trip_and_corrupt_entry_is_quarantined() {
+        autolock_obs::enable();
         let dir = std::env::temp_dir().join(format!("svc_registry_{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         let reg = ModelRegistry::open(&dir).unwrap();
@@ -153,14 +231,32 @@ mod tests {
         reg.store("k1", &model).unwrap();
         assert_eq!(reg.len(), 1);
         assert_eq!(reg.load("k1"), Some(TrainedLinkModel::Uninformative));
-        assert_eq!(reg.load("absent"), None);
+        assert_eq!(reg.load_checked("absent"), RegistryLookup::Miss);
+
+        // Smash the entry: the lookup must say Corrupt (not Miss), publish
+        // the corrupt counter, and move the file into quarantine.
+        let corrupt_before = autolock_obs::counter("service.registry.corrupt").value();
         fs::write(reg.path_for("k1"), "{ torn").unwrap();
-        assert_eq!(reg.load("k1"), None);
+        assert_eq!(reg.load_checked("k1"), RegistryLookup::Corrupt);
+        assert_eq!(
+            autolock_obs::counter("service.registry.corrupt").value(),
+            corrupt_before + 1
+        );
+        assert!(!reg.path_for("k1").exists());
+        assert!(dir.join("quarantine").join("k1.mdl").exists());
+
+        // After quarantine the key is a clean miss; get_or_train repopulates.
         let (got, hit) = reg.get_or_train("k1", || TrainedLinkModel::Uninformative);
         assert!(!hit);
         assert_eq!(got, TrainedLinkModel::Uninformative);
         let (_, hit) = reg.get_or_train("k1", || unreachable!("must be a hit"));
         assert!(hit);
+
+        // Intact frame, garbage payload: still Corrupt, evidence preserved.
+        let framed = crate::store::encode_record(b"not a model");
+        fs::write(reg.path_for("k1"), framed).unwrap();
+        assert_eq!(reg.load_checked("k1"), RegistryLookup::Corrupt);
+        assert!(dir.join("quarantine").join("k1.mdl.payload").exists());
         let _ = fs::remove_dir_all(&dir);
     }
 }

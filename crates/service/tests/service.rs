@@ -5,7 +5,8 @@ use autolock_attacks::MuxLinkConfig;
 use autolock_circuits::{suite_circuit, synth_circuit};
 use autolock_netlist::write_bench;
 use autolock_service::{
-    jobs_from_dir, DirJobConfig, EngineConfig, JobEngine, JobKind, JobSpec, JobStatus, LockSpec,
+    jobs_from_dir, DirJobConfig, EngineConfig, FaultKind, FaultPlan, FaultSpec, JobEngine, JobKind,
+    JobSpec, JobStatus, LockSpec,
 };
 use std::fs;
 use std::path::PathBuf;
@@ -215,11 +216,9 @@ fn registry_hit_reproduces_the_trained_row_exactly() {
     let run_in = |tag: &str| {
         let dir = scratch(tag);
         let config = EngineConfig {
-            out_path: dir.join("rows.jsonl"),
-            checkpoint_dir: dir.join("checkpoints"),
             registry_dir: Some(registry_dir.clone()),
             threads: 1,
-            chunk: 8,
+            ..EngineConfig::rooted(&dir, 1)
         };
         let engine = JobEngine::new(config).unwrap();
         let rows = engine.run(std::slice::from_ref(&job)).unwrap();
@@ -275,4 +274,252 @@ fn serves_a_directory_with_one_row_per_instance() {
 
     let _ = fs::remove_dir_all(&bench_dir);
     let _ = fs::remove_dir_all(&out_dir);
+}
+
+/// `jobs_from_dir` with all kinds enabled emits one job per (circuit,
+/// kind), and the engine reports a per-kind status row for each.
+#[test]
+fn serves_a_directory_with_every_job_kind() {
+    let bench_dir = scratch("bench_kinds");
+    fs::write(bench_dir.join("a.bench"), tiny_source(8)).unwrap();
+    fs::write(bench_dir.join("broken.bench"), "garbage(").unwrap();
+
+    let config = DirJobConfig {
+        lock: LockSpec::Xor { key_len: 4 },
+        seed: 1,
+        kinds: autolock_service::DirJobKinds {
+            sat: true,
+            muxlink: true,
+            evolve: true,
+        },
+        evolve_population: 3,
+        evolve_generations: 1,
+        ..DirJobConfig::default()
+    };
+    let jobs = jobs_from_dir(&bench_dir, &config).unwrap();
+    let ids: Vec<&str> = jobs.iter().map(|j| j.id.as_str()).collect();
+    assert_eq!(
+        ids,
+        [
+            "a",
+            "a.muxlink",
+            "a.evolve",
+            "broken",
+            "broken.muxlink",
+            "broken.evolve"
+        ]
+    );
+    // Per-id seed mixing: enabling more kinds never reshuffles others.
+    let sat_only = jobs_from_dir(
+        &bench_dir,
+        &DirJobConfig {
+            lock: LockSpec::Xor { key_len: 4 },
+            seed: 1,
+            ..DirJobConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(sat_only[0].seed, jobs[0].seed);
+
+    let out_dir = scratch("bench_kinds_out");
+    let engine = JobEngine::new(EngineConfig::rooted(&out_dir, 0)).unwrap();
+    let rows = engine.run(&jobs).unwrap();
+    assert_eq!(rows.len(), 6);
+    assert_eq!(rows[0].attack, "sat");
+    assert!(rows[1].attack.starts_with("muxlink"));
+    assert_eq!(rows[2].attack, "evolve");
+    for row in &rows[..3] {
+        assert_eq!(row.status, JobStatus::Ok, "{row:?}");
+    }
+    // The malformed circuit fails per kind, with the kind's own label.
+    for (row, label) in rows[3..].iter().zip(["sat", "muxlink", "evolve"]) {
+        assert_eq!(row.status, JobStatus::Error, "{row:?}");
+        assert_eq!(row.attack, label);
+    }
+
+    let _ = fs::remove_dir_all(&bench_dir);
+    let _ = fs::remove_dir_all(&out_dir);
+}
+
+/// A SAT job picks up a mid-run checkpoint (written at a step boundary, as
+/// the engine does before a kill) and finishes with the exact row an
+/// uninterrupted run produces.
+#[test]
+fn sat_job_resumes_from_a_mid_run_checkpoint_bit_identically() {
+    autolock_obs::enable();
+    let job = &mixed_jobs()[0]; // sat-easy
+    let granule = Some(1);
+
+    let dir_a = scratch("sat_ref");
+    let mut config_a = EngineConfig::rooted(&dir_a, 1);
+    config_a.sat_step_conflicts = granule;
+    let engine_a = JobEngine::new(config_a).unwrap();
+    let rows_a = engine_a.run(std::slice::from_ref(job)).unwrap();
+
+    // Reproduce what the engine persists mid-run: derive the same locked
+    // netlist from the job seed, step the attack three boundaries, and
+    // write the framed checkpoint under the job's checkpoint name.
+    let dir_b = scratch("sat_resume");
+    let mut config_b = EngineConfig::rooted(&dir_b, 1);
+    config_b.sat_step_conflicts = granule;
+    let engine_b = JobEngine::new(config_b).unwrap();
+    {
+        use autolock_attacks::{SatAttack, SatAttackConfig};
+        use rand::SeedableRng;
+        let netlist = autolock_netlist::parse_bench(&job.circuit, &job.source).unwrap();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(job.seed);
+        let JobKind::SatAttack { lock, .. } = &job.kind else {
+            unreachable!("sat job")
+        };
+        let locked = lock.apply(&netlist, &mut rng).unwrap();
+        let attack = SatAttack::new(SatAttackConfig {
+            max_iterations: 2000,
+            timeout_ms: 600_000,
+            max_propagations_per_solve: None,
+            checkpoint_conflicts: granule,
+        });
+        let mut state = attack.init_state(&locked, &netlist);
+        for _ in 0..3 {
+            if !attack.step(&mut state, &locked, &netlist) {
+                break;
+            }
+        }
+        let ckpt = serde_json::to_string(&attack.checkpoint(&state)).unwrap();
+        engine_b
+            .store()
+            .write("sat-easy.sat.json", ckpt.as_bytes())
+            .unwrap();
+    }
+    let resumes_before = autolock_obs::counter("service.sat_resumes").value();
+    let rows_b = engine_b.run(std::slice::from_ref(job)).unwrap();
+    assert!(
+        autolock_obs::counter("service.sat_resumes").value() > resumes_before,
+        "the engine must resume from the seeded checkpoint"
+    );
+    assert_eq!(rows_a, rows_b);
+    assert_eq!(
+        fs::read(dir_a.join("rows.jsonl")).unwrap(),
+        fs::read(dir_b.join("rows.jsonl")).unwrap()
+    );
+
+    let _ = fs::remove_dir_all(&dir_a);
+    let _ = fs::remove_dir_all(&dir_b);
+}
+
+/// A corrupt (here: truncated mid-record) GA checkpoint is detected,
+/// quarantined, and the job recomputes from its seed to the identical row —
+/// corruption costs work, never correctness and never a crash.
+#[test]
+fn corrupt_ga_checkpoint_is_quarantined_and_recomputed() {
+    autolock_obs::enable();
+    let dir_a = scratch("ga_ref");
+    let engine_a = JobEngine::new(EngineConfig::rooted(&dir_a, 1)).unwrap();
+    let rows_a = engine_a.run(&[evolve_job(2, 21)]).unwrap();
+
+    let dir_b = scratch("ga_corrupt");
+    let engine_b = JobEngine::new(EngineConfig::rooted(&dir_b, 1)).unwrap();
+    // A realistic torn write: a valid checkpoint's bytes cut mid-record.
+    let good = fs::read(engine_a.checkpoint_path("evo")).unwrap();
+    fs::write(engine_b.checkpoint_path("evo"), &good[..good.len() / 2]).unwrap();
+
+    let corrupt_before = autolock_obs::counter("service.store.corrupt").value();
+    let rows_b = engine_b.run(&[evolve_job(2, 21)]).unwrap();
+    assert_eq!(rows_a, rows_b);
+    assert!(
+        autolock_obs::counter("service.store.corrupt").value() > corrupt_before,
+        "the torn checkpoint must be detected"
+    );
+    assert!(
+        dir_b.join("quarantine").join("evo.ga.json").exists(),
+        "the torn checkpoint must be quarantined"
+    );
+
+    let _ = fs::remove_dir_all(&dir_a);
+    let _ = fs::remove_dir_all(&dir_b);
+}
+
+/// A transiently panicking job is retried and its row — and the whole
+/// stream — is byte-identical to a run where the panic never happened.
+#[test]
+fn transient_panic_is_retried_to_an_identical_stream() {
+    autolock_obs::enable();
+    let jobs = vec![mixed_jobs().swap_remove(0)]; // sat-easy
+
+    let dir_a = scratch("panic_ref");
+    let engine_a = JobEngine::new(EngineConfig::rooted(&dir_a, 1)).unwrap();
+    engine_a.run(&jobs).unwrap();
+
+    let dir_b = scratch("panic_once");
+    let mut config = EngineConfig::rooted(&dir_b, 1);
+    config.faults = FaultPlan::new(vec![FaultSpec::new("exec:sat-easy#1", 1, FaultKind::Panic)]);
+    let engine_b = JobEngine::new(config).unwrap();
+    let retries_before = autolock_obs::counter("service.exec_retries").value();
+    let rows = engine_b.run(&jobs).unwrap();
+    assert!(
+        autolock_obs::counter("service.exec_retries").value() > retries_before,
+        "the panic must consume a retry"
+    );
+    assert_eq!(rows[0].status, JobStatus::Ok);
+    assert_eq!(
+        rows[0].attempts, None,
+        "retried rows carry no attempt count"
+    );
+    assert_eq!(
+        fs::read(dir_a.join("rows.jsonl")).unwrap(),
+        fs::read(dir_b.join("rows.jsonl")).unwrap()
+    );
+
+    let _ = fs::remove_dir_all(&dir_a);
+    let _ = fs::remove_dir_all(&dir_b);
+}
+
+/// A job that panics on every attempt exhausts its retry budget, is
+/// quarantined, and ends as exactly one structured `error` row carrying
+/// the attempt count — the batch and its other rows are unaffected.
+#[test]
+fn poison_job_is_quarantined_after_exhausting_retries() {
+    autolock_obs::enable();
+    let mut jobs = mixed_jobs();
+    jobs.truncate(1); // sat-easy — the poison victim
+    jobs.push(JobSpec {
+        id: "healthy".into(),
+        circuit: "svc-ok".into(),
+        source: tiny_source(6),
+        seed: 16,
+        kind: JobKind::SatAttack {
+            lock: LockSpec::Xor { key_len: 4 },
+            timeout_ms: 600_000,
+            max_propagations_per_solve: None,
+            max_iterations: 2000,
+        },
+    });
+
+    let dir = scratch("poison");
+    let mut config = EngineConfig::rooted(&dir, 1);
+    config.max_attempts = 3;
+    config.faults = FaultPlan::new(vec![
+        FaultSpec::new("exec:sat-easy#1", 1, FaultKind::Panic),
+        FaultSpec::new("exec:sat-easy#2", 1, FaultKind::Panic),
+        FaultSpec::new("exec:sat-easy#3", 1, FaultKind::Panic),
+    ]);
+    let engine = JobEngine::new(config).unwrap();
+    let quarantined_before = autolock_obs::counter("service.jobs_quarantined").value();
+    let rows = engine.run(&jobs).unwrap();
+
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0].status, JobStatus::Error);
+    assert_eq!(rows[0].attempts, Some(3));
+    assert!(rows[0].error.as_deref().unwrap_or("").contains("panic"));
+    assert_eq!(
+        rows[1].status,
+        JobStatus::Ok,
+        "batch survives the poison job"
+    );
+    assert!(autolock_obs::counter("service.jobs_quarantined").value() > quarantined_before);
+    assert!(
+        dir.join("quarantine").join("sat-easy.poison.json").exists(),
+        "the poisoned spec must be parked for post-mortem"
+    );
+
+    let _ = fs::remove_dir_all(&dir);
 }

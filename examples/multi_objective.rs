@@ -38,6 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             max_iterations: 100,
             timeout_ms: 10_000,
             max_propagations_per_solve: None,
+            ..SatAttackConfig::default()
         },
         vec![ObjectiveKind::MuxLinkAccuracy, ObjectiveKind::AreaOverhead],
         23,

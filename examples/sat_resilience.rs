@@ -17,6 +17,7 @@ fn report(label: &str, original: &Netlist, locked: &LockedNetlist) {
         max_iterations: 1000,
         timeout_ms: 60_000,
         max_propagations_per_solve: None,
+        ..SatAttackConfig::default()
     });
     let outcome = attack.attack(locked, original);
     let functional = if outcome.success {

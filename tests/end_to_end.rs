@@ -156,6 +156,7 @@ fn evolved_locking_can_still_be_attacked_by_sat_with_oracle() {
         max_iterations: 300,
         timeout_ms: 60_000,
         max_propagations_per_solve: None,
+        ..SatAttackConfig::default()
     })
     .attack(&result.locked, &original);
     assert!(outcome.success);
