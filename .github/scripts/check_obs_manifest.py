@@ -13,7 +13,11 @@ For every manifest the script checks:
 * the row lists (`top_spans`, `counters`, `gauges`) are lists of objects
   with their own required keys,
 * basic value sanity: non-negative wall clock, non-empty experiment id
-  and fingerprint, and at least one top-level span (the driver's root).
+  and fingerprint, and at least one top-level span (the driver's root),
+* per-experiment counter floors (EXPERIMENT_COUNTER_FLOORS): E14 must
+  report fitness-cache hits *and* misses and at least one island
+  migration — a zero there means the island/cache wiring rotted even if
+  the run "succeeded".
 
 A directory containing no manifests FAILS: the drivers are expected to
 emit one per run, so an empty directory means the wiring rotted.
@@ -51,6 +55,14 @@ ROW_KEYS = {
     "top_spans": ["path", "count", "total_ms"],
     "counters": ["name", "value"],
     "gauges": ["name", "value"],
+}
+# Per-experiment minimum counter values: {experiment: {counter: floor}}.
+EXPERIMENT_COUNTER_FLOORS = {
+    "e14": {
+        "autolock.fitness_cache.hits": 1,
+        "autolock.fitness_cache.misses": 1,
+        "evo.migrations": 1,
+    },
 }
 
 
@@ -92,6 +104,17 @@ def check_manifest(path):
         errors.append(f"negative wall_clock_ms: {manifest['wall_clock_ms']}")
     if not manifest["top_spans"]:
         errors.append("no top-level span (the driver's root span is missing)")
+    floors = EXPERIMENT_COUNTER_FLOORS.get(manifest["experiment"], {})
+    if floors:
+        counters = {
+            row["name"]: row["value"]
+            for row in manifest["counters"]
+            if isinstance(row, dict)
+        }
+        for name, floor in floors.items():
+            value = counters.get(name, 0)
+            if value < floor:
+                errors.append(f"counter {name!r} is {value}, expected >= {floor}")
     return errors, manifest
 
 

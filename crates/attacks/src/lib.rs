@@ -37,7 +37,10 @@ pub use cache::{netlist_fingerprint, CacheStats, SubgraphCache};
 pub use features::{visible_levels, FeatureMode, LinkFeatureConfig, LinkFeatureExtractor};
 pub use muxlink::{MuxCandidate, MuxLinkAttack, MuxLinkBackend, MuxLinkConfig, TrainedLinkModel};
 pub use report::{AttackOutcome, KeyGuess};
-pub use sat::{SatAttack, SatAttackCheckpoint, SatAttackConfig, SatAttackOutcome, SatAttackState};
+pub use sat::{
+    ResumableSatAttack, SatAttack, SatAttackCheckpoint, SatAttackConfig, SatAttackOutcome,
+    SatAttackState,
+};
 
 use autolock_locking::LockedNetlist;
 use rand::RngCore;

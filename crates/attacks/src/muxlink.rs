@@ -206,16 +206,6 @@ impl MuxLinkConfig {
         self
     }
 
-    /// Former name of [`MuxLinkConfig::with_threads`], from when only the
-    /// GNN backend was parallel.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `with_threads`; the knob now reaches both backends"
-    )]
-    pub fn with_gnn_threads(self, threads: usize) -> Self {
-        self.with_threads(threads)
-    }
-
     /// Switches the GNN backend to adaptive SortPooling: `k` becomes the
     /// node count at the given dataset percentile (DGCNN picks `k` so that
     /// this fraction of training subgraphs have ≥ `k` nodes).

@@ -11,6 +11,7 @@
 //! substitution when no silicon is available) and the from-scratch CDCL
 //! solver from `autolock-satsolver`.
 
+use autolock_evo::Resumable;
 use autolock_locking::{Key, LockedNetlist};
 use autolock_netlist::{GateId, Netlist};
 use autolock_satsolver::{
@@ -580,6 +581,58 @@ impl SatAttack {
     }
 }
 
+/// The [`Resumable`] form of a SAT attack run: a [`SatAttack`] bundled with
+/// the locked netlist and oracle it runs against, so drivers (the service
+/// engine) can persist and resume it through the same trait as the GA. One
+/// step is one DIP iteration (or one mid-solve pause when
+/// [`SatAttackConfig::checkpoint_conflicts`] is set).
+pub struct ResumableSatAttack<'a> {
+    attack: &'a SatAttack,
+    locked: &'a LockedNetlist,
+    oracle: &'a Netlist,
+}
+
+impl<'a> ResumableSatAttack<'a> {
+    /// Bundles an attack with its target and oracle.
+    pub fn new(attack: &'a SatAttack, locked: &'a LockedNetlist, oracle: &'a Netlist) -> Self {
+        ResumableSatAttack {
+            attack,
+            locked,
+            oracle,
+        }
+    }
+}
+
+impl Resumable for ResumableSatAttack<'_> {
+    type State = SatAttackState;
+    type Checkpoint = SatAttackCheckpoint;
+    type Output = SatAttackOutcome;
+
+    fn init_state(&self) -> SatAttackState {
+        self.attack.init_state(self.locked, self.oracle)
+    }
+
+    fn step(&self, state: &mut SatAttackState) -> bool {
+        self.attack.step(state, self.locked, self.oracle)
+    }
+
+    fn is_finished(&self, state: &SatAttackState) -> bool {
+        state.is_finished()
+    }
+
+    fn finish(&self, state: SatAttackState) -> SatAttackOutcome {
+        self.attack.finish(state, self.locked)
+    }
+
+    fn checkpoint(&self, state: &SatAttackState) -> SatAttackCheckpoint {
+        self.attack.checkpoint(state)
+    }
+
+    fn restore(&self, checkpoint: SatAttackCheckpoint) -> Result<SatAttackState, String> {
+        self.attack.restore(self.locked, checkpoint)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -613,6 +666,38 @@ mod tests {
         let outcome = SatAttack::default().attack(&locked, &original);
         assert_recovered_key_is_functional(&original, &locked, &outcome);
         assert!(outcome.iterations <= 16);
+    }
+
+    #[test]
+    fn resumable_trait_run_equals_direct_attack() {
+        // Driving the attack through the unified `Resumable` trait —
+        // including a checkpoint/restore round-trip mid-run — must be
+        // indistinguishable from `SatAttack::attack`.
+        let original = synth_circuit("sat-resumable", 8, 4, 90, 21);
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let locked = XorLocking::default().lock(&original, 6, &mut rng).unwrap();
+        let attack = SatAttack::default();
+        let direct = attack.attack(&locked, &original);
+
+        let job = ResumableSatAttack::new(&attack, &locked, &original);
+        let mut state = job.init_state();
+        let mut stepped_once = false;
+        while job.step(&mut state) {
+            // Round-trip through the serialized checkpoint at the first
+            // boundary, as the service engine would after a kill.
+            if !stepped_once {
+                stepped_once = true;
+                let json = serde_json::to_string(&job.checkpoint(&state)).unwrap();
+                let revived: SatAttackCheckpoint = serde_json::from_str(&json).unwrap();
+                state = job.restore(revived).unwrap();
+            }
+        }
+        assert!(job.is_finished(&state));
+        let resumed = job.finish(state);
+        assert_eq!(direct.success, resumed.success);
+        assert_eq!(direct.recovered_key, resumed.recovered_key);
+        assert_eq!(direct.iterations, resumed.iterations);
+        assert_eq!(direct.solver_conflicts, resumed.solver_conflicts);
     }
 
     #[test]

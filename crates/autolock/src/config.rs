@@ -2,7 +2,7 @@
 
 use crate::operators::{CrossoverKind, MutationKind};
 use autolock_attacks::MuxLinkConfig;
-use autolock_evo::SelectionMethod;
+use autolock_evo::{IslandConfig, SelectionMethod};
 use autolock_locking::{DMuxLocking, PairSelectionStrategy};
 use serde::{Deserialize, Serialize};
 
@@ -55,6 +55,23 @@ pub struct AutoLockConfig {
     /// Number of independent attack evaluations averaged per fitness call
     /// (reduces fitness noise at proportional cost).
     pub attack_repeats: usize,
+    /// Island-model topology. `islands.islands <= 1` keeps the classic
+    /// single-population GA; anything larger fans subpopulations across
+    /// `islands.threads` workers with deterministic ring migration (results
+    /// are bit-identical for every thread count). The island fan-out becomes
+    /// the parallelism level, so `parallel` and the attack thread knob are
+    /// forced serial underneath it.
+    pub islands: IslandConfig,
+    /// Surrogate screening for island runs: a cheap attack configuration
+    /// (typically the MLP backend) that ranks each generation so only the
+    /// top [`AutoLockConfig::surrogate_survivor_fraction`] pay for the real
+    /// [`AutoLockConfig::attack`]. `None` disables screening. Only honoured
+    /// by the island path.
+    pub surrogate: Option<MuxLinkConfig>,
+    /// Fraction of each generation scored by the real fitness under
+    /// surrogate screening (clamped to `(0, 1]`; at least one individual
+    /// always survives).
+    pub surrogate_survivor_fraction: f64,
 }
 
 impl Default for AutoLockConfig {
@@ -76,6 +93,12 @@ impl Default for AutoLockConfig {
             parallel: true,
             seed: 0xA010C,
             attack_repeats: 1,
+            islands: IslandConfig {
+                islands: 1,
+                ..IslandConfig::default()
+            },
+            surrogate: None,
+            surrogate_survivor_fraction: 0.5,
         }
     }
 }

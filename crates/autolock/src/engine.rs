@@ -6,7 +6,7 @@ use crate::genotype::LockingGenotype;
 use crate::operators::{LocusCrossover, LocusMutation};
 use crate::report::{AutoLockError, AutoLockResult, GenerationRecord};
 use crate::Result;
-use autolock_evo::{GaConfig, GeneticAlgorithm};
+use autolock_evo::{GaConfig, GeneticAlgorithm, IslandGa, SurrogateScreen};
 use autolock_locking::{apply_loci, LockedNetlist};
 use autolock_netlist::Netlist;
 use rand::SeedableRng;
@@ -62,6 +62,16 @@ impl AutoLock {
                 reason: "elitism must be smaller than the population size".into(),
             });
         }
+        let use_islands = cfg.islands.islands > 1;
+        if use_islands && cfg.population_size < cfg.islands.islands * 2 {
+            return Err(AutoLockError::InvalidConfig {
+                reason: format!(
+                    "island runs need at least 2 individuals per island ({} < {})",
+                    cfg.population_size,
+                    cfg.islands.islands * 2
+                ),
+            });
+        }
 
         let original = Arc::new(original.clone());
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
@@ -81,7 +91,7 @@ impl AutoLock {
         // `MuxLinkConfig::threads` — or every worker would nest its own
         // all-core pools. Thread count never changes attack outcomes, so
         // this only affects wall clock.
-        let attack_config = if cfg.parallel {
+        let attack_config = if cfg.parallel || use_islands {
             cfg.attack.clone().with_threads(1)
         } else {
             cfg.attack.clone()
@@ -95,6 +105,19 @@ impl AutoLock {
         if let Some(t) = cfg.target_fitness {
             fitness = fitness.with_target(t);
         }
+        // Surrogate screening (island path only): the cheap attack shares
+        // the real fitness's cache, so a genotype the surrogate already
+        // scored is still re-scored by the real fitness on its first
+        // survival — different context keys keep the values apart.
+        let surrogate = cfg.surrogate.as_ref().filter(|_| use_islands).map(|sc| {
+            MuxLinkFitness::new(
+                original.clone(),
+                sc.clone().with_threads(1),
+                cfg.seed,
+                cfg.attack_repeats,
+            )
+            .with_cache(fitness.cache().clone())
+        });
 
         // Step 3: evolutionary operators over the locus-list genotype.
         let crossover = LocusCrossover::new(original.clone(), cfg.key_len, cfg.crossover_kind);
@@ -106,11 +129,26 @@ impl AutoLock {
             mutation_rate: cfg.mutation_rate,
             elitism: cfg.elitism,
             selection: cfg.selection,
-            parallel: cfg.parallel,
+            // Under islands, the island fan-out is the parallelism level.
+            parallel: cfg.parallel && !use_islands,
             target_fitness: cfg.target_fitness,
             stagnation_limit: cfg.stagnation_limit,
         });
-        let ga_result = ga.run(population, &fitness, &crossover, &mutation, &mut rng);
+        let mut migrations = 0;
+        let ga_result = if use_islands {
+            let island_ga = IslandGa::new(ga, cfg.islands);
+            let screen = surrogate.as_ref().map(|s| SurrogateScreen {
+                surrogate: s,
+                survivor_fraction: cfg.surrogate_survivor_fraction,
+            });
+            let mut state =
+                island_ga.init_state(population, &fitness, screen.as_ref(), rng.clone());
+            while island_ga.step(&mut state, &fitness, &crossover, &mutation, screen.as_ref()) {}
+            migrations = state.migrations;
+            island_ga.finish(state)
+        } else {
+            ga.run(population, &fitness, &crossover, &mutation, &mut rng)
+        };
 
         // Step 4: decode the fittest genotype back into a locked netlist.
         let decoded = apply_loci(&original, &ga_result.best)?;
@@ -146,6 +184,9 @@ impl AutoLock {
             fitness_evaluations: fitness.evaluations(),
             best_generation: ga_result.best_generation,
             runtime_ms: start.elapsed().as_millis(),
+            migrations,
+            fitness_cache_hits: fitness.cache().hits(),
+            fitness_cache_misses: fitness.cache().misses(),
         })
     }
 }
@@ -210,6 +251,57 @@ mod tests {
         // The evolved locking is never worse than the baseline (elitism).
         assert!(result.final_attack_accuracy <= result.baseline_attack_accuracy + 1e-9);
         assert!(result.accuracy_drop_pp() >= -1e-9);
+    }
+
+    #[test]
+    fn island_run_migrates_and_is_thread_count_invariant() {
+        use autolock_evo::IslandConfig;
+        let nl = small_circuit();
+        let mut cfg = AutoLockConfig::tiny();
+        cfg.generations = 2;
+        cfg.population_size = 6;
+        cfg.key_len = 4;
+        cfg.parallel = false;
+        cfg.islands = IslandConfig {
+            islands: 2,
+            migration_interval: 1,
+            migrants: 1,
+            threads: 1,
+        };
+        // Surrogate == real attack here: exact mode, so screening must not
+        // change anything while still exercising the shared-cache path.
+        cfg.surrogate = Some(cfg.attack.clone());
+        let a = AutoLock::new(cfg.clone()).run(&nl).unwrap();
+        cfg.islands.threads = 4;
+        let b = AutoLock::new(cfg).run(&nl).unwrap();
+        assert_eq!(a.best_genotype, b.best_genotype);
+        assert_eq!(
+            a.final_attack_accuracy.to_bits(),
+            b.final_attack_accuracy.to_bits()
+        );
+        assert_eq!(a.migrations, 2, "interval 1 over 2 generations");
+        assert!(
+            a.fitness_cache_hits > 0,
+            "surrogate pass must share the cache"
+        );
+        assert!(a.fitness_cache_misses > 0);
+        assert!((0.0..=1.0).contains(&a.final_attack_accuracy));
+    }
+
+    #[test]
+    fn island_run_rejects_undersized_populations() {
+        use autolock_evo::IslandConfig;
+        let nl = small_circuit();
+        let mut cfg = AutoLockConfig::tiny();
+        cfg.population_size = 5;
+        cfg.islands = IslandConfig {
+            islands: 3,
+            ..IslandConfig::default()
+        };
+        assert!(matches!(
+            AutoLock::new(cfg).run(&nl),
+            Err(AutoLockError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Fitness functions: the GA ↔ attack integration.
 
+use crate::cache::FitnessCache;
 use crate::genotype::{genotype_hash, LockingGenotype};
 use autolock_attacks::{
-    KeyRecoveryAttack, MuxLinkAttack, MuxLinkConfig, SatAttack, SatAttackConfig,
+    netlist_fingerprint, KeyRecoveryAttack, MuxLinkAttack, MuxLinkConfig, SatAttack,
+    SatAttackConfig,
 };
 use autolock_evo::{FitnessFunction, MultiObjectiveFitness};
 use autolock_locking::{apply_loci, LockedNetlist};
@@ -19,33 +21,45 @@ use std::sync::Arc;
 /// The fitness of each genotype is measured by locking the original netlist
 /// at the genotype's loci and running the MuxLink attack on the result —
 /// "lower accuracy indicates higher fitness" (paper, §II). Evaluations are
-/// deterministic (the attack RNG is seeded from the genotype hash) and cached,
-/// so re-evaluating elites costs nothing.
+/// deterministic (the attack RNG is seeded from the genotype hash) and
+/// memoized in a [`FitnessCache`] — private by default, shareable across
+/// islands and surrogate/real pairs via [`MuxLinkFitness::with_cache`] —
+/// so re-evaluating elites (or a genotype another island already scored)
+/// costs nothing.
 pub struct MuxLinkFitness {
     original: Arc<Netlist>,
     attack: MuxLinkAttack,
     seed: u64,
     repeats: usize,
     target: Option<f64>,
-    cache: Mutex<HashMap<u64, f64>>,
+    cache: Arc<FitnessCache>,
+    context: u64,
     evaluations: Mutex<usize>,
 }
 
 impl MuxLinkFitness {
-    /// Creates the fitness function.
+    /// Creates the fitness function with a private cache.
     pub fn new(
         original: Arc<Netlist>,
         attack_config: MuxLinkConfig,
         seed: u64,
         repeats: usize,
     ) -> Self {
+        let repeats = repeats.max(1);
+        let context = FitnessCache::context_key(
+            netlist_fingerprint(&original),
+            &attack_config,
+            seed,
+            repeats,
+        );
         MuxLinkFitness {
             original,
             attack: MuxLinkAttack::new(attack_config),
             seed,
-            repeats: repeats.max(1),
+            repeats,
             target: None,
-            cache: Mutex::new(HashMap::new()),
+            cache: FitnessCache::shared(),
+            context,
             evaluations: Mutex::new(0),
         }
     }
@@ -54,6 +68,20 @@ impl MuxLinkFitness {
     pub fn with_target(mut self, target: f64) -> Self {
         self.target = Some(target);
         self
+    }
+
+    /// Replaces the private memo with a shared [`FitnessCache`]. The context
+    /// key keeps entries from incompatible instances apart, so sharing is
+    /// always safe; instances with identical context (same netlist, config,
+    /// seed, repeats) answer each other's lookups.
+    pub fn with_cache(mut self, cache: Arc<FitnessCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The cache this fitness reads and writes.
+    pub fn cache(&self) -> &Arc<FitnessCache> {
+        &self.cache
     }
 
     /// Number of *non-cached* fitness evaluations performed so far.
@@ -85,12 +113,12 @@ impl MuxLinkFitness {
 impl FitnessFunction<LockingGenotype> for MuxLinkFitness {
     fn evaluate(&self, genotype: &LockingGenotype) -> f64 {
         let h = genotype_hash(genotype);
-        if let Some(&cached) = self.cache.lock().get(&h) {
+        if let Some(cached) = self.cache.get(self.context, h) {
             return cached;
         }
         let accuracy = self.attack_accuracy(genotype);
         let fitness = 1.0 - accuracy;
-        self.cache.lock().insert(h, fitness);
+        self.cache.insert(self.context, h, fitness);
         *self.evaluations.lock() += 1;
         fitness
     }
@@ -249,6 +277,47 @@ mod tests {
         assert_eq!(
             cached.evaluate(&genotype).to_bits(),
             plain.evaluate(&genotype).to_bits()
+        );
+    }
+
+    #[test]
+    fn cache_hit_replays_the_miss_path_rng_protocol() {
+        // The attack RNG is derived from `seed ^ genotype_hash ^ (rep << 32)`
+        // — never from evaluation order — so a value served from a *shared*
+        // cache must be bit-identical to what the served instance would have
+        // computed from scratch through its own miss path.
+        let (original, genotype) = setup();
+        let cache = FitnessCache::shared();
+        let first = MuxLinkFitness::new(original.clone(), MuxLinkConfig::fast(), 11, 2)
+            .with_cache(cache.clone());
+        let shared = MuxLinkFitness::new(original.clone(), MuxLinkConfig::fast(), 11, 2)
+            .with_cache(cache.clone());
+        let isolated = MuxLinkFitness::new(original.clone(), MuxLinkConfig::fast(), 11, 2);
+
+        let miss = first.evaluate(&genotype);
+        let hit = shared.evaluate(&genotype);
+        assert_eq!(miss.to_bits(), hit.to_bits());
+        assert_eq!(
+            shared.evaluations(),
+            0,
+            "second instance must hit the cache"
+        );
+        assert_eq!(
+            hit.to_bits(),
+            isolated.evaluate(&genotype).to_bits(),
+            "cache hit must equal an isolated miss-path evaluation"
+        );
+        assert_eq!(cache.hits(), 1);
+
+        // A different seed is a different context: no cross-contamination,
+        // and (in general) a different value.
+        let other =
+            MuxLinkFitness::new(original, MuxLinkConfig::fast(), 12, 2).with_cache(cache.clone());
+        let _ = other.evaluate(&genotype);
+        assert_eq!(
+            other.evaluations(),
+            1,
+            "different seed must not share entries"
         );
     }
 

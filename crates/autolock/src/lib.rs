@@ -39,6 +39,7 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+mod cache;
 mod config;
 mod engine;
 mod fitness;
@@ -46,6 +47,7 @@ mod genotype;
 pub mod operators;
 mod report;
 
+pub use cache::FitnessCache;
 pub use config::AutoLockConfig;
 pub use engine::AutoLock;
 pub use fitness::{MultiObjectiveLockingFitness, MuxLinkFitness, ObjectiveKind};

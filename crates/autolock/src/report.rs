@@ -38,6 +38,13 @@ pub struct AutoLockResult {
     pub best_generation: usize,
     /// Wall-clock milliseconds of the whole run.
     pub runtime_ms: u128,
+    /// Ring-migration rounds applied (island-model runs; 0 otherwise).
+    pub migrations: usize,
+    /// Fitness-cache lookups answered without re-running the attack
+    /// (includes hits shared across islands and the surrogate pair).
+    pub fitness_cache_hits: u64,
+    /// Fitness-cache lookups that paid for a real evaluation.
+    pub fitness_cache_misses: u64,
 }
 
 impl AutoLockResult {

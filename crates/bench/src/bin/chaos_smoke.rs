@@ -84,6 +84,7 @@ fn demo_jobs(circuits: &Path) -> std::io::Result<Vec<JobSpec>> {
         },
         evolve_population: 3,
         evolve_generations: 1,
+        evolve_islands: 1,
     };
     jobs_from_dir(circuits, &config)
 }

@@ -1,0 +1,16 @@
+//! E14: island-model evolution at xl scale through the resumable job engine
+//!
+//! Run with `cargo run --release -p autolock_bench --bin exp_e14`.
+//! Set `AUTOLOCK_SCALE=full` for the paper-sized (slower) version.
+
+use autolock_bench::experiments::e14_island_evolution;
+use autolock_bench::{experiment_scale, results_dir, ObsRun};
+
+fn main() {
+    let scale = experiment_scale();
+    // Record the run: manifest + span trace under <results>/obs/.
+    let _obs = ObsRun::start("e14", 14);
+    eprintln!("running E14: island-model evolution at {scale:?} scale...");
+    let table = e14_island_evolution(scale);
+    table.emit(&results_dir());
+}

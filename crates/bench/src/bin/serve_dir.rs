@@ -6,13 +6,16 @@
 //!     --dir circuits/ --out runs/smoke [--scheme xor|dmux] [--key-len N] \
 //!     [--seed N] [--timeout-ms N] [--propagations N] [--iterations N] \
 //!     [--attacks sat,muxlink,evolve] [--evolve-population N] \
-//!     [--evolve-generations N] [--demo]
+//!     [--evolve-generations N] [--evolve-islands N] [--demo]
 //! ```
 //!
 //! Each `.bench` file becomes one job per attack in `--attacks` (default
 //! `sat`): a SAT-attack job under the file stem, a MuxLink job under
 //! `{stem}.muxlink`, an evolution job under `{stem}.evolve` — each with a
-//! stable per-job seed and its own status row. Rows stream to
+//! stable per-job seed and its own status row. `--evolve-islands N` with
+//! `N > 1` routes the evolve jobs through the island-model engine (ring
+//! migration every generation) under the *same* ids and per-id seeds, so
+//! enabling islands never reshuffles the other jobs' rows. Rows stream to
 //! `<out>/rows.jsonl` as jobs finish; re-running against the same `--out`
 //! directory resumes, skipping completed jobs, and the final stream is
 //! bit-identical to an uninterrupted run. `--propagations` sets the
@@ -43,6 +46,7 @@ struct Options {
     kinds: DirJobKinds,
     evolve_population: usize,
     evolve_generations: usize,
+    evolve_islands: usize,
     demo: bool,
 }
 
@@ -51,7 +55,7 @@ fn usage() -> ! {
         "usage: serve_dir --dir <circuits> --out <run-dir> [--scheme xor|dmux] \
          [--key-len N] [--seed N] [--timeout-ms N] [--propagations N] \
          [--iterations N] [--attacks sat,muxlink,evolve] [--evolve-population N] \
-         [--evolve-generations N] [--demo]"
+         [--evolve-generations N] [--evolve-islands N] [--demo]"
     );
     std::process::exit(1);
 }
@@ -69,6 +73,7 @@ fn parse_options() -> Options {
         kinds: DirJobKinds::default(),
         evolve_population: 4,
         evolve_generations: 2,
+        evolve_islands: 1,
         demo: false,
     };
     let mut args = std::env::args().skip(1);
@@ -96,6 +101,9 @@ fn parse_options() -> Options {
             }
             "--evolve-generations" => {
                 opts.evolve_generations = parse_num(&value(&mut args, "--evolve-generations"));
+            }
+            "--evolve-islands" => {
+                opts.evolve_islands = parse_num(&value(&mut args, "--evolve-islands"));
             }
             "--demo" => opts.demo = true,
             "--help" | "-h" => usage(),
@@ -173,6 +181,7 @@ fn main() -> ExitCode {
         kinds: opts.kinds,
         evolve_population: opts.evolve_population,
         evolve_generations: opts.evolve_generations,
+        evolve_islands: opts.evolve_islands,
     };
     let jobs = match jobs_from_dir(&opts.dir, &config) {
         Ok(jobs) => jobs,

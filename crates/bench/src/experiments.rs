@@ -911,6 +911,169 @@ pub fn e13_gnn_structured_sweep(scale: Scale) -> ResultTable {
     table
 }
 
+/// E14 — island-model evolution at the `xl` tier, driven end-to-end through
+/// the resumable job engine.
+///
+/// One [`autolock_service::JobKind::EvolveIslands`] job locks the target
+/// (quick: a small synthetic; full: `xl11k`, the suite's largest member)
+/// and evolves it with ring-migrating islands, surrogate screening (the
+/// cheap MLP attack ranks each generation; only the top half pay the
+/// DGCNN-backend fitness) and the shared fingerprint-keyed fitness cache.
+/// The engine checkpoints every generation under `{id}.iga.json` through
+/// the unified `Resumable` path.
+///
+/// Quick mode **self-gates** the PR's acceptance criteria: the run must
+/// apply at least one migration round and score a nonzero fitness-cache
+/// hit rate, and a second engine seeded with a genuine mid-run checkpoint
+/// must resume to a byte-identical `rows.jsonl` (the `resume check`
+/// column). Full mode skips the duplicate run (`-`).
+///
+/// Row format (documented in `crates/bench/README.md`): `circuit`,
+/// `key len`, `islands`, `generations`, `migrations`, `key accuracy`,
+/// `cache hit rate`, `surrogate rejected`, `resume check`.
+pub fn e14_island_evolution(scale: Scale) -> ResultTable {
+    use autolock_circuits::synth_circuit;
+    use autolock_evo::Resumable;
+    use autolock_netlist::write_bench;
+    use autolock_service::{EngineConfig, IslandEvolveJob, JobEngine, JobKind, JobSpec, JobStatus};
+
+    let mut table = ResultTable::new(
+        "E14",
+        "Island-model evolution through the resumable job engine (surrogate-screened DGCNN fitness)",
+        &[
+            "circuit",
+            "key len",
+            "islands",
+            "generations",
+            "migrations",
+            "key accuracy",
+            "cache hit rate",
+            "surrogate rejected",
+            "resume check",
+        ],
+    );
+    let (name, original, key_len, population_size, generations, islands, interval, migrants) =
+        match scale {
+            Scale::Quick => (
+                "synth240",
+                synth_circuit("synth240", 12, 6, 240, 0xE14),
+                6usize,
+                6usize,
+                2usize,
+                2usize,
+                1usize,
+                1usize,
+            ),
+            Scale::Full => ("xl11k", circuit("xl11k"), 32, 12, 4, 4, 2, 2),
+        };
+    let spec = JobSpec {
+        id: format!("{name}.evolve"),
+        circuit: name.to_string(),
+        source: write_bench(&original),
+        seed: 0xE14,
+        kind: JobKind::EvolveIslands {
+            key_len,
+            population_size,
+            generations,
+            islands,
+            migration_interval: interval,
+            migrants,
+            surrogate: true,
+        },
+    };
+
+    // Counter deltas around the engine run; reads are non-destructive, so
+    // the ObsRun manifest still drains the totals at process exit.
+    let read = |name: &'static str| autolock_obs::counter(name).value();
+    let before = (
+        read("autolock.fitness_cache.hits"),
+        read("autolock.fitness_cache.misses"),
+        read("evo.migrations"),
+        read("evo.surrogate.rejected"),
+        read("service.jobs_completed"),
+    );
+    let run_dir = crate::results_dir().join("e14-service");
+    let engine = JobEngine::new(EngineConfig::rooted(&run_dir, experiment_threads()))
+        .expect("E14 engine opens");
+    let rows = engine
+        .run(std::slice::from_ref(&spec))
+        .expect("E14 batch runs");
+    let row = rows.first().expect("one row per job");
+    assert_eq!(row.status, JobStatus::Ok, "E14 job failed: {:?}", row.error);
+    let hits = read("autolock.fitness_cache.hits") - before.0;
+    let misses = read("autolock.fitness_cache.misses") - before.1;
+    let migrations = read("evo.migrations") - before.2;
+    let rejected = read("evo.surrogate.rejected") - before.3;
+    let completed = read("service.jobs_completed") > before.4;
+    // The acceptance gates only apply when the job actually evolved in this
+    // process — a re-run against an existing results dir resumes the
+    // finished row and moves no counters.
+    if scale == Scale::Quick && completed {
+        assert!(migrations >= 1, "quick E14 must apply a migration round");
+        assert!(hits > 0, "quick E14 must score fitness-cache hits");
+    }
+
+    // Kill/resume gate: seed a second engine with a genuine generation-1
+    // checkpoint (built through the same `Resumable` bundle the engine
+    // uses) and require a byte-identical row stream.
+    let resume_check = if scale == Scale::Quick {
+        let resume_dir = crate::results_dir().join("e14-service-resume");
+        let _ = std::fs::remove_dir_all(&resume_dir);
+        let engine_b = JobEngine::new(EngineConfig::rooted(&resume_dir, experiment_threads()))
+            .expect("E14 resume engine opens");
+        let bundle = IslandEvolveJob::from_spec(&spec, 1).expect("E14 spec bundles");
+        let job = bundle.resumable();
+        let mut state = job.init_state();
+        assert!(
+            job.step(&mut state),
+            "quick E14 has more than one generation"
+        );
+        let ckpt = serde_json::to_string(&job.checkpoint(&state)).expect("checkpoint serializes");
+        engine_b
+            .store()
+            .write(
+                &JobEngine::island_checkpoint_name(&spec.id),
+                ckpt.as_bytes(),
+            )
+            .expect("checkpoint seeds");
+        let resumes_before = read("service.evolve_resumes");
+        engine_b
+            .run(std::slice::from_ref(&spec))
+            .expect("E14 resumed batch runs");
+        assert!(
+            read("service.evolve_resumes") > resumes_before,
+            "the resumed engine must pick up the seeded checkpoint"
+        );
+        let reference = std::fs::read(run_dir.join("rows.jsonl")).expect("reference rows");
+        let resumed = std::fs::read(resume_dir.join("rows.jsonl")).expect("resumed rows");
+        assert_eq!(
+            reference, resumed,
+            "resumed E14 row stream must be byte-identical"
+        );
+        "identical"
+    } else {
+        "-"
+    };
+
+    let lookups = hits + misses;
+    table.push_row(vec![
+        name.to_string(),
+        key_len.to_string(),
+        islands.to_string(),
+        row.iterations.to_string(),
+        migrations.to_string(),
+        row.key_accuracy.map_or_else(|| "n/a".into(), pct),
+        pct(if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        }),
+        rejected.to_string(),
+        resume_check.to_string(),
+    ]);
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -63,13 +63,33 @@ impl GeneticAlgorithm {
         G: Genotype,
         F: FitnessFunction<G>,
     {
+        let target = self.config().target_fitness.or(fitness.target());
+        self.init_state_with(initial_population, target, rng, |pop| {
+            self.evaluate_scores(pop, fitness)
+        })
+    }
+
+    /// [`GeneticAlgorithm::init_state`] with the evaluation strategy injected.
+    ///
+    /// The island engine routes evaluation through surrogate screening and the
+    /// shared fitness cache; keeping a single implementation here guarantees
+    /// both paths build bit-identical generation-0 states.
+    pub(crate) fn init_state_with<G>(
+        &self,
+        initial_population: Vec<G>,
+        target: Option<f64>,
+        rng: ChaCha8Rng,
+        evaluate: impl FnOnce(&[G]) -> Vec<f64>,
+    ) -> GaState<G>
+    where
+        G: Genotype,
+    {
         assert!(
             !initial_population.is_empty(),
             "initial population must not be empty"
         );
-        let target = self.config().target_fitness.or(fitness.target());
         let population = initial_population;
-        let scores = self.evaluate_scores(&population, fitness);
+        let scores = evaluate(&population);
         autolock_obs::counter("evo.fitness_evals").add(population.len() as u64);
         let history = vec![GenerationStats::from_fitness(0, &scores)];
         let (best_idx, best_fitness) = crate::ga::argmax(&scores);
@@ -123,12 +143,35 @@ impl GeneticAlgorithm {
         C: CrossoverOperator<G>,
         M: MutationOperator<G>,
     {
+        let target = self.config().target_fitness.or(fitness.target());
+        self.step_with(state, target, crossover, mutation, |pop| {
+            self.evaluate_scores(pop, fitness)
+        })
+    }
+
+    /// [`GeneticAlgorithm::step`] with the evaluation strategy injected.
+    ///
+    /// The offspring-loop RNG draw order (select, select, crossover?, mutate?,
+    /// mutate?) lives only here, so the plain and island/surrogate paths can
+    /// never drift apart; `step_loop_equals_run` pins the protocol.
+    pub(crate) fn step_with<G, C, M>(
+        &self,
+        state: &mut GaState<G>,
+        target: Option<f64>,
+        crossover: &C,
+        mutation: &M,
+        evaluate: impl FnOnce(&[G]) -> Vec<f64>,
+    ) -> bool
+    where
+        G: Genotype,
+        C: CrossoverOperator<G>,
+        M: MutationOperator<G>,
+    {
         if self.is_finished(state) {
             return false;
         }
         let config = *self.config();
         let pop_size = state.population.len();
-        let target = config.target_fitness.or(fitness.target());
         let generation = state.generation + 1;
 
         let _gen_span = autolock_obs::span!("evo.generation");
@@ -169,7 +212,7 @@ impl GeneticAlgorithm {
         }
 
         state.population = next;
-        state.scores = self.evaluate_scores(&state.population, fitness);
+        state.scores = evaluate(&state.population);
         autolock_obs::counter("evo.fitness_evals").add(pop_size as u64);
         state.evaluations += pop_size;
         state
@@ -201,6 +244,10 @@ impl GeneticAlgorithm {
     /// equivalent of [`GeneticAlgorithm::run`]. `on_generation` is called
     /// with the state after the initial evaluation and after every
     /// generation; persist the state there to make the run resumable.
+    #[deprecated(
+        since = "0.1.0",
+        note = "drive the run through `ResumableGa` and the `Resumable` trait instead"
+    )]
     pub fn run_checkpointed<G, F, C, M>(
         &self,
         initial_population: Vec<G>,
@@ -221,12 +268,12 @@ impl GeneticAlgorithm {
         while self.step(&mut state, fitness, crossover, mutation) {
             on_generation(&state);
         }
-        finish(state)
+        finish_state(state)
     }
 }
 
 /// Converts a (finished or not) state into the plain [`GaResult`] summary.
-pub fn finish<G>(state: GaState<G>) -> GaResult<G> {
+pub(crate) fn finish_state<G>(state: GaState<G>) -> GaResult<G> {
     GaResult {
         best: state.best,
         best_fitness: state.best_fitness,
@@ -237,7 +284,19 @@ pub fn finish<G>(state: GaState<G>) -> GaResult<G> {
     }
 }
 
+/// Converts a (finished or not) state into the plain [`GaResult`] summary.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Resumable::finish` on a `ResumableGa` instead"
+)]
+pub fn finish<G>(state: GaState<G>) -> GaResult<G> {
+    finish_state(state)
+}
+
 #[cfg(test)]
+// The deprecated shims must keep their exact behaviour for one release; the
+// legacy tests below pin that.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::GaConfig;

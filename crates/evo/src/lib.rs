@@ -63,15 +63,21 @@
 
 mod checkpoint;
 mod ga;
+mod island;
 pub mod nsga2;
 pub mod order;
+mod resume;
 mod selection;
 mod stats;
 mod traits;
 
-pub use checkpoint::{finish, GaState};
+#[allow(deprecated)]
+pub use checkpoint::finish;
+pub use checkpoint::GaState;
 pub use ga::{GaConfig, GaResult, GeneticAlgorithm};
+pub use island::{IslandConfig, IslandGa, IslandGaState, ResumableIslandGa, SurrogateScreen};
 pub use nsga2::{MultiObjectiveFitness, Nsga2, Nsga2Config, Nsga2Result, ParetoPoint};
+pub use resume::{run_to_completion, Resumable, ResumableGa};
 pub use selection::SelectionMethod;
 pub use stats::GenerationStats;
 pub use traits::{CrossoverOperator, FitnessFunction, Genotype, MutationOperator};

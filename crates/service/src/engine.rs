@@ -3,15 +3,13 @@
 use crate::fault::{FaultKind, FaultPlan};
 use crate::job::{JobKind, JobRow, JobSpec, JobStatus, LockSpec};
 use crate::registry::{ModelRegistry, RegistryLookup};
+use crate::resumable::{EvolveJob, IslandEvolveJob};
 use crate::store::{CheckpointStore, StoreRead};
-use autolock::operators::{CrossoverKind, LocusCrossover, LocusMutation, MutationKind};
-use autolock::{LockingGenotype, MuxLinkFitness};
 use autolock_attacks::{
-    netlist_fingerprint, MuxLinkAttack, MuxLinkConfig, SatAttack, SatAttackCheckpoint,
-    SatAttackConfig, SatAttackState,
+    netlist_fingerprint, MuxLinkAttack, MuxLinkConfig, ResumableSatAttack, SatAttack,
+    SatAttackConfig,
 };
-use autolock_evo::{finish, GaConfig, GaState, GeneticAlgorithm, SelectionMethod};
-use autolock_locking::DMuxLocking;
+use autolock_evo::Resumable;
 use autolock_netlist::{parse_bench, Netlist};
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -104,6 +102,14 @@ impl JobError {
             poison: true,
         }
     }
+}
+
+/// The persistence identity of one resumable job: its checkpoint name in
+/// the store and the counters its resume/checkpoint events report to.
+struct ResumeSite {
+    name: String,
+    resume_counter: &'static str,
+    checkpoint_counter: &'static str,
 }
 
 /// The persistent job engine. See the crate docs for the contract; the
@@ -319,7 +325,81 @@ impl JobEngine {
                 population_size,
                 generations,
             } => self.run_evolve(spec, netlist, *key_len, *population_size, *generations),
+            JobKind::EvolveIslands { .. } => self.run_evolve_islands(spec, netlist),
         }
+    }
+
+    /// Drives any [`Resumable`] job through the engine's persistence
+    /// protocol: restore the last checkpoint when a valid one exists (a
+    /// parseable-but-invalid payload is quarantined and counted like any
+    /// other corruption), persist a fresh checkpoint after init/restore and
+    /// after every step, and finish. Because every implementation's
+    /// continued run is bit-identical to an uninterrupted one, the produced
+    /// output is independent of where (or whether) the previous process was
+    /// killed.
+    fn run_resumable<R: Resumable>(
+        &self,
+        job: &R,
+        site: &ResumeSite,
+    ) -> Result<R::Output, JobError> {
+        let mut state = match self.load_resumable_checkpoint(job, &site.name)? {
+            Some(state) => {
+                autolock_obs::counter(site.resume_counter).incr();
+                state
+            }
+            None => job.init_state(),
+        };
+        self.write_resumable_checkpoint(job, &state, site)?;
+        while job.step(&mut state) {
+            self.write_resumable_checkpoint(job, &state, site)?;
+        }
+        Ok(job.finish(state))
+    }
+
+    /// Reads and revives a [`Resumable`] checkpoint. `Ok(None)` when the job
+    /// must start fresh: no checkpoint, a torn/corrupt frame (already
+    /// quarantined by the store), or an intact frame whose payload fails to
+    /// parse or to [`Resumable::restore`] — which is quarantined here, so
+    /// corruption costs recomputation, never a panic and never a wrong row.
+    fn load_resumable_checkpoint<R: Resumable>(
+        &self,
+        job: &R,
+        name: &str,
+    ) -> Result<Option<R::State>, JobError> {
+        let payload = match self.store.read(name).map_err(JobError::io)? {
+            StoreRead::Ok(payload) => payload,
+            StoreRead::Absent | StoreRead::Corrupt => return Ok(None),
+        };
+        let revived = std::str::from_utf8(&payload)
+            .ok()
+            .and_then(|text| serde_json::from_str::<R::Checkpoint>(text).ok())
+            .and_then(|ckpt| job.restore(ckpt).ok());
+        match revived {
+            Some(state) => Ok(Some(state)),
+            None => {
+                autolock_obs::counter("service.store.corrupt").incr();
+                let _ = self
+                    .store
+                    .quarantine_bytes(&format!("{name}.payload"), &payload);
+                let _ = self.store.remove(name);
+                Ok(None)
+            }
+        }
+    }
+
+    fn write_resumable_checkpoint<R: Resumable>(
+        &self,
+        job: &R,
+        state: &R::State,
+        site: &ResumeSite,
+    ) -> Result<(), JobError> {
+        let ckpt = job.checkpoint(state);
+        let payload = serde_json::to_string(&ckpt).expect("checkpoint serializes to JSON");
+        self.store
+            .write(&site.name, payload.as_bytes())
+            .map_err(JobError::io)?;
+        autolock_obs::counter(site.checkpoint_counter).incr();
+        Ok(())
     }
 
     /// The store name of a job's mid-solve SAT checkpoint.
@@ -347,23 +427,19 @@ impl JobEngine {
             checkpoint_conflicts: self.config.sat_step_conflicts,
         });
         let outcome = if self.config.sat_step_conflicts.is_some() {
-            let name = Self::sat_checkpoint_name(&spec.id);
-            let mut state = self
-                .load_sat_checkpoint(&name, &attack, &locked)?
-                .unwrap_or_else(|| attack.init_state(&locked, netlist));
             // Persist the full attack state at every step boundary: after
             // each DIP/oracle exchange and — thanks to the conflict granule
             // — *inside* long miter/key solves, so a SIGKILL at any point
             // loses at most one granule of search.
-            while attack.step(&mut state, &locked, netlist) {
-                let ckpt = attack.checkpoint(&state);
-                let payload = serde_json::to_string(&ckpt).expect("checkpoint serializes to JSON");
-                self.store
-                    .write(&name, payload.as_bytes())
-                    .map_err(JobError::io)?;
-                autolock_obs::counter("service.sat_checkpoints").incr();
-            }
-            attack.finish(state, &locked)
+            let job = ResumableSatAttack::new(&attack, &locked, netlist);
+            self.run_resumable(
+                &job,
+                &ResumeSite {
+                    name: Self::sat_checkpoint_name(&spec.id),
+                    resume_counter: "service.sat_resumes",
+                    checkpoint_counter: "service.sat_checkpoints",
+                },
+            )?
         } else {
             attack.attack(&locked, netlist)
         };
@@ -383,43 +459,6 @@ impl JobEngine {
             attempts: None,
             error: None,
         })
-    }
-
-    /// Reads a SAT checkpoint from the store. `Ok(None)` when the job must
-    /// start fresh: no checkpoint, or a corrupt/mismatched one (which is
-    /// quarantined and counted — corruption costs recomputation, never a
-    /// panic and never a wrong row).
-    fn load_sat_checkpoint(
-        &self,
-        name: &str,
-        attack: &SatAttack,
-        locked: &autolock_locking::LockedNetlist,
-    ) -> Result<Option<SatAttackState>, JobError> {
-        let payload = match self.store.read(name).map_err(JobError::io)? {
-            StoreRead::Ok(payload) => payload,
-            StoreRead::Absent | StoreRead::Corrupt => return Ok(None),
-        };
-        let revived = std::str::from_utf8(&payload)
-            .ok()
-            .and_then(|text| serde_json::from_str::<SatAttackCheckpoint>(text).ok())
-            .and_then(|ckpt| attack.restore(locked, ckpt).ok());
-        match revived {
-            Some(state) => {
-                autolock_obs::counter("service.sat_resumes").incr();
-                Ok(Some(state))
-            }
-            None => {
-                // The frame was intact but the payload is not a checkpoint
-                // for this job (e.g. corruption inside the JSON, or a stale
-                // file from a different circuit). Quarantine the evidence.
-                autolock_obs::counter("service.store.corrupt").incr();
-                let _ = self
-                    .store
-                    .quarantine_bytes(&format!("{name}.payload"), &payload);
-                let _ = self.store.remove(name);
-                Ok(None)
-            }
-        }
     }
 
     fn run_muxlink(
@@ -490,6 +529,23 @@ impl JobEngine {
         self.store.path(&Self::ga_checkpoint_name(job_id))
     }
 
+    /// The store name of a job's island-GA checkpoint. Public so external
+    /// drivers (the E14 bench experiment) can pre-seed a checkpoint through
+    /// [`JobEngine::store`] exactly where the engine will look for it.
+    pub fn island_checkpoint_name(job_id: &str) -> String {
+        format!("{job_id}.iga.json")
+    }
+
+    /// The path of a job's island-GA checkpoint.
+    pub fn island_checkpoint_path(&self, job_id: &str) -> PathBuf {
+        self.store.path(&Self::island_checkpoint_name(job_id))
+    }
+
+    /// Runs a classic single-population evolve job through the
+    /// [`Resumable`] protocol. The checkpoint (`{id}.ga.json`) embeds the
+    /// GA's RNG, so a resumed run is bit-identical to never having stopped;
+    /// a torn or corrupt checkpoint is quarantined and the GA restarts from
+    /// its seed — recomputation, not a panic, and the same final row.
     fn run_evolve(
         &self,
         spec: &JobSpec,
@@ -498,65 +554,48 @@ impl JobEngine {
         population_size: usize,
         generations: usize,
     ) -> Result<JobRow, JobError> {
-        if population_size < 2 {
-            return Err(JobError::fatal(
-                "population size must be at least 2".to_string(),
-            ));
-        }
-        if key_len == 0 {
-            return Err(JobError::fatal("key length must be at least 1".to_string()));
-        }
-        let original = Arc::new(netlist);
-        let ga = GeneticAlgorithm::new(GaConfig {
-            generations,
-            crossover_rate: 0.9,
-            mutation_rate: 0.4,
-            elitism: 2.min(population_size - 1),
-            selection: SelectionMethod::Tournament { size: 3 },
-            parallel: false,
-            target_fitness: None,
-            stagnation_limit: None,
-        });
-        let fitness = MuxLinkFitness::new(
-            original.clone(),
-            MuxLinkConfig::fast().with_threads(1),
-            spec.seed,
-            1,
-        );
-        let crossover = LocusCrossover::new(original.clone(), key_len, CrossoverKind::OnePoint);
-        let mutation = LocusMutation::new(original.clone(), key_len, MutationKind::Composite);
+        let job = EvolveJob::from_parts(netlist, spec.seed, key_len, population_size, generations)
+            .map_err(JobError::fatal)?;
+        let result = self.run_resumable(
+            &job.resumable(),
+            &ResumeSite {
+                name: Self::ga_checkpoint_name(&spec.id),
+                resume_counter: "service.evolve_resumes",
+                checkpoint_counter: "service.evolve_checkpoints",
+            },
+        )?;
+        Ok(self.evolve_row(spec, key_len, &result))
+    }
 
-        // Resume from the last generation checkpoint when a valid one
-        // exists (its `GaState` embeds the GA's RNG, so continuing is
-        // bit-identical to never having stopped). A torn or corrupt
-        // checkpoint is quarantined and the GA restarts from its seed —
-        // recomputation, not a panic, and the same final row.
-        let name = Self::ga_checkpoint_name(&spec.id);
-        let mut state: GaState<LockingGenotype> = match self.load_ga_checkpoint(&name)? {
-            Some(state) => {
-                autolock_obs::counter("service.evolve_resumes").incr();
-                state
-            }
-            None => {
-                let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
-                let locking = DMuxLocking::default();
-                let mut population = Vec::with_capacity(population_size);
-                for _ in 0..population_size {
-                    population.push(
-                        locking
-                            .select_loci(&original, key_len, &mut rng)
-                            .map_err(|e| JobError::fatal(format!("lock: {e}")))?,
-                    );
-                }
-                ga.init_state(population, &fitness, rng)
-            }
-        };
-        self.write_ga_checkpoint(&name, &state)?;
-        while ga.step(&mut state, &fitness, &crossover, &mutation) {
-            self.write_ga_checkpoint(&name, &state)?;
-        }
-        let result = finish(state);
-        Ok(JobRow {
+    /// Runs an island-model evolve job ([`JobKind::EvolveIslands`]) through
+    /// the [`Resumable`] protocol, checkpointing under `{id}.iga.json`.
+    /// Islands run serially inside the job (the engine's worker pool is the
+    /// parallelism level, per the workspace thread-knob precedence rule);
+    /// results are thread-count invariant either way.
+    fn run_evolve_islands(&self, spec: &JobSpec, netlist: Netlist) -> Result<JobRow, JobError> {
+        let job = IslandEvolveJob::from_spec_netlist(spec, netlist, 1).map_err(JobError::fatal)?;
+        let key_len = spec.kind.key_len();
+        let result = self.run_resumable(
+            &job.resumable(),
+            &ResumeSite {
+                name: Self::island_checkpoint_name(&spec.id),
+                resume_counter: "service.evolve_resumes",
+                checkpoint_counter: "service.evolve_checkpoints",
+            },
+        )?;
+        Ok(self.evolve_row(spec, key_len, &result))
+    }
+
+    /// The row both evolve kinds produce: `key_accuracy` is the attack
+    /// accuracy of the best genotype (1 − fitness), `iterations` the number
+    /// of generations actually evolved.
+    fn evolve_row(
+        &self,
+        spec: &JobSpec,
+        key_len: usize,
+        result: &crate::resumable::EvolveResult,
+    ) -> JobRow {
+        JobRow {
             job_id: spec.id.clone(),
             circuit: spec.circuit.clone(),
             attack: "evolve".to_string(),
@@ -567,39 +606,7 @@ impl JobEngine {
             iterations: result.history.len().saturating_sub(1) as u64,
             attempts: None,
             error: None,
-        })
-    }
-
-    fn load_ga_checkpoint(&self, name: &str) -> Result<Option<GaState<LockingGenotype>>, JobError> {
-        let payload = match self.store.read(name).map_err(JobError::io)? {
-            StoreRead::Ok(payload) => payload,
-            StoreRead::Absent | StoreRead::Corrupt => return Ok(None),
-        };
-        match std::str::from_utf8(&payload)
-            .ok()
-            .and_then(|text| serde_json::from_str(text).ok())
-        {
-            Some(state) => Ok(Some(state)),
-            None => {
-                autolock_obs::counter("service.store.corrupt").incr();
-                let _ = self
-                    .store
-                    .quarantine_bytes(&format!("{name}.payload"), &payload);
-                let _ = self.store.remove(name);
-                Ok(None)
-            }
         }
-    }
-
-    fn write_ga_checkpoint(
-        &self,
-        name: &str,
-        state: &GaState<LockingGenotype>,
-    ) -> Result<(), JobError> {
-        let json = serde_json::to_string(state).expect("GaState serializes to JSON");
-        self.store
-            .write(name, json.as_bytes())
-            .map_err(JobError::io)
     }
 }
 

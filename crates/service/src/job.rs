@@ -86,6 +86,30 @@ pub enum JobKind {
         /// GA generation budget.
         generations: usize,
     },
+    /// Run the AutoLock GA through the island-model engine: the population
+    /// is split into ring-migrating subpopulations evolved in parallel, with
+    /// a shared fingerprint-keyed fitness cache and (optionally) surrogate
+    /// screening. Checkpoints per generation like [`JobKind::Evolve`], under
+    /// `{id}.iga.json`; results are bit-identical for every thread count.
+    EvolveIslands {
+        /// Number of key bits.
+        key_len: usize,
+        /// Total GA population size, split across islands (≥ 2 per island).
+        population_size: usize,
+        /// GA generation budget (synchronous across islands).
+        generations: usize,
+        /// Number of islands (≥ 2 to actually migrate).
+        islands: usize,
+        /// Generations between ring-migration rounds (≥ 1).
+        migration_interval: usize,
+        /// Individuals each island sends per migration round.
+        migrants: usize,
+        /// When `true`, the real fitness is the DGCNN-backend attack and a
+        /// cheap MLP-backend surrogate screens each generation; when
+        /// `false`, the MLP attack is the (sole) fitness, like
+        /// [`JobKind::Evolve`].
+        surrogate: bool,
+    },
 }
 
 impl JobKind {
@@ -95,7 +119,7 @@ impl JobKind {
         match self {
             JobKind::SatAttack { .. } => "sat",
             JobKind::MuxLinkAttack { .. } => "muxlink",
-            JobKind::Evolve { .. } => "evolve",
+            JobKind::Evolve { .. } | JobKind::EvolveIslands { .. } => "evolve",
         }
     }
 
@@ -103,7 +127,7 @@ impl JobKind {
     pub fn key_len(&self) -> usize {
         match self {
             JobKind::SatAttack { lock, .. } | JobKind::MuxLinkAttack { lock, .. } => lock.key_len(),
-            JobKind::Evolve { key_len, .. } => *key_len,
+            JobKind::Evolve { key_len, .. } | JobKind::EvolveIslands { key_len, .. } => *key_len,
         }
     }
 }
@@ -219,6 +243,11 @@ pub struct DirJobConfig {
     pub evolve_population: usize,
     /// GA generation budget for `evolve` jobs.
     pub evolve_generations: usize,
+    /// Islands for `evolve` jobs: `<= 1` emits classic [`JobKind::Evolve`]
+    /// jobs; `> 1` emits [`JobKind::EvolveIslands`] jobs (migration every
+    /// generation, one migrant) under the **same ids and seeds**, so
+    /// enabling islands never reshuffles the other jobs' draws or rows.
+    pub evolve_islands: usize,
 }
 
 impl Default for DirJobConfig {
@@ -232,6 +261,7 @@ impl Default for DirJobConfig {
             kinds: DirJobKinds::default(),
             evolve_population: 4,
             evolve_generations: 2,
+            evolve_islands: 1,
         }
     }
 }
@@ -306,14 +336,24 @@ pub fn jobs_from_dir(dir: &Path, config: &DirJobConfig) -> io::Result<Vec<JobSpe
             );
         }
         if config.kinds.evolve {
-            push(
-                format!("{name}.evolve"),
+            let kind = if config.evolve_islands > 1 {
+                JobKind::EvolveIslands {
+                    key_len: config.lock.key_len(),
+                    population_size: config.evolve_population,
+                    generations: config.evolve_generations,
+                    islands: config.evolve_islands,
+                    migration_interval: 1,
+                    migrants: 1,
+                    surrogate: false,
+                }
+            } else {
                 JobKind::Evolve {
                     key_len: config.lock.key_len(),
                     population_size: config.evolve_population,
                     generations: config.evolve_generations,
-                },
-            );
+                }
+            };
+            push(format!("{name}.evolve"), kind);
         }
     }
     Ok(jobs)

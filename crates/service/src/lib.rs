@@ -60,6 +60,7 @@ mod engine;
 mod fault;
 mod job;
 mod registry;
+mod resumable;
 mod store;
 
 pub use engine::{EngineConfig, JobEngine};
@@ -68,4 +69,5 @@ pub use job::{
     jobs_from_dir, DirJobConfig, DirJobKinds, JobKind, JobRow, JobSpec, JobStatus, LockSpec,
 };
 pub use registry::{ModelRegistry, RegistryLookup};
+pub use resumable::{run_fresh, EvolveJob, EvolveResult, IslandEvolveJob};
 pub use store::{CheckpointStore, StoreRead};

@@ -195,6 +195,128 @@ fn evolution_resumes_from_generation_checkpoint_bit_identically() {
     }
 }
 
+fn island_evolve_job(generations: usize, seed: u64) -> JobSpec {
+    JobSpec {
+        id: "evo-isl".into(),
+        circuit: "svc-evo".into(),
+        source: write_bench(&synth_circuit("svc-evo", 8, 3, 80, 5)),
+        seed,
+        kind: JobKind::EvolveIslands {
+            key_len: 4,
+            population_size: 4,
+            generations,
+            islands: 2,
+            migration_interval: 1,
+            migrants: 1,
+            surrogate: false,
+        },
+    }
+}
+
+/// An island-evolve job killed at a generation boundary resumes from its
+/// `{id}.iga.json` checkpoint — through the unified `Resumable` path — to
+/// the exact row an uninterrupted run produces.
+#[test]
+fn island_evolution_resumes_from_generation_checkpoint_bit_identically() {
+    use autolock_evo::Resumable;
+    autolock_obs::enable();
+
+    let dir_fresh = scratch("isl_fresh");
+    let engine_fresh = JobEngine::new(EngineConfig::rooted(&dir_fresh, 1)).unwrap();
+    let rows_fresh = engine_fresh.run(&[island_evolve_job(2, 21)]).unwrap();
+    assert_eq!(rows_fresh[0].status, JobStatus::Ok);
+    assert_eq!(rows_fresh[0].attack, "evolve");
+    assert_eq!(rows_fresh[0].iterations, 2);
+
+    // Reproduce what the engine persists mid-run: build the same job
+    // bundle, step it one generation, and park the checkpoint where the
+    // engine will look for it.
+    let dir_resume = scratch("isl_resume");
+    let engine_resume = JobEngine::new(EngineConfig::rooted(&dir_resume, 1)).unwrap();
+    {
+        let spec = island_evolve_job(2, 21);
+        let bundle = autolock_service::IslandEvolveJob::from_spec(&spec, 1).unwrap();
+        let job = bundle.resumable();
+        let mut state = job.init_state();
+        assert!(job.step(&mut state));
+        let ckpt = serde_json::to_string(&job.checkpoint(&state)).unwrap();
+        engine_resume
+            .store()
+            .write(
+                &JobEngine::island_checkpoint_name("evo-isl"),
+                ckpt.as_bytes(),
+            )
+            .unwrap();
+    }
+    let resumes_before = autolock_obs::counter("service.evolve_resumes").value();
+    let rows_resume = engine_resume.run(&[island_evolve_job(2, 21)]).unwrap();
+    assert!(
+        autolock_obs::counter("service.evolve_resumes").value() > resumes_before,
+        "the engine must resume from the seeded island checkpoint"
+    );
+    assert_eq!(rows_fresh, rows_resume);
+    assert_eq!(
+        fs::read(dir_fresh.join("rows.jsonl")).unwrap(),
+        fs::read(dir_resume.join("rows.jsonl")).unwrap()
+    );
+
+    let _ = fs::remove_dir_all(&dir_fresh);
+    let _ = fs::remove_dir_all(&dir_resume);
+}
+
+/// `--evolve-islands`-style configs route evolve jobs through the island
+/// engine under the same ids and per-id seeds, so enabling islands never
+/// reshuffles the existing rows of the other kinds.
+#[test]
+fn island_dir_jobs_keep_ids_and_seeds_stable() {
+    let bench_dir = scratch("bench_islands");
+    fs::write(bench_dir.join("a.bench"), tiny_source(8)).unwrap();
+
+    let base = DirJobConfig {
+        lock: LockSpec::Xor { key_len: 4 },
+        seed: 1,
+        kinds: autolock_service::DirJobKinds {
+            sat: true,
+            muxlink: true,
+            evolve: true,
+        },
+        evolve_population: 4,
+        evolve_generations: 1,
+        ..DirJobConfig::default()
+    };
+    let classic = jobs_from_dir(&bench_dir, &base).unwrap();
+    let islands = jobs_from_dir(
+        &bench_dir,
+        &DirJobConfig {
+            evolve_islands: 2,
+            ..base
+        },
+    )
+    .unwrap();
+
+    assert_eq!(classic.len(), islands.len());
+    for (c, i) in classic.iter().zip(&islands) {
+        assert_eq!(c.id, i.id);
+        assert_eq!(c.seed, i.seed);
+    }
+    assert!(matches!(
+        islands.iter().find(|j| j.id == "a.evolve").unwrap().kind,
+        JobKind::EvolveIslands {
+            islands: 2,
+            migration_interval: 1,
+            migrants: 1,
+            surrogate: false,
+            ..
+        }
+    ));
+    assert!(matches!(
+        classic.iter().find(|j| j.id == "a.evolve").unwrap().kind,
+        JobKind::Evolve { .. }
+    ));
+
+    let _ = fs::remove_dir_all(&bench_dir);
+}
+
 /// A registry hit skips training yet yields a bit-identical row, and the
 /// registry holds exactly one model for the repeated (circuit, config,
 /// seed) triple.
