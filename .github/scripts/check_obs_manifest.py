@@ -16,8 +16,10 @@ For every manifest the script checks:
   and fingerprint, and at least one top-level span (the driver's root),
 * per-experiment counter floors (EXPERIMENT_COUNTER_FLOORS): E14 must
   report fitness-cache hits *and* misses and at least one island
-  migration — a zero there means the island/cache wiring rotted even if
-  the run "succeeded".
+  migration, and E15 must report at least one AIGER ingest plus one
+  register-cut and one unrolled sequential resolution — a zero there
+  means the island/cache or ingestion wiring rotted even if the run
+  "succeeded".
 
 A directory containing no manifests FAILS: the drivers are expected to
 emit one per run, so an empty directory means the wiring rotted.
@@ -62,6 +64,11 @@ EXPERIMENT_COUNTER_FLOORS = {
         "autolock.fitness_cache.hits": 1,
         "autolock.fitness_cache.misses": 1,
         "evo.migrations": 1,
+    },
+    "e15": {
+        "service.ingest.aiger": 1,
+        "service.ingest.cut": 1,
+        "service.ingest.unrolled": 1,
     },
 }
 

@@ -9,7 +9,8 @@ use autolock_evo::{
 };
 use autolock_locking::{DMuxLocking, LockingScheme};
 use autolock_netlist::graph::CsrGraph;
-use autolock_netlist::{parse_bench, sim, topo, write_bench};
+use autolock_netlist::ingest::{parse_auto, IngestOptions};
+use autolock_netlist::{sim, topo, write_bench};
 use autolock_satsolver::{CircuitEncoder, Lit, Solver};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::{Rng, RngCore, SeedableRng};
@@ -23,8 +24,9 @@ fn bench_netlist(c: &mut Criterion) {
     let nl = suite_circuit("s880").expect("suite circuit");
     let text = write_bench(&nl);
     let mut group = c.benchmark_group("B1_netlist");
+    let ingest_opts = IngestOptions::default();
     group.bench_function("parse_s880", |b| {
-        b.iter(|| parse_bench("s880", black_box(&text)).unwrap())
+        b.iter(|| parse_auto("s880", black_box(&text), &ingest_opts).unwrap())
     });
     group.bench_function("write_s880", |b| b.iter(|| write_bench(black_box(&nl))));
     group.bench_function("topo_order_s880", |b| {

@@ -85,6 +85,7 @@ fn demo_jobs(circuits: &Path) -> std::io::Result<Vec<JobSpec>> {
         evolve_population: 3,
         evolve_generations: 1,
         evolve_islands: 1,
+        unroll_frames: 2,
     };
     jobs_from_dir(circuits, &config)
 }

@@ -1,0 +1,16 @@
+//! E15: sequential-circuit ingestion (AIGER cut/unroll) through the engine
+//!
+//! Run with `cargo run --release -p autolock_bench --bin exp_e15`.
+//! Set `AUTOLOCK_SCALE=full` for the paper-sized (slower) version.
+
+use autolock_bench::experiments::e15_sequential_ingestion;
+use autolock_bench::{experiment_scale, results_dir, ObsRun};
+
+fn main() {
+    let scale = experiment_scale();
+    // Record the run: manifest + span trace under <results>/obs/.
+    let _obs = ObsRun::start("e15", 15);
+    eprintln!("running E15: sequential-circuit ingestion at {scale:?} scale...");
+    let table = e15_sequential_ingestion(scale);
+    table.emit(&results_dir());
+}

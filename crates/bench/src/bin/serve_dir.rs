@@ -1,18 +1,26 @@
 //! `serve_dir`: run the attack-as-a-service engine over a directory of
-//! `.bench` circuits and emit one JSONL status row per instance.
+//! circuits — `.bench` and ASCII AIGER `.aag`, mixed freely — and emit one
+//! JSONL status row per instance.
 //!
 //! ```text
 //! cargo run --release -p autolock_bench --bin serve_dir -- \
 //!     --dir circuits/ --out runs/smoke [--scheme xor|dmux] [--key-len N] \
 //!     [--seed N] [--timeout-ms N] [--propagations N] [--iterations N] \
 //!     [--attacks sat,muxlink,evolve] [--evolve-population N] \
-//!     [--evolve-generations N] [--evolve-islands N] [--demo]
+//!     [--evolve-generations N] [--evolve-islands N] [--unroll N] \
+//!     [--demo] [--demo-mixed]
 //! ```
 //!
-//! Each `.bench` file becomes one job per attack in `--attacks` (default
+//! Each circuit file becomes one job per attack in `--attacks` (default
 //! `sat`): a SAT-attack job under the file stem, a MuxLink job under
 //! `{stem}.muxlink`, an evolution job under `{stem}.evolve` — each with a
-//! stable per-job seed and its own status row. `--evolve-islands N` with
+//! stable per-job seed and its own status row, so existing `.bench`
+//! directories keep their historical ids and seeds. A **sequential**
+//! circuit (an `.aag` with latches, or a `.bench` with `DFF`s) instead
+//! fans out into two attack targets: the register cut under `{stem}.cut`
+//! and the `--unroll N`-frame expansion under `{stem}.u{N}` (default 2),
+//! each with the usual per-attack suffixes. Every row records the source
+//! format in its `format` column. `--evolve-islands N` with
 //! `N > 1` routes the evolve jobs through the island-model engine (ring
 //! migration every generation) under the *same* ids and per-id seeds, so
 //! enabling islands never reshuffles the other jobs' rows. Rows stream to
@@ -21,12 +29,13 @@
 //! bit-identical to an uninterrupted run. `--propagations` sets the
 //! deterministic per-solve work cap, which is how CI induces a reproducible
 //! `timeout` row; `--demo` first populates `--dir` with two quick synthetic
-//! circuits plus the structurally hard `st6288`.
+//! circuits plus the structurally hard `st6288`, and `--demo-mixed` with
+//! the quick pair plus a sequential `.aag` (the ingestion smoke set).
 //!
 //! Exit status is 0 when every row is `ok`, 2 when any row is `timeout` or
 //! `error`, and 1 on usage or I/O failures.
 
-use autolock_bench::demo::write_demo_circuits;
+use autolock_bench::demo::{write_demo_circuits, write_mixed_demo_circuits};
 use autolock_bench::experiment_threads;
 use autolock_service::{
     jobs_from_dir, DirJobConfig, DirJobKinds, EngineConfig, JobEngine, JobStatus, LockSpec,
@@ -47,7 +56,9 @@ struct Options {
     evolve_population: usize,
     evolve_generations: usize,
     evolve_islands: usize,
+    unroll_frames: usize,
     demo: bool,
+    demo_mixed: bool,
 }
 
 fn usage() -> ! {
@@ -55,7 +66,8 @@ fn usage() -> ! {
         "usage: serve_dir --dir <circuits> --out <run-dir> [--scheme xor|dmux] \
          [--key-len N] [--seed N] [--timeout-ms N] [--propagations N] \
          [--iterations N] [--attacks sat,muxlink,evolve] [--evolve-population N] \
-         [--evolve-generations N] [--evolve-islands N] [--demo]"
+         [--evolve-generations N] [--evolve-islands N] [--unroll N] [--demo] \
+         [--demo-mixed]"
     );
     std::process::exit(1);
 }
@@ -74,7 +86,9 @@ fn parse_options() -> Options {
         evolve_population: 4,
         evolve_generations: 2,
         evolve_islands: 1,
+        unroll_frames: DirJobConfig::default().unroll_frames,
         demo: false,
+        demo_mixed: false,
     };
     let mut args = std::env::args().skip(1);
     let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
@@ -105,7 +119,9 @@ fn parse_options() -> Options {
             "--evolve-islands" => {
                 opts.evolve_islands = parse_num(&value(&mut args, "--evolve-islands"));
             }
+            "--unroll" => opts.unroll_frames = parse_num(&value(&mut args, "--unroll")),
             "--demo" => opts.demo = true,
+            "--demo-mixed" => opts.demo_mixed = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -171,6 +187,12 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     }
+    if opts.demo_mixed {
+        if let Err(e) = write_mixed_demo_circuits(&opts.dir) {
+            eprintln!("serve_dir: writing mixed demo circuits: {e}");
+            return ExitCode::from(1);
+        }
+    }
 
     let config = DirJobConfig {
         lock,
@@ -182,6 +204,7 @@ fn main() -> ExitCode {
         evolve_population: opts.evolve_population,
         evolve_generations: opts.evolve_generations,
         evolve_islands: opts.evolve_islands,
+        unroll_frames: opts.unroll_frames,
     };
     let jobs = match jobs_from_dir(&opts.dir, &config) {
         Ok(jobs) => jobs,
@@ -191,7 +214,7 @@ fn main() -> ExitCode {
         }
     };
     if jobs.is_empty() {
-        eprintln!("serve_dir: no .bench files in {}", opts.dir.display());
+        eprintln!("serve_dir: no .bench/.aag files in {}", opts.dir.display());
         return ExitCode::from(1);
     }
     eprintln!(
@@ -227,8 +250,9 @@ fn main() -> ExitCode {
             all_ok = false;
         }
         println!(
-            "{:<24} {:<8} {:<8} key_len={} iterations={}{}",
-            row.circuit,
+            "{:<24} {:<7} {:<8} {:<8} key_len={} iterations={}{}",
+            row.job_id,
+            row.format,
             row.attack,
             status,
             row.key_len,

@@ -1,7 +1,8 @@
 //! The shared demo circuit set used by the service binaries (`serve_dir
 //! --demo`, `chaos_smoke`) and the CI smoke scripts.
 
-use autolock_circuits::{suite_circuit, synth_circuit};
+use autolock_circuits::{suite_circuit, synth_circuit, synth_sequential};
+use autolock_netlist::ingest::write_aag_seq;
 use autolock_netlist::write_bench;
 use std::io;
 use std::path::Path;
@@ -35,4 +36,21 @@ pub fn write_quick_demo_circuits(dir: &Path) -> io::Result<()> {
     let quick_b = synth_circuit("demo_b", 12, 4, 160, 102);
     std::fs::write(dir.join("demo_a.bench"), write_bench(&quick_a))?;
     std::fs::write(dir.join("demo_b.bench"), write_bench(&quick_b))
+}
+
+/// Populates `dir` with a **mixed-format** demo set: the quick `.bench`
+/// pair plus a deterministic sequential ASCII AIGER circuit (`demo_seq.aag`,
+/// 3 registers). Scanning the directory with
+/// [`autolock_service::jobs_from_dir`] fans the sequential member into its
+/// register-cut and unrolled job variants, which is what the ingestion
+/// smoke leg in CI exercises.
+///
+/// # Errors
+///
+/// Propagates directory-creation and file-write failures.
+pub fn write_mixed_demo_circuits(dir: &Path) -> io::Result<()> {
+    write_quick_demo_circuits(dir)?;
+    let seq = synth_sequential("demo_seq", 8, 3, 120, 103);
+    let text = write_aag_seq(&seq).expect("demo sequential circuit serializes");
+    std::fs::write(dir.join("demo_seq.aag"), text)
 }

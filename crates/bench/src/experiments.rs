@@ -971,6 +971,7 @@ pub fn e14_island_evolution(scale: Scale) -> ResultTable {
         circuit: name.to_string(),
         source: write_bench(&original),
         seed: 0xE14,
+        sequential: Default::default(),
         kind: JobKind::EvolveIslands {
             key_len,
             population_size,
@@ -1071,6 +1072,174 @@ pub fn e14_island_evolution(scale: Scale) -> ResultTable {
         rejected.to_string(),
         resume_check.to_string(),
     ]);
+    table
+}
+
+/// E15 — sequential-circuit ingestion through the unified front door.
+///
+/// Writes a mixed-format directory — a deterministic **sequential** ASCII
+/// AIGER circuit ([`autolock_circuits::synth_sequential`] serialized with
+/// [`autolock_netlist::ingest::write_aag_seq`]) next to a combinational
+/// `.bench` control — then scans it with
+/// [`autolock_service::jobs_from_dir`] and runs the SAT + MuxLink attacks
+/// through the job engine. The sequential source fans out into its two
+/// attack targets: the register **cut** (`{stem}.cut`) and the 2-frame
+/// **unrolling** (`{stem}.u2`), extending the E12/E13 scenario tables to
+/// registered circuits.
+///
+/// Quick mode **self-gates** the PR's acceptance criteria: both sequential
+/// variants must produce rows, the SAT attack must reach a provably
+/// correct key (nonzero key recovery) on at least one variant, and a
+/// second engine run in a fresh directory must produce a byte-identical
+/// `rows.jsonl` (the determinism column). Full mode skips the duplicate
+/// run (`-`).
+///
+/// Row format (documented in `crates/bench/README.md`): `job`, `format`,
+/// `variant`, `attack`, `status`, `key len`, `success`, `key accuracy`,
+/// `iterations`.
+pub fn e15_sequential_ingestion(scale: Scale) -> ResultTable {
+    use autolock_circuits::{synth_circuit, synth_sequential};
+    use autolock_netlist::ingest::write_aag_seq;
+    use autolock_netlist::write_bench;
+    use autolock_service::{
+        jobs_from_dir, DirJobConfig, DirJobKinds, EngineConfig, JobEngine, JobStatus, LockSpec,
+    };
+
+    let mut table = ResultTable::new(
+        "E15",
+        "Sequential-circuit ingestion: SAT + MuxLink on register-cut and unrolled AIGER variants",
+        &[
+            "job",
+            "format",
+            "variant",
+            "attack",
+            "status",
+            "key len",
+            "success",
+            "key accuracy",
+            "iterations",
+            "determinism",
+        ],
+    );
+    let (seq_name, seq, bench_name, bench_nl, key_len) = match scale {
+        Scale::Quick => (
+            "seq240",
+            synth_sequential("seq240", 10, 4, 240, 0xE15),
+            "comb160",
+            synth_circuit("comb160", 10, 5, 160, 0x00E1_5002),
+            8usize,
+        ),
+        Scale::Full => (
+            "seq900",
+            synth_sequential("seq900", 16, 8, 900, 0xE15),
+            "comb540",
+            synth_circuit("comb540", 16, 8, 540, 0x00E1_5002),
+            16,
+        ),
+    };
+    let circuits_dir = crate::results_dir().join("e15-circuits");
+    std::fs::create_dir_all(&circuits_dir).expect("E15 circuits dir");
+    std::fs::write(
+        circuits_dir.join(format!("{seq_name}.aag")),
+        write_aag_seq(&seq).expect("sequential demo serializes"),
+    )
+    .expect("E15 .aag writes");
+    std::fs::write(
+        circuits_dir.join(format!("{bench_name}.bench")),
+        write_bench(&bench_nl),
+    )
+    .expect("E15 .bench writes");
+
+    let config = DirJobConfig {
+        lock: LockSpec::DMux { key_len },
+        seed: 0xE15,
+        timeout_ms: 600_000,
+        max_propagations_per_solve: None,
+        max_iterations: 2000,
+        kinds: DirJobKinds {
+            sat: true,
+            muxlink: true,
+            evolve: false,
+        },
+        evolve_population: 4,
+        evolve_generations: 2,
+        evolve_islands: 1,
+        unroll_frames: 2,
+    };
+    let jobs = jobs_from_dir(&circuits_dir, &config).expect("E15 job scan");
+    let run = |dir: &std::path::Path| {
+        let engine = JobEngine::new(EngineConfig::rooted(dir, experiment_threads()))
+            .expect("E15 engine opens");
+        engine.run(&jobs).expect("E15 batch runs")
+    };
+    let run_dir = crate::results_dir().join("e15-service");
+    let rows = run(&run_dir);
+
+    let cut_base = format!("{seq_name}.cut");
+    let unrolled_base = format!("{seq_name}.u2");
+    let row_of = |id: &str| {
+        rows.iter()
+            .find(|r| r.job_id == id)
+            .unwrap_or_else(|| panic!("E15 row {id} missing"))
+    };
+    let cut_sat = row_of(&cut_base);
+    let unrolled_sat = row_of(&unrolled_base);
+    assert_eq!(
+        cut_sat.format, "aiger",
+        "cut variant must record its format"
+    );
+    assert_eq!(row_of(bench_name).format, "bench");
+    if scale == Scale::Quick {
+        assert!(
+            cut_sat.success || unrolled_sat.success,
+            "E15 must provably recover the key on at least one sequential variant \
+             (cut: {:?}, unrolled: {:?})",
+            cut_sat.error,
+            unrolled_sat.error
+        );
+    }
+
+    // Determinism gate: a second engine in a fresh directory must produce a
+    // byte-identical row stream (covers ingestion, job fan-out and the
+    // attacks themselves).
+    let determinism = if scale == Scale::Quick {
+        let rerun_dir = crate::results_dir().join("e15-service-rerun");
+        let _ = std::fs::remove_dir_all(&rerun_dir);
+        run(&rerun_dir);
+        let reference = std::fs::read(run_dir.join("rows.jsonl")).expect("reference rows");
+        let rerun = std::fs::read(rerun_dir.join("rows.jsonl")).expect("rerun rows");
+        assert_eq!(reference, rerun, "E15 reruns must be byte-identical");
+        "identical"
+    } else {
+        "-"
+    };
+
+    for row in &rows {
+        let variant = if row.job_id.contains(".cut") {
+            "cut"
+        } else if row.job_id.contains(".u2") {
+            "unrolled(2)"
+        } else {
+            "-"
+        };
+        let status = match row.status {
+            JobStatus::Ok => "ok",
+            JobStatus::Timeout => "timeout",
+            JobStatus::Error => "error",
+        };
+        table.push_row(vec![
+            row.job_id.clone(),
+            row.format.clone(),
+            variant.to_string(),
+            row.attack.clone(),
+            status.to_string(),
+            row.key_len.to_string(),
+            row.success.to_string(),
+            row.key_accuracy.map_or_else(|| "n/a".into(), pct),
+            row.iterations.to_string(),
+            determinism.to_string(),
+        ]);
+    }
     table
 }
 

@@ -13,7 +13,11 @@
 //! * **structured datapath generators** ([`structured`]): adder trees,
 //!   carry-select adders, array multipliers and mux/decode control blocks
 //!   composed into large members (`st1355` ... `st7552`, `xl11k`) with the
-//!   realistic depth, fanout and reconvergence of the big ISCAS-85 circuits.
+//!   realistic depth, fanout and reconvergence of the big ISCAS-85 circuits,
+//! * **sequential demos** ([`sequential`]): deterministic registered
+//!   circuits for the AIGER/sequential ingestion path (cut or unrolled
+//!   attack targets), and AIGER **round-trip suite members** (`<base>_aig`)
+//!   that re-ingest existing members through the `.aag` writer/parser.
 //!
 //! Every algorithm in this repository (locking, attacks, evolutionary
 //! search) only looks at gate-level structure, so circuits with realistic
@@ -35,6 +39,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod generator;
+pub mod sequential;
 pub mod structured;
 pub mod suite;
 
@@ -42,6 +47,7 @@ mod iscas;
 
 pub use generator::{synth_circuit, CircuitGenerator, GeneratorConfig};
 pub use iscas::{c17, c17_bench_text, c432, c432_bench_text};
+pub use sequential::{sequentialize, synth_sequential};
 pub use structured::{synth_structured, StructuredBlock, StructuredConfig};
 pub use suite::{
     small_suite, standard_suite, structured_entries, suite_circuit, suite_entries, SuiteEntry,

@@ -1,0 +1,154 @@
+//! Deterministic sequential demo circuits for the ingestion front door.
+//!
+//! The combinational generators in this crate cover the attack experiments;
+//! this module derives small **sequential** circuits from them so the
+//! `.aag` ingestion path (cut at registers, or unrolled to k frames) has a
+//! deterministic in-repo source. A sequential demo is a
+//! [`SequentialCircuit`]: a combinational core in which the trailing
+//! primary inputs are re-interpreted as register outputs (pseudo-PIs), with
+//! next-state functions wired to the core's primary-output cones.
+//!
+//! Demo cores come from the **structured** (datapath) generator, not the
+//! uniform random one: random locality-biased gates frequently feed a gate
+//! the same signal twice (`XOR(a,a)`, `NOR(a,a)`, …), and under the AIG
+//! simplification every ingestion pass applies, those constants cascade
+//! until most outputs fold away — leaving nothing to lock or attack.
+//! Datapath blocks (adder trees, carry-select adders) have no such
+//! degeneracy, so their cones survive ingestion intact.
+
+use crate::structured::{synth_structured, StructuredBlock, StructuredConfig};
+use autolock_netlist::ingest::{Latch, SequentialCircuit};
+use autolock_netlist::{GateKind, Netlist};
+
+/// Re-interprets the trailing `latches` primary inputs of `core` as
+/// register state, producing a [`SequentialCircuit`].
+///
+/// Register `i` gets the `i % outputs`-th primary output as its next-state
+/// function (so every next-state cone is a real logic cone, and unrolling
+/// produces genuine cross-frame dependencies). Initial values alternate
+/// 0, 1, 0, 1, ... so both AIGER init encodings are exercised.
+///
+/// # Panics
+///
+/// Panics when `latches == 0`, when the core has no outputs, or when fewer
+/// than `latches + 1` inputs exist (at least one true primary input must
+/// remain).
+pub fn sequentialize(core: Netlist, latches: usize) -> SequentialCircuit {
+    assert!(latches > 0, "a sequential demo needs at least one latch");
+    assert!(
+        core.num_outputs() > 0,
+        "a sequential demo needs at least one next-state cone"
+    );
+    let input_ids: Vec<_> = core
+        .iter()
+        .filter(|(_, g)| g.kind == GateKind::Input)
+        .map(|(id, _)| id)
+        .collect();
+    assert!(
+        input_ids.len() > latches,
+        "need at least one true primary input besides the {latches} latch(es)"
+    );
+    let output_ids = core.outputs().to_vec();
+    let first = input_ids.len() - latches;
+    let latch_records: Vec<Latch> = (0..latches)
+        .map(|i| Latch {
+            state: input_ids[first + i],
+            next: output_ids[i % output_ids.len()],
+            init: i % 2 == 1,
+        })
+        .collect();
+    SequentialCircuit::new(core, latch_records).expect("trailing inputs form a valid register set")
+}
+
+/// Builds a deterministic sequential circuit around a structured datapath
+/// core: an adder tree over `inputs + latches` primary inputs, with the
+/// trailing `latches` inputs converted to registers by [`sequentialize`].
+///
+/// The adder tree's `width`/`lanes` shape is derived from `gates` (roughly
+/// `9 * width * lanes` gates), so callers size demos the same way they size
+/// [`synth_circuit`](crate::synth_circuit) ones.
+///
+/// # Panics
+///
+/// Panics when `latches == 0` or `inputs == 0`.
+pub fn synth_sequential(
+    name: &str,
+    inputs: usize,
+    latches: usize,
+    gates: usize,
+    seed: u64,
+) -> SequentialCircuit {
+    assert!(inputs > 0, "a sequential demo needs true primary inputs");
+    // width*lanes ≈ gates/9 (one full adder ≈ 9 gates), min 2×2.
+    let cells = (gates / 9).max(4);
+    let lanes = (cells / 8).clamp(2, 8);
+    let width = (cells / lanes).max(2);
+    let core = synth_structured(&StructuredConfig {
+        name: name.to_string(),
+        num_inputs: inputs + latches,
+        blocks: vec![StructuredBlock::AdderTree { width, lanes }],
+        glue_gates: 0,
+        seed,
+    });
+    sequentialize(core, latches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_demo_is_deterministic_and_valid() {
+        let a = synth_sequential("seq_demo", 6, 3, 150, 7);
+        let b = synth_sequential("seq_demo", 6, 3, 150, 7);
+        assert_eq!(a.core(), b.core());
+        assert_eq!(a.num_latches(), 3);
+        // Cut view: the 3 latch states join the 6 true PIs.
+        let cut = a.cut();
+        assert_eq!(cut.num_inputs(), 9);
+        cut.validate().unwrap();
+        // Unrolled view: per-frame PIs (latch states become consts/wires).
+        let unrolled = a.unroll(2).unwrap();
+        assert_eq!(unrolled.num_inputs(), 12);
+        unrolled.validate().unwrap();
+    }
+
+    #[test]
+    fn init_values_alternate() {
+        let seq = synth_sequential("seq_init", 4, 4, 100, 9);
+        let inits: Vec<bool> = seq.latches().iter().map(|l| l.init).collect();
+        assert_eq!(inits, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn round_trips_through_aiger_without_collapsing() {
+        let seq = synth_sequential("seq_rt", 5, 2, 120, 11);
+        let text = autolock_netlist::ingest::write_aag_seq(&seq).unwrap();
+        let back = autolock_netlist::ingest::parse_aag("seq_rt", &text).unwrap();
+        assert_eq!(back.num_latches(), 2);
+        // The structured core must survive AIG simplification: the
+        // re-ingested cut view keeps a real logic cone (this is the guard
+        // against the random-generator degeneracy described in the module
+        // docs).
+        let cut = back.cut();
+        assert!(
+            cut.num_logic_gates() > 20,
+            "ingested demo collapsed to {} gates",
+            cut.num_logic_gates()
+        );
+        // The demo reuses PO cones as next-state functions, so `cut()` on
+        // the original dedups those outputs while the round-trip (with its
+        // own PO wrapper gates) does not — compare the unrolled views,
+        // whose outputs are the frame-major POs on both sides.
+        let a = seq.unroll(2).unwrap();
+        let b = back.unroll(2).unwrap();
+        assert!(autolock_netlist::equiv::exhaustive_equivalent(&a, &[], &b, &[]).unwrap());
+    }
+
+    #[test]
+    fn sequentialize_rejects_degenerate_shapes() {
+        let core = crate::synth_circuit("tiny", 4, 2, 20, 1);
+        let result = std::panic::catch_unwind(|| sequentialize(core, 4));
+        assert!(result.is_err(), "must keep at least one true input");
+    }
+}

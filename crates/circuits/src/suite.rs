@@ -16,6 +16,14 @@
 //!   c6288, which has no random stand-in because uniform random gates
 //!   cannot imitate a multiplier grid.
 //!
+//! A fourth tier exercises the AIGER ingestion front door: **round-trip
+//! members** (`<base>_aig`) are existing members serialized to ASCII AIGER
+//! (`.aag`) and re-ingested through
+//! [`autolock_netlist::ingest::parse_aag`], so the AND/inverter-graph
+//! lowering and AIG simplification pass run inside the suite itself. Their
+//! interfaces match the base member; their gate counts are the measured
+//! post-round-trip values, pinned by tests.
+//!
 //! [`SuiteScale`] selects how much of the suite an experiment sees:
 //! [`SuiteScale::Quick`] is the CI-sized tier (everything up to the
 //! c7552-class member), [`SuiteScale::Full`] adds the beyond-ISCAS `xl`
@@ -89,9 +97,19 @@ pub fn suite_entries(scale: SuiteScale) -> Vec<SuiteEntry> {
         stands_in_for: None,
         structured: false,
     };
+    let aig = |name: &str, inputs: usize, outputs: usize, gates: usize, base: &str| SuiteEntry {
+        name: name.to_string(),
+        inputs,
+        outputs,
+        gates,
+        stands_in_for: Some(base.to_string()),
+        structured: false,
+    };
     let mut entries = vec![
         real("c17", 5, 2, 6),
         real("c432", 36, 7, 142),
+        aig("c17_aig", 5, 2, 14, "c17"),
+        aig("s160_aig", 36, 7, 131, "s160"),
         synth("s160", 36, 7, 160, "c432"),
         synth("s380", 60, 26, 380, "c880"),
         synth("s540", 41, 32, 540, "c1355"),
@@ -277,6 +295,17 @@ fn seed_for(name: &str) -> u64 {
 ///
 /// Returns `None` for unknown names.
 pub fn suite_circuit(name: &str) -> Option<Netlist> {
+    if let Some(base) = name.strip_suffix("_aig") {
+        // Round-trip member: serialize the base member to ASCII AIGER and
+        // re-ingest it, exercising the AND/inverter lowering + AIG
+        // simplification pass on a known-good circuit.
+        let base_nl = suite_circuit(base)?;
+        let text = autolock_netlist::ingest::write_aag(&base_nl)
+            .expect("suite members serialize to AIGER");
+        let seq = autolock_netlist::ingest::parse_aag(name, &text)
+            .expect("suite AIGER writer output parses");
+        return seq.into_combinational().ok();
+    }
     if name == "c17" {
         return Some(c17());
     }
@@ -344,6 +373,16 @@ mod tests {
     #[test]
     fn unknown_name_returns_none() {
         assert!(suite_circuit("nope").is_none());
+        assert!(suite_circuit("nope_aig").is_none());
+    }
+
+    #[test]
+    fn aiger_round_trip_member_is_equivalent_to_its_base() {
+        let base = suite_circuit("c17").unwrap();
+        let rt = suite_circuit("c17_aig").unwrap();
+        assert_eq!(rt.num_inputs(), base.num_inputs());
+        assert_eq!(rt.num_outputs(), base.num_outputs());
+        assert!(autolock_netlist::equiv::exhaustive_equivalent(&base, &[], &rt, &[]).unwrap());
     }
 
     #[test]

@@ -239,37 +239,6 @@ impl GeneticAlgorithm {
         state.generation = generation;
         true
     }
-
-    /// Runs `init_state` + `step` to completion — the checkpointable
-    /// equivalent of [`GeneticAlgorithm::run`]. `on_generation` is called
-    /// with the state after the initial evaluation and after every
-    /// generation; persist the state there to make the run resumable.
-    #[deprecated(
-        since = "0.1.0",
-        note = "drive the run through `ResumableGa` and the `Resumable` trait instead"
-    )]
-    pub fn run_checkpointed<G, F, C, M>(
-        &self,
-        initial_population: Vec<G>,
-        fitness: &F,
-        crossover: &C,
-        mutation: &M,
-        rng: ChaCha8Rng,
-        mut on_generation: impl FnMut(&GaState<G>),
-    ) -> GaResult<G>
-    where
-        G: Genotype,
-        F: FitnessFunction<G>,
-        C: CrossoverOperator<G>,
-        M: MutationOperator<G>,
-    {
-        let mut state = self.init_state(initial_population, fitness, rng);
-        on_generation(&state);
-        while self.step(&mut state, fitness, crossover, mutation) {
-            on_generation(&state);
-        }
-        finish_state(state)
-    }
 }
 
 /// Converts a (finished or not) state into the plain [`GaResult`] summary.
@@ -284,19 +253,7 @@ pub(crate) fn finish_state<G>(state: GaState<G>) -> GaResult<G> {
     }
 }
 
-/// Converts a (finished or not) state into the plain [`GaResult`] summary.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Resumable::finish` on a `ResumableGa` instead"
-)]
-pub fn finish<G>(state: GaState<G>) -> GaResult<G> {
-    finish_state(state)
-}
-
 #[cfg(test)]
-// The deprecated shims must keep their exact behaviour for one release; the
-// legacy tests below pin that.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::GaConfig;
@@ -350,6 +307,14 @@ mod tests {
         }
     }
 
+    /// Drives `init_state` + `step` to completion — the loop every consumer
+    /// (the `ResumableGa` wrapper, the island engine) builds on.
+    fn run_stepped(ga: &GeneticAlgorithm, pop: Vec<Vec<bool>>, seed: u64) -> GaResult<Vec<bool>> {
+        let mut state = ga.init_state(pop, &OneMax, ChaCha8Rng::seed_from_u64(seed));
+        while ga.step(&mut state, &OneMax, &UniformCrossover, &BitFlip) {}
+        finish_state(state)
+    }
+
     #[test]
     fn step_loop_equals_run() {
         let ga = GeneticAlgorithm::new(config());
@@ -361,14 +326,7 @@ mod tests {
             &BitFlip,
             &mut run_rng,
         );
-        let stepped = ga.run_checkpointed(
-            initial(14, 24, 6),
-            &OneMax,
-            &UniformCrossover,
-            &BitFlip,
-            ChaCha8Rng::seed_from_u64(5),
-            |_| {},
-        );
+        let stepped = run_stepped(&ga, initial(14, 24, 6), 5);
         assert_eq!(expected, stepped);
     }
 
@@ -377,14 +335,7 @@ mod tests {
         let ga = GeneticAlgorithm::new(config());
 
         // Uninterrupted reference run.
-        let reference = ga.run_checkpointed(
-            initial(12, 20, 9),
-            &OneMax,
-            &UniformCrossover,
-            &BitFlip,
-            ChaCha8Rng::seed_from_u64(10),
-            |_| {},
-        );
+        let reference = run_stepped(&ga, initial(12, 20, 9), 10);
 
         // Interrupted run: stop after 7 generations, serialize ("the process
         // is killed"), deserialize in a "fresh process", keep going.
@@ -397,7 +348,7 @@ mod tests {
 
         let mut resumed: GaState<Vec<bool>> = serde_json::from_str(&checkpoint).unwrap();
         while ga.step(&mut resumed, &OneMax, &UniformCrossover, &BitFlip) {}
-        assert_eq!(reference, finish(resumed));
+        assert_eq!(reference, finish_state(resumed));
     }
 
     #[test]
@@ -430,14 +381,11 @@ mod tests {
             ..Default::default()
         });
         let mut seen = Vec::new();
-        ga.run_checkpointed(
-            initial(10, 12, 2),
-            &OneMax,
-            &UniformCrossover,
-            &BitFlip,
-            ChaCha8Rng::seed_from_u64(1),
-            |s| seen.push(s.generation),
-        );
+        let mut state = ga.init_state(initial(10, 12, 2), &OneMax, ChaCha8Rng::seed_from_u64(1));
+        seen.push(state.generation);
+        while ga.step(&mut state, &OneMax, &UniformCrossover, &BitFlip) {
+            seen.push(state.generation);
+        }
         assert_eq!(seen, (0..=8).collect::<Vec<_>>());
     }
 }

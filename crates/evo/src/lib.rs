@@ -71,8 +71,6 @@ mod selection;
 mod stats;
 mod traits;
 
-#[allow(deprecated)]
-pub use checkpoint::finish;
 pub use checkpoint::GaState;
 pub use ga::{GaConfig, GaResult, GeneticAlgorithm};
 pub use island::{IslandConfig, IslandGa, IslandGaState, ResumableIslandGa, SurrogateScreen};

@@ -86,8 +86,9 @@ pub fn run_to_completion<R: Resumable>(
 
 /// The [`Resumable`] form of a single-population GA run: a
 /// [`GeneticAlgorithm`] bundled with its initial population, fitness,
-/// operators and seed RNG. Replaces the deprecated free-function API
-/// (`run_checkpointed` / `finish`) with the same bit-for-bit behaviour.
+/// operators and seed RNG. Replaced the old free-function checkpoint API
+/// (`run_checkpointed` / `finish`, removed) with the same bit-for-bit
+/// behaviour.
 pub struct ResumableGa<'a, G, F, C, M> {
     ga: &'a GeneticAlgorithm,
     initial_population: Vec<G>,

@@ -46,6 +46,22 @@ pub enum NetlistError {
         /// What the operation expected.
         expected: String,
     },
+    /// The source describes a sequential circuit (latches/DFFs) but the
+    /// caller asked for a purely combinational netlist. Ingest the circuit
+    /// with a `cut` or `unroll` mode (see [`crate::ingest`]) instead.
+    Sequential {
+        /// Number of latches in the source.
+        latches: usize,
+    },
+    /// An ingestion-mode error (e.g. unrolling to zero frames).
+    Ingest(String),
+    /// An I/O error while reading a circuit file.
+    Io {
+        /// Path of the file that failed to read.
+        path: String,
+        /// The underlying I/O error message.
+        message: String,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -74,6 +90,17 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::WrongGateKind { gate, expected } => {
                 write!(f, "gate {gate} is not of the expected kind ({expected})")
+            }
+            NetlistError::Sequential { latches } => {
+                write!(
+                    f,
+                    "sequential circuit with {latches} latch(es): ingest it with a cut or \
+                     unroll mode to obtain a combinational attack target"
+                )
+            }
+            NetlistError::Ingest(message) => write!(f, "ingestion error: {message}"),
+            NetlistError::Io { path, message } => {
+                write!(f, "io error reading `{path}`: {message}")
             }
         }
     }

@@ -1,0 +1,755 @@
+//! ASCII AIGER (`.aag`) reader and writer.
+//!
+//! The reader lowers an AND/inverter graph into the workspace [`Netlist`]
+//! model and runs the AIG simplifier ([`super::simplify`]) as part of the
+//! lowering, so `NOT`-chain scaffolding never reaches consumers. Latches
+//! parse into a [`SequentialCircuit`]; combinational files simply produce a
+//! circuit with zero latches.
+//!
+//! Supported dialect:
+//!
+//! * header `aag M I L O A` (the binary `aig` format is rejected with a
+//!   dedicated message),
+//! * latch lines `current next [init]` with `init` restricted to `0`/`1`
+//!   (the "uninitialized" spelling `init == current` is read as `0`),
+//! * symbol table (`iN`/`lN`/`oN`) and a trailing comment section.
+//!
+//! Key inputs round-trip through the same convention as the `.bench`
+//! writer: a key input is emitted as an ordinary input whose symbol starts
+//! with `keyinput`, and the reader promotes such inputs back to
+//! [`GateKind::KeyInput`].
+
+use super::seq::{Latch, SequentialCircuit};
+use crate::normalize::source_lines;
+use crate::{GateId, GateKind, Netlist, NetlistError, Result};
+use std::collections::HashMap;
+
+fn parse_err(line: usize, message: impl Into<String>) -> NetlistError {
+    NetlistError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// One parsed numeric line of the prologue.
+fn parse_literals(line: usize, text: &str, expect: &str) -> Result<Vec<u64>> {
+    let mut lits = Vec::new();
+    for tok in text.split_ascii_whitespace() {
+        let lit: u64 = tok
+            .parse()
+            .map_err(|_| parse_err(line, format!("expected {expect}, got `{tok}`")))?;
+        lits.push(lit);
+    }
+    Ok(lits)
+}
+
+struct Header {
+    max_var: u64,
+    inputs: usize,
+    latches: usize,
+    outputs: usize,
+    ands: usize,
+}
+
+fn parse_header(line: usize, text: &str) -> Result<Header> {
+    let mut toks = text.split_ascii_whitespace();
+    match toks.next() {
+        Some("aag") => {}
+        Some("aig") => {
+            return Err(parse_err(
+                line,
+                "binary AIGER (`aig`) is not supported; convert to ASCII (`aag`)",
+            ))
+        }
+        _ => return Err(parse_err(line, "expected AIGER header `aag M I L O A`")),
+    }
+    let nums: Vec<u64> = parse_literals(line, &toks.collect::<Vec<_>>().join(" "), "header count")?;
+    if nums.len() != 5 {
+        return Err(parse_err(line, "AIGER header needs 5 counts: M I L O A"));
+    }
+    let header = Header {
+        max_var: nums[0],
+        inputs: nums[1] as usize,
+        latches: nums[2] as usize,
+        outputs: nums[3] as usize,
+        ands: nums[4] as usize,
+    };
+    if nums[1] + nums[2] + nums[4] > header.max_var {
+        return Err(parse_err(
+            line,
+            format!(
+                "header claims M={} but I+L+A={}",
+                header.max_var,
+                nums[1] + nums[2] + nums[4]
+            ),
+        ));
+    }
+    Ok(header)
+}
+
+struct RawLatch {
+    line: usize,
+    current: u64,
+    next: u64,
+    init: bool,
+}
+
+struct RawAnd {
+    line: usize,
+    lhs: u64,
+    rhs0: u64,
+    rhs1: u64,
+}
+
+/// Parses an ASCII AIGER source into a [`SequentialCircuit`]. Combinational
+/// files yield a circuit with zero latches — use
+/// [`SequentialCircuit::into_combinational`] or the front-door options in
+/// [`super`] to obtain a plain [`Netlist`].
+///
+/// # Errors
+///
+/// Malformed sources (bad header, out-of-range or dangling literals,
+/// truncated sections, redefined variables) produce structured
+/// [`NetlistError::Parse`] values; this function never panics on bad input.
+pub fn parse_aag(name: impl Into<String>, source: &str) -> Result<SequentialCircuit> {
+    let mut lines = source_lines(source);
+    let (header_line, header_text) = lines
+        .next()
+        .ok_or_else(|| parse_err(1, "empty AIGER source"))?;
+    let header = parse_header(header_line, header_text)?;
+    let max_lit = 2 * header.max_var + 1;
+    let check_lit = |line: usize, lit: u64| -> Result<u64> {
+        if lit > max_lit {
+            Err(parse_err(
+                line,
+                format!("literal {lit} exceeds maximum variable {}", header.max_var),
+            ))
+        } else {
+            Ok(lit)
+        }
+    };
+
+    // ---- prologue: inputs, latches, outputs, ands -------------------------
+    let mut next_numeric = |what: &str| -> Result<(usize, Vec<u64>)> {
+        match lines.next() {
+            Some((line, text)) => Ok((line, parse_literals(line, text, what)?)),
+            None => Err(parse_err(0, format!("truncated file: missing {what} line"))),
+        }
+    };
+
+    let mut input_lits = Vec::with_capacity(header.inputs);
+    for _ in 0..header.inputs {
+        let (line, nums) = next_numeric("input literal")?;
+        if nums.len() != 1 {
+            return Err(parse_err(line, "input line must hold exactly one literal"));
+        }
+        let lit = check_lit(line, nums[0])?;
+        if lit < 2 || lit % 2 != 0 {
+            return Err(parse_err(line, format!("invalid input literal {lit}")));
+        }
+        input_lits.push((line, lit));
+    }
+
+    let mut raw_latches = Vec::with_capacity(header.latches);
+    for _ in 0..header.latches {
+        let (line, nums) = next_numeric("latch line")?;
+        if nums.len() < 2 || nums.len() > 3 {
+            return Err(parse_err(line, "latch line must be `current next [init]`"));
+        }
+        let current = check_lit(line, nums[0])?;
+        if current < 2 || current % 2 != 0 {
+            return Err(parse_err(line, format!("invalid latch literal {current}")));
+        }
+        let next = check_lit(line, nums[1])?;
+        let init = match nums.get(2) {
+            None | Some(0) => false,
+            Some(1) => true,
+            Some(&v) if v == current => false, // "uninitialized" spelling
+            Some(v) => return Err(parse_err(line, format!("unsupported latch init value {v}"))),
+        };
+        raw_latches.push(RawLatch {
+            line,
+            current,
+            next,
+            init,
+        });
+    }
+
+    let mut output_lits = Vec::with_capacity(header.outputs);
+    for _ in 0..header.outputs {
+        let (line, nums) = next_numeric("output literal")?;
+        if nums.len() != 1 {
+            return Err(parse_err(line, "output line must hold exactly one literal"));
+        }
+        output_lits.push((line, check_lit(line, nums[0])?));
+    }
+
+    let mut raw_ands = Vec::with_capacity(header.ands);
+    for _ in 0..header.ands {
+        let (line, nums) = next_numeric("and line")?;
+        if nums.len() != 3 {
+            return Err(parse_err(line, "and line must be `lhs rhs0 rhs1`"));
+        }
+        let lhs = check_lit(line, nums[0])?;
+        if lhs < 2 || lhs % 2 != 0 {
+            return Err(parse_err(line, format!("invalid and lhs literal {lhs}")));
+        }
+        raw_ands.push(RawAnd {
+            line,
+            lhs,
+            rhs0: check_lit(line, nums[1])?,
+            rhs1: check_lit(line, nums[2])?,
+        });
+    }
+
+    // ---- symbol table and comments ---------------------------------------
+    let mut input_symbols: HashMap<usize, String> = HashMap::new();
+    let mut latch_symbols: HashMap<usize, String> = HashMap::new();
+    let mut output_symbols: HashMap<usize, String> = HashMap::new();
+    for (line, text) in lines {
+        let text = text.trim();
+        if text == "c" {
+            break; // comment section: everything after is free-form
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let table = match text.chars().next() {
+            Some('i') => &mut input_symbols,
+            Some('l') => &mut latch_symbols,
+            Some('o') => &mut output_symbols,
+            _ => {
+                return Err(parse_err(
+                    line,
+                    format!("unexpected line `{text}` after and section"),
+                ))
+            }
+        };
+        let rest = &text[1..];
+        let mut parts = rest.splitn(2, ' ');
+        let pos: usize = parts
+            .next()
+            .unwrap_or("")
+            .parse()
+            .map_err(|_| parse_err(line, format!("bad symbol table entry `{text}`")))?;
+        let sym = parts
+            .next()
+            .ok_or_else(|| parse_err(line, format!("symbol entry `{text}` has no name")))?
+            .trim()
+            .to_string();
+        if sym.is_empty() {
+            return Err(parse_err(
+                line,
+                format!("symbol entry `{text}` has no name"),
+            ));
+        }
+        table.insert(pos, sym);
+    }
+
+    // ---- lowering ---------------------------------------------------------
+    let mut nl = Netlist::new(name);
+    // Positive (even) literal -> defining gate.
+    let mut gate_of_var: HashMap<u64, GateId> = HashMap::new();
+    let mut defined_lines: HashMap<u64, usize> = HashMap::new();
+
+    for (pos, &(line, lit)) in input_lits.iter().enumerate() {
+        if defined_lines.insert(lit, line).is_some() {
+            return Err(parse_err(line, format!("literal {lit} defined twice")));
+        }
+        let sym = input_symbols
+            .get(&pos)
+            .cloned()
+            .unwrap_or_else(|| format!("pi{pos}"));
+        let id = if sym.to_ascii_lowercase().starts_with("keyinput") {
+            nl.add_key_input(sym)?
+        } else {
+            nl.try_add_input(sym)?
+        };
+        gate_of_var.insert(lit, id);
+    }
+    let mut latch_states = Vec::with_capacity(raw_latches.len());
+    for (pos, latch) in raw_latches.iter().enumerate() {
+        if defined_lines.insert(latch.current, latch.line).is_some() {
+            return Err(parse_err(
+                latch.line,
+                format!("literal {} defined twice", latch.current),
+            ));
+        }
+        let sym = latch_symbols
+            .get(&pos)
+            .cloned()
+            .unwrap_or_else(|| format!("latch{pos}"));
+        let id = nl.try_add_input(nl.fresh_name(&sym))?;
+        gate_of_var.insert(latch.current, id);
+        latch_states.push(id);
+    }
+
+    // Lazily created constants and per-literal inverters.
+    let mut const_gates: [Option<GateId>; 2] = [None, None];
+    let mut not_gates: HashMap<u64, GateId> = HashMap::new();
+
+    // Insert AND gates with a worklist: `aag` does not require definitions
+    // to precede uses.
+    let mut pending: Vec<&RawAnd> = raw_ands.iter().collect();
+    for and in &raw_ands {
+        if defined_lines.insert(and.lhs, and.line).is_some() {
+            return Err(parse_err(
+                and.line,
+                format!("literal {} defined twice", and.lhs),
+            ));
+        }
+    }
+    while !pending.is_empty() {
+        let before = pending.len();
+        let mut still_pending = Vec::new();
+        for and in pending {
+            let ready = [and.rhs0, and.rhs1]
+                .iter()
+                .all(|&lit| lit < 2 || gate_of_var.contains_key(&(lit & !1)));
+            if !ready {
+                still_pending.push(and);
+                continue;
+            }
+            let a = resolve_literal(
+                &mut nl,
+                &gate_of_var,
+                &mut const_gates,
+                &mut not_gates,
+                and.rhs0,
+            )?;
+            let b = resolve_literal(
+                &mut nl,
+                &gate_of_var,
+                &mut const_gates,
+                &mut not_gates,
+                and.rhs1,
+            )?;
+            let name = nl.fresh_name(&format!("a{}", and.lhs / 2));
+            let id = nl.add_gate(name, GateKind::And, vec![a, b])?;
+            gate_of_var.insert(and.lhs, id);
+        }
+        if still_pending.len() == before {
+            let and = still_pending[0];
+            let missing = [and.rhs0, and.rhs1]
+                .into_iter()
+                .find(|&lit| lit >= 2 && !gate_of_var.contains_key(&(lit & !1)))
+                .unwrap_or(and.rhs0);
+            let msg = if defined_lines.contains_key(&(missing & !1)) {
+                format!("combinational cycle through literal {}", and.lhs)
+            } else {
+                format!("dangling literal {missing}: it is never defined")
+            };
+            return Err(parse_err(and.line, msg));
+        }
+        pending = still_pending;
+    }
+
+    // Outputs: named wrapper gates so symbols survive simplification.
+    for (pos, &(line, lit)) in output_lits.iter().enumerate() {
+        if lit >= 2 && !gate_of_var.contains_key(&(lit & !1)) {
+            return Err(parse_err(
+                line,
+                format!("dangling output literal {lit}: it is never defined"),
+            ));
+        }
+        let g = resolve_literal(&mut nl, &gate_of_var, &mut const_gates, &mut not_gates, lit)?;
+        let sym = output_symbols
+            .get(&pos)
+            .cloned()
+            .unwrap_or_else(|| format!("po{pos}"));
+        let kind = match nl.gate(g).kind {
+            GateKind::Const0 => GateKind::Const0,
+            GateKind::Const1 => GateKind::Const1,
+            _ => GateKind::Buf,
+        };
+        let fanin = if kind == GateKind::Buf {
+            vec![g]
+        } else {
+            Vec::new()
+        };
+        let id = nl.add_gate(nl.fresh_name(&sym), kind, fanin)?;
+        nl.mark_output(id);
+    }
+
+    // Latch next-state functions.
+    let mut latch_nexts = Vec::with_capacity(raw_latches.len());
+    for latch in &raw_latches {
+        if latch.next >= 2 && !gate_of_var.contains_key(&(latch.next & !1)) {
+            return Err(parse_err(
+                latch.line,
+                format!(
+                    "dangling latch next literal {}: it is never defined",
+                    latch.next
+                ),
+            ));
+        }
+        latch_nexts.push(resolve_literal(
+            &mut nl,
+            &gate_of_var,
+            &mut const_gates,
+            &mut not_gates,
+            latch.next,
+        )?);
+    }
+
+    nl.validate()?;
+
+    // AIG simplification is part of the lowering: prune the NOT/AND
+    // scaffolding, hash structurally and restrict to the live cone. Latch
+    // next-state gates are pinned so they survive by name.
+    let (simplified, map) = super::simplify::simplify_mapped(&nl, &latch_nexts)?;
+    let latches = raw_latches
+        .iter()
+        .zip(latch_states.iter().zip(latch_nexts.iter()))
+        .map(|(raw, (&state, &next))| Latch {
+            state: map[state.index()].expect("inputs survive simplification"),
+            next: map[next.index()].expect("pinned roots survive simplification"),
+            init: raw.init,
+        })
+        .collect();
+    SequentialCircuit::new(simplified, latches)
+}
+
+/// Resolves an AIGER literal to a netlist gate, lazily materializing
+/// constants and one shared inverter per odd literal.
+fn resolve_literal(
+    nl: &mut Netlist,
+    gate_of_var: &HashMap<u64, GateId>,
+    const_gates: &mut [Option<GateId>; 2],
+    not_gates: &mut HashMap<u64, GateId>,
+    lit: u64,
+) -> Result<GateId> {
+    if lit < 2 {
+        let idx = lit as usize;
+        if let Some(g) = const_gates[idx] {
+            return Ok(g);
+        }
+        let (name, kind) = if lit == 0 {
+            ("gnd", GateKind::Const0)
+        } else {
+            ("vdd", GateKind::Const1)
+        };
+        let id = nl.add_gate(nl.fresh_name(name), kind, Vec::new())?;
+        const_gates[idx] = Some(id);
+        return Ok(id);
+    }
+    let base = gate_of_var[&(lit & !1)];
+    if lit.is_multiple_of(2) {
+        return Ok(base);
+    }
+    if let Some(&g) = not_gates.get(&lit) {
+        return Ok(g);
+    }
+    let name = nl.fresh_name(&format!("n{lit}"));
+    let id = nl.add_gate(name, GateKind::Not, vec![base])?;
+    not_gates.insert(lit, id);
+    Ok(id)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Serializes a combinational netlist as ASCII AIGER (`.aag`).
+///
+/// Every gate kind of the workspace model is Tseitin-free encodable into
+/// AND/inverter form (`XOR`/`XNOR`/`MUX` expand into small AND trees);
+/// key inputs are written as ordinary inputs whose symbol keeps the
+/// `keyinput` prefix so a re-parse promotes them back.
+///
+/// # Errors
+///
+/// Propagates topological-ordering errors from invalid netlists.
+pub fn write_aag(nl: &Netlist) -> Result<String> {
+    write_aag_parts(nl, &[])
+}
+
+/// Serializes a sequential circuit as ASCII AIGER with latch lines.
+pub fn write_aag_seq(seq: &SequentialCircuit) -> Result<String> {
+    write_aag_parts(seq.core(), seq.latches())
+}
+
+struct AagBuilder {
+    next_var: u64,
+    ands: Vec<(u64, u64, u64)>,
+    hash: HashMap<(u64, u64), u64>,
+}
+
+impl AagBuilder {
+    /// AND of two literals with constant/trivial shortcuts and structural
+    /// hashing; returns the literal of the result.
+    fn and2(&mut self, a: u64, b: u64) -> u64 {
+        if a == 0 || b == 0 || a == (b ^ 1) {
+            return 0;
+        }
+        if a == 1 || a == b {
+            return b;
+        }
+        if b == 1 {
+            return a;
+        }
+        let key = (a.max(b), a.min(b));
+        if let Some(&lit) = self.hash.get(&key) {
+            return lit;
+        }
+        self.next_var += 1;
+        let lhs = 2 * self.next_var;
+        self.ands.push((lhs, key.0, key.1));
+        self.hash.insert(key, lhs);
+        lhs
+    }
+
+    fn and_all(&mut self, lits: &[u64]) -> u64 {
+        lits.iter().fold(1, |acc, &l| self.and2(acc, l))
+    }
+
+    fn or_all(&mut self, lits: &[u64]) -> u64 {
+        let negated: Vec<u64> = lits.iter().map(|&l| l ^ 1).collect();
+        self.and_all(&negated) ^ 1
+    }
+
+    fn xor2(&mut self, a: u64, b: u64) -> u64 {
+        let t0 = self.and2(a, b ^ 1);
+        let t1 = self.and2(a ^ 1, b);
+        self.and2(t0 ^ 1, t1 ^ 1) ^ 1
+    }
+}
+
+fn write_aag_parts(core: &Netlist, latches: &[Latch]) -> Result<String> {
+    let order = crate::topo::topological_order(core)?;
+    let latch_state: Vec<GateId> = latches.iter().map(|l| l.state).collect();
+
+    // Variable allocation: plain inputs first (id order), then latch states.
+    let mut lit_of: Vec<Option<u64>> = vec![None; core.len()];
+    let mut plain_inputs: Vec<GateId> = Vec::new();
+    for (id, gate) in core.iter() {
+        if matches!(gate.kind, GateKind::Input | GateKind::KeyInput) && !latch_state.contains(&id) {
+            plain_inputs.push(id);
+        }
+    }
+    let num_inputs = plain_inputs.len() as u64;
+    for (pos, &id) in plain_inputs.iter().enumerate() {
+        lit_of[id.index()] = Some(2 * (pos as u64 + 1));
+    }
+    for (pos, &id) in latch_state.iter().enumerate() {
+        lit_of[id.index()] = Some(2 * (num_inputs + pos as u64 + 1));
+    }
+
+    let mut b = AagBuilder {
+        next_var: num_inputs + latch_state.len() as u64,
+        ands: Vec::new(),
+        hash: HashMap::new(),
+    };
+
+    // Only the live cone needs encoding.
+    let mut live = vec![false; core.len()];
+    let mut stack: Vec<GateId> = core
+        .outputs()
+        .iter()
+        .copied()
+        .chain(latches.iter().map(|l| l.next))
+        .collect();
+    while let Some(id) = stack.pop() {
+        if std::mem::replace(&mut live[id.index()], true) {
+            continue;
+        }
+        stack.extend_from_slice(&core.gate(id).fanin);
+    }
+
+    for &id in &order {
+        if !live[id.index()] || lit_of[id.index()].is_some() {
+            continue;
+        }
+        let gate = core.gate(id);
+        let f: Vec<u64> = gate
+            .fanin
+            .iter()
+            .map(|x| lit_of[x.index()].expect("topological order visits fan-ins first"))
+            .collect();
+        let lit = match gate.kind {
+            GateKind::Input | GateKind::KeyInput => unreachable!("inputs pre-allocated"),
+            GateKind::Const0 => 0,
+            GateKind::Const1 => 1,
+            GateKind::Buf => f[0],
+            GateKind::Not => f[0] ^ 1,
+            GateKind::And => b.and_all(&f),
+            GateKind::Nand => b.and_all(&f) ^ 1,
+            GateKind::Or => b.or_all(&f),
+            GateKind::Nor => b.or_all(&f) ^ 1,
+            GateKind::Xor => f.iter().skip(1).fold(f[0], |acc, &l| b.xor2(acc, l)),
+            GateKind::Xnor => f.iter().skip(1).fold(f[0], |acc, &l| b.xor2(acc, l)) ^ 1,
+            GateKind::Mux => {
+                // out = in1 when sel else in0; fan-in order [sel, in0, in1].
+                let t1 = b.and2(f[0], f[2]);
+                let t0 = b.and2(f[0] ^ 1, f[1]);
+                b.and2(t1 ^ 1, t0 ^ 1) ^ 1
+            }
+        };
+        lit_of[id.index()] = Some(lit);
+    }
+
+    let max_var = b.next_var;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "aag {} {} {} {} {}\n",
+        max_var,
+        num_inputs,
+        latches.len(),
+        core.num_outputs(),
+        b.ands.len()
+    ));
+    for &id in &plain_inputs {
+        out.push_str(&format!("{}\n", lit_of[id.index()].unwrap()));
+    }
+    for latch in latches {
+        let state = lit_of[latch.state.index()].unwrap();
+        let next = lit_of[latch.next.index()].expect("latch next is a live root");
+        if latch.init {
+            out.push_str(&format!("{state} {next} 1\n"));
+        } else {
+            out.push_str(&format!("{state} {next}\n"));
+        }
+    }
+    for &o in core.outputs() {
+        out.push_str(&format!(
+            "{}\n",
+            lit_of[o.index()].expect("outputs are live roots")
+        ));
+    }
+    for &(lhs, rhs0, rhs1) in &b.ands {
+        out.push_str(&format!("{lhs} {rhs0} {rhs1}\n"));
+    }
+    for (pos, &id) in plain_inputs.iter().enumerate() {
+        out.push_str(&format!("i{pos} {}\n", core.gate(id).name));
+    }
+    for (pos, latch) in latches.iter().enumerate() {
+        out.push_str(&format!("l{pos} {}\n", core.gate(latch.state).name));
+    }
+    for (pos, &o) in core.outputs().iter().enumerate() {
+        out.push_str(&format!("o{pos} {}\n", core.gate(o).name));
+    }
+    out.push_str("c\nwritten by autolock_netlist\n");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::exhaustive_equivalent;
+    use crate::parse_bench;
+
+    const TOGGLE_AAG: &str = "aag 3 1 1 1 1\n2\n4 6 0\n4\n6 2 4\ni0 en\nl0 q\no0 out\nc\n";
+
+    #[test]
+    fn parses_a_sequential_toggle() {
+        let seq = parse_aag("toggle", TOGGLE_AAG).unwrap();
+        assert_eq!(seq.num_latches(), 1);
+        assert_eq!(seq.core().num_inputs(), 2); // en + pseudo-input q
+        let cut = seq.cut();
+        assert_eq!(cut.num_outputs(), 2);
+        // out = q; next = en AND q. q=1,en=1 -> out 1, next 1.
+        assert_eq!(cut.evaluate(&[true, true]).unwrap(), vec![true, true]);
+        // q=1,en=0 -> out 1, next 0.
+        assert_eq!(cut.evaluate(&[false, true]).unwrap(), vec![true, false]);
+    }
+
+    #[test]
+    fn parses_combinational_aag_and_matches_semantics() {
+        // y = a AND NOT b
+        let src = "aag 3 2 0 1 1\n2\n4\n6\n6 2 5\ni0 a\ni1 b\no0 y\nc\n";
+        let nl = parse_aag("andnot", src)
+            .unwrap()
+            .into_combinational()
+            .expect("combinational");
+        assert_eq!(nl.num_inputs(), 2);
+        assert_eq!(nl.num_outputs(), 1);
+        assert_eq!(nl.evaluate(&[true, false]).unwrap(), vec![true]);
+        assert_eq!(nl.evaluate(&[true, true]).unwrap(), vec![false]);
+        assert_eq!(nl.evaluate(&[false, false]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn keyinput_symbols_promote_to_key_inputs() {
+        let src = "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\ni0 a\ni1 keyinput0\no0 y\nc\n";
+        let nl = parse_aag("locked", src)
+            .unwrap()
+            .into_combinational()
+            .unwrap();
+        assert_eq!(nl.num_inputs(), 1);
+        assert_eq!(nl.num_key_inputs(), 1);
+    }
+
+    #[test]
+    fn constant_outputs_round_trip() {
+        let src = "aag 1 1 0 2 0\n2\n0\n1\ni0 a\no0 lo\no1 hi\nc\n";
+        let nl = parse_aag("consts", src)
+            .unwrap()
+            .into_combinational()
+            .unwrap();
+        assert_eq!(nl.evaluate(&[false]).unwrap(), vec![false, true]);
+    }
+
+    #[test]
+    fn bench_netlist_round_trips_through_aag() {
+        let src = "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nOUTPUT(z)\n\
+                   t = NAND(a, b)\nu = XOR(t, c)\ny = MUX(a, t, u)\nz = NOR(u, b)\n";
+        let nl = parse_bench("mix", src).unwrap();
+        let aag = write_aag(&nl).unwrap();
+        let back = parse_aag("mix", &aag)
+            .unwrap()
+            .into_combinational()
+            .unwrap();
+        assert_eq!(back.num_inputs(), nl.num_inputs());
+        assert_eq!(back.num_outputs(), nl.num_outputs());
+        assert!(exhaustive_equivalent(&nl, &[], &back, &[]).unwrap());
+    }
+
+    #[test]
+    fn sequential_round_trip_preserves_latches_and_semantics() {
+        let seq = parse_aag("toggle", TOGGLE_AAG).unwrap();
+        let aag = write_aag_seq(&seq).unwrap();
+        let back = parse_aag("toggle", &aag).unwrap();
+        assert_eq!(back.num_latches(), 1);
+        assert!(exhaustive_equivalent(&seq.cut(), &[], &back.cut(), &[]).unwrap());
+        assert!(
+            exhaustive_equivalent(&seq.unroll(3).unwrap(), &[], &back.unroll(3).unwrap(), &[])
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn binary_header_is_rejected() {
+        let err = parse_aag("bin", "aig 3 2 0 1 1\n").unwrap_err();
+        assert!(err.to_string().contains("binary"));
+    }
+
+    #[test]
+    fn malformed_sources_error_cleanly() {
+        let cases: &[&str] = &[
+            "",                                   // empty
+            "aag 1 1 0\n",                        // short header
+            "aag nope 1 0 1 1\n",                 // non-numeric header
+            "aag 1 2 0 0 0\n2\n4\n",              // I+L+A > M
+            "aag 2 1 0 1 1\n2\n4\n",              // truncated and section
+            "aag 2 1 0 1 1\n3\n4\n4 2 2\n",       // odd input literal
+            "aag 2 1 0 1 1\n2\n4\n4 2 99\n",      // literal out of range
+            "aag 2 1 0 1 1\n2\n4\n4 6 6\n",       // dangling rhs literal
+            "aag 2 1 0 1 1\n2\n6\n4 2 2\n",       // dangling output literal
+            "aag 2 2 0 0 0\n2\n2\n",              // duplicate input literal
+            "aag 3 1 0 0 2\n2\n4 6 6\n6 4 4\n",   // combinational cycle
+            "aag 2 1 1 0 0\n2\n4 2 7\n",          // bad latch init
+            "aag 2 1 0 1 1\n2\n4\n4 2 2\nq7 x\n", // junk after and section
+        ];
+        for src in cases {
+            let res = parse_aag("bad", src);
+            assert!(res.is_err(), "source {src:?} must fail to parse");
+        }
+    }
+
+    #[test]
+    fn dangling_latch_next_is_an_error() {
+        let src = "aag 3 1 1 0 0\n2\n4 6\n";
+        let err = parse_aag("bad", src).unwrap_err();
+        assert!(err.to_string().contains("dangling"), "{err}");
+    }
+}

@@ -1,0 +1,398 @@
+//! Unified circuit-ingestion front door.
+//!
+//! One format-detecting entry point replaces the format-specific parsers:
+//!
+//! ```
+//! use autolock_netlist::ingest::{parse_auto, IngestOptions, SequentialHandling};
+//!
+//! let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n";
+//! let ingested = parse_auto("c", src, &IngestOptions::default()).unwrap();
+//! assert_eq!(ingested.format.label(), "bench");
+//! assert_eq!(ingested.netlist.num_outputs(), 1);
+//!
+//! // An AIGER source is recognized by content; latches need a sequential mode.
+//! let aag = "aag 3 1 1 1 1\n2\n4 6\n4\n6 2 4\ni0 en\nl0 q\no0 out\nc\n";
+//! let opts = IngestOptions {
+//!     sequential: SequentialHandling::Unroll { frames: 2 },
+//!     ..IngestOptions::default()
+//! };
+//! let ingested = parse_auto("t", aag, &opts).unwrap();
+//! assert_eq!(ingested.format.label(), "aiger");
+//! assert_eq!(ingested.latches, 1);
+//! ```
+//!
+//! Format detection: an explicit [`IngestOptions::format`] wins, then the
+//! file extension (for [`parse_path`]), then a content sniff — a source whose
+//! first non-blank line starts with an `aag`/`aig` AIGER header is AIGER,
+//! everything else is `.bench`.
+//!
+//! Sequential sources (AIGER latch lines, `.bench` `DFF`/`LATCH` elements)
+//! are controlled by [`SequentialHandling`]: reject (the default, matching
+//! the historical combinational-only behavior), **cut** at the registers
+//! (latch states become pseudo primary inputs, next-state functions become
+//! pseudo primary outputs), or **unroll** to a fixed number of time frames
+//! with the key shared across frames.
+
+mod aiger;
+mod seq;
+mod simplify;
+
+pub use aiger::{parse_aag, write_aag, write_aag_seq};
+pub use seq::{Latch, SequentialCircuit};
+pub use simplify::simplify;
+
+use crate::{Netlist, NetlistError, Result};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// A circuit source format understood by the front door.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CircuitFormat {
+    /// ISCAS-89 style `.bench` (see [`crate::parse_bench`]).
+    Bench,
+    /// ASCII AIGER `.aag` (see [`parse_aag`]).
+    Aiger,
+}
+
+impl CircuitFormat {
+    /// Maps a file extension to a format (`bench` → Bench, `aag`/`aig` →
+    /// Aiger); unknown extensions return `None` and fall back to sniffing.
+    pub fn from_extension(ext: &str) -> Option<CircuitFormat> {
+        match ext.to_ascii_lowercase().as_str() {
+            "bench" => Some(CircuitFormat::Bench),
+            "aag" | "aig" => Some(CircuitFormat::Aiger),
+            _ => None,
+        }
+    }
+
+    /// Detects the format of a source by content: a first non-blank line
+    /// opening with an AIGER header keyword means AIGER, anything else is
+    /// treated as `.bench`.
+    pub fn sniff(source: &str) -> CircuitFormat {
+        for (_, raw) in crate::normalize::source_lines(source) {
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut toks = line.split_ascii_whitespace();
+            return match toks.next() {
+                Some("aag") | Some("aig") => CircuitFormat::Aiger,
+                _ => CircuitFormat::Bench,
+            };
+        }
+        CircuitFormat::Bench
+    }
+
+    /// Stable lowercase label (`"bench"` / `"aiger"`), used in result rows
+    /// and manifests.
+    pub fn label(self) -> &'static str {
+        match self {
+            CircuitFormat::Bench => "bench",
+            CircuitFormat::Aiger => "aiger",
+        }
+    }
+}
+
+/// What to do when an ingested source turns out to be sequential.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SequentialHandling {
+    /// Fail with [`NetlistError::Sequential`] — the historical behavior and
+    /// the default.
+    #[default]
+    Reject,
+    /// Cut at the registers: latch states stay pseudo primary inputs and
+    /// next-state functions become pseudo primary outputs
+    /// ([`SequentialCircuit::cut`]).
+    Cut,
+    /// Time-frame expansion to `frames` copies of the logic with a shared
+    /// key ([`SequentialCircuit::unroll`]).
+    Unroll {
+        /// Number of frames (must be at least 1).
+        frames: usize,
+    },
+}
+
+/// Options for the ingestion front door.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct IngestOptions {
+    /// Force a format instead of detecting one.
+    pub format: Option<CircuitFormat>,
+    /// Sequential-source handling (default: reject).
+    pub sequential: SequentialHandling,
+    /// Run the AIG simplifier ([`simplify`]) on the resulting netlist.
+    /// AIGER lowering always simplifies internally regardless of this flag;
+    /// `.bench` sources are only simplified when it is set, so existing
+    /// `.bench` consumers see byte-stable parses by default.
+    pub simplify: bool,
+}
+
+/// How a sequential source was resolved into a combinational netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SeqResolution {
+    /// The source was combinational to begin with.
+    Combinational,
+    /// Cut at the registers.
+    Cut,
+    /// Unrolled to the given number of frames.
+    Unrolled {
+        /// Number of frames of the expansion.
+        frames: usize,
+    },
+}
+
+/// The result of ingesting one circuit source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ingested {
+    /// Detected (or forced) source format.
+    pub format: CircuitFormat,
+    /// The combinational netlist the attacks can run on.
+    pub netlist: Netlist,
+    /// Number of latches in the source (`0` for combinational sources).
+    pub latches: usize,
+    /// How latches were resolved.
+    pub resolution: SeqResolution,
+}
+
+/// Parses a source with a known format.
+///
+/// # Errors
+///
+/// Parse errors from the format parsers, [`NetlistError::Sequential`] when
+/// the source has latches and `opts.sequential` is
+/// [`SequentialHandling::Reject`], and [`NetlistError::Ingest`] for invalid
+/// modes (e.g. unrolling to zero frames).
+pub fn parse_source(
+    name: &str,
+    source: &str,
+    format: CircuitFormat,
+    opts: &IngestOptions,
+) -> Result<Ingested> {
+    let seq = parse_sequential(name, source, Some(format))?;
+    let latches = seq.num_latches();
+    let (netlist, resolution) = match seq.into_combinational() {
+        Ok(nl) => (nl, SeqResolution::Combinational),
+        Err(seq) => match opts.sequential {
+            SequentialHandling::Reject => return Err(NetlistError::Sequential { latches }),
+            SequentialHandling::Cut => (seq.cut(), SeqResolution::Cut),
+            SequentialHandling::Unroll { frames } => {
+                (seq.unroll(frames)?, SeqResolution::Unrolled { frames })
+            }
+        },
+    };
+    let netlist = if opts.simplify {
+        simplify(&netlist)?
+    } else {
+        netlist
+    };
+    Ok(Ingested {
+        format,
+        netlist,
+        latches,
+        resolution,
+    })
+}
+
+/// Parses a source, detecting the format (explicit option, then content
+/// sniff).
+///
+/// # Errors
+///
+/// See [`parse_source`].
+pub fn parse_auto(name: &str, source: &str, opts: &IngestOptions) -> Result<Ingested> {
+    let format = opts.format.unwrap_or_else(|| CircuitFormat::sniff(source));
+    parse_source(name, source, format, opts)
+}
+
+/// Reads and parses a circuit file. The circuit name is the file stem;
+/// format detection prefers an explicit option, then the extension, then the
+/// content sniff.
+///
+/// # Errors
+///
+/// [`NetlistError::Io`] when the file cannot be read, otherwise see
+/// [`parse_source`].
+pub fn parse_path(path: impl AsRef<Path>, opts: &IngestOptions) -> Result<Ingested> {
+    let path = path.as_ref();
+    let source = std::fs::read_to_string(path).map_err(|e| NetlistError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })?;
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("circuit")
+        .to_string();
+    let format = opts
+        .format
+        .or_else(|| {
+            path.extension()
+                .and_then(|e| e.to_str())
+                .and_then(CircuitFormat::from_extension)
+        })
+        .unwrap_or_else(|| CircuitFormat::sniff(&source));
+    parse_source(&name, &source, format, opts)
+}
+
+/// Parses a source into its [`SequentialCircuit`] form without resolving
+/// latches (combinational sources yield zero latches). `format` defaults to
+/// a content sniff.
+///
+/// # Errors
+///
+/// Parse errors from the format parsers.
+pub fn parse_sequential(
+    name: &str,
+    source: &str,
+    format: Option<CircuitFormat>,
+) -> Result<SequentialCircuit> {
+    match format.unwrap_or_else(|| CircuitFormat::sniff(source)) {
+        CircuitFormat::Bench => crate::parser::parse_bench_sequential(name, source),
+        CircuitFormat::Aiger => parse_aag(name, source),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEQ_AAG: &str = "aag 3 1 1 1 1\n2\n4 6\n4\n6 2 4\ni0 en\nl0 q\no0 out\nc\n";
+
+    #[test]
+    fn extension_detection() {
+        assert_eq!(
+            CircuitFormat::from_extension("bench"),
+            Some(CircuitFormat::Bench)
+        );
+        assert_eq!(
+            CircuitFormat::from_extension("AAG"),
+            Some(CircuitFormat::Aiger)
+        );
+        assert_eq!(
+            CircuitFormat::from_extension("aig"),
+            Some(CircuitFormat::Aiger)
+        );
+        assert_eq!(CircuitFormat::from_extension("v"), None);
+    }
+
+    #[test]
+    fn content_sniffing() {
+        assert_eq!(CircuitFormat::sniff(SEQ_AAG), CircuitFormat::Aiger);
+        assert_eq!(
+            CircuitFormat::sniff("# comment\n\nINPUT(a)\n"),
+            CircuitFormat::Bench
+        );
+        assert_eq!(
+            CircuitFormat::sniff("\r\n\r\naag 0 0 0 0 0\r\n"),
+            CircuitFormat::Aiger
+        );
+        assert_eq!(CircuitFormat::sniff(""), CircuitFormat::Bench);
+        // `aagx` is not an AIGER keyword.
+        assert_eq!(
+            CircuitFormat::sniff("aagx = AND(a, b)\n"),
+            CircuitFormat::Bench
+        );
+    }
+
+    #[test]
+    fn auto_parse_bench_matches_parse_bench() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n";
+        let ingested = parse_auto("c", src, &IngestOptions::default()).unwrap();
+        assert_eq!(ingested.format, CircuitFormat::Bench);
+        assert_eq!(ingested.latches, 0);
+        assert_eq!(ingested.resolution, SeqResolution::Combinational);
+        let direct = crate::parse_bench("c", src).unwrap();
+        assert_eq!(
+            ingested.netlist, direct,
+            "front door is byte-stable for .bench"
+        );
+    }
+
+    #[test]
+    fn sequential_rejected_by_default() {
+        let err = parse_auto("t", SEQ_AAG, &IngestOptions::default()).unwrap_err();
+        assert!(matches!(err, NetlistError::Sequential { latches: 1 }));
+    }
+
+    #[test]
+    fn cut_and_unroll_resolutions() {
+        let cut = parse_auto(
+            "t",
+            SEQ_AAG,
+            &IngestOptions {
+                sequential: SequentialHandling::Cut,
+                ..IngestOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(cut.resolution, SeqResolution::Cut);
+        assert_eq!(cut.latches, 1);
+        assert_eq!(cut.netlist.num_outputs(), 2);
+
+        let unrolled = parse_auto(
+            "t",
+            SEQ_AAG,
+            &IngestOptions {
+                sequential: SequentialHandling::Unroll { frames: 2 },
+                ..IngestOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(unrolled.resolution, SeqResolution::Unrolled { frames: 2 });
+        assert_eq!(unrolled.netlist.num_outputs(), 2);
+    }
+
+    #[test]
+    fn sequential_mode_is_a_noop_for_combinational_sources() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n";
+        let opts = IngestOptions {
+            sequential: SequentialHandling::Unroll { frames: 4 },
+            ..IngestOptions::default()
+        };
+        let ingested = parse_auto("c", src, &opts).unwrap();
+        assert_eq!(ingested.resolution, SeqResolution::Combinational);
+        assert_eq!(ingested.netlist.num_inputs(), 1);
+    }
+
+    #[test]
+    fn parse_path_reads_and_names_by_stem() {
+        let dir = std::env::temp_dir().join("autolock_ingest_mod_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bench = dir.join("tiny.bench");
+        std::fs::write(&bench, "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").unwrap();
+        let aag = dir.join("tiny2.aag");
+        std::fs::write(&aag, "aag 1 1 0 1 0\n2\n2\ni0 a\no0 y\nc\n").unwrap();
+
+        let b = parse_path(&bench, &IngestOptions::default()).unwrap();
+        assert_eq!(b.format, CircuitFormat::Bench);
+        assert_eq!(b.netlist.name(), "tiny");
+        let a = parse_path(&aag, &IngestOptions::default()).unwrap();
+        assert_eq!(a.format, CircuitFormat::Aiger);
+        assert_eq!(a.netlist.name(), "tiny2");
+
+        let missing = parse_path(dir.join("nope.bench"), &IngestOptions::default());
+        assert!(matches!(missing, Err(NetlistError::Io { .. })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_simplify_opt_in() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\n\
+                   dead = AND(a, b)\nn1 = NOT(a)\nn2 = NOT(n1)\ny = BUFF(n2)\n";
+        let plain = parse_auto("c", src, &IngestOptions::default()).unwrap();
+        assert!(plain.netlist.find("dead").is_some());
+        let simplified = parse_auto(
+            "c",
+            src,
+            &IngestOptions {
+                simplify: true,
+                ..IngestOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(simplified.netlist.find("dead").is_none());
+        assert!(
+            crate::equiv::exhaustive_equivalent(&plain.netlist, &[], &simplified.netlist, &[])
+                .unwrap()
+        );
+    }
+}

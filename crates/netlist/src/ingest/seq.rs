@@ -1,0 +1,348 @@
+//! Sequential circuits: a combinational core plus latches, with the two
+//! lowerings that turn them into combinational attack targets — **cut** at
+//! the registers or **unroll** to `k` time frames.
+
+use crate::{GateId, GateKind, Netlist, NetlistError, Result};
+use std::collections::HashMap;
+
+/// One latch (DFF): its current-state signal is a pseudo primary input of
+/// the combinational core, its next-state function is an ordinary core gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Latch {
+    /// The latch's current-state signal: a [`GateKind::Input`] gate of the
+    /// core (the register output, `Q`).
+    pub state: GateId,
+    /// The gate computing the latch's next-state value (the register input,
+    /// `D`).
+    pub next: GateId,
+    /// Reset value of the register (frame 0 of an unrolling). AIGER latches
+    /// without an explicit init default to `false`.
+    pub init: bool,
+}
+
+/// A sequential netlist: a combinational core in which every latch's
+/// current-state signal is a pseudo primary input, plus the latch records
+/// tying those pseudo-inputs to their next-state gates.
+///
+/// Two lowerings produce a combinational [`Netlist`] the attacks can run on:
+///
+/// * [`SequentialCircuit::cut`] — cut at the registers: latch states stay
+///   pseudo primary inputs and the next-state functions become additional
+///   pseudo primary outputs. One copy of the logic; the attack treats the
+///   register boundary as observable/controllable.
+/// * [`SequentialCircuit::unroll`] — time-frame expansion: `k` copies of the
+///   core, frame 0 latches start at their `init` values, and each frame's
+///   next-state feeds the following frame's state. Key inputs are shared
+///   across frames (one key drives the whole unrolling).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequentialCircuit {
+    core: Netlist,
+    latches: Vec<Latch>,
+}
+
+impl SequentialCircuit {
+    /// Builds a sequential circuit from a combinational core and its latch
+    /// records.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidGateId`] for out-of-range latch ids,
+    /// [`NetlistError::WrongGateKind`] when a latch state is not an
+    /// [`GateKind::Input`] gate, and [`NetlistError::Ingest`] when two
+    /// latches share a state gate.
+    pub fn new(core: Netlist, latches: Vec<Latch>) -> Result<Self> {
+        let mut seen = std::collections::HashSet::new();
+        for latch in &latches {
+            let state = core.try_gate(latch.state)?;
+            if state.kind != GateKind::Input {
+                return Err(NetlistError::WrongGateKind {
+                    gate: latch.state,
+                    expected: "INPUT (latch state)".to_string(),
+                });
+            }
+            core.try_gate(latch.next)?;
+            if !seen.insert(latch.state) {
+                return Err(NetlistError::Ingest(format!(
+                    "latch state `{}` is driven by two latches",
+                    state.name
+                )));
+            }
+        }
+        Ok(SequentialCircuit { core, latches })
+    }
+
+    /// Design name (the core's name).
+    pub fn name(&self) -> &str {
+        self.core.name()
+    }
+
+    /// The combinational core. Latch current-state signals appear as
+    /// ordinary [`GateKind::Input`] gates; next-state gates are *not* marked
+    /// as outputs here (that is what [`SequentialCircuit::cut`] does).
+    pub fn core(&self) -> &Netlist {
+        &self.core
+    }
+
+    /// The latch records.
+    pub fn latches(&self) -> &[Latch] {
+        &self.latches
+    }
+
+    /// Number of latches (`0` means the circuit is combinational).
+    pub fn num_latches(&self) -> usize {
+        self.latches.len()
+    }
+
+    /// `true` when the circuit has no latches.
+    pub fn is_combinational(&self) -> bool {
+        self.latches.is_empty()
+    }
+
+    /// Extracts the plain combinational netlist when there are no latches;
+    /// returns `self` unchanged otherwise.
+    ///
+    /// # Errors
+    ///
+    /// The `Err` variant is the untouched circuit (not an error value) so
+    /// callers can continue with [`SequentialCircuit::cut`] or
+    /// [`SequentialCircuit::unroll`].
+    #[allow(clippy::result_large_err)] // Err is the circuit itself, by design
+    pub fn into_combinational(self) -> std::result::Result<Netlist, SequentialCircuit> {
+        if self.latches.is_empty() {
+            Ok(self.core)
+        } else {
+            Err(self)
+        }
+    }
+
+    /// Cuts the circuit at its registers: returns the core with every
+    /// latch's next-state gate additionally marked as a primary output. The
+    /// latch current-state signals are already pseudo primary inputs, so the
+    /// result is a self-contained combinational netlist whose interface is
+    /// `PIs + latch states → POs + latch next-states`.
+    pub fn cut(&self) -> Netlist {
+        let mut nl = self.core.clone();
+        for latch in &self.latches {
+            nl.mark_output(latch.next);
+        }
+        nl
+    }
+
+    /// Unrolls the circuit to `frames` time frames.
+    ///
+    /// Frame `f` gets its own copy of every primary input (named
+    /// `{name}@{f}`) and of every logic gate; frame 0's latch states are
+    /// constants holding each latch's `init` value, and frame `f+1`'s latch
+    /// states are wired to frame `f`'s next-state gates. Key inputs are
+    /// created **once** (frame 0, original names) and shared by all frames —
+    /// one key drives the whole unrolling, which is what makes the result a
+    /// faithful locking-attack target. Primary outputs are marked per frame
+    /// in frame-major order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Ingest`] for `frames == 0` and propagates any
+    /// construction/validation error.
+    pub fn unroll(&self, frames: usize) -> Result<Netlist> {
+        if frames == 0 {
+            return Err(NetlistError::Ingest(
+                "unrolling needs at least one frame".to_string(),
+            ));
+        }
+        let core = &self.core;
+        let order = crate::topo::topological_order(core)?;
+        let latch_index: HashMap<GateId, usize> = self
+            .latches
+            .iter()
+            .enumerate()
+            .map(|(i, latch)| (latch.state, i))
+            .collect();
+        let mut nl = Netlist::new(format!("{}_u{frames}", core.name()));
+        // Core key-input id -> shared new id (created in frame 0).
+        let mut shared_keys: HashMap<GateId, GateId> = HashMap::new();
+        // New ids of the previous frame's next-state gates.
+        let mut prev_next: Vec<GateId> = Vec::new();
+        for frame in 0..frames {
+            let mut map: Vec<GateId> = vec![GateId(u32::MAX); core.len()];
+            for &id in &order {
+                let gate = core.gate(id);
+                let new_id = match gate.kind {
+                    GateKind::Input => {
+                        if let Some(&li) = latch_index.get(&id) {
+                            if frame == 0 {
+                                let kind = if self.latches[li].init {
+                                    GateKind::Const1
+                                } else {
+                                    GateKind::Const0
+                                };
+                                nl.add_gate(format!("{}@0", gate.name), kind, Vec::new())?
+                            } else {
+                                prev_next[li]
+                            }
+                        } else {
+                            nl.try_add_input(format!("{}@{frame}", gate.name))?
+                        }
+                    }
+                    GateKind::KeyInput => {
+                        if frame == 0 {
+                            let kid = nl.add_key_input(gate.name.clone())?;
+                            shared_keys.insert(id, kid);
+                            kid
+                        } else {
+                            shared_keys[&id]
+                        }
+                    }
+                    kind => {
+                        let fanin: Vec<GateId> =
+                            gate.fanin.iter().map(|f| map[f.index()]).collect();
+                        nl.add_gate(format!("{}@{frame}", gate.name), kind, fanin)?
+                    }
+                };
+                map[id.index()] = new_id;
+            }
+            for &o in core.outputs() {
+                nl.mark_output(map[o.index()]);
+            }
+            prev_next = self
+                .latches
+                .iter()
+                .map(|latch| map[latch.next.index()])
+                .collect();
+        }
+        nl.validate()?;
+        Ok(nl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 1-bit toggle: q' = XOR(q, en); output y = q.
+    fn toggle() -> SequentialCircuit {
+        let mut core = Netlist::new("toggle");
+        let en = core.add_input("en");
+        let q = core.add_input("q");
+        let nxt = core.add_gate("nxt", GateKind::Xor, vec![q, en]).unwrap();
+        let y = core.add_gate("y", GateKind::Buf, vec![q]).unwrap();
+        core.mark_output(y);
+        SequentialCircuit::new(
+            core,
+            vec![Latch {
+                state: q,
+                next: nxt,
+                init: false,
+            }],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cut_adds_next_state_outputs() {
+        let seq = toggle();
+        let cut = seq.cut();
+        assert_eq!(cut.num_inputs(), 2); // en + pseudo-input q
+        assert_eq!(cut.num_outputs(), 2); // y + nxt
+                                          // q=1, en=1: y = q = 1, nxt = 0.
+        assert_eq!(cut.evaluate(&[true, true]).unwrap(), vec![true, false]);
+    }
+
+    #[test]
+    fn unroll_two_frames_wires_state_through() {
+        let seq = toggle();
+        let u2 = seq.unroll(2).unwrap();
+        // One `en` input per frame; q@0 is a constant, q@1 an internal wire.
+        assert_eq!(u2.num_inputs(), 2);
+        assert_eq!(u2.num_outputs(), 2);
+        // init q=0. Frame 0: y@0 = 0. en@0=1 -> q@1 = 1 -> y@1 = 1.
+        assert_eq!(
+            u2.evaluate(&[true, false]).unwrap(),
+            vec![false, true],
+            "toggle fires between frame 0 and 1"
+        );
+        // en@0=0 keeps q at 0.
+        assert_eq!(u2.evaluate(&[false, true]).unwrap(), vec![false, false]);
+    }
+
+    #[test]
+    fn unroll_inits_to_one_when_requested() {
+        let mut seq = toggle();
+        seq.latches[0].init = true;
+        let u1 = seq.unroll(1).unwrap();
+        assert_eq!(u1.evaluate(&[false]).unwrap(), vec![true]);
+    }
+
+    #[test]
+    fn unroll_shares_key_inputs_across_frames() {
+        let mut core = Netlist::new("locked_toggle");
+        let en = core.add_input("en");
+        let k = core.add_key_input("keyinput0").unwrap();
+        let q = core.add_input("q");
+        let g = core.add_gate("g", GateKind::Xor, vec![en, k]).unwrap();
+        let nxt = core.add_gate("nxt", GateKind::Xor, vec![q, g]).unwrap();
+        core.mark_output(nxt);
+        let seq = SequentialCircuit::new(
+            core,
+            vec![Latch {
+                state: q,
+                next: nxt,
+                init: false,
+            }],
+        )
+        .unwrap();
+        let u3 = seq.unroll(3).unwrap();
+        assert_eq!(u3.num_key_inputs(), 1, "one shared key for all frames");
+        assert_eq!(u3.num_inputs(), 3);
+    }
+
+    #[test]
+    fn zero_frames_rejected() {
+        let err = toggle().unroll(0).unwrap_err();
+        assert!(matches!(err, NetlistError::Ingest(_)));
+    }
+
+    #[test]
+    fn non_input_latch_state_rejected() {
+        let mut core = Netlist::new("bad");
+        let a = core.add_input("a");
+        let g = core.add_gate("g", GateKind::Not, vec![a]).unwrap();
+        core.mark_output(g);
+        let err = SequentialCircuit::new(
+            core,
+            vec![Latch {
+                state: g,
+                next: a,
+                init: false,
+            }],
+        )
+        .unwrap_err();
+        assert!(matches!(err, NetlistError::WrongGateKind { .. }));
+    }
+
+    #[test]
+    fn duplicate_latch_state_rejected() {
+        let mut core = Netlist::new("dup");
+        let q = core.add_input("q");
+        let n = core.add_gate("n", GateKind::Not, vec![q]).unwrap();
+        core.mark_output(n);
+        let latch = Latch {
+            state: q,
+            next: n,
+            init: false,
+        };
+        let err = SequentialCircuit::new(core, vec![latch, latch]).unwrap_err();
+        assert!(matches!(err, NetlistError::Ingest(_)));
+    }
+
+    #[test]
+    fn combinational_extraction() {
+        let mut core = Netlist::new("comb");
+        let a = core.add_input("a");
+        let y = core.add_gate("y", GateKind::Not, vec![a]).unwrap();
+        core.mark_output(y);
+        let seq = SequentialCircuit::new(core, Vec::new()).unwrap();
+        assert!(seq.is_combinational());
+        assert!(seq.into_combinational().is_ok());
+        assert!(toggle().into_combinational().is_err());
+    }
+}

@@ -1,0 +1,583 @@
+//! AIG-level simplification: constant propagation, structural hashing and
+//! cone-of-influence restriction.
+//!
+//! [`simplify`] rewrites a netlist into an equivalent, usually smaller one:
+//!
+//! * **Cone of influence** — logic that no primary output (or pinned root)
+//!   depends on is dropped. Primary inputs and key inputs are always kept so
+//!   the evaluation interface stays stable.
+//! * **Constant propagation** — `Const0`/`Const1` fan-ins fold through every
+//!   gate kind (including `MUX` select/branch folds and `XOR` parity).
+//! * **Structural hashing** — two gates with the same kind and the same
+//!   (order-normalized, for commutative kinds) fan-ins share one node.
+//! * **Local rewrites** — double negation, duplicate/complementary fan-in
+//!   collapse, and the shared single-input promotion from
+//!   [`crate::normalize::promote_degenerate`].
+//!
+//! Pinned gates (primary outputs plus the caller's `extra_roots`, e.g. latch
+//! next-state functions) always materialize under their original name — as a
+//! `BUF` alias or constant gate if their function collapsed — so downstream
+//! name-based tooling keeps working.
+
+use crate::normalize::promote_degenerate;
+use crate::{GateId, GateKind, Netlist, Result};
+use std::collections::HashMap;
+
+/// The folded value of an old gate during the rewrite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Val {
+    /// The gate's function is a constant.
+    Const(bool),
+    /// The gate's function is computed by this gate of the new netlist.
+    Gate(GateId),
+}
+
+/// Result of folding one gate before materialization.
+enum Fold {
+    Const(bool),
+    Existing(GateId),
+    Node(GateKind, Vec<GateId>),
+}
+
+struct Rewriter<'a> {
+    old: &'a Netlist,
+    nl: Netlist,
+    /// Structural hash: (kind, canonical fan-ins) -> new gate.
+    hash: HashMap<(GateKind, Vec<GateId>), GateId>,
+}
+
+impl<'a> Rewriter<'a> {
+    fn new(old: &'a Netlist) -> Self {
+        Rewriter {
+            old,
+            nl: Netlist::new(old.name().to_string()),
+            hash: HashMap::new(),
+        }
+    }
+
+    fn canonical_key(kind: GateKind, fanin: &[GateId]) -> (GateKind, Vec<GateId>) {
+        let mut key = fanin.to_vec();
+        if matches!(
+            kind,
+            GateKind::And
+                | GateKind::Nand
+                | GateKind::Or
+                | GateKind::Nor
+                | GateKind::Xor
+                | GateKind::Xnor
+        ) {
+            key.sort_unstable();
+        }
+        (kind, key)
+    }
+
+    /// Creates (or reuses via structural hashing) a logic node. `name_hint`
+    /// is the old gate's name when the node stands for a source gate; helper
+    /// nodes synthesized by folds get a fresh `w`-prefixed name.
+    fn node(
+        &mut self,
+        kind: GateKind,
+        fanin: Vec<GateId>,
+        name_hint: Option<&str>,
+    ) -> Result<GateId> {
+        let key = Self::canonical_key(kind, &fanin);
+        if let Some(&g) = self.hash.get(&key) {
+            return Ok(g);
+        }
+        let name = match name_hint {
+            Some(hint) => self.nl.fresh_name(hint),
+            None => self.nl.fresh_name("w"),
+        };
+        let id = self.nl.add_gate(name, kind, fanin)?;
+        self.hash.insert(key, id);
+        Ok(id)
+    }
+
+    /// Turns a fold into a concrete gate id (materializing a node if
+    /// needed). Must not be called on a `Fold::Const`.
+    fn gate_of(&mut self, fold: Fold) -> Result<GateId> {
+        match fold {
+            Fold::Existing(g) => Ok(g),
+            Fold::Node(kind, fanin) => self.node(kind, fanin, None),
+            Fold::Const(_) => unreachable!("constant folds are resolved by the caller"),
+        }
+    }
+
+    /// NOT of a value, with double-negation elimination.
+    fn not_of(&mut self, v: Val) -> Fold {
+        match v {
+            Val::Const(b) => Fold::Const(!b),
+            Val::Gate(g) => {
+                let gate = self.nl.gate(g);
+                if gate.kind == GateKind::Not {
+                    Fold::Existing(gate.fanin[0])
+                } else {
+                    Fold::Node(GateKind::Not, vec![g])
+                }
+            }
+        }
+    }
+
+    /// Peels NOT chains off a new-netlist gate, returning the base gate and
+    /// whether the net phase is inverted.
+    fn peel_not(&self, mut g: GateId) -> (GateId, bool) {
+        let mut inverted = false;
+        while self.nl.gate(g).kind == GateKind::Not {
+            inverted = !inverted;
+            g = self.nl.gate(g).fanin[0];
+        }
+        (g, inverted)
+    }
+
+    /// AND/OR family fold. `identity` is the neutral constant (true for AND,
+    /// false for OR); `negated` turns the result into NAND/NOR.
+    fn fold_and_or(&mut self, kind: GateKind, vals: &[Val]) -> Fold {
+        let (identity, base_kind, negated) = match kind {
+            GateKind::And => (true, GateKind::And, false),
+            GateKind::Nand => (true, GateKind::And, true),
+            GateKind::Or => (false, GateKind::Or, false),
+            GateKind::Nor => (false, GateKind::Or, true),
+            _ => unreachable!(),
+        };
+        let mut fanin: Vec<GateId> = Vec::with_capacity(vals.len());
+        let mut result_const = None;
+        for &v in vals {
+            match v {
+                Val::Const(b) if b == identity => {} // neutral: drop
+                Val::Const(_) => {
+                    result_const = Some(!identity); // absorbing constant
+                    break;
+                }
+                Val::Gate(g) => {
+                    if !fanin.contains(&g) {
+                        fanin.push(g);
+                    }
+                }
+            }
+        }
+        // x AND !x = 0, x OR !x = 1.
+        if result_const.is_none() {
+            'outer: for &g in &fanin {
+                let (base, inverted) = self.peel_not(g);
+                if inverted && fanin.contains(&base) {
+                    result_const = Some(!identity);
+                    break 'outer;
+                }
+            }
+        }
+        let fold = match result_const {
+            Some(b) => Fold::Const(b),
+            None => match fanin.len() {
+                0 => Fold::Const(identity),
+                1 => match promote_degenerate(base_kind, 1) {
+                    GateKind::Buf => Fold::Existing(fanin[0]),
+                    _ => unreachable!("AND/OR of one operand promotes to BUF"),
+                },
+                _ => Fold::Node(base_kind, fanin),
+            },
+        };
+        if negated {
+            match fold {
+                Fold::Const(b) => Fold::Const(!b),
+                Fold::Existing(g) => self.not_of(Val::Gate(g)),
+                Fold::Node(GateKind::And, f) => Fold::Node(GateKind::Nand, f),
+                Fold::Node(GateKind::Or, f) => Fold::Node(GateKind::Nor, f),
+                Fold::Node(..) => unreachable!(),
+            }
+        } else {
+            fold
+        }
+    }
+
+    /// XOR/XNOR parity fold with constant absorption, NOT-phase peeling and
+    /// duplicate pair cancellation.
+    fn fold_xor(&mut self, kind: GateKind, vals: &[Val]) -> Fold {
+        let mut parity = kind == GateKind::Xnor;
+        let mut order: Vec<GateId> = Vec::new();
+        let mut counts: HashMap<GateId, usize> = HashMap::new();
+        for &v in vals {
+            match v {
+                Val::Const(b) => parity ^= b,
+                Val::Gate(g) => {
+                    let (base, inverted) = self.peel_not(g);
+                    parity ^= inverted;
+                    let c = counts.entry(base).or_insert(0);
+                    if *c == 0 {
+                        order.push(base);
+                    }
+                    *c += 1;
+                }
+            }
+        }
+        let fanin: Vec<GateId> = order.into_iter().filter(|g| counts[g] % 2 == 1).collect();
+        match fanin.len() {
+            0 => Fold::Const(parity),
+            1 if parity => self.not_of(Val::Gate(fanin[0])),
+            1 => Fold::Existing(fanin[0]),
+            _ if parity => Fold::Node(GateKind::Xnor, fanin),
+            _ => Fold::Node(GateKind::Xor, fanin),
+        }
+    }
+
+    /// MUX fold: `out = in1 when sel else in0` (fan-in order `[sel, in0, in1]`).
+    fn fold_mux(&mut self, sel: Val, in0: Val, in1: Val) -> Result<Fold> {
+        let s = match sel {
+            Val::Const(false) => {
+                return Ok(match in0 {
+                    Val::Const(b) => Fold::Const(b),
+                    Val::Gate(g) => Fold::Existing(g),
+                })
+            }
+            Val::Const(true) => {
+                return Ok(match in1 {
+                    Val::Const(b) => Fold::Const(b),
+                    Val::Gate(g) => Fold::Existing(g),
+                })
+            }
+            Val::Gate(g) => g,
+        };
+        Ok(match (in0, in1) {
+            // sel ? 1 : 0  =  sel,   sel ? 0 : 1  =  !sel
+            (Val::Const(false), Val::Const(true)) => Fold::Existing(s),
+            (Val::Const(true), Val::Const(false)) => self.not_of(Val::Gate(s)),
+            (Val::Const(a), Val::Const(_)) => Fold::Const(a), // both equal
+            // sel ? b : 0  =  sel AND b
+            (Val::Const(false), Val::Gate(b)) => {
+                self.fold_and_or(GateKind::And, &[Val::Gate(s), Val::Gate(b)])
+            }
+            // sel ? b : 1  =  !sel OR b
+            (Val::Const(true), Val::Gate(b)) => {
+                let ns = self.not_of(Val::Gate(s));
+                let ns = self.gate_of(ns)?;
+                self.fold_and_or(GateKind::Or, &[Val::Gate(ns), Val::Gate(b)])
+            }
+            // sel ? 0 : a  =  !sel AND a
+            (Val::Gate(a), Val::Const(false)) => {
+                let ns = self.not_of(Val::Gate(s));
+                let ns = self.gate_of(ns)?;
+                self.fold_and_or(GateKind::And, &[Val::Gate(ns), Val::Gate(a)])
+            }
+            // sel ? 1 : a  =  sel OR a
+            (Val::Gate(a), Val::Const(true)) => {
+                self.fold_and_or(GateKind::Or, &[Val::Gate(s), Val::Gate(a)])
+            }
+            (Val::Gate(a), Val::Gate(b)) if a == b => Fold::Existing(a),
+            (Val::Gate(a), Val::Gate(b)) => Fold::Node(GateKind::Mux, vec![s, a, b]),
+        })
+    }
+
+    fn fold_gate(&mut self, kind: GateKind, vals: &[Val]) -> Result<Fold> {
+        Ok(match kind {
+            GateKind::Const0 => Fold::Const(false),
+            GateKind::Const1 => Fold::Const(true),
+            GateKind::Buf => match vals[0] {
+                Val::Const(b) => Fold::Const(b),
+                Val::Gate(g) => Fold::Existing(g),
+            },
+            GateKind::Not => self.not_of(vals[0]),
+            GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+                self.fold_and_or(kind, vals)
+            }
+            GateKind::Xor | GateKind::Xnor => self.fold_xor(kind, vals),
+            GateKind::Mux => self.fold_mux(vals[0], vals[1], vals[2])?,
+            GateKind::Input | GateKind::KeyInput => {
+                unreachable!("inputs are created before folding")
+            }
+        })
+    }
+
+    /// Materializes a pinned old gate under its own name and returns the
+    /// named gate id.
+    fn materialize_pinned(&mut self, old_id: GateId, val: Val) -> Result<GateId> {
+        let name = self.old.gate(old_id).name.clone();
+        match val {
+            Val::Const(b) => {
+                let kind = if b {
+                    GateKind::Const1
+                } else {
+                    GateKind::Const0
+                };
+                let name = self.nl.fresh_name(&name);
+                self.nl.add_gate(name, kind, Vec::new())
+            }
+            Val::Gate(g) if self.nl.gate(g).name == name => Ok(g),
+            Val::Gate(g) => {
+                let name = self.nl.fresh_name(&name);
+                self.nl.add_gate(name, GateKind::Buf, vec![g])
+            }
+        }
+    }
+}
+
+/// Computes the cone of influence: every old gate some root transitively
+/// depends on (roots included).
+fn cone(old: &Netlist, roots: impl Iterator<Item = GateId>) -> Vec<bool> {
+    let mut live = vec![false; old.len()];
+    let mut stack: Vec<GateId> = roots.collect();
+    while let Some(id) = stack.pop() {
+        if live[id.index()] {
+            continue;
+        }
+        live[id.index()] = true;
+        stack.extend_from_slice(&old.gate(id).fanin);
+    }
+    live
+}
+
+/// Copies `nl` keeping only the interface plus the cone of `outputs ∪
+/// keep_roots`, preserving names and relative order. Gate ids are assigned
+/// at insertion, so id order is already topological.
+fn prune_dead(nl: &Netlist, keep_roots: &[GateId]) -> Result<(Netlist, Vec<Option<GateId>>)> {
+    let live = cone(
+        nl,
+        nl.outputs()
+            .iter()
+            .copied()
+            .chain(keep_roots.iter().copied()),
+    );
+    let mut out = Netlist::new(nl.name().to_string());
+    let mut map: Vec<Option<GateId>> = vec![None; nl.len()];
+    for (id, gate) in nl.iter() {
+        let new_id = match gate.kind {
+            GateKind::Input => out.try_add_input(gate.name.clone())?,
+            GateKind::KeyInput => out.add_key_input(gate.name.clone())?,
+            _ if live[id.index()] => {
+                let fanin = gate
+                    .fanin
+                    .iter()
+                    .map(|f| map[f.index()].expect("cone closure keeps fan-ins live"))
+                    .collect();
+                out.add_gate(gate.name.clone(), gate.kind, fanin)?
+            }
+            _ => continue,
+        };
+        map[id.index()] = Some(new_id);
+    }
+    for &o in nl.outputs() {
+        out.mark_output(map[o.index()].expect("outputs are live roots"));
+    }
+    Ok((out, map))
+}
+
+/// Simplifies a netlist (see the module docs for the pass list). The
+/// interface — primary inputs, key inputs and primary outputs, in order and
+/// by name — is preserved; internal logic may shrink or disappear.
+///
+/// # Errors
+///
+/// Propagates construction and validation errors ([`crate::NetlistError`]).
+pub fn simplify(nl: &Netlist) -> Result<Netlist> {
+    simplify_mapped(nl, &[]).map(|(n, _)| n)
+}
+
+/// [`simplify`] variant that pins `extra_roots` (they are kept live and
+/// materialized by name like outputs) and returns, for every old gate, the
+/// new gate standing for it — `None` when the gate was dropped (outside the
+/// cone of influence) or folded to a constant without being pinned.
+pub(crate) fn simplify_mapped(
+    old: &Netlist,
+    extra_roots: &[GateId],
+) -> Result<(Netlist, Vec<Option<GateId>>)> {
+    let order = crate::topo::topological_order(old)?;
+    let live = cone(
+        old,
+        old.outputs()
+            .iter()
+            .copied()
+            .chain(extra_roots.iter().copied()),
+    );
+    let mut pinned = vec![false; old.len()];
+    for &o in old.outputs() {
+        pinned[o.index()] = true;
+    }
+    for &r in extra_roots {
+        pinned[r.index()] = true;
+    }
+
+    let mut rw = Rewriter::new(old);
+    let mut vals: Vec<Option<Val>> = vec![None; old.len()];
+    let mut mapped: Vec<Option<GateId>> = vec![None; old.len()];
+
+    // Interface first, in old id order, live or not: evaluation vectors must
+    // keep their shape.
+    for (id, gate) in old.iter() {
+        let new_id = match gate.kind {
+            GateKind::Input => rw.nl.try_add_input(gate.name.clone())?,
+            GateKind::KeyInput => rw.nl.add_key_input(gate.name.clone())?,
+            _ => continue,
+        };
+        vals[id.index()] = Some(Val::Gate(new_id));
+        mapped[id.index()] = Some(new_id);
+    }
+
+    for &id in &order {
+        let gate = old.gate(id);
+        if matches!(gate.kind, GateKind::Input | GateKind::KeyInput) || !live[id.index()] {
+            continue;
+        }
+        let fanin_vals: Vec<Val> = gate
+            .fanin
+            .iter()
+            .map(|f| vals[f.index()].expect("topological order visits fan-ins first"))
+            .collect();
+        let fold = rw.fold_gate(gate.kind, &fanin_vals)?;
+        let val = match fold {
+            Fold::Const(b) => Val::Const(b),
+            fold => {
+                // Source gates keep their own name on a hash miss.
+                let g = match fold {
+                    Fold::Existing(g) => g,
+                    Fold::Node(kind, fanin) => rw.node(kind, fanin, Some(&gate.name))?,
+                    Fold::Const(_) => unreachable!(),
+                };
+                Val::Gate(g)
+            }
+        };
+        vals[id.index()] = Some(val);
+        mapped[id.index()] = match val {
+            Val::Gate(g) => Some(g),
+            Val::Const(_) => None,
+        };
+        if pinned[id.index()] {
+            mapped[id.index()] = Some(rw.materialize_pinned(id, val)?);
+        }
+    }
+
+    for &o in old.outputs() {
+        let id = mapped[o.index()].expect("outputs are pinned and therefore materialized");
+        rw.nl.mark_output(id);
+    }
+
+    // Folds can leave bypassed helper nodes behind (e.g. a NOT that double
+    // negation later skipped); prune them and compose the two mappings.
+    let keep: Vec<GateId> = extra_roots
+        .iter()
+        .filter_map(|r| mapped[r.index()])
+        .collect();
+    let (nl, prune_map) = prune_dead(&rw.nl, &keep)?;
+    let mapped: Vec<Option<GateId>> = mapped
+        .iter()
+        .map(|m| m.and_then(|g| prune_map[g.index()]))
+        .collect();
+    nl.validate()?;
+    Ok((nl, mapped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::exhaustive_equivalent;
+    use crate::parse_bench;
+
+    fn check_equiv(nl: &Netlist) -> Netlist {
+        let simplified = simplify(nl).expect("simplify");
+        assert!(
+            exhaustive_equivalent(nl, &[], &simplified, &[]).expect("equiv"),
+            "simplified netlist must stay equivalent"
+        );
+        simplified
+    }
+
+    #[test]
+    fn structural_hashing_merges_duplicate_gates() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\n\
+                   g1 = AND(a, b)\ng2 = AND(b, a)\ny = XOR(g1, g2)\n";
+        let nl = parse_bench("dup", src).unwrap();
+        let s = check_equiv(&nl);
+        // XOR(g, g) = 0: the whole cone folds to a constant output.
+        assert_eq!(s.num_outputs(), 1);
+        assert!(matches!(s.gate(s.outputs()[0]).kind, GateKind::Const0));
+    }
+
+    #[test]
+    fn constant_propagation_through_mux() {
+        let src = "INPUT(s)\nINPUT(a)\nOUTPUT(y)\n\
+                   zero = GND()\ny = MUX(s, zero, a)\n";
+        let nl = parse_bench("mux0", src).unwrap();
+        let s = check_equiv(&nl);
+        // MUX(s, 0, a) = AND(s, a); the output is a named pin over it.
+        assert!(s.len() < nl.len() || s.num_logic_gates() <= nl.num_logic_gates());
+        assert!(!s.iter().any(|(_, g)| matches!(g.kind, GateKind::Mux)));
+    }
+
+    #[test]
+    fn cone_of_influence_drops_dead_logic() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\n\
+                   dead1 = AND(a, b)\ndead2 = XOR(dead1, a)\ny = NOT(a)\n";
+        let nl = parse_bench("coi", src).unwrap();
+        let s = check_equiv(&nl);
+        assert!(s.find("dead1").is_none());
+        assert!(s.find("dead2").is_none());
+        // Unused input `b` survives for interface stability.
+        assert_eq!(s.num_inputs(), 2);
+    }
+
+    #[test]
+    fn double_negation_collapses() {
+        let src = "INPUT(a)\nOUTPUT(y)\nn1 = NOT(a)\nn2 = NOT(n1)\ny = BUFF(n2)\n";
+        let nl = parse_bench("dneg", src).unwrap();
+        let s = check_equiv(&nl);
+        // y is pinned; it should be a BUF alias of the input directly.
+        let y = s.find("y").unwrap();
+        assert_eq!(s.gate(y).kind, GateKind::Buf);
+        assert_eq!(s.gate(s.gate(y).fanin[0]).kind, GateKind::Input);
+    }
+
+    #[test]
+    fn complementary_fanins_fold() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\n\
+                   na = NOT(a)\ny = AND(a, na, b)\nz = OR(a, na)\n";
+        let nl = parse_bench("compl", src).unwrap();
+        let s = check_equiv(&nl);
+        assert!(matches!(
+            s.gate(s.find("y").unwrap()).kind,
+            GateKind::Const0
+        ));
+        assert!(matches!(
+            s.gate(s.find("z").unwrap()).kind,
+            GateKind::Const1
+        ));
+    }
+
+    #[test]
+    fn xor_parity_cancels_pairs() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\n\
+                   y = XOR(a, b, a)\n";
+        let nl = parse_bench("parity", src).unwrap();
+        let s = check_equiv(&nl);
+        // XOR(a, b, a) = b: y becomes an alias of b.
+        let y = s.find("y").unwrap();
+        assert_eq!(s.gate(y).kind, GateKind::Buf);
+    }
+
+    #[test]
+    fn key_inputs_survive_simplification() {
+        let src = "INPUT(a)\nINPUT(keyinput0)\nOUTPUT(y)\ny = XOR(a, keyinput0)\n";
+        let nl = parse_bench("keyed", src).unwrap();
+        let s = simplify(&nl).unwrap();
+        assert_eq!(s.num_key_inputs(), 1);
+        assert!(
+            exhaustive_equivalent(&nl, &[true], &s, &[true]).unwrap(),
+            "keyed equivalence"
+        );
+    }
+
+    #[test]
+    fn mapped_pins_extra_roots() {
+        let mut nl = Netlist::new("pins");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_gate("g", GateKind::And, vec![a, b]).unwrap();
+        let h = nl.add_gate("h", GateKind::Not, vec![g]).unwrap();
+        let y = nl.add_gate("y", GateKind::Buf, vec![a]).unwrap();
+        nl.mark_output(y);
+        // h is dead w.r.t. outputs but pinned via extra_roots.
+        let (s, map) = simplify_mapped(&nl, &[h]).unwrap();
+        let h_new = map[h.index()].expect("pinned root is materialized");
+        assert_eq!(s.gate(h_new).name, "h");
+        // Without pinning it is dropped.
+        let (s2, map2) = simplify_mapped(&nl, &[]).unwrap();
+        assert!(map2[h.index()].is_none());
+        assert!(s2.find("h").is_none());
+    }
+}

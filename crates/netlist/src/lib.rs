@@ -5,6 +5,9 @@
 //!
 //! * an arena-based gate-level intermediate representation ([`Netlist`],
 //!   [`Gate`], [`GateKind`], [`GateId`]),
+//! * a unified, format-detecting ingestion front door ([`ingest`]):
+//!   `.bench` and ASCII AIGER `.aag` sources, AIG simplification, and
+//!   sequential circuits with cut/unroll lowering,
 //! * a parser and writer for the ISCAS-89 style `.bench` format
 //!   ([`parse_bench`], [`write_bench`]),
 //! * structural analysis: topological ordering, logic levels, fan-in/fan-out
@@ -40,17 +43,23 @@ mod error;
 mod gate;
 #[allow(clippy::module_inception)]
 mod netlist;
+mod normalize;
 mod parser;
 mod writer;
 
 pub mod equiv;
 pub mod graph;
+pub mod ingest;
 pub mod sim;
 pub mod stats;
 pub mod topo;
 
 pub use error::NetlistError;
 pub use gate::{Gate, GateId, GateKind};
+pub use ingest::{
+    parse_auto, parse_path, CircuitFormat, IngestOptions, Ingested, SequentialCircuit,
+    SequentialHandling,
+};
 pub use netlist::Netlist;
 pub use parser::parse_bench;
 pub use writer::write_bench;

@@ -1,0 +1,57 @@
+//! Shared post-parse normalization used by every circuit parser.
+//!
+//! Dialect tolerances that are properties of *this workspace's netlist
+//! model* — not of any one file format — live here, so the `.bench` parser,
+//! the AIGER lowering and the AIG simplifier all apply them identically:
+//!
+//! * [`source_lines`]: line iteration with CRLF (and stray-CR) tolerance,
+//! * [`promote_degenerate`]: degenerate single-input `AND`/`OR` gates become
+//!   `BUF` and single-input `NAND`/`NOR` gates become `NOT`, instead of
+//!   failing arity validation.
+
+use crate::GateKind;
+
+/// Iterates over the logical lines of a circuit source with 1-based line
+/// numbers. Lines are split on `\n`; a trailing `\r` (CRLF sources, or the
+/// stray CRs some exporters leave) is stripped. Format-specific comment
+/// handling stays in the individual parsers.
+pub(crate) fn source_lines(source: &str) -> impl Iterator<Item = (usize, &str)> {
+    source
+        .lines()
+        .enumerate()
+        .map(|(i, raw)| (i + 1, raw.strip_suffix('\r').unwrap_or(raw)))
+}
+
+/// The shared single-input gate promotion: `AND`/`OR` of one operand is a
+/// `BUF`, `NAND`/`NOR` of one operand is a `NOT`. Every parser and rewrite
+/// that can produce a one-operand variadic gate (mechanically generated
+/// benches, constant folding in the AIG simplifier) must route through this
+/// so all ingestion paths behave identically.
+pub(crate) fn promote_degenerate(kind: GateKind, fanin_count: usize) -> GateKind {
+    match (kind, fanin_count) {
+        (GateKind::And | GateKind::Or, 1) => GateKind::Buf,
+        (GateKind::Nand | GateKind::Nor, 1) => GateKind::Not,
+        (k, _) => k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_lines_strip_cr_and_number_from_one() {
+        let lines: Vec<(usize, &str)> = source_lines("a\r\nb\nc\r").collect();
+        assert_eq!(lines, vec![(1, "a"), (2, "b"), (3, "c")]);
+    }
+
+    #[test]
+    fn degenerate_promotions() {
+        assert_eq!(promote_degenerate(GateKind::And, 1), GateKind::Buf);
+        assert_eq!(promote_degenerate(GateKind::Or, 1), GateKind::Buf);
+        assert_eq!(promote_degenerate(GateKind::Nand, 1), GateKind::Not);
+        assert_eq!(promote_degenerate(GateKind::Nor, 1), GateKind::Not);
+        assert_eq!(promote_degenerate(GateKind::And, 2), GateKind::And);
+        assert_eq!(promote_degenerate(GateKind::Not, 1), GateKind::Not);
+    }
+}

@@ -20,25 +20,57 @@
 //!
 //! * keywords are case-insensitive (`nand(...)`, `input(...)`),
 //! * signal names may start with digits (`1gat = not(115gat)`),
-//! * CRLF line endings, tabs and trailing comments are ignored,
+//! * CRLF line endings, tabs and trailing comments are ignored (via the
+//!   shared [`crate::normalize`] helpers, so every parser of this crate
+//!   behaves identically),
 //! * repeated `OUTPUT` declarations of the same signal collapse to one,
 //! * degenerate single-input `AND`/`OR` (resp. `NAND`/`NOR`) gates — common
-//!   in mechanically generated benches — are promoted to `BUF` (resp. `NOT`),
-//! * sequential elements (`DFF`, `DFFSR`, `LATCH`) are rejected with a
-//!   dedicated message rather than a generic "unknown gate type", since this
-//!   workspace models combinational netlists only.
+//!   in mechanically generated benches — are promoted to `BUF` (resp. `NOT`)
+//!   by [`crate::normalize::promote_degenerate`],
+//! * simple sequential elements (`q = DFF(d)`, `q = LATCH(d)`) parse into a
+//!   [`SequentialCircuit`] via [`parse_bench_sequential`]; the combinational
+//!   [`parse_bench`] front produces a dedicated
+//!   [`NetlistError::Sequential`] for them instead of a generic "unknown
+//!   gate type". Set/reset flavors (`DFFSR`, `SDFF`) stay unsupported.
 
+use crate::ingest::{Latch, SequentialCircuit};
+use crate::normalize::{promote_degenerate, source_lines};
 use crate::{GateId, GateKind, Netlist, NetlistError, Result};
 use std::collections::HashMap;
 
-/// Parses a `.bench` source into a [`Netlist`].
+/// Parses a `.bench` source into a combinational [`Netlist`].
+///
+/// This is a thin wrapper over [`parse_bench_sequential`] that additionally
+/// rejects sources containing latches; prefer the [`crate::ingest`] front
+/// door ([`crate::ingest::parse_auto`] / [`crate::ingest::parse_path`]) in
+/// new code — it detects formats and offers sequential handling.
 ///
 /// # Errors
 ///
 /// Returns [`NetlistError::Parse`] for malformed lines,
 /// [`NetlistError::UnknownSignal`] / [`NetlistError::UndefinedOutput`] for
-/// dangling references, and any error [`Netlist::validate`] reports.
+/// dangling references, [`NetlistError::Sequential`] for sources with
+/// latches, and any error [`Netlist::validate`] reports.
 pub fn parse_bench(name: &str, source: &str) -> Result<Netlist> {
+    match parse_bench_sequential(name, source)?.into_combinational() {
+        Ok(nl) => Ok(nl),
+        Err(seq) => Err(NetlistError::Sequential {
+            latches: seq.num_latches(),
+        }),
+    }
+}
+
+/// Parses a `.bench` source, accepting `DFF`/`LATCH` elements, into a
+/// [`SequentialCircuit`]. Combinational sources yield zero latches.
+///
+/// Latch semantics: `q = DFF(d)` makes `q` a pseudo primary input of the
+/// combinational core and records `d` as its next-state function; `.bench`
+/// has no init-value syntax, so registers reset to `0`.
+///
+/// # Errors
+///
+/// Same classes as [`parse_bench`], except that latches are accepted.
+pub(crate) fn parse_bench_sequential(name: &str, source: &str) -> Result<SequentialCircuit> {
     // First pass: collect declarations so gates can be created in dependency
     // order regardless of textual order.
     struct GateDecl {
@@ -48,13 +80,19 @@ pub fn parse_bench(name: &str, source: &str) -> Result<Netlist> {
         fanin_names: Vec<String>,
     }
 
+    struct LatchDecl {
+        line: usize,
+        name: String,
+        data_name: String,
+    }
+
     let mut input_names: Vec<(usize, String)> = Vec::new();
     let mut key_input_names: Vec<(usize, String)> = Vec::new();
     let mut output_names: Vec<(usize, String)> = Vec::new();
     let mut decls: Vec<GateDecl> = Vec::new();
+    let mut latch_decls: Vec<LatchDecl> = Vec::new();
 
-    for (lineno, raw) in source.lines().enumerate() {
-        let line = lineno + 1;
+    for (line, raw) in source_lines(source) {
         let text = match raw.find('#') {
             Some(pos) => &raw[..pos],
             None => raw,
@@ -100,38 +138,49 @@ pub fn parse_bench(name: &str, source: &str) -> Result<Netlist> {
                 });
             }
             let kw = rhs[..open].trim();
-            let kind = GateKind::from_bench_keyword(kw).ok_or_else(|| {
-                if matches!(
-                    kw.to_ascii_uppercase().as_str(),
-                    "DFF" | "DFFSR" | "LATCH" | "SDFF"
-                ) {
-                    NetlistError::Parse {
-                        line,
-                        message: format!(
-                            "sequential element `{kw}` is not supported: this parser models \
-                             combinational netlists (extract the combinational core first)"
-                        ),
-                    }
-                } else {
-                    NetlistError::Parse {
-                        line,
-                        message: format!("unknown gate type `{kw}`"),
-                    }
-                }
-            })?;
             let args: Vec<String> = rhs[open + 1..close]
                 .split(',')
                 .map(|s| s.trim().to_string())
                 .filter(|s| !s.is_empty())
                 .collect();
+            match kw.to_ascii_uppercase().as_str() {
+                "DFF" | "LATCH" => {
+                    if args.len() != 1 {
+                        return Err(NetlistError::Parse {
+                            line,
+                            message: format!(
+                                "sequential element `{kw}` takes exactly one data signal, \
+                                 got {}",
+                                args.len()
+                            ),
+                        });
+                    }
+                    latch_decls.push(LatchDecl {
+                        line,
+                        name: lhs.to_string(),
+                        data_name: args[0].clone(),
+                    });
+                    continue;
+                }
+                "DFFSR" | "SDFF" => {
+                    return Err(NetlistError::Parse {
+                        line,
+                        message: format!(
+                            "sequential element `{kw}` with set/reset is not supported \
+                             (plain `DFF`/`LATCH` are)"
+                        ),
+                    });
+                }
+                _ => {}
+            }
+            let kind = GateKind::from_bench_keyword(kw).ok_or_else(|| NetlistError::Parse {
+                line,
+                message: format!("unknown gate type `{kw}`"),
+            })?;
             // Dialect tolerance: mechanically generated benches contain
             // degenerate single-input AND/OR/NAND/NOR gates; promote them to
             // their one-input equivalent instead of failing arity validation.
-            let kind = match (kind, args.len()) {
-                (GateKind::And | GateKind::Or, 1) => GateKind::Buf,
-                (GateKind::Nand | GateKind::Nor, 1) => GateKind::Not,
-                (k, _) => k,
-            };
+            let kind = promote_degenerate(kind, args.len());
             decls.push(GateDecl {
                 line,
                 name: lhs.to_string(),
@@ -168,6 +217,21 @@ pub fn parse_bench(name: &str, source: &str) -> Result<Netlist> {
             other => other,
         })?;
         ids.insert(sig.clone(), id);
+    }
+    // Latch outputs are pseudo primary inputs of the combinational core, so
+    // they must exist before the worklist runs (logic may feed from them, and
+    // a DFF legitimately breaks what would otherwise be a cycle).
+    let mut latch_states: Vec<GateId> = Vec::with_capacity(latch_decls.len());
+    for decl in &latch_decls {
+        let id = nl.try_add_input(decl.name.clone()).map_err(|e| match e {
+            NetlistError::DuplicateName(n) => NetlistError::Parse {
+                line: decl.line,
+                message: format!("signal `{n}` defined twice"),
+            },
+            other => other,
+        })?;
+        ids.insert(decl.name.clone(), id);
+        latch_states.push(id);
     }
 
     // Insert logic gates in dependency order with a simple worklist: a decl is
@@ -232,8 +296,23 @@ pub fn parse_bench(name: &str, source: &str) -> Result<Netlist> {
         nl.mark_output(id);
     }
 
+    let mut latches = Vec::with_capacity(latch_decls.len());
+    for (decl, &state) in latch_decls.iter().zip(&latch_states) {
+        let next = *ids
+            .get(&decl.data_name)
+            .ok_or_else(|| NetlistError::Parse {
+                line: decl.line,
+                message: format!("unknown signal `{}`", decl.data_name),
+            })?;
+        latches.push(Latch {
+            state,
+            next,
+            init: false,
+        });
+    }
+
     nl.validate()?;
-    Ok(nl)
+    SequentialCircuit::new(nl, latches)
 }
 
 fn strip_directive<'a>(text: &'a str, keyword: &str) -> Option<&'a str> {
@@ -422,6 +501,52 @@ z = NOR(a)
         let err = parse_bench("seq", "INPUT(d)\nOUTPUT(q)\nq = DFF(d)\n").unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("sequential"), "got: {msg}");
+        assert!(matches!(err, NetlistError::Sequential { latches: 1 }));
+    }
+
+    #[test]
+    fn dff_parses_into_a_sequential_circuit() {
+        let src = "INPUT(en)\nOUTPUT(y)\nq = DFF(nxt)\nnxt = XOR(q, en)\ny = BUF(q)\n";
+        let seq = parse_bench_sequential("toggle", src).unwrap();
+        assert_eq!(seq.num_latches(), 1);
+        // `q` is a pseudo primary input of the core.
+        assert_eq!(seq.core().num_inputs(), 2);
+        let cut = seq.cut();
+        assert_eq!(cut.num_outputs(), 2); // y + next-state
+                                          // q feeds back through XOR: the DFF legitimately breaks the cycle.
+        let u2 = seq.unroll(2).unwrap();
+        assert_eq!(u2.evaluate(&[true, false]).unwrap(), vec![false, true]);
+    }
+
+    #[test]
+    fn latch_keyword_is_accepted_like_dff() {
+        let src = "INPUT(d)\nOUTPUT(q)\nq = LATCH(d)\n";
+        let seq = parse_bench_sequential("l", src).unwrap();
+        assert_eq!(seq.num_latches(), 1);
+        assert!(!seq.latches()[0].init, ".bench registers reset to 0");
+    }
+
+    #[test]
+    fn set_reset_flavors_stay_rejected() {
+        for kw in ["DFFSR", "SDFF"] {
+            let src = format!("INPUT(d)\nOUTPUT(q)\nq = {kw}(d, d, d)\n");
+            let err = parse_bench_sequential("sr", &src).unwrap_err();
+            assert!(err.to_string().contains(kw), "got: {err}");
+        }
+    }
+
+    #[test]
+    fn dff_with_wrong_arity_rejected() {
+        let err =
+            parse_bench_sequential("bad", "INPUT(d)\nOUTPUT(q)\nq = DFF(d, d)\n").unwrap_err();
+        assert!(err.to_string().contains("exactly one"), "got: {err}");
+    }
+
+    #[test]
+    fn dff_with_unknown_data_signal_rejected() {
+        let err =
+            parse_bench_sequential("bad", "INPUT(d)\nOUTPUT(q)\nq = DFF(ghost)\n").unwrap_err();
+        assert!(err.to_string().contains("ghost"), "got: {err}");
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Property-based tests for the ingestion front door: the AIGER writer/
+//! reader pair must preserve function on arbitrary valid netlists, and the
+//! reader must reject malformed sources with structured errors instead of
+//! panicking.
+
+use autolock_netlist::ingest::{parse_aag, parse_auto, write_aag, IngestOptions};
+use autolock_netlist::{equiv, GateId, GateKind, Netlist};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Builds a random, valid, acyclic netlist from a seed-like description:
+/// `layers[i]` gates in layer i, each reading from earlier gates. Mirrors
+/// the generator in `proptest_netlist.rs` so the AIGER round trip sees the
+/// same input distribution as the `.bench` round trip.
+fn build_random_netlist(num_inputs: usize, layer_sizes: &[u8], seed: u64) -> Netlist {
+    use rand::Rng;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut nl = Netlist::new(format!("rand_{seed}"));
+    let mut pool: Vec<GateId> = (0..num_inputs.max(1))
+        .map(|i| nl.add_input(format!("in{i}")))
+        .collect();
+    let kinds = [
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Not,
+        GateKind::Buf,
+    ];
+    let mut counter = 0usize;
+    for &sz in layer_sizes {
+        let mut new_layer = Vec::new();
+        for _ in 0..sz.clamp(1, 8) {
+            let kind = kinds[rng.gen_range(0..kinds.len())];
+            let arity = match kind {
+                GateKind::Not | GateKind::Buf => 1,
+                _ => 2,
+            };
+            let fanin: Vec<GateId> = (0..arity)
+                .map(|_| pool[rng.gen_range(0..pool.len())])
+                .collect();
+            let id = nl
+                .add_gate(format!("g{counter}"), kind, fanin)
+                .expect("valid gate");
+            counter += 1;
+            new_layer.push(id);
+        }
+        pool.extend(new_layer);
+    }
+    let n_out = pool.len().min(3);
+    for &id in pool.iter().rev().take(n_out) {
+        nl.mark_output(id);
+    }
+    nl
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `Netlist → write_aag → parse_aag` preserves the interface shape and
+    /// the function on all exhaustive input patterns (inputs <= 5).
+    #[test]
+    fn aiger_roundtrip_preserves_function(
+        num_inputs in 1usize..6,
+        layers in proptest::collection::vec(1u8..6, 1..4),
+        seed in 0u64..5000,
+    ) {
+        let nl = build_random_netlist(num_inputs, &layers, seed);
+        let text = write_aag(&nl).unwrap();
+        let back = parse_aag(nl.name().to_string(), &text)
+            .unwrap()
+            .into_combinational()
+            .expect("combinational source round-trips without latches");
+        prop_assert_eq!(back.num_inputs(), nl.num_inputs());
+        prop_assert_eq!(back.num_outputs(), nl.num_outputs());
+        prop_assert_eq!(
+            equiv::exhaustive_equivalent(&nl, &[], &back, &[]).unwrap(),
+            true,
+            "AIGER round trip changed the function"
+        );
+    }
+
+    /// The front door sniffs the writer's output as AIGER and produces the
+    /// same netlist as the direct reader.
+    #[test]
+    fn front_door_sniffs_written_aiger(
+        num_inputs in 1usize..5,
+        layers in proptest::collection::vec(1u8..5, 1..3),
+        seed in 0u64..5000,
+    ) {
+        let nl = build_random_netlist(num_inputs, &layers, seed);
+        let text = write_aag(&nl).unwrap();
+        let ingested = parse_auto(nl.name(), &text, &IngestOptions::default()).unwrap();
+        prop_assert_eq!(ingested.format.label(), "aiger");
+        prop_assert_eq!(ingested.latches, 0);
+        let direct = parse_aag(nl.name().to_string(), &text)
+            .unwrap()
+            .into_combinational()
+            .unwrap();
+        prop_assert_eq!(ingested.netlist, direct);
+    }
+
+    /// Arbitrary text never panics the front door — it parses or it returns
+    /// a structured error. Low byte values skew the stream toward digits,
+    /// whitespace and structural ASCII, which is where a parser shortcut
+    /// would hide.
+    #[test]
+    fn arbitrary_sources_never_panic(
+        bytes in proptest::collection::vec(0u8..128, 0..200),
+    ) {
+        let source: String = bytes.iter().map(|&b| b as char).collect();
+        let _ = parse_auto("fuzz", &source, &IngestOptions::default());
+    }
+}
+
+/// Every entry is a malformed ASCII AIGER source; the reader must reject
+/// each with a structured error (and, per the proptest above, never panic).
+#[test]
+fn malformed_aiger_corpus_is_rejected() {
+    let corpus: &[(&str, &str)] = &[
+        ("empty source", ""),
+        ("not a header", "hello world\n"),
+        ("binary aig header", "aig 2 1 0 1 1\n"),
+        ("header with four counts", "aag 1 1 0 1\n2\n2\n"),
+        ("non-numeric count", "aag x 1 0 1 0\n2\n2\n"),
+        ("M smaller than I+L+A", "aag 1 1 0 1 1\n2\n2\n4 2 2\n"),
+        ("truncated input section", "aag 2 2 0 1 0\n2\n"),
+        ("odd input literal", "aag 1 1 0 1 0\n3\n2\n"),
+        ("constant as input literal", "aag 1 1 0 1 0\n0\n2\n"),
+        ("input literal out of range", "aag 1 1 0 1 0\n4\n2\n"),
+        ("output literal out of range", "aag 1 1 0 1 0\n2\n6\n"),
+        ("missing output line", "aag 1 1 0 1 0\n2\n"),
+        (
+            "and line with two literals",
+            "aag 3 2 0 1 1\n2\n4\n6\n6 2\n",
+        ),
+        ("odd and lhs", "aag 3 2 0 1 1\n2\n4\n7\n7 2 4\n"),
+        ("and rhs out of range", "aag 3 2 0 1 1\n2\n4\n6\n6 2 8\n"),
+        ("latch line with four fields", "aag 2 1 1 0 0\n2\n4 2 0 0\n"),
+        ("latch init of 2", "aag 2 1 1 0 0\n2\n4 2 2\n"),
+        ("odd latch literal", "aag 2 1 1 0 0\n2\n5 2\n"),
+        (
+            "garbage after and section",
+            "aag 1 1 0 1 0\n2\n2\nwhat is this\n",
+        ),
+        (
+            "symbol index not a number",
+            "aag 1 1 0 1 0\n2\n2\nix name\n",
+        ),
+        ("symbol entry without a name", "aag 1 1 0 1 0\n2\n2\ni0\n"),
+    ];
+    for (label, source) in corpus {
+        let result = parse_aag("bad", source);
+        assert!(
+            result.is_err(),
+            "malformed source ({label}) was accepted: {result:?}"
+        );
+    }
+}

@@ -10,7 +10,8 @@ use autolock_attacks::{
     SatAttackConfig,
 };
 use autolock_evo::Resumable;
-use autolock_netlist::{parse_bench, Netlist};
+use autolock_netlist::ingest::{self, CircuitFormat, IngestOptions, SeqResolution};
+use autolock_netlist::Netlist;
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
@@ -289,6 +290,7 @@ impl JobEngine {
         JobRow {
             job_id: spec.id.clone(),
             circuit: spec.circuit.clone(),
+            format: source_format(spec),
             attack: spec.kind.label().to_string(),
             status: JobStatus::Error,
             key_len: spec.kind.key_len(),
@@ -301,8 +303,25 @@ impl JobEngine {
     }
 
     fn try_run(&self, spec: &JobSpec) -> Result<JobRow, JobError> {
-        let netlist = parse_bench(&spec.circuit, &spec.source)
+        let opts = IngestOptions {
+            sequential: spec.sequential,
+            ..IngestOptions::default()
+        };
+        let ingested = ingest::parse_auto(&spec.circuit, &spec.source, &opts)
             .map_err(|e| JobError::fatal(format!("parse: {e}")))?;
+        autolock_obs::counter(match ingested.format {
+            CircuitFormat::Bench => "service.ingest.bench",
+            CircuitFormat::Aiger => "service.ingest.aiger",
+        })
+        .incr();
+        match ingested.resolution {
+            SeqResolution::Combinational => {}
+            SeqResolution::Cut => autolock_obs::counter("service.ingest.cut").incr(),
+            SeqResolution::Unrolled { .. } => {
+                autolock_obs::counter("service.ingest.unrolled").incr()
+            }
+        }
+        let netlist = ingested.netlist;
         match &spec.kind {
             JobKind::SatAttack {
                 lock,
@@ -446,6 +465,7 @@ impl JobEngine {
         Ok(JobRow {
             job_id: spec.id.clone(),
             circuit: spec.circuit.clone(),
+            format: source_format(spec),
             attack: "sat".to_string(),
             status: if outcome.gave_up {
                 JobStatus::Timeout
@@ -508,6 +528,7 @@ impl JobEngine {
         Ok(JobRow {
             job_id: spec.id.clone(),
             circuit: spec.circuit.clone(),
+            format: source_format(spec),
             attack: outcome.attack.clone(),
             status: JobStatus::Ok,
             key_len: outcome.key_len,
@@ -598,6 +619,7 @@ impl JobEngine {
         JobRow {
             job_id: spec.id.clone(),
             circuit: spec.circuit.clone(),
+            format: source_format(spec),
             attack: "evolve".to_string(),
             status: JobStatus::Ok,
             key_len,
@@ -608,6 +630,13 @@ impl JobEngine {
             error: None,
         }
     }
+}
+
+/// The `format` column of a spec's rows: the content sniff is exactly the
+/// detection [`ingest::parse_auto`] applies, and it works even for sources
+/// that later fail to parse (error rows report a format too).
+fn source_format(spec: &JobSpec) -> String {
+    CircuitFormat::sniff(&spec.source).label().to_string()
 }
 
 /// Best-effort human-readable payload of a caught panic.

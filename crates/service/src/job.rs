@@ -1,6 +1,7 @@
 //! Job descriptions ([`JobSpec`]) and result rows ([`JobRow`]).
 
 use autolock_locking::{DMuxLocking, LockedNetlist, LockingScheme, XorLocking};
+use autolock_netlist::ingest::{self, CircuitFormat, SequentialHandling};
 use autolock_netlist::Netlist;
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
@@ -132,8 +133,8 @@ impl JobKind {
     }
 }
 
-/// One job: a circuit (as `.bench` source, so the spec is self-contained
-/// and serializable), a seed, and what to do with it.
+/// One job: a circuit source (self-contained, so the spec is serializable),
+/// a seed, and what to do with it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JobSpec {
     /// Unique job identifier; the resume protocol and checkpoint files key
@@ -141,13 +142,19 @@ pub struct JobSpec {
     pub id: String,
     /// Circuit name (used when parsing `source` and echoed in the row).
     pub circuit: String,
-    /// The circuit in `.bench` format. Parsed at run time; a malformed
-    /// source yields an `error` row rather than failing the batch.
+    /// The circuit source, `.bench` or ASCII AIGER — the engine ingests it
+    /// through [`autolock_netlist::ingest::parse_auto`], which detects the
+    /// format by content. Parsed at run time; a malformed source yields an
+    /// `error` row rather than failing the batch.
     pub source: String,
     /// Per-job base seed: every stochastic component of the job derives
     /// from it, so the row is reproducible regardless of worker threading
     /// or kill/resume boundaries.
     pub seed: u64,
+    /// How to lower a sequential source into the combinational attack
+    /// target ([`SequentialHandling::Reject`] keeps the historical
+    /// combinational-only behaviour and is what combinational specs use).
+    pub sequential: SequentialHandling,
     /// What to do.
     pub kind: JobKind,
 }
@@ -173,6 +180,9 @@ pub struct JobRow {
     pub job_id: String,
     /// Circuit name.
     pub circuit: String,
+    /// Source format the circuit was ingested from (`"bench"` / `"aiger"`,
+    /// the [`CircuitFormat::label`] values).
+    pub format: String,
     /// Attack identity (`sat`, `muxlink`, `muxlink-gnn`, `evolve`, …).
     pub attack: String,
     /// Terminal status.
@@ -248,6 +258,13 @@ pub struct DirJobConfig {
     /// generation, one migrant) under the **same ids and seeds**, so
     /// enabling islands never reshuffles the other jobs' draws or rows.
     pub evolve_islands: usize,
+    /// Frames for the unrolled variant of sequential circuits (≥ 1).
+    /// Sequential sources produce **two** job families per configured kind —
+    /// a register-cut variant under `{stem}.cut` and a time-frame-expanded
+    /// one under `{stem}.u{frames}`; combinational sources keep the
+    /// historical single family under the bare stem, with identical ids and
+    /// seeds.
+    pub unroll_frames: usize,
 }
 
 impl Default for DirJobConfig {
@@ -262,6 +279,7 @@ impl Default for DirJobConfig {
             evolve_population: 4,
             evolve_generations: 2,
             evolve_islands: 1,
+            unroll_frames: 2,
         }
     }
 }
@@ -277,83 +295,132 @@ fn mix_seed(base: u64, name: &str) -> u64 {
     base ^ h
 }
 
-/// Scans `dir` for `*.bench` files (sorted by file name, so the job order —
-/// and therefore the output row order — is stable) and builds the
-/// configured job kinds per file: SAT under the file stem, MuxLink under
-/// `{stem}.muxlink`, Evolve under `{stem}.evolve`.
+/// Scans `dir` for circuit files — `*.bench` and ASCII AIGER `*.aag`,
+/// sorted by file stem so the job order (and therefore the output row
+/// order) is stable — and builds the configured job kinds per file: SAT
+/// under the base id, MuxLink under `{base}.muxlink`, Evolve under
+/// `{base}.evolve`.
 ///
-/// Unreadable files fail the scan; *malformed* files do not — they parse at
-/// run time into `error` rows, which is what lets `serve_dir` report one
-/// status row per instance and kind.
+/// Combinational circuits use the file stem as the base id, exactly as
+/// before AIGER support existed, so existing `.bench` directories keep
+/// their historical ids and seeds. A *sequential* circuit fans out into two
+/// bases — `{stem}.cut` (register cut) and `{stem}.u{frames}` (time-frame
+/// expansion with [`DirJobConfig::unroll_frames`]) — each carrying the
+/// matching [`JobSpec::sequential`] mode.
+///
+/// Unreadable files and duplicate stems fail the scan; *malformed* files do
+/// not — they parse at run time into `error` rows, which is what lets
+/// `serve_dir` report one status row per instance and kind.
 ///
 /// # Errors
 ///
-/// Propagates directory-walk and file-read I/O errors.
+/// Propagates directory-walk and file-read I/O errors; rejects two files
+/// with the same stem (their job ids would collide).
 pub fn jobs_from_dir(dir: &Path, config: &DirJobConfig) -> io::Result<Vec<JobSpec>> {
-    let mut names: Vec<String> = Vec::new();
+    let mut files: Vec<(String, std::path::PathBuf)> = Vec::new();
     for entry in std::fs::read_dir(dir)? {
         let entry = entry?;
         let path = entry.path();
-        if path.extension().and_then(|e| e.to_str()) == Some("bench") && path.is_file() {
+        let ext = path.extension().and_then(|e| e.to_str());
+        if matches!(ext, Some("bench") | Some("aag")) && path.is_file() {
             if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
-                names.push(stem.to_string());
+                files.push((stem.to_string(), path));
             }
         }
     }
-    names.sort();
+    files.sort();
+    for pair in files.windows(2) {
+        if pair[0].0 == pair[1].0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "duplicate circuit stem `{}`: {} and {} would collide on job ids",
+                    pair[0].0,
+                    pair[0].1.display(),
+                    pair[1].1.display()
+                ),
+            ));
+        }
+    }
     let mut jobs = Vec::new();
-    for name in names {
-        let source = std::fs::read_to_string(dir.join(format!("{name}.bench")))?;
-        let mut push = |id: String, kind: JobKind| {
-            jobs.push(JobSpec {
-                id: id.clone(),
-                circuit: name.clone(),
-                source: source.clone(),
-                seed: mix_seed(config.seed, &id),
-                kind,
-            });
-        };
-        if config.kinds.sat {
-            push(
-                name.clone(),
-                JobKind::SatAttack {
-                    lock: config.lock,
-                    timeout_ms: config.timeout_ms,
-                    max_propagations_per_solve: config.max_propagations_per_solve,
-                    max_iterations: config.max_iterations,
-                },
-            );
-        }
-        if config.kinds.muxlink {
-            push(
-                format!("{name}.muxlink"),
-                JobKind::MuxLinkAttack {
-                    lock: LockSpec::DMux {
-                        key_len: config.lock.key_len(),
+    for (name, path) in files {
+        let source = std::fs::read_to_string(&path)?;
+        let format = path
+            .extension()
+            .and_then(|e| e.to_str())
+            .and_then(CircuitFormat::from_extension);
+        // A parse failure here still emits jobs (under the combinational
+        // base id): the engine re-parses at run time and reports the error
+        // as a row instead of failing the whole scan.
+        let latches = ingest::parse_sequential(&name, &source, format)
+            .map(|seq| seq.num_latches())
+            .unwrap_or(0);
+        let variants: Vec<(String, SequentialHandling)> = if latches == 0 {
+            vec![(name.clone(), SequentialHandling::Reject)]
+        } else {
+            vec![
+                (format!("{name}.cut"), SequentialHandling::Cut),
+                (
+                    format!("{name}.u{}", config.unroll_frames),
+                    SequentialHandling::Unroll {
+                        frames: config.unroll_frames,
                     },
-                    attack: autolock_attacks::MuxLinkConfig::fast(),
-                },
-            );
-        }
-        if config.kinds.evolve {
-            let kind = if config.evolve_islands > 1 {
-                JobKind::EvolveIslands {
-                    key_len: config.lock.key_len(),
-                    population_size: config.evolve_population,
-                    generations: config.evolve_generations,
-                    islands: config.evolve_islands,
-                    migration_interval: 1,
-                    migrants: 1,
-                    surrogate: false,
-                }
-            } else {
-                JobKind::Evolve {
-                    key_len: config.lock.key_len(),
-                    population_size: config.evolve_population,
-                    generations: config.evolve_generations,
-                }
+                ),
+            ]
+        };
+        for (base, sequential) in variants {
+            let mut push = |id: String, kind: JobKind| {
+                jobs.push(JobSpec {
+                    id: id.clone(),
+                    circuit: name.clone(),
+                    source: source.clone(),
+                    seed: mix_seed(config.seed, &id),
+                    sequential,
+                    kind,
+                });
             };
-            push(format!("{name}.evolve"), kind);
+            if config.kinds.sat {
+                push(
+                    base.clone(),
+                    JobKind::SatAttack {
+                        lock: config.lock,
+                        timeout_ms: config.timeout_ms,
+                        max_propagations_per_solve: config.max_propagations_per_solve,
+                        max_iterations: config.max_iterations,
+                    },
+                );
+            }
+            if config.kinds.muxlink {
+                push(
+                    format!("{base}.muxlink"),
+                    JobKind::MuxLinkAttack {
+                        lock: LockSpec::DMux {
+                            key_len: config.lock.key_len(),
+                        },
+                        attack: autolock_attacks::MuxLinkConfig::fast(),
+                    },
+                );
+            }
+            if config.kinds.evolve {
+                let kind = if config.evolve_islands > 1 {
+                    JobKind::EvolveIslands {
+                        key_len: config.lock.key_len(),
+                        population_size: config.evolve_population,
+                        generations: config.evolve_generations,
+                        islands: config.evolve_islands,
+                        migration_interval: 1,
+                        migrants: 1,
+                        surrogate: false,
+                    }
+                } else {
+                    JobKind::Evolve {
+                        key_len: config.lock.key_len(),
+                        population_size: config.evolve_population,
+                        generations: config.evolve_generations,
+                    }
+                };
+                push(format!("{base}.evolve"), kind);
+            }
         }
     }
     Ok(jobs)
@@ -394,6 +461,7 @@ mod tests {
         let row = JobRow {
             job_id: "a".into(),
             circuit: "c17".into(),
+            format: "bench".into(),
             attack: "sat".into(),
             status: JobStatus::Timeout,
             key_len: 8,
@@ -412,5 +480,74 @@ mod tests {
     fn dir_kinds_default_to_sat_only() {
         let kinds = DirJobKinds::default();
         assert!(kinds.sat && !kinds.muxlink && !kinds.evolve);
+    }
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("autolock_job_test_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn mixed_dir_emits_stable_ids_and_sequential_variants() {
+        let dir = scratch_dir("mixed");
+        std::fs::write(dir.join("b1.bench"), "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").unwrap();
+        // Sequential AIGER: latch q, next = en AND q.
+        std::fs::write(
+            dir.join("s1.aag"),
+            "aag 3 1 1 1 1\n2\n4 6\n4\n6 2 4\ni0 en\nl0 q\no0 out\nc\n",
+        )
+        .unwrap();
+        let config = DirJobConfig {
+            kinds: DirJobKinds {
+                sat: true,
+                muxlink: true,
+                evolve: false,
+            },
+            ..DirJobConfig::default()
+        };
+        let jobs = jobs_from_dir(&dir, &config).unwrap();
+        let ids: Vec<&str> = jobs.iter().map(|j| j.id.as_str()).collect();
+        assert_eq!(
+            ids,
+            vec![
+                "b1",
+                "b1.muxlink",
+                "s1.cut",
+                "s1.cut.muxlink",
+                "s1.u2",
+                "s1.u2.muxlink"
+            ]
+        );
+        // Combinational `.bench` jobs keep the exact historical seed.
+        assert_eq!(jobs[0].seed, mix_seed(config.seed, "b1"));
+        assert_eq!(jobs[0].sequential, SequentialHandling::Reject);
+        assert_eq!(jobs[2].sequential, SequentialHandling::Cut);
+        assert_eq!(jobs[4].sequential, SequentialHandling::Unroll { frames: 2 });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_only_dirs_keep_historical_job_lists() {
+        let dir = scratch_dir("legacy");
+        std::fs::write(dir.join("c1.bench"), "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").unwrap();
+        std::fs::write(dir.join("c2.bench"), "this is not valid\n").unwrap();
+        let jobs = jobs_from_dir(&dir, &DirJobConfig::default()).unwrap();
+        let ids: Vec<&str> = jobs.iter().map(|j| j.id.as_str()).collect();
+        // Malformed c2 still yields a job (it becomes an error row at run
+        // time), under the plain stem like before AIGER support.
+        assert_eq!(ids, vec!["c1", "c2"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_stems_are_rejected() {
+        let dir = scratch_dir("dup");
+        std::fs::write(dir.join("x.bench"), "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").unwrap();
+        std::fs::write(dir.join("x.aag"), "aag 1 1 0 1 0\n2\n2\ni0 a\no0 y\nc\n").unwrap();
+        let err = jobs_from_dir(&dir, &DirJobConfig::default()).unwrap_err();
+        assert!(err.to_string().contains("duplicate circuit stem"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

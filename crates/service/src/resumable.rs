@@ -22,7 +22,8 @@ use autolock_evo::{
     ResumableIslandGa, SelectionMethod, SurrogateScreen,
 };
 use autolock_locking::DMuxLocking;
-use autolock_netlist::{parse_bench, Netlist};
+use autolock_netlist::ingest::{self, IngestOptions};
+use autolock_netlist::Netlist;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::sync::Arc;
@@ -229,7 +230,8 @@ impl IslandEvolveJob {
     }
 
     /// Builds the job from a [`JobSpec`] carrying a
-    /// [`JobKind::EvolveIslands`] kind (parses the spec's BENCH source).
+    /// [`JobKind::EvolveIslands`] kind (ingests the spec's source through
+    /// the format-detecting front door, honoring its sequential mode).
     /// Used by the E14 bench driver to pre-step and checkpoint a job exactly
     /// as the engine would.
     ///
@@ -238,8 +240,13 @@ impl IslandEvolveJob {
     /// Returns a message when the spec is not an island-evolve job, its
     /// source does not parse, or the parameters are invalid.
     pub fn from_spec(spec: &JobSpec, threads: usize) -> Result<Self, String> {
-        let netlist =
-            parse_bench(&spec.circuit, &spec.source).map_err(|e| format!("parse: {e}"))?;
+        let opts = IngestOptions {
+            sequential: spec.sequential,
+            ..IngestOptions::default()
+        };
+        let netlist = ingest::parse_auto(&spec.circuit, &spec.source, &opts)
+            .map_err(|e| format!("parse: {e}"))?
+            .netlist;
         Self::from_spec_netlist(spec, netlist, threads)
     }
 

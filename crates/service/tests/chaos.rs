@@ -30,6 +30,7 @@ fn chaos_jobs() -> Vec<JobSpec> {
             circuit: "chaos-a".into(),
             source: write_bench(&synth_circuit("chaos-a", 8, 4, 60, 41)),
             seed: 51,
+            sequential: Default::default(),
             kind: JobKind::SatAttack {
                 lock: LockSpec::Xor { key_len: 4 },
                 timeout_ms: 600_000,
@@ -42,6 +43,7 @@ fn chaos_jobs() -> Vec<JobSpec> {
             circuit: "chaos-evo".into(),
             source: write_bench(&synth_circuit("chaos-evo", 8, 3, 80, 42)),
             seed: 52,
+            sequential: Default::default(),
             kind: JobKind::Evolve {
                 key_len: 4,
                 population_size: 3,
@@ -53,6 +55,7 @@ fn chaos_jobs() -> Vec<JobSpec> {
             circuit: "chaos-b".into(),
             source: write_bench(&synth_circuit("chaos-b", 10, 4, 120, 43)),
             seed: 53,
+            sequential: Default::default(),
             kind: JobKind::SatAttack {
                 lock: LockSpec::DMux { key_len: 6 },
                 timeout_ms: 600_000,

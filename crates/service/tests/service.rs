@@ -34,6 +34,7 @@ fn mixed_jobs() -> Vec<JobSpec> {
             circuit: "svc-easy".into(),
             source: tiny_source(3),
             seed: 11,
+            sequential: Default::default(),
             kind: JobKind::SatAttack {
                 lock: LockSpec::Xor { key_len: 8 },
                 timeout_ms: 600_000,
@@ -46,6 +47,7 @@ fn mixed_jobs() -> Vec<JobSpec> {
             circuit: "st6288".into(),
             source: hard,
             seed: 12,
+            sequential: Default::default(),
             kind: JobKind::SatAttack {
                 lock: LockSpec::DMux { key_len: 16 },
                 timeout_ms: 600_000,
@@ -58,6 +60,7 @@ fn mixed_jobs() -> Vec<JobSpec> {
             circuit: "svc-ml".into(),
             source: tiny_source(4),
             seed: 13,
+            sequential: Default::default(),
             kind: JobKind::MuxLinkAttack {
                 lock: LockSpec::DMux { key_len: 8 },
                 attack: MuxLinkConfig::fast(),
@@ -68,6 +71,7 @@ fn mixed_jobs() -> Vec<JobSpec> {
             circuit: "svc-evo".into(),
             source: write_bench(&synth_circuit("svc-evo", 8, 3, 80, 5)),
             seed: 14,
+            sequential: Default::default(),
             kind: JobKind::Evolve {
                 key_len: 4,
                 population_size: 3,
@@ -79,6 +83,7 @@ fn mixed_jobs() -> Vec<JobSpec> {
             circuit: "broken".into(),
             source: "INPUT(a)\nnot bench at all".into(),
             seed: 15,
+            sequential: Default::default(),
             kind: JobKind::SatAttack {
                 lock: LockSpec::Xor { key_len: 4 },
                 timeout_ms: 1000,
@@ -144,6 +149,7 @@ fn evolve_job(generations: usize, seed: u64) -> JobSpec {
         circuit: "svc-evo".into(),
         source: write_bench(&synth_circuit("svc-evo", 8, 3, 80, 5)),
         seed,
+        sequential: Default::default(),
         kind: JobKind::Evolve {
             key_len: 4,
             population_size: 3,
@@ -201,6 +207,7 @@ fn island_evolve_job(generations: usize, seed: u64) -> JobSpec {
         circuit: "svc-evo".into(),
         source: write_bench(&synth_circuit("svc-evo", 8, 3, 80, 5)),
         seed,
+        sequential: Default::default(),
         kind: JobKind::EvolveIslands {
             key_len: 4,
             population_size: 4,
@@ -329,6 +336,7 @@ fn registry_hit_reproduces_the_trained_row_exactly() {
         circuit: "svc-ml".into(),
         source: tiny_source(4),
         seed: 31,
+        sequential: Default::default(),
         kind: JobKind::MuxLinkAttack {
             lock: LockSpec::DMux { key_len: 8 },
             attack: MuxLinkConfig::fast(),
@@ -488,7 +496,14 @@ fn sat_job_resumes_from_a_mid_run_checkpoint_bit_identically() {
     {
         use autolock_attacks::{SatAttack, SatAttackConfig};
         use rand::SeedableRng;
-        let netlist = autolock_netlist::parse_bench(&job.circuit, &job.source).unwrap();
+        // Same front-door path the engine takes when loading the job.
+        let opts = autolock_netlist::ingest::IngestOptions {
+            sequential: job.sequential,
+            ..Default::default()
+        };
+        let netlist = autolock_netlist::ingest::parse_auto(&job.circuit, &job.source, &opts)
+            .unwrap()
+            .netlist;
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(job.seed);
         let JobKind::SatAttack { lock, .. } = &job.kind else {
             unreachable!("sat job")
@@ -608,6 +623,7 @@ fn poison_job_is_quarantined_after_exhausting_retries() {
         circuit: "svc-ok".into(),
         source: tiny_source(6),
         seed: 16,
+        sequential: Default::default(),
         kind: JobKind::SatAttack {
             lock: LockSpec::Xor { key_len: 4 },
             timeout_ms: 600_000,

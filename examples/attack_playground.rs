@@ -1,8 +1,9 @@
 //! Attack playground: lock a circuit with every scheme and run every
 //! oracle-less attack against it, printing the full accuracy matrix.
 //!
-//! Optionally pass a path to an ISCAS-style `.bench` file to use your own
-//! circuit:
+//! Optionally pass a path to an ISCAS-style `.bench` or ASCII AIGER `.aag`
+//! file to use your own circuit (sequential sources are cut at the
+//! registers):
 //! `cargo run --release --example attack_playground -- my_circuit.bench 16`
 
 use autolock_suite::attacks::{
@@ -10,15 +11,19 @@ use autolock_suite::attacks::{
 };
 use autolock_suite::circuits::suite_circuit;
 use autolock_suite::locking::{DMuxLocking, LockedNetlist, LockingScheme, XorLocking};
-use autolock_suite::netlist::{parse_bench, write_bench, Netlist};
+use autolock_suite::netlist::ingest::{self, IngestOptions, SequentialHandling};
+use autolock_suite::netlist::{write_bench, Netlist};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn load_circuit(arg: Option<&String>) -> Result<Netlist, Box<dyn std::error::Error>> {
     match arg {
-        Some(path) if path.ends_with(".bench") => {
-            let text = std::fs::read_to_string(path)?;
-            Ok(parse_bench(path, &text)?)
+        Some(path) if path.ends_with(".bench") || path.ends_with(".aag") => {
+            let opts = IngestOptions {
+                sequential: SequentialHandling::Cut,
+                ..IngestOptions::default()
+            };
+            Ok(ingest::parse_path(path, &opts)?.netlist)
         }
         Some(name) => suite_circuit(name).ok_or_else(|| format!("unknown circuit `{name}`").into()),
         None => Ok(suite_circuit("s380").expect("default suite circuit")),

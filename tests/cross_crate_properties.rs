@@ -4,7 +4,8 @@
 
 use autolock_suite::circuits::{CircuitGenerator, GeneratorConfig};
 use autolock_suite::locking::{DMuxLocking, Key, LockingScheme, XorLocking};
-use autolock_suite::netlist::{equiv, parse_bench, stats, write_bench};
+use autolock_suite::netlist::ingest::{parse_auto, IngestOptions};
+use autolock_suite::netlist::{equiv, stats, write_bench};
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -109,7 +110,9 @@ proptest! {
         prop_assert_eq!(s.key_inputs, key_len);
 
         let text = write_bench(locked.netlist());
-        let back = parse_bench("rt", &text).unwrap();
+        let back = parse_auto("rt", &text, &IngestOptions::default())
+            .unwrap()
+            .netlist;
         prop_assert_eq!(back.num_logic_gates(), locked.netlist().num_logic_gates());
         prop_assert_eq!(back.num_key_inputs(), key_len);
     }

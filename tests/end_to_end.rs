@@ -8,7 +8,8 @@ use autolock_suite::attacks::{
 use autolock_suite::autolock::{AutoLock, AutoLockConfig};
 use autolock_suite::circuits::{c17, suite_circuit, synth_circuit};
 use autolock_suite::locking::{DMuxLocking, LockingScheme, XorLocking};
-use autolock_suite::netlist::{equiv, parse_bench, write_bench};
+use autolock_suite::netlist::ingest::{parse_auto, IngestOptions};
+use autolock_suite::netlist::{equiv, write_bench};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -19,7 +20,9 @@ fn locked_netlists_survive_bench_roundtrip_and_stay_equivalent() {
     let locked = DMuxLocking::default().lock(&original, 8, &mut rng).unwrap();
 
     let text = write_bench(locked.netlist());
-    let reparsed = parse_bench("roundtrip", &text).unwrap();
+    let reparsed = parse_auto("roundtrip", &text, &IngestOptions::default())
+        .unwrap()
+        .netlist;
     assert_eq!(reparsed.num_key_inputs(), 8);
     let equivalent =
         equiv::random_equivalent(&original, &[], &reparsed, locked.key().bits(), 8, &mut rng)
